@@ -1,0 +1,26 @@
+//! Criterion bench behind the methodology figures (BSF curves, Pareto
+//! frontier, ranking diagram, corking trace) at tiny scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypart_bench::{
+    bsf_experiment, corking_experiment, pareto_experiment, ranking_experiment, ExperimentConfig,
+};
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        scale: 0.01,
+        trials: 3,
+        seed: 5,
+    };
+    c.bench_function("figure_bsf", |b| b.iter(|| bsf_experiment(&cfg)));
+    c.bench_function("figure_pareto", |b| b.iter(|| pareto_experiment(&cfg)));
+    c.bench_function("figure_ranking", |b| b.iter(|| ranking_experiment(&cfg)));
+    c.bench_function("figure_corking", |b| b.iter(|| corking_experiment(&cfg)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

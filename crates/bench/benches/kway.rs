@@ -1,0 +1,68 @@
+//! Criterion bench for the k-way engines: direct k-way FM, multilevel
+//! k-way, and recursive bisection at k = 4.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hypart_bench::{instance, ExperimentConfig};
+use hypart_kway::{
+    recursive_bisection, KWayBalance, KWayConfig, KWayFmPartitioner, MlKWayConfig,
+    MlKWayPartitioner,
+};
+use hypart_ml::MlConfig;
+
+fn bench_kway(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        scale: 0.02,
+        trials: 1,
+        seed: 6,
+    };
+    let h = instance(&cfg, 1);
+    let balance = KWayBalance::with_fraction(h.total_vertex_weight(), 4, 0.2);
+    let mut group = c.benchmark_group("kway_k4");
+
+    let direct = KWayFmPartitioner::new(KWayConfig::default());
+    let mut seed = 0u64;
+    group.bench_function("direct_kway_fm", |b| {
+        b.iter_batched(
+            || {
+                seed += 1;
+                seed
+            },
+            |s| direct.run(&h, &balance, s),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let ml_kway = MlKWayPartitioner::new(MlKWayConfig::default());
+    let mut seed = 0u64;
+    group.bench_function("multilevel_kway", |b| {
+        b.iter_batched(
+            || {
+                seed += 1;
+                seed
+            },
+            |s| ml_kway.run(&h, &balance, s),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let ml_config = MlConfig::default();
+    let mut seed = 0u64;
+    group.bench_function("recursive_bisection", |b| {
+        b.iter_batched(
+            || {
+                seed += 1;
+                seed
+            },
+            |s| recursive_bisection(&h, 4, 0.2, &ml_config, s),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kway
+}
+criterion_main!(benches);

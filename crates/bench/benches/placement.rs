@@ -1,0 +1,50 @@
+//! Criterion bench for the top-down placer (with/without terminal
+//! propagation) and HPWL evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hypart_bench::{instance, ExperimentConfig};
+use hypart_place::{hpwl, PlacerConfig, Rect, RowLegalizer, TopDownPlacer};
+
+fn bench_placement(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        scale: 0.02,
+        trials: 1,
+        seed: 8,
+    };
+    let h = instance(&cfg, 1);
+    let die = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+    let mut group = c.benchmark_group("placement");
+
+    for (name, term_prop) in [("place_with_tp", true), ("place_no_tp", false)] {
+        let placer = TopDownPlacer::new(PlacerConfig {
+            terminal_propagation: term_prop,
+            ..PlacerConfig::default()
+        });
+        let mut seed = 0u64;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    seed
+                },
+                |s| placer.run(&h, die, s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    let placer = TopDownPlacer::new(PlacerConfig::default());
+    let placement = placer.run(&h, die, 1);
+    group.bench_function("hpwl_eval", |b| b.iter(|| hpwl(&h, &placement)));
+    group.bench_function("legalize", |b| {
+        b.iter(|| RowLegalizer::new(die, 20).legalize(&h, &placement))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_placement
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion bench behind Table 1: one run of each engine variant on a
+//! small ibm01s replica, plus full-grid regeneration at tiny scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hypart_bench::{instance, table1, tol2, ExperimentConfig};
+use hypart_core::{FmConfig, FmPartitioner, SelectionRule, ZeroDeltaPolicy};
+use hypart_ml::{MlConfig, MlPartitioner};
+
+fn bench_engines(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        scale: 0.02,
+        trials: 3,
+        seed: 1,
+    };
+    let h = instance(&cfg, 1);
+    let constraint = tol2(&h);
+    let mut group = c.benchmark_group("table1_engines");
+    for (name, fm) in [
+        ("flat_lifo", FmConfig::lifo()),
+        ("flat_clip", FmConfig::clip()),
+        (
+            "flat_lifo_alldelta",
+            FmConfig::lifo().with_zero_delta(ZeroDeltaPolicy::All),
+        ),
+        (
+            "flat_clip_alldelta",
+            FmConfig::clip().with_zero_delta(ZeroDeltaPolicy::All),
+        ),
+    ] {
+        let engine = FmPartitioner::new(fm);
+        let mut seed = 0u64;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    seed
+                },
+                |s| engine.run(&h, &constraint, s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    for (name, selection) in [
+        ("ml_lifo", SelectionRule::Classic),
+        ("ml_clip", SelectionRule::Clip),
+    ] {
+        let ml = MlPartitioner::new(
+            MlConfig::default().with_refine(FmConfig::default().with_selection(selection)),
+        );
+        let mut seed = 0u64;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    seed
+                },
+                |s| ml.run(&h, &constraint, s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_grid(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        scale: 0.01,
+        trials: 2,
+        seed: 1,
+    };
+    c.bench_function("table1_full_grid_tiny", |b| b.iter(|| table1(&cfg)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines, bench_full_grid
+}
+criterion_main!(benches);

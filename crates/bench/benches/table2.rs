@@ -1,0 +1,42 @@
+//! Criterion bench behind Table 2: competent LIFO FM vs the weak
+//! "Reported"-style LIFO FM baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hypart_bench::{instance, tol2, ExperimentConfig};
+use hypart_core::{FmConfig, FmPartitioner};
+
+fn bench_lifo_vs_reported(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        scale: 0.02,
+        trials: 3,
+        seed: 2,
+    };
+    let h = instance(&cfg, 1);
+    let constraint = tol2(&h);
+    let mut group = c.benchmark_group("table2_lifo");
+    for (name, fm) in [
+        ("our_lifo", FmConfig::lifo()),
+        ("reported_lifo", FmConfig::reported_lifo()),
+    ] {
+        let engine = FmPartitioner::new(fm);
+        let mut seed = 0u64;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    seed
+                },
+                |s| engine.run(&h, &constraint, s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lifo_vs_reported
+}
+criterion_main!(benches);

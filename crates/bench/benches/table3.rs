@@ -1,0 +1,43 @@
+//! Criterion bench behind Table 3: CLIP FM with and without the
+//! anti-corking overweight exclusion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hypart_bench::{instance, tol2, ExperimentConfig};
+use hypart_core::{FmConfig, FmPartitioner};
+
+fn bench_clip_variants(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        scale: 0.02,
+        trials: 3,
+        seed: 3,
+    };
+    let h = instance(&cfg, 1);
+    let constraint = tol2(&h);
+    let mut group = c.benchmark_group("table3_clip");
+    for (name, fm) in [
+        ("our_clip", FmConfig::clip()),
+        ("reported_clip", FmConfig::reported_clip()),
+        ("clip_lookahead4", FmConfig::clip().with_lookahead(4)),
+    ] {
+        let engine = FmPartitioner::new(fm);
+        let mut seed = 0u64;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    seed
+                },
+                |s| engine.run(&h, &constraint, s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_clip_variants
+}
+criterion_main!(benches);

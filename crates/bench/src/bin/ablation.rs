@@ -1,0 +1,17 @@
+//! Ablation study over design choices beyond the paper's main grid:
+//! insertion policy, CLIP lookahead, coarsening scheme.
+//!
+//! Usage: `cargo run --release -p hypart-bench --bin ablation -- [--scale S] [--trials N]`
+
+use hypart_bench::{ablation_experiment, write_result, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExperimentConfig::from_args(&args);
+    let table = ablation_experiment(&cfg);
+    println!("{}", table.render());
+    match write_result("ablation.csv", &table.to_csv()) {
+        Ok(path) => println!("(csv written to {})", path.display()),
+        Err(e) => eprintln!("could not write csv: {e}"),
+    }
+}

@@ -1,0 +1,17 @@
+//! The fixed-terminals experiment of §2.1: how pinning terminals changes
+//! the cut distribution of the same instance.
+//!
+//! Usage: `cargo run --release -p hypart-bench --bin fixed_terminals -- [--scale S] [--trials N]`
+
+use hypart_bench::{fixed_terminals_experiment, write_result, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExperimentConfig::from_args(&args);
+    let table = fixed_terminals_experiment(&cfg);
+    println!("{}", table.render());
+    match write_result("fixed_terminals.csv", &table.to_csv()) {
+        Ok(path) => println!("(csv written to {})", path.display()),
+        Err(e) => eprintln!("could not write csv: {e}"),
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates the non-dominated-frontier methodology figure of §3.2:
+//! (average cut, average seconds) across engine configurations.
+//!
+//! Usage: `cargo run --release -p hypart-bench --bin pareto_frontier -- [--scale S] [--trials N]`
+
+use hypart_bench::{pareto_experiment, write_result, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExperimentConfig::from_args(&args);
+    let report = pareto_experiment(&cfg);
+    println!("{report}");
+    match write_result("pareto_frontier.txt", &report) {
+        Ok(path) => println!("(written to {})", path.display()),
+        Err(e) => eprintln!("could not write: {e}"),
+    }
+}

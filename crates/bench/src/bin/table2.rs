@@ -1,0 +1,17 @@
+//! Regenerates the paper's Table 2: our LIFO FM vs a weak "Reported" LIFO
+//! FM at 2% and 10% tolerance.
+//!
+//! Usage: `cargo run --release -p hypart-bench --bin table2 -- [--scale S] [--trials N]`
+
+use hypart_bench::{table2, write_result, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExperimentConfig::from_args(&args);
+    let table = table2(&cfg);
+    println!("{}", table.render());
+    match write_result("table2.csv", &table.to_csv()) {
+        Ok(path) => println!("(csv written to {})", path.display()),
+        Err(e) => eprintln!("could not write csv: {e}"),
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates the paper's Table 3: our CLIP FM (anti-corking exclusion)
+//! vs a weak "Reported" CLIP FM at 2% and 10% tolerance.
+//!
+//! Usage: `cargo run --release -p hypart-bench --bin table3 -- [--scale S] [--trials N]`
+
+use hypart_bench::{table3, write_result, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExperimentConfig::from_args(&args);
+    let table = table3(&cfg);
+    println!("{}", table.render());
+    match write_result("table3.csv", &table.to_csv()) {
+        Ok(path) => println!("(csv written to {})", path.display()),
+        Err(e) => eprintln!("could not write csv: {e}"),
+    }
+}

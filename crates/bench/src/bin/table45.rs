@@ -1,0 +1,41 @@
+//! Regenerates the paper's Tables 4 and 5: hMetis-1.5-style multi-start
+//! quality/runtime sweep (configs = 1, 2, 4, 8, 16, 100 starts + V-cycle).
+//!
+//! Usage: `cargo run --release -p hypart-bench --bin table45 -- \
+//!   [--tol 0.02|0.10] [--scale S] [--reps R] [--instances M] [--seed K]`
+
+use hypart_bench::{table45, write_result, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExperimentConfig::from_args(&args);
+    let mut tol = 0.02f64;
+    let mut reps = 5usize;
+    let mut max_instances = 9usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tol" => {
+                i += 1;
+                tol = args[i].parse().expect("--tol takes a float");
+            }
+            "--reps" => {
+                i += 1;
+                reps = args[i].parse().expect("--reps takes an integer");
+            }
+            "--instances" => {
+                i += 1;
+                max_instances = args[i].parse().expect("--instances takes an integer");
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let table = table45(&cfg, tol, max_instances, reps);
+    println!("{}", table.render());
+    let which = if tol <= 0.05 { "table4" } else { "table5" };
+    match write_result(&format!("{which}.csv"), &table.to_csv()) {
+        Ok(path) => println!("(csv written to {})", path.display()),
+        Err(e) => eprintln!("could not write csv: {e}"),
+    }
+}

@@ -1,0 +1,51 @@
+//! Synthetic benchmark generation for VLSI hypergraph partitioning.
+//!
+//! The ISPD98 IBM suite and the MCNC suite the paper evaluates on are not
+//! redistributable, so this crate synthesizes seeded stand-ins that match
+//! the *salient attributes* the paper says drive partitioner behaviour
+//! (§2.1): instance size, sparsity (|E| ≈ |V|), average degree and net
+//! size between 3 and 5, a small number of very large (clock-like) nets,
+//! and — crucially for the corking experiments — wide cell-area variation
+//! with large macros.
+//!
+//! * [`ispd98_like`] — actual-area circuits following the published
+//!   ibm01–ibm18 size profiles (scalable for quick runs);
+//! * [`mcnc_like`] — small unit-area circuits (the regime that *masks*
+//!   corking, per §2.3);
+//! * [`random_hypergraph`] — structure-free random instances for property
+//!   tests;
+//! * [`toys`] — tiny deterministic instances with known optima;
+//! * [`with_pad_ring`] — adds fixed terminals, emulating the top-down
+//!   placement use model.
+//!
+//! All generators are deterministic functions of their explicit `u64`
+//! seed.
+//!
+//! # Example
+//!
+//! ```
+//! use hypart_benchgen::{ispd98_like, IBM_PROFILES};
+//! use hypart_hypergraph::stats::InstanceStats;
+//!
+//! let h = ispd98_like(1, 0.05, 42); // 5 % scale ibm01-like
+//! let s = InstanceStats::of(&h);
+//! assert!(s.avg_net_size > 2.0 && s.avg_net_size < 6.0);
+//! assert!(s.max_weight_fraction > 0.01); // macros exist
+//! assert_eq!(IBM_PROFILES[0].name, "ibm01");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ispd98;
+mod mcnc;
+mod pads;
+mod profile;
+mod random;
+pub mod toys;
+
+pub use ispd98::ispd98_like;
+pub use mcnc::mcnc_like;
+pub use pads::with_pad_ring;
+pub use profile::{Ispd98Profile, IBM_PROFILES};
+pub use random::random_hypergraph;

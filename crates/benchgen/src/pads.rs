@@ -1,0 +1,61 @@
+//! Fixed-terminal ("pad") augmentation.
+//!
+//! In top-down placement "almost all hypergraph partitioning instances
+//! have many vertices fixed in partitions due to terminal propagation or
+//! pad locations" (§2.1). This helper turns any instance into such a
+//! fixed-terminal instance.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use hypart_hypergraph::{Hypergraph, PartId};
+
+/// Returns a copy of `h` with `count` randomly chosen free vertices fixed,
+/// alternating between the two partitions (so the fixed area is split
+/// roughly evenly, as terminal propagation produces).
+///
+/// If fewer than `count` free vertices exist, all of them are fixed.
+pub fn with_pad_ring(h: &Hypergraph, count: usize, seed: u64) -> Hypergraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut free: Vec<_> = h.vertices().filter(|&v| !h.is_fixed(v)).collect();
+    free.shuffle(&mut rng);
+    let mut out = h.clone();
+    for (i, &v) in free.iter().take(count).enumerate() {
+        let part = if i % 2 == 0 { PartId::P0 } else { PartId::P1 };
+        out = out.with_fixed(v, Some(part));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcnc_like;
+
+    #[test]
+    fn fixes_requested_count_alternating() {
+        let h = mcnc_like(100, 1);
+        let fixed = with_pad_ring(&h, 10, 2);
+        assert_eq!(fixed.num_fixed(), 10);
+        let p0 = fixed
+            .vertices()
+            .filter(|&v| fixed.fixed_part(v) == Some(PartId::P0))
+            .count();
+        assert_eq!(p0, 5);
+    }
+
+    #[test]
+    fn caps_at_available_free_vertices() {
+        let h = mcnc_like(16, 1);
+        let fixed = with_pad_ring(&h, 1000, 2);
+        assert_eq!(fixed.num_fixed(), 16);
+    }
+
+    #[test]
+    fn original_is_untouched() {
+        let h = mcnc_like(32, 1);
+        let _ = with_pad_ring(&h, 8, 2);
+        assert_eq!(h.num_fixed(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Published size profiles of the ISPD98 IBM benchmark suite.
+//!
+//! Cell/net/pin counts follow the figures published with the suite
+//! \[Alpert, ISPD-98\]. The synthetic generator reproduces these aggregate
+//! counts (scaled on request), not the actual netlist topologies, which are
+//! not redistributable.
+
+/// Size profile of one ISPD98 benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ispd98Profile {
+    /// Benchmark name, `"ibm01"` … `"ibm18"`.
+    pub name: &'static str,
+    /// Number of cells (movable modules + pads).
+    pub cells: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of pins.
+    pub pins: usize,
+    /// Whether the design contains large macro cells (drives the
+    /// actual-area / corking behaviour; all IBM designs do).
+    pub has_macros: bool,
+}
+
+impl Ispd98Profile {
+    /// Average net size implied by the profile.
+    pub fn avg_net_size(&self) -> f64 {
+        self.pins as f64 / self.nets as f64
+    }
+
+    /// Average vertex degree implied by the profile.
+    pub fn avg_degree(&self) -> f64 {
+        self.pins as f64 / self.cells as f64
+    }
+
+    /// Looks a profile up by 1-based index (`1` → ibm01).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not in `1..=18`.
+    pub fn by_index(index: usize) -> &'static Ispd98Profile {
+        assert!(
+            (1..=18).contains(&index),
+            "ISPD98 index must be 1..=18, got {index}"
+        );
+        &IBM_PROFILES[index - 1]
+    }
+
+    /// Looks a profile up by name (`"ibm01"`).
+    pub fn by_name(name: &str) -> Option<&'static Ispd98Profile> {
+        IBM_PROFILES.iter().find(|p| p.name == name)
+    }
+}
+
+/// The eighteen IBM benchmark profiles, in order.
+pub const IBM_PROFILES: [Ispd98Profile; 18] = [
+    Ispd98Profile { name: "ibm01", cells: 12_752, nets: 14_111, pins: 50_566, has_macros: true },
+    Ispd98Profile { name: "ibm02", cells: 19_601, nets: 19_584, pins: 81_199, has_macros: true },
+    Ispd98Profile { name: "ibm03", cells: 23_136, nets: 27_401, pins: 93_573, has_macros: true },
+    Ispd98Profile { name: "ibm04", cells: 27_507, nets: 31_970, pins: 105_859, has_macros: true },
+    Ispd98Profile { name: "ibm05", cells: 29_347, nets: 28_446, pins: 126_308, has_macros: true },
+    Ispd98Profile { name: "ibm06", cells: 32_498, nets: 34_826, pins: 128_182, has_macros: true },
+    Ispd98Profile { name: "ibm07", cells: 45_926, nets: 48_117, pins: 175_639, has_macros: true },
+    Ispd98Profile { name: "ibm08", cells: 51_309, nets: 50_513, pins: 204_890, has_macros: true },
+    Ispd98Profile { name: "ibm09", cells: 53_395, nets: 60_902, pins: 222_088, has_macros: true },
+    Ispd98Profile { name: "ibm10", cells: 69_429, nets: 75_196, pins: 297_567, has_macros: true },
+    Ispd98Profile { name: "ibm11", cells: 70_558, nets: 81_454, pins: 280_786, has_macros: true },
+    Ispd98Profile { name: "ibm12", cells: 71_076, nets: 77_240, pins: 317_760, has_macros: true },
+    Ispd98Profile { name: "ibm13", cells: 84_199, nets: 99_666, pins: 357_075, has_macros: true },
+    Ispd98Profile { name: "ibm14", cells: 147_605, nets: 152_772, pins: 546_816, has_macros: true },
+    Ispd98Profile { name: "ibm15", cells: 161_570, nets: 186_608, pins: 715_823, has_macros: true },
+    Ispd98Profile { name: "ibm16", cells: 183_484, nets: 190_048, pins: 778_823, has_macros: true },
+    Ispd98Profile { name: "ibm17", cells: 185_495, nets: 189_581, pins: 860_036, has_macros: true },
+    Ispd98Profile { name: "ibm18", cells: 210_613, nets: 201_920, pins: 819_697, has_macros: true },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_paper_attributes() {
+        for p in &IBM_PROFILES {
+            // "number of hyperedges very close to the number of vertices"
+            let ratio = p.nets as f64 / p.cells as f64;
+            assert!((0.8..=1.3).contains(&ratio), "{}: ratio {ratio}", p.name);
+            // "average net sizes typically between 3 and 5"
+            let avg = p.avg_net_size();
+            assert!((3.0..=5.0).contains(&avg), "{}: avg net {avg}", p.name);
+            let deg = p.avg_degree();
+            assert!((3.0..=5.0).contains(&deg), "{}: avg deg {deg}", p.name);
+        }
+    }
+
+    #[test]
+    fn by_index_and_name_agree() {
+        assert_eq!(Ispd98Profile::by_index(1).name, "ibm01");
+        assert_eq!(Ispd98Profile::by_index(18).name, "ibm18");
+        assert_eq!(
+            Ispd98Profile::by_name("ibm05").unwrap().cells,
+            IBM_PROFILES[4].cells
+        );
+        assert!(Ispd98Profile::by_name("ibm99").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=18")]
+    fn index_zero_panics() {
+        let _ = Ispd98Profile::by_index(0);
+    }
+
+    #[test]
+    fn sizes_are_monotone_enough() {
+        // ibm18 is the largest; ibm01 the smallest.
+        assert!(IBM_PROFILES[17].cells > IBM_PROFILES[0].cells * 15);
+    }
+}

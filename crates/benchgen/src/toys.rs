@@ -1,0 +1,137 @@
+//! Tiny deterministic instances with known optimal cuts, for tests,
+//! examples, and sanity benches.
+
+use hypart_hypergraph::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// A cycle of `n` unit vertices connected by `n` 2-pin nets. Optimal
+/// balanced bisection cut: 2.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Hypergraph {
+    assert!(n >= 3, "ring needs at least 3 vertices");
+    let mut b = HypergraphBuilder::with_capacity(n, n);
+    let first = b.add_vertices(n, 1);
+    for i in 0..n {
+        let u = VertexId::new(first.raw() + i as u32);
+        let v = VertexId::new(first.raw() + ((i + 1) % n) as u32);
+        b.add_net([u, v], 1).expect("pins valid");
+    }
+    b.name(format!("ring{n}")).build().expect("valid")
+}
+
+/// A `w × h` grid of unit vertices with 2-pin nets between 4-neighbors.
+/// Optimal balanced bisection cut: `min(w, h)` (a straight cutline).
+///
+/// # Panics
+///
+/// Panics if `w < 2` or `h < 2`.
+pub fn grid(w: usize, h: usize) -> Hypergraph {
+    assert!(w >= 2 && h >= 2, "grid needs at least 2x2");
+    let mut b = HypergraphBuilder::with_capacity(w * h, 2 * w * h);
+    b.add_vertices(w * h, 1);
+    let at = |x: usize, y: usize| VertexId::from_index(y * w + x);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_net([at(x, y), at(x + 1, y)], 1).expect("pins valid");
+            }
+            if y + 1 < h {
+                b.add_net([at(x, y), at(x, y + 1)], 1).expect("pins valid");
+            }
+        }
+    }
+    b.name(format!("grid{w}x{h}")).build().expect("valid")
+}
+
+/// Two unit-weight cliques of `k` vertices each, bridged by `bridges`
+/// 2-pin nets. Optimal balanced bisection cut: `bridges`.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn two_clusters(k: usize, bridges: usize) -> Hypergraph {
+    assert!(k >= 2, "clusters need at least 2 vertices each");
+    let mut b = HypergraphBuilder::new();
+    let left: Vec<_> = (0..k).map(|_| b.add_vertex(1)).collect();
+    let right: Vec<_> = (0..k).map(|_| b.add_vertex(1)).collect();
+    for grp in [&left, &right] {
+        for i in 0..k {
+            for j in (i + 1)..k {
+                b.add_net([grp[i], grp[j]], 1).expect("pins valid");
+            }
+        }
+    }
+    for i in 0..bridges {
+        b.add_net([left[i % k], right[i % k]], 1).expect("pins valid");
+    }
+    b.name(format!("clusters{k}b{bridges}"))
+        .build()
+        .expect("valid")
+}
+
+/// A star: one hub vertex on `leaves` 2-pin nets, plus a chain through the
+/// leaves so the graph is connected beyond the hub. The hub has the highest
+/// degree — useful for exercising high-degree corner cases.
+///
+/// # Panics
+///
+/// Panics if `leaves < 2`.
+pub fn star(leaves: usize) -> Hypergraph {
+    assert!(leaves >= 2, "star needs at least 2 leaves");
+    let mut b = HypergraphBuilder::new();
+    let hub = b.add_vertex(1);
+    let leaf: Vec<_> = (0..leaves).map(|_| b.add_vertex(1)).collect();
+    for &l in &leaf {
+        b.add_net([hub, l], 1).expect("pins valid");
+    }
+    for w in leaf.windows(2) {
+        b.add_net([w[0], w[1]], 1).expect("pins valid");
+    }
+    b.name(format!("star{leaves}")).build().expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shape() {
+        let h = ring(8);
+        assert_eq!(h.num_vertices(), 8);
+        assert_eq!(h.num_nets(), 8);
+        assert_eq!(h.max_vertex_degree(), 2);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn grid_shape() {
+        let h = grid(4, 3);
+        assert_eq!(h.num_vertices(), 12);
+        assert_eq!(h.num_nets(), 3 * 3 + 4 * 2); // horizontal + vertical
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn two_clusters_shape() {
+        let h = two_clusters(4, 2);
+        assert_eq!(h.num_vertices(), 8);
+        assert_eq!(h.num_nets(), 2 * 6 + 2);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn star_hub_has_max_degree() {
+        let h = star(10);
+        assert_eq!(h.vertex_degree(VertexId::new(0)), 10);
+        assert_eq!(h.max_vertex_degree(), 10);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        let _ = ring(2);
+    }
+}

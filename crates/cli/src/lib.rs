@@ -1,0 +1,776 @@
+//! Implementation of the `hypart` command-line partitioner.
+//!
+//! Subcommands:
+//!
+//! * `partition <netlist>` — 2-way or k-way partition a `.hgr` / netD
+//!   file, write a `.part` solution, report cut / balance / timing;
+//! * `eval <netlist> <partfile>` — evaluate an existing solution
+//!   (cut, objectives, balance);
+//! * `stats <netlist>` — print the instance profile (the paper's §2.1
+//!   "salient attributes");
+//! * `place <netlist>` — top-down min-cut placement to a `.pl`
+//!   coordinates file (with optional row legalization);
+//! * `report <netlist>` — markdown comparison report (tables, BSF plots,
+//!   Wilcoxon test) plus raw JSON trial records;
+//! * `gen <ibmN|mcncN>` — generate a synthetic benchmark to a file.
+//!
+//! The library half exists so the argument parser and command runners are
+//! unit-testable; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use hypart_core::{objective, BalanceConstraint, Bisection, FmConfig, FmPartitioner};
+use hypart_hypergraph::{io, Hypergraph, PartId};
+use hypart_kway::{recursive_bisection, KWayBalance, KWayConfig, KWayFmPartitioner};
+use hypart_ml::{multi_start, MlConfig, MlPartitioner};
+use hypart_eval::bsf::BsfCurve;
+use hypart_eval::json::trial_set_to_json;
+use hypart_eval::report::Report;
+use hypart_eval::runner::{run_trials, FlatFmHeuristic, MlHeuristic};
+use hypart_eval::stats::wilcoxon_rank_sum;
+use hypart_place::{hpwl, PlacerConfig, Rect, RowLegalizer, TopDownPlacer};
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `partition <netlist> [flags]`
+    Partition {
+        /// Input netlist path.
+        input: PathBuf,
+        /// Engine selection.
+        engine: Engine,
+        /// Number of parts (2 = bisection).
+        k: usize,
+        /// Balance tolerance fraction.
+        tolerance: f64,
+        /// Number of starts (multi-start engines).
+        starts: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Output `.part` path (defaults to `<input>.part`).
+        output: Option<PathBuf>,
+    },
+    /// `eval <netlist> <partfile> [--tol F]`
+    Eval {
+        /// Input netlist path.
+        input: PathBuf,
+        /// Solution file path.
+        part_file: PathBuf,
+        /// Balance tolerance fraction.
+        tolerance: f64,
+    },
+    /// `stats <netlist>`
+    Stats {
+        /// Input netlist path.
+        input: PathBuf,
+    },
+    /// `place <netlist> [--die W H] [--rows R] [--seed S] [--out FILE]`
+    Place {
+        /// Input netlist path.
+        input: PathBuf,
+        /// Die width.
+        width: f64,
+        /// Die height.
+        height: f64,
+        /// Number of legalization rows (0 = skip legalization).
+        rows: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Output `.pl` path (defaults to `<input>.pl`).
+        output: Option<PathBuf>,
+    },
+    /// `report <netlist> [--trials N] [--tol F] [--seed S] [--out FILE]`
+    Report {
+        /// Input netlist path.
+        input: PathBuf,
+        /// Trials per engine.
+        trials: usize,
+        /// Balance tolerance fraction.
+        tolerance: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Output markdown path (defaults to `<input>.report.md`; a
+        /// `.json` sibling carries the raw per-trial records).
+        output: Option<PathBuf>,
+    },
+    /// `gen <spec> --out <file>`
+    Gen {
+        /// Instance spec: `ibm01`..`ibm18` or `mcnc<N>`.
+        spec: String,
+        /// Scale for ibm specs.
+        scale: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Output path (`.hgr`).
+        out: PathBuf,
+    },
+}
+
+/// Available partitioning engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Flat LIFO FM.
+    Lifo,
+    /// Flat CLIP FM.
+    Clip,
+    /// Multilevel with LIFO FM refinement.
+    MlLifo,
+    /// Multilevel with CLIP refinement.
+    MlClip,
+    /// hMetis-style multi-start + V-cycling.
+    Hmetis,
+    /// Direct k-way FM.
+    Kway,
+}
+
+impl Engine {
+    fn parse(s: &str) -> Result<Engine, String> {
+        match s {
+            "lifo" => Ok(Engine::Lifo),
+            "clip" => Ok(Engine::Clip),
+            "ml-lifo" | "ml" => Ok(Engine::MlLifo),
+            "ml-clip" => Ok(Engine::MlClip),
+            "hmetis" => Ok(Engine::Hmetis),
+            "kway" => Ok(Engine::Kway),
+            other => Err(format!(
+                "unknown engine `{other}` (expected lifo, clip, ml-lifo, ml-clip, hmetis, kway)"
+            )),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+hypart — hypergraph partitioning for VLSI CAD
+
+USAGE:
+  hypart partition <netlist> [--engine lifo|clip|ml-lifo|ml-clip|hmetis|kway]
+                   [--k K] [--tol F] [--starts N] [--seed S] [--out FILE]
+  hypart eval <netlist> <partfile> [--tol F]
+  hypart stats <netlist>
+  hypart place <netlist> [--width W] [--height H] [--rows R] [--seed S] [--out FILE]
+  hypart report <netlist> [--trials N] [--tol F] [--seed S] [--out FILE]
+  hypart gen <ibm01..ibm18|mcncN> [--scale S] [--seed K] --out FILE
+
+Netlists are read as hMETIS .hgr, or as simplified ISPD98 netD when the
+file extension contains `net`.
+";
+
+/// Parses a full argument list (without argv\[0\]).
+///
+/// # Errors
+///
+/// Returns a human-readable message (usage is appended by the caller).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&String> = it.collect();
+
+    let flag_value = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| a.as_str() == name)
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let parse_flag = |name: &str, default: f64| -> Result<f64, String> {
+        match flag_value(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{name} takes a number")),
+        }
+    };
+    let positional: Vec<&str> = {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for (i, a) in rest.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                // All our flags take a value.
+                let _ = i;
+                skip = true;
+            } else {
+                out.push(a.as_str());
+            }
+        }
+        out
+    };
+
+    match sub.as_str() {
+        "partition" => {
+            let input = positional
+                .first()
+                .ok_or("partition: missing <netlist>")?
+                .into();
+            let engine = Engine::parse(flag_value("--engine").unwrap_or("ml-lifo"))?;
+            let k = parse_flag("--k", 2.0)? as usize;
+            if k < 2 {
+                return Err("--k must be at least 2".into());
+            }
+            if k > 2 && !matches!(engine, Engine::Kway) && !k.is_power_of_two() {
+                return Err("k > 2 with a 2-way engine requires k = 2^m (recursive bisection)".into());
+            }
+            Ok(Command::Partition {
+                input,
+                engine,
+                k,
+                tolerance: parse_flag("--tol", 0.02)?,
+                starts: parse_flag("--starts", 1.0)? as usize,
+                seed: parse_flag("--seed", 1.0)? as u64,
+                output: flag_value("--out").map(PathBuf::from),
+            })
+        }
+        "eval" => Ok(Command::Eval {
+            input: positional.first().ok_or("eval: missing <netlist>")?.into(),
+            part_file: positional.get(1).ok_or("eval: missing <partfile>")?.into(),
+            tolerance: parse_flag("--tol", 0.02)?,
+        }),
+        "stats" => Ok(Command::Stats {
+            input: positional.first().ok_or("stats: missing <netlist>")?.into(),
+        }),
+        "report" => Ok(Command::Report {
+            input: positional.first().ok_or("report: missing <netlist>")?.into(),
+            trials: parse_flag("--trials", 10.0)? as usize,
+            tolerance: parse_flag("--tol", 0.02)?,
+            seed: parse_flag("--seed", 1.0)? as u64,
+            output: flag_value("--out").map(PathBuf::from),
+        }),
+        "place" => Ok(Command::Place {
+            input: positional.first().ok_or("place: missing <netlist>")?.into(),
+            width: parse_flag("--width", 1000.0)?,
+            height: parse_flag("--height", 1000.0)?,
+            rows: parse_flag("--rows", 0.0)? as usize,
+            seed: parse_flag("--seed", 1.0)? as u64,
+            output: flag_value("--out").map(PathBuf::from),
+        }),
+        "gen" => Ok(Command::Gen {
+            spec: positional
+                .first()
+                .ok_or("gen: missing instance spec")?
+                .to_string(),
+            scale: parse_flag("--scale", 0.1)?,
+            seed: parse_flag("--seed", 1.0)? as u64,
+            out: flag_value("--out").ok_or("gen: missing --out FILE")?.into(),
+        }),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Loads a netlist, choosing the parser by file name.
+///
+/// # Errors
+///
+/// Propagates parse errors with the path prepended.
+pub fn load_netlist(path: &Path) -> Result<Hypergraph, String> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    let result = if name.contains("net") && !name.ends_with(".hgr") {
+        io::netd::read_path(path)
+    } else {
+        io::hgr::read_path(path)
+    };
+    result
+        .map(|h| {
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("input");
+            h.with_name(stem)
+        })
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Executes a parsed command, returning the report text to print.
+///
+/// # Errors
+///
+/// Returns a human-readable failure message.
+pub fn run(command: Command) -> Result<String, String> {
+    match command {
+        Command::Stats { input } => {
+            let h = load_netlist(&input)?;
+            let stats = hypart_hypergraph::stats::InstanceStats::of(&h);
+            Ok(format!("{}\n{}\n", h.name(), stats.summary()))
+        }
+        Command::Report { input, trials, tolerance, seed, output } => {
+            let h = load_netlist(&input)?;
+            let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), tolerance);
+            let stats = hypart_hypergraph::stats::InstanceStats::of(&h);
+            let mut report = Report::new(format!("Partitioning report: {}", h.name()));
+            report.section("Instance");
+            report.paragraph(stats.summary());
+            report.section(format!(
+                "Engines ({} seeded trials each, {:.0}% balance window)",
+                trials,
+                tolerance * 100.0
+            ));
+
+            let flat = run_trials(
+                &FlatFmHeuristic::new("Flat LIFO FM", hypart_core::FmConfig::lifo()),
+                &h, &c, trials, seed,
+            );
+            let clip = run_trials(
+                &FlatFmHeuristic::new("Flat CLIP FM", hypart_core::FmConfig::clip()),
+                &h, &c, trials, seed,
+            );
+            let ml = run_trials(
+                &MlHeuristic::new("ML LIFO FM", MlConfig::ml_lifo()),
+                &h, &c, trials, seed,
+            );
+
+            let mut table = hypart_eval::table::Table::new([
+                "engine", "min/avg cut", "avg sec", "balanced",
+            ]);
+            for set in [&flat, &clip, &ml] {
+                table.add_row([
+                    set.heuristic.clone(),
+                    set.min_avg_cell(),
+                    format!("{:.4}", set.avg_seconds()),
+                    format!("{:.0}%", set.balanced_fraction() * 100.0),
+                ]);
+            }
+            report.table(&table);
+            for set in [&flat, &clip, &ml] {
+                report.distribution(&set.heuristic, &set.cuts());
+            }
+            report.section("Best-so-far (budget) curves");
+            for set in [&flat, &ml] {
+                report.preformatted(BsfCurve::from_trials(set, 50).ascii_plot(56, 8));
+            }
+            report.section("Significance");
+            match wilcoxon_rank_sum(&ml.cuts(), &flat.cuts()) {
+                Some(w) => report.paragraph(format!(
+                    "Wilcoxon rank-sum, ML vs flat LIFO: z = {:.2}, p = {:.3e} ({}significant at 1%).",
+                    w.z,
+                    w.p_value,
+                    if w.significant_at(0.01) { "" } else { "NOT " }
+                )),
+                None => report.paragraph("Wilcoxon: insufficient samples."),
+            };
+
+            let out_path = output.unwrap_or_else(|| input.with_extension("report.md"));
+            std::fs::write(&out_path, report.render())
+                .map_err(|e| format!("{}: {e}", out_path.display()))?;
+            let json_path = out_path.with_extension("json");
+            let json = hypart_eval::json::JsonValue::array(
+                [&flat, &clip, &ml].into_iter().map(trial_set_to_json),
+            );
+            std::fs::write(&json_path, json.to_string())
+                .map_err(|e| format!("{}: {e}", json_path.display()))?;
+            Ok(format!(
+                "report  : {}
+records : {}
+",
+                out_path.display(),
+                json_path.display()
+            ))
+        }
+        Command::Place { input, width, height, rows, seed, output } => {
+            let h = load_netlist(&input)?;
+            let die = Rect::new(0.0, 0.0, width, height);
+            let t0 = Instant::now();
+            let placer = TopDownPlacer::new(PlacerConfig::default());
+            let coarse = placer.run(&h, die, seed);
+            let (placement, legal_note) = if rows > 0 {
+                let legal = RowLegalizer::new(die, rows).legalize(&h, &coarse);
+                let note = format!(
+                    ", legalized onto {rows} rows (displacement {:.0})",
+                    legal.total_displacement
+                );
+                (legal.placement, note)
+            } else {
+                (coarse, String::new())
+            };
+            let elapsed = t0.elapsed();
+            let out_path = output.unwrap_or_else(|| input.with_extension("pl"));
+            let mut text = String::new();
+            for (v, p) in placement.iter() {
+                let _ = writeln!(text, "{} {:.3} {:.3}", v.raw(), p.x, p.y);
+            }
+            std::fs::write(&out_path, text)
+                .map_err(|e| format!("{}: {e}", out_path.display()))?;
+            Ok(format!(
+                "placed {} cells in {elapsed:.2?}{legal_note}
+HPWL     : {:.0}
+solution : {}
+",
+                h.num_vertices(),
+                hpwl(&h, &placement),
+                out_path.display(),
+            ))
+        }
+        Command::Gen { spec, scale, seed, out } => {
+            let h = if let Some(rest) = spec.strip_prefix("mcnc") {
+                let cells: usize = rest
+                    .parse()
+                    .map_err(|_| format!("bad mcnc spec `{spec}` (want mcnc<N>)"))?;
+                hypart_benchgen::mcnc_like(cells, seed)
+            } else if let Some(p) = hypart_benchgen::Ispd98Profile::by_name(&spec) {
+                let index = hypart_benchgen::IBM_PROFILES
+                    .iter()
+                    .position(|q| q.name == p.name)
+                    .expect("profile exists")
+                    + 1;
+                hypart_benchgen::ispd98_like(index, scale, seed)
+            } else {
+                return Err(format!("unknown instance spec `{spec}`"));
+            };
+            io::hgr::write_path(&h, &out).map_err(|e| format!("{}: {e}", out.display()))?;
+            Ok(format!(
+                "wrote {} ({} cells, {} nets, {} pins)\n",
+                out.display(),
+                h.num_vertices(),
+                h.num_nets(),
+                h.num_pins()
+            ))
+        }
+        Command::Eval { input, part_file, tolerance } => {
+            let h = load_netlist(&input)?;
+            let parts = io::partfile::read_path(&part_file)
+                .map_err(|e| format!("{}: {e}", part_file.display()))?;
+            let bis = Bisection::new(&h, parts).map_err(|e| e.to_string())?;
+            let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), tolerance);
+            let mut out = String::new();
+            let _ = writeln!(out, "instance : {}", h.name());
+            let _ = writeln!(out, "cut      : {}", bis.cut());
+            let _ = writeln!(
+                out,
+                "weights  : {} / {} (window [{}, {}], satisfied: {})",
+                bis.part_weight(PartId::P0),
+                bis.part_weight(PartId::P1),
+                c.lower(),
+                c.upper(),
+                c.is_satisfied(&bis)
+            );
+            let _ = writeln!(out, "ratio cut   : {:.6e}", objective::ratio_cut(&bis));
+            let _ = writeln!(out, "scaled cost : {:.6e}", objective::scaled_cost(&bis));
+            let _ = writeln!(out, "absorption  : {:.2}", objective::absorption(&bis));
+            Ok(out)
+        }
+        Command::Partition {
+            input,
+            engine,
+            k,
+            tolerance,
+            starts,
+            seed,
+            output,
+        } => {
+            let h = load_netlist(&input)?;
+            let t0 = Instant::now();
+            let (assignment, cut, balanced): (Vec<u16>, u64, bool) = if k == 2 {
+                let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), tolerance);
+                let (parts, cut, balanced) = run_two_way(&h, &c, engine, starts, seed);
+                (
+                    parts.iter().map(|p| p.index() as u16).collect(),
+                    cut,
+                    balanced,
+                )
+            } else {
+                let balance = KWayBalance::with_fraction(h.total_vertex_weight(), k, tolerance);
+                let out = match engine {
+                    Engine::Kway => {
+                        KWayFmPartitioner::new(KWayConfig::default()).run(&h, &balance, seed)
+                    }
+                    _ => recursive_bisection(&h, k, tolerance, &engine_ml_config(engine), seed),
+                };
+                let balanced = out.is_balanced(&balance);
+                (out.assignment, out.cut, balanced)
+            };
+            let elapsed = t0.elapsed();
+
+            let out_path =
+                output.unwrap_or_else(|| input.with_extension("part"));
+            if k == 2 {
+                let parts: Vec<PartId> = assignment
+                    .iter()
+                    .map(|&p| if p == 0 { PartId::P0 } else { PartId::P1 })
+                    .collect();
+                io::partfile::write_path(&parts, &out_path)
+                    .map_err(|e| format!("{}: {e}", out_path.display()))?;
+            } else {
+                let text: String = assignment
+                    .iter()
+                    .map(|p| format!("{p}\n"))
+                    .collect();
+                std::fs::write(&out_path, text)
+                    .map_err(|e| format!("{}: {e}", out_path.display()))?;
+            }
+            Ok(format!(
+                "instance : {} ({} cells, {} nets)\nengine   : {engine:?}, k = {k}, tol = {tolerance}, starts = {starts}\ncut      : {cut}\nbalanced : {balanced}\ntime     : {elapsed:.2?}\nsolution : {}\n",
+                h.name(),
+                h.num_vertices(),
+                h.num_nets(),
+                out_path.display(),
+            ))
+        }
+    }
+}
+
+fn engine_ml_config(engine: Engine) -> MlConfig {
+    match engine {
+        Engine::MlClip => MlConfig::ml_clip(),
+        _ => MlConfig::ml_lifo(),
+    }
+}
+
+fn run_two_way(
+    h: &Hypergraph,
+    c: &BalanceConstraint,
+    engine: Engine,
+    starts: usize,
+    seed: u64,
+) -> (Vec<PartId>, u64, bool) {
+    match engine {
+        Engine::Lifo | Engine::Clip => {
+            let fm = if engine == Engine::Lifo {
+                FmConfig::lifo()
+            } else {
+                FmConfig::clip()
+            };
+            let partitioner = FmPartitioner::new(fm);
+            let best = (0..starts.max(1) as u64)
+                .map(|i| partitioner.run(h, c, seed.wrapping_add(i)))
+                .min_by_key(|o| (!o.balanced, o.cut))
+                .expect("at least one start");
+            (best.assignment, best.cut, best.balanced)
+        }
+        Engine::MlLifo | Engine::MlClip => {
+            let ml = MlPartitioner::new(engine_ml_config(engine));
+            let best = (0..starts.max(1) as u64)
+                .map(|i| ml.run(h, c, seed.wrapping_add(i)))
+                .min_by_key(|o| (!o.balanced, o.cut))
+                .expect("at least one start");
+            (best.assignment, best.cut, best.balanced)
+        }
+        Engine::Hmetis | Engine::Kway => {
+            // Kway with k == 2 degrades gracefully to the multistart driver.
+            let ml = MlPartitioner::new(MlConfig::default());
+            let out = multi_start(&ml, h, c, starts.max(1), seed, 4);
+            (out.assignment, out.cut, out.balanced)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_partition_defaults() {
+        let cmd = parse_args(&args(&["partition", "x.hgr"])).unwrap();
+        match cmd {
+            Command::Partition { engine, k, tolerance, starts, .. } => {
+                assert_eq!(engine, Engine::MlLifo);
+                assert_eq!(k, 2);
+                assert_eq!(tolerance, 0.02);
+                assert_eq!(starts, 1);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_partition_flags() {
+        let cmd = parse_args(&args(&[
+            "partition", "x.hgr", "--engine", "clip", "--k", "4", "--tol", "0.1", "--starts",
+            "8", "--seed", "99", "--out", "y.part",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Partition { engine, k, tolerance, starts, seed, output, .. } => {
+                assert_eq!(engine, Engine::Clip);
+                assert_eq!(k, 4);
+                assert_eq!(tolerance, 0.1);
+                assert_eq!(starts, 8);
+                assert_eq!(seed, 99);
+                assert_eq!(output, Some(PathBuf::from("y.part")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_engine_and_k() {
+        assert!(parse_args(&args(&["partition", "x.hgr", "--engine", "magic"])).is_err());
+        assert!(parse_args(&args(&["partition", "x.hgr", "--k", "1"])).is_err());
+        assert!(
+            parse_args(&args(&["partition", "x.hgr", "--k", "3", "--engine", "ml-lifo"])).is_err()
+        );
+        // k=3 is fine for the direct k-way engine.
+        assert!(
+            parse_args(&args(&["partition", "x.hgr", "--k", "3", "--engine", "kway"])).is_ok()
+        );
+    }
+
+    #[test]
+    fn parse_eval_and_stats_and_gen() {
+        assert!(matches!(
+            parse_args(&args(&["eval", "x.hgr", "x.part"])).unwrap(),
+            Command::Eval { .. }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["stats", "x.hgr"])).unwrap(),
+            Command::Stats { .. }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["gen", "ibm01", "--out", "z.hgr"])).unwrap(),
+            Command::Gen { .. }
+        ));
+        assert!(parse_args(&args(&["gen", "ibm01"])).is_err()); // missing --out
+        assert!(parse_args(&args(&["bogus"])).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn gen_then_stats_then_partition_round_trip() {
+        let dir = std::env::temp_dir().join("hypart_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hgr = dir.join("t.hgr");
+        let report = run(Command::Gen {
+            spec: "mcnc200".into(),
+            scale: 0.1,
+            seed: 3,
+            out: hgr.clone(),
+        })
+        .unwrap();
+        assert!(report.contains("200 cells"));
+
+        let report = run(Command::Stats { input: hgr.clone() }).unwrap();
+        assert!(report.contains("|V|=200"));
+
+        let part = dir.join("t.part");
+        let report = run(Command::Partition {
+            input: hgr.clone(),
+            engine: Engine::MlLifo,
+            k: 2,
+            tolerance: 0.1,
+            starts: 2,
+            seed: 5,
+            output: Some(part.clone()),
+        })
+        .unwrap();
+        assert!(report.contains("cut"), "{report}");
+        assert!(part.exists());
+
+        let report = run(Command::Eval {
+            input: hgr.clone(),
+            part_file: part.clone(),
+            tolerance: 0.1,
+        })
+        .unwrap();
+        assert!(report.contains("ratio cut"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kway_partition_via_cli() {
+        let dir = std::env::temp_dir().join("hypart_cli_kway");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hgr = dir.join("k.hgr");
+        run(Command::Gen {
+            spec: "mcnc120".into(),
+            scale: 0.1,
+            seed: 3,
+            out: hgr.clone(),
+        })
+        .unwrap();
+        let report = run(Command::Partition {
+            input: hgr.clone(),
+            engine: Engine::Kway,
+            k: 4,
+            tolerance: 0.25,
+            starts: 1,
+            seed: 5,
+            output: None,
+        })
+        .unwrap();
+        assert!(report.contains("k = 4"), "{report}");
+        assert!(dir.join("k.part").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn place_subcommand_parses_and_runs() {
+        let cmd = parse_args(&args(&[
+            "place", "x.hgr", "--width", "500", "--height", "400", "--rows", "10",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Place { width, height, rows, .. } => {
+                assert_eq!(width, 500.0);
+                assert_eq!(height, 400.0);
+                assert_eq!(rows, 10);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+
+        let dir = std::env::temp_dir().join("hypart_cli_place");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hgr = dir.join("p.hgr");
+        run(Command::Gen {
+            spec: "mcnc100".into(),
+            scale: 0.1,
+            seed: 3,
+            out: hgr.clone(),
+        })
+        .unwrap();
+        let report = run(Command::Place {
+            input: hgr.clone(),
+            width: 500.0,
+            height: 400.0,
+            rows: 8,
+            seed: 2,
+            output: None,
+        })
+        .unwrap();
+        assert!(report.contains("HPWL"), "{report}");
+        let pl = std::fs::read_to_string(dir.join("p.pl")).unwrap();
+        assert_eq!(pl.lines().count(), 100);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_subcommand_writes_markdown_and_json() {
+        let dir = std::env::temp_dir().join("hypart_cli_report");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hgr = dir.join("r.hgr");
+        run(Command::Gen {
+            spec: "mcnc150".into(),
+            scale: 0.1,
+            seed: 3,
+            out: hgr.clone(),
+        })
+        .unwrap();
+        let out = run(Command::Report {
+            input: hgr.clone(),
+            trials: 4,
+            tolerance: 0.1,
+            seed: 1,
+            output: None,
+        })
+        .unwrap();
+        assert!(out.contains("report"), "{out}");
+        let md = std::fs::read_to_string(dir.join("r.report.md")).unwrap();
+        assert!(md.contains("# Partitioning report"));
+        assert!(md.contains("Wilcoxon"));
+        let json = std::fs::read_to_string(dir.join("r.report.json")).unwrap();
+        assert!(json.contains("\"heuristic\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = run(Command::Stats {
+            input: PathBuf::from("/nonexistent/x.hgr"),
+        })
+        .unwrap_err();
+        assert!(err.contains("x.hgr"));
+    }
+}

@@ -1,0 +1,16 @@
+//! `hypart` command-line entry point: parse, run, print, exit.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        print!("{}", hypart_cli::USAGE);
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    match hypart_cli::parse_args(&args).and_then(hypart_cli::run) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", hypart_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Integration tests driving the compiled `hypart` binary end-to-end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hypart() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hypart"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hypart_bin_{tag}"));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn no_args_prints_usage_and_exits_2() {
+    let out = hypart().output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = hypart().arg("--help").output().expect("run");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn unknown_subcommand_is_an_error() {
+    let out = hypart().arg("frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn full_pipeline_gen_stats_partition_eval() {
+    let dir = temp_dir("pipeline");
+    let hgr = dir.join("c.hgr");
+    let part = dir.join("c.part");
+
+    let out = hypart()
+        .args(["gen", "mcnc300", "--seed", "7", "--out"])
+        .arg(&hgr)
+        .output()
+        .expect("gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = hypart().arg("stats").arg(&hgr).output().expect("stats");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("|V|=300"));
+
+    let out = hypart()
+        .arg("partition")
+        .arg(&hgr)
+        .args(["--engine", "ml-lifo", "--tol", "0.1", "--starts", "2", "--out"])
+        .arg(&part)
+        .output()
+        .expect("partition");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(report.contains("cut"), "{report}");
+    assert!(part.exists());
+
+    let out = hypart()
+        .arg("eval")
+        .arg(&hgr)
+        .arg(&part)
+        .args(["--tol", "0.1"])
+        .output()
+        .expect("eval");
+    assert!(out.status.success());
+    let eval = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(eval.contains("satisfied: true"), "{eval}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kway_partition_writes_k_part_ids() {
+    let dir = temp_dir("kway");
+    let hgr = dir.join("k.hgr");
+    hypart()
+        .args(["gen", "mcnc200", "--seed", "5", "--out"])
+        .arg(&hgr)
+        .output()
+        .expect("gen");
+    let out = hypart()
+        .arg("partition")
+        .arg(&hgr)
+        .args(["--engine", "kway", "--k", "4", "--tol", "0.3"])
+        .output()
+        .expect("partition");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let solution = std::fs::read_to_string(dir.join("k.part")).expect("solution file");
+    let max_part: usize = solution
+        .lines()
+        .map(|l| l.trim().parse::<usize>().expect("part id"))
+        .max()
+        .expect("non-empty");
+    assert!((2..=3).contains(&max_part), "max part id {max_part}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_input_file_fails_cleanly() {
+    let out = hypart()
+        .args(["stats", "/definitely/not/here.hgr"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}

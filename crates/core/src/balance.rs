@@ -1,0 +1,248 @@
+//! Balance constraints on bipartitionings.
+
+use crate::bisection::Bisection;
+use hypart_hypergraph::{PartId, VertexId};
+
+/// A symmetric window `[lower, upper]` that each partition's total vertex
+/// weight must fall in.
+///
+/// The paper's "2 % balance tolerance" means each partition holds between
+/// 49 % and 51 % of total cell area; "10 %" means 45–55 %. Construct those
+/// with [`BalanceConstraint::with_fraction`].
+///
+/// If a requested window would be empty (e.g. exact bisection of an odd
+/// total), the constructor widens it minimally so at least one weight value
+/// is admissible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BalanceConstraint {
+    lower: u64,
+    upper: u64,
+}
+
+impl BalanceConstraint {
+    /// Window as a fraction of total weight: each part must hold between
+    /// `(1 - fraction) / 2` and `(1 + fraction) / 2` of `total`.
+    ///
+    /// `fraction = 0.02` gives the paper's 49–51 % window; `0.10` gives
+    /// 45–55 %.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is negative, not finite, or greater than 1.
+    pub fn with_fraction(total: u64, fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "balance fraction must be in [0, 1], got {fraction}"
+        );
+        let half = total as f64 / 2.0;
+        let slack = total as f64 * fraction / 2.0;
+        let lower = (half - slack).ceil() as u64;
+        let upper = (half + slack).floor() as u64;
+        Self::from_window(total, lower, upper)
+    }
+
+    /// Window with an absolute slack around perfect bisection:
+    /// `[total/2 - slack, total/2 + slack]`. The original FM criterion
+    /// (|w_A − total/2| < w_max) is `with_slack(total, w_max)`.
+    pub fn with_slack(total: u64, slack: u64) -> Self {
+        let half = total / 2;
+        Self::from_window(total, half.saturating_sub(slack), total.div_ceil(2) + slack)
+    }
+
+    /// Explicit window `[lower, upper]`, widened minimally if empty.
+    pub fn from_window(total: u64, lower: u64, upper: u64) -> Self {
+        let (mut lower, mut upper) = (lower.min(total), upper.min(total));
+        if lower > upper {
+            // Requested window is empty (e.g. exact bisection of an odd
+            // total): widen symmetrically to the nearest feasible split.
+            lower = total / 2;
+            upper = total.div_ceil(2);
+        }
+        BalanceConstraint { lower, upper }
+    }
+
+    /// Lower bound on a partition's weight.
+    #[inline]
+    pub fn lower(&self) -> u64 {
+        self.lower
+    }
+
+    /// Upper bound on a partition's weight.
+    #[inline]
+    pub fn upper(&self) -> u64 {
+        self.upper
+    }
+
+    /// Width of the admissible window, `upper - lower`. A cell whose area
+    /// exceeds this can never move legally between feasible solutions — the
+    /// corking criterion of §2.3.
+    #[inline]
+    pub fn window(&self) -> u64 {
+        self.upper - self.lower
+    }
+
+    /// `true` if a partition of weight `w` satisfies the constraint.
+    #[inline]
+    pub fn contains(&self, w: u64) -> bool {
+        (self.lower..=self.upper).contains(&w)
+    }
+
+    /// Distance of weight `w` from the admissible window (0 if inside).
+    #[inline]
+    pub fn violation(&self, w: u64) -> u64 {
+        if w < self.lower {
+            self.lower - w
+        } else { w.saturating_sub(self.upper) }
+    }
+
+    /// Total violation of a bisection: sum of both parts' distances from
+    /// the window.
+    pub fn total_violation(&self, bisection: &Bisection<'_>) -> u64 {
+        self.violation(bisection.part_weight(PartId::P0))
+            + self.violation(bisection.part_weight(PartId::P1))
+    }
+
+    /// `true` if both parts of `bisection` are inside the window.
+    pub fn is_satisfied(&self, bisection: &Bisection<'_>) -> bool {
+        self.contains(bisection.part_weight(PartId::P0))
+            && self.contains(bisection.part_weight(PartId::P1))
+    }
+
+    /// Whether moving `v` to the other side is *legal*: the resulting
+    /// bisection is inside the window, or — when the current bisection is
+    /// already infeasible — the move strictly reduces total violation.
+    /// The relaxation lets the engine drift back to feasibility from an
+    /// infeasible initial solution instead of deadlocking.
+    pub fn is_legal_move(&self, bisection: &Bisection<'_>, v: VertexId) -> bool {
+        let w = bisection.graph().vertex_weight(v);
+        let from = bisection.side(v);
+        let w_from = bisection.part_weight(from) - w;
+        let w_to = bisection.part_weight(from.other()) + w;
+        let after = self.violation(w_from) + self.violation(w_to);
+        if after == 0 {
+            return true;
+        }
+        let before = self.total_violation(bisection);
+        before > 0 && after < before
+    }
+
+    /// Margin of the bisection: the smallest distance from either part's
+    /// weight to a window edge (how far the solution is from *violating*
+    /// the constraint). Used by [`crate::PassBestRule::MostBalanced`].
+    pub fn margin(&self, bisection: &Bisection<'_>) -> i64 {
+        let m = |w: u64| -> i64 {
+            if self.contains(w) {
+                (w - self.lower).min(self.upper - w) as i64
+            } else {
+                -(self.violation(w) as i64)
+            }
+        };
+        m(bisection.part_weight(PartId::P0)).min(m(bisection.part_weight(PartId::P1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bisection;
+    use hypart_hypergraph::{Hypergraph, HypergraphBuilder, PartId, VertexId};
+
+    #[test]
+    fn two_percent_window_matches_paper() {
+        let c = BalanceConstraint::with_fraction(10_000, 0.02);
+        assert_eq!(c.lower(), 4_900);
+        assert_eq!(c.upper(), 5_100);
+        assert!(c.contains(5_000));
+        assert!(!c.contains(4_899));
+        assert_eq!(c.window(), 200);
+    }
+
+    #[test]
+    fn ten_percent_window_matches_paper() {
+        let c = BalanceConstraint::with_fraction(10_000, 0.10);
+        assert_eq!(c.lower(), 4_500);
+        assert_eq!(c.upper(), 5_500);
+    }
+
+    #[test]
+    fn empty_window_is_widened() {
+        // Odd total, zero tolerance: window would be empty.
+        let c = BalanceConstraint::with_fraction(7, 0.0);
+        assert_eq!(c.lower(), 3);
+        assert_eq!(c.upper(), 4);
+        assert!(c.contains(3));
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn with_slack_covers_fm_criterion() {
+        let c = BalanceConstraint::with_slack(100, 7);
+        assert_eq!(c.lower(), 43);
+        assert_eq!(c.upper(), 57);
+    }
+
+    #[test]
+    fn violation_measures_distance() {
+        let c = BalanceConstraint::from_window(100, 40, 60);
+        assert_eq!(c.violation(50), 0);
+        assert_eq!(c.violation(39), 1);
+        assert_eq!(c.violation(70), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "balance fraction")]
+    fn bad_fraction_panics() {
+        let _ = BalanceConstraint::with_fraction(10, 1.5);
+    }
+
+    fn path4() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex(1)).collect();
+        b.add_net([v[0], v[1]], 1).unwrap();
+        b.add_net([v[1], v[2]], 1).unwrap();
+        b.add_net([v[2], v[3]], 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn legal_move_respects_window() {
+        let h = path4();
+        let c = BalanceConstraint::with_fraction(4, 0.0); // exactly 2/2
+        let sides = vec![PartId::P0, PartId::P0, PartId::P1, PartId::P1];
+        let b = Bisection::new(&h, sides).unwrap();
+        // Any single move makes the split 1/3, which violates 2/2.
+        for v in h.vertices() {
+            assert!(!c.is_legal_move(&b, v));
+        }
+        let loose = BalanceConstraint::with_fraction(4, 0.5); // 1..3
+        for v in h.vertices() {
+            assert!(loose.is_legal_move(&b, v));
+        }
+    }
+
+    #[test]
+    fn infeasible_start_allows_recovery_moves() {
+        let h = path4();
+        let c = BalanceConstraint::with_fraction(4, 0.0);
+        // 4/0 split: infeasible. Moving any vertex to P1 reduces violation.
+        let b = Bisection::new(&h, vec![PartId::P0; 4]).unwrap();
+        assert!(!c.is_satisfied(&b));
+        assert!(c.is_legal_move(&b, VertexId::new(0)));
+    }
+
+    #[test]
+    fn margin_prefers_centered_solutions() {
+        let h = path4();
+        let c = BalanceConstraint::with_fraction(4, 0.5); // window [1,3]
+        let centered = Bisection::new(
+            &h,
+            vec![PartId::P0, PartId::P0, PartId::P1, PartId::P1],
+        )
+        .unwrap();
+        let skewed =
+            Bisection::new(&h, vec![PartId::P0, PartId::P1, PartId::P1, PartId::P1]).unwrap();
+        assert!(c.margin(&centered) > c.margin(&skewed));
+        let infeasible = Bisection::new(&h, vec![PartId::P0; 4]).unwrap();
+        assert!(c.margin(&infeasible) < 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Exhaustive optimal bipartitioning for small instances.
+//!
+//! Enumeration over all `2^(n-1)` assignments (the first free vertex is
+//! pinned to partition 0 to halve the symmetric space). Only useful for
+//! `n ≲ 24`, as a ground-truth oracle in tests and for calibrating how far
+//! from optimal the heuristics land on toy instances.
+
+use crate::balance::BalanceConstraint;
+use crate::bisection::Bisection;
+use hypart_hypergraph::{Hypergraph, PartId};
+
+/// The optimum found by [`optimal_bisection`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BruteForceResult {
+    /// An optimal assignment.
+    pub assignment: Vec<PartId>,
+    /// Its weighted cut.
+    pub cut: u64,
+    /// Number of feasible assignments examined.
+    pub feasible_count: u64,
+}
+
+/// Exhaustively finds a minimum-cut bisection of `h` subject to
+/// `constraint` (and any fixed vertices). Returns `None` if no feasible
+/// assignment exists.
+///
+/// # Panics
+///
+/// Panics if `h` has more than 30 free vertices — the enumeration would
+/// not terminate in reasonable time.
+///
+/// # Example
+///
+/// ```
+/// use hypart_core::{brute::optimal_bisection, BalanceConstraint};
+/// use hypart_hypergraph::HypergraphBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let v: Vec<_> = (0..4).map(|_| b.add_vertex(1)).collect();
+/// b.add_net([v[0], v[1]], 1)?;
+/// b.add_net([v[2], v[3]], 1)?;
+/// b.add_net([v[1], v[2]], 1)?;
+/// let h = b.build()?;
+/// let c = BalanceConstraint::with_fraction(4, 0.0);
+/// let best = optimal_bisection(&h, &c).expect("feasible");
+/// assert_eq!(best.cut, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimal_bisection(
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+) -> Option<BruteForceResult> {
+    let free: Vec<_> = h.vertices().filter(|&v| !h.is_fixed(v)).collect();
+    assert!(
+        free.len() <= 30,
+        "brute force limited to 30 free vertices, got {}",
+        free.len()
+    );
+    let mut assignment: Vec<PartId> = h
+        .vertices()
+        .map(|v| h.fixed_part(v).unwrap_or(PartId::P0))
+        .collect();
+
+    let mut best: Option<BruteForceResult> = None;
+    let mut feasible_count = 0u64;
+    // If there are no fixed vertices the problem is symmetric; pin the
+    // first free vertex to halve the search space.
+    let symmetric = h.num_fixed() == 0 && !free.is_empty();
+    let bits = if symmetric { free.len() - 1 } else { free.len() };
+    let moving = if symmetric { &free[1..] } else { &free[..] };
+
+    for mask in 0u64..(1u64 << bits) {
+        for (i, &v) in moving.iter().enumerate() {
+            assignment[v.index()] = if mask >> i & 1 == 1 {
+                PartId::P1
+            } else {
+                PartId::P0
+            };
+        }
+        let bisection = Bisection::new(h, assignment.clone()).expect("assignment is valid");
+        if !constraint.is_satisfied(&bisection) {
+            continue;
+        }
+        feasible_count += 1;
+        let cut = bisection.cut();
+        if best.as_ref().is_none_or(|b| cut < b.cut) {
+            best = Some(BruteForceResult {
+                assignment: assignment.clone(),
+                cut,
+                feasible_count: 0,
+            });
+        }
+    }
+    best.map(|mut b| {
+        b.feasible_count = feasible_count;
+        b
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FmConfig, FmPartitioner};
+    use hypart_hypergraph::{HypergraphBuilder, VertexId};
+
+    fn ring(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..n).map(|_| b.add_vertex(1)).collect();
+        for i in 0..n {
+            b.add_net([v[i], v[(i + 1) % n]], 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ring_optimal_cut_is_two() {
+        let h = ring(8);
+        let c = BalanceConstraint::with_fraction(8, 0.0);
+        let best = optimal_bisection(&h, &c).unwrap();
+        assert_eq!(best.cut, 2);
+    }
+
+    #[test]
+    fn infeasible_constraint_returns_none() {
+        // One vertex of weight 100 makes an exact 50/52 split impossible.
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(100);
+        b.add_vertex(1);
+        b.add_vertex(1);
+        let h = b.build().unwrap();
+        let c = BalanceConstraint::from_window(102, 50, 52);
+        assert!(optimal_bisection(&h, &c).is_none());
+    }
+
+    #[test]
+    fn respects_fixed_vertices() {
+        let h = ring(6).with_fixed(VertexId::new(0), Some(PartId::P1));
+        let c = BalanceConstraint::with_fraction(6, 0.34);
+        let best = optimal_bisection(&h, &c).unwrap();
+        assert_eq!(best.assignment[0], PartId::P1);
+        assert_eq!(best.cut, 2);
+    }
+
+    #[test]
+    fn fm_matches_brute_force_on_small_instances() {
+        let h = ring(10);
+        let c = BalanceConstraint::with_fraction(10, 0.2);
+        let optimal = optimal_bisection(&h, &c).unwrap();
+        // Multi-start FM should find the ring optimum easily.
+        let best_fm = (0..10)
+            .map(|s| FmPartitioner::new(FmConfig::lifo()).run(&h, &c, s).cut)
+            .min()
+            .unwrap();
+        assert_eq!(best_fm, optimal.cut);
+    }
+
+    #[test]
+    fn feasible_count_is_reported() {
+        let h = ring(4);
+        let c = BalanceConstraint::with_fraction(4, 0.0);
+        let best = optimal_bisection(&h, &c).unwrap();
+        // 2^3 = 8 assignments with v0 pinned, those with 2/2 split: C(3,1) = 3.
+        assert_eq!(best.feasible_count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force limited")]
+    fn too_large_panics() {
+        let h = ring(31);
+        let c = BalanceConstraint::with_fraction(31, 0.1);
+        let _ = optimal_bisection(&h, &c);
+    }
+}

@@ -1,0 +1,582 @@
+//! The flat FM / CLIP-FM pass engine.
+//!
+//! One engine implements all four flat variants of the paper's Table 1 and
+//! both "Reported"-style baselines of Tables 2–3: classic-FM vs CLIP
+//! selection, every tie-break/update/insertion knob, the overweight-cell
+//! exclusion that fixes corking, and an optional in-bucket lookahead.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::balance::BalanceConstraint;
+use crate::bisection::Bisection;
+use crate::config::{
+    FmConfig, IllegalHeadPolicy, SelectionRule, TieBreak, ZeroDeltaPolicy,
+};
+use crate::gain::GainContainer;
+use crate::initial::generate_initial;
+use crate::stats::{FmStats, PassStats, CORKED_FRACTION};
+use hypart_hypergraph::{Hypergraph, PartId, VertexId};
+
+/// Result of a full FM run on one instance.
+#[derive(Clone, Debug)]
+pub struct FmOutcome {
+    /// Final partition assignment (index = vertex id).
+    pub assignment: Vec<PartId>,
+    /// Final weighted cut.
+    pub cut: u64,
+    /// `true` if the final solution satisfies the balance constraint.
+    pub balanced: bool,
+    /// Detailed run statistics.
+    pub stats: FmStats,
+}
+
+/// A configurable flat Fiduccia–Mattheyses 2-way partitioner.
+///
+/// Construct with an [`FmConfig`] (see its presets), then either
+/// [`run`](FmPartitioner::run) end-to-end from a seeded random initial
+/// solution, or [`refine`](FmPartitioner::refine) an existing
+/// [`Bisection`] in place (as the multilevel framework does at each level).
+#[derive(Clone, Debug)]
+pub struct FmPartitioner {
+    config: FmConfig,
+}
+
+impl FmPartitioner {
+    /// Creates a partitioner with the given configuration.
+    pub fn new(config: FmConfig) -> Self {
+        FmPartitioner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FmConfig {
+        &self.config
+    }
+
+    /// Runs a complete partitioning of `h`: generate the configured initial
+    /// solution from `seed`, then refine until no pass improves.
+    pub fn run(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> FmOutcome {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let assignment = generate_initial(h, self.config.initial, &mut rng);
+        let mut bisection =
+            Bisection::new(h, assignment).expect("generated initial solution is always valid");
+        let stats = self.refine(&mut bisection, constraint, &mut rng);
+        FmOutcome {
+            cut: bisection.cut(),
+            balanced: constraint.is_satisfied(&bisection),
+            assignment: bisection.into_assignment(),
+            stats,
+        }
+    }
+
+    /// Refines `bisection` in place with FM passes until a pass fails to
+    /// improve (lexicographically on (balance violation, cut)) or
+    /// `max_passes` is reached. Returns per-pass statistics.
+    pub fn refine<R: Rng>(
+        &self,
+        bisection: &mut Bisection<'_>,
+        constraint: &BalanceConstraint,
+        rng: &mut R,
+    ) -> FmStats {
+        let graph = bisection.graph();
+        let bound = (2 * graph.max_gain_bound()).max(1);
+        let mut state = PassState {
+            config: &self.config,
+            constraint,
+            containers: [
+                GainContainer::new(graph.num_vertices(), bound),
+                GainContainer::new(graph.num_vertices(), bound),
+            ],
+            eligible: Vec::new(),
+            moves: Vec::new(),
+            last_moved_from: None,
+            excluded_overweight: 0,
+        };
+
+        let mut stats = FmStats {
+            initial_cut: bisection.cut(),
+            fixed: graph.num_fixed(),
+            ..FmStats::default()
+        };
+        for _ in 0..self.config.max_passes {
+            let before = (constraint.total_violation(bisection), bisection.cut());
+            let pass = state.run_pass(bisection, rng);
+            stats.passes.push(pass);
+            let after = (constraint.total_violation(bisection), bisection.cut());
+            if after >= before {
+                break;
+            }
+        }
+        stats.excluded_overweight = state.excluded_overweight;
+        stats.final_cut = bisection.cut();
+        stats
+    }
+}
+
+/// Mutable working state shared across the passes of one refinement.
+struct PassState<'c> {
+    config: &'c FmConfig,
+    constraint: &'c BalanceConstraint,
+    containers: [GainContainer; 2],
+    eligible: Vec<VertexId>,
+    moves: Vec<VertexId>,
+    last_moved_from: Option<PartId>,
+    excluded_overweight: usize,
+}
+
+impl PassState<'_> {
+    fn run_pass<R: Rng>(&mut self, bisection: &mut Bisection<'_>, rng: &mut R) -> PassStats {
+        self.seed(bisection, rng);
+        self.moves.clear();
+        self.last_moved_from = None;
+
+        let cut_before = bisection.cut();
+        let violation_before = self.constraint.total_violation(bisection);
+
+        // Best-prefix tracking, lexicographic on (violation, cut), with the
+        // configured tie-break among equals. Prefix 0 = "make no moves".
+        let mut best = PrefixScore {
+            violation: violation_before,
+            cut: cut_before,
+            margin: self.constraint.margin(bisection),
+            prefix: 0,
+        };
+        let mut zero_delta_events = 0u64;
+        let mut nonzero_delta_events = 0u64;
+        let mut cut_trace: Vec<u64> = Vec::new();
+
+        let ended_with_leftovers = loop {
+            let Some(v) = self.select(bisection) else {
+                break !self.containers[0].is_empty() || !self.containers[1].is_empty();
+            };
+            let from = bisection.side(v);
+            self.containers[from.index()].remove(v);
+            self.apply_and_update(
+                bisection,
+                v,
+                rng,
+                &mut zero_delta_events,
+                &mut nonzero_delta_events,
+            );
+            self.moves.push(v);
+            self.last_moved_from = Some(from);
+            if self.config.record_trace {
+                cut_trace.push(bisection.cut());
+            }
+
+            let candidate = PrefixScore {
+                violation: self.constraint.total_violation(bisection),
+                cut: bisection.cut(),
+                margin: self.constraint.margin(bisection),
+                prefix: self.moves.len(),
+            };
+            if candidate.beats(&best, self.config.pass_best) {
+                best = candidate;
+            }
+        };
+
+        // Roll back everything after the best prefix.
+        let rolled_back = self.moves.len() - best.prefix;
+        for &v in self.moves[best.prefix..].iter().rev() {
+            bisection.move_vertex(v);
+        }
+        debug_assert_eq!(bisection.cut(), best.cut);
+
+        let moves_made = self.moves.len();
+        let eligible = self.eligible.len();
+        PassStats {
+            moves_made,
+            moves_rolled_back: rolled_back,
+            eligible,
+            cut_before,
+            cut_after: bisection.cut(),
+            zero_delta_events,
+            nonzero_delta_events,
+            corked: ended_with_leftovers
+                && eligible > 0
+                && moves_made * CORKED_FRACTION.1 < eligible * CORKED_FRACTION.0,
+            cut_trace,
+        }
+    }
+
+    /// Seeds both gain containers for a fresh pass.
+    fn seed<R: Rng>(&mut self, bisection: &Bisection<'_>, rng: &mut R) {
+        let graph = bisection.graph();
+        self.containers[0].clear();
+        self.containers[1].clear();
+        self.eligible.clear();
+        self.excluded_overweight = 0;
+        let window = self.constraint.window();
+        for v in graph.vertices() {
+            if graph.is_fixed(v) {
+                continue;
+            }
+            if self.config.exclude_overweight && graph.vertex_weight(v) > window {
+                self.excluded_overweight += 1;
+                continue;
+            }
+            self.eligible.push(v);
+        }
+        match self.config.selection {
+            SelectionRule::Classic => {
+                // Insert in vertex-id order at each vertex's initial gain —
+                // itself an implicit decision; id order is the common
+                // "netlist order" choice.
+                for &v in &self.eligible {
+                    let side = bisection.side(v);
+                    self.containers[side.index()].insert(
+                        v,
+                        bisection.gain(v),
+                        self.config.insertion,
+                        rng,
+                    );
+                }
+            }
+            SelectionRule::Clip => {
+                // CLIP prescribes: every move starts in the 0 bucket with
+                // the highest-initial-gain move at the head. Seeding in
+                // ascending gain order with head insertion realizes that
+                // (and is precisely what puts high-degree, high-area cells
+                // at the head — the corking setup of §2.3).
+                let mut order: Vec<VertexId> = self.eligible.clone();
+                order.sort_by_key(|&v| bisection.gain(v));
+                for &v in &order {
+                    let side = bisection.side(v);
+                    self.containers[side.index()].push_head(v, 0);
+                }
+            }
+        }
+    }
+
+    /// Selects the next move per the paper's selection discipline: each
+    /// side exposes the head of its highest gain bucket (scanning past
+    /// illegal heads per `IllegalHeadPolicy` / `lookahead`); the higher key
+    /// wins; equal keys go to the `TieBreak` rule.
+    fn select(&mut self, bisection: &Bisection<'_>) -> Option<VertexId> {
+        let c0 = self.scan_side(bisection, PartId::P0);
+        let c1 = self.scan_side(bisection, PartId::P1);
+        match (c0, c1) {
+            (None, None) => None,
+            (Some((v, _)), None) => Some(v),
+            (None, Some((v, _))) => Some(v),
+            (Some((v0, k0)), Some((v1, k1))) => {
+                if k0 != k1 {
+                    return Some(if k0 > k1 { v0 } else { v1 });
+                }
+                let pick_p0 = match self.config.tie_break {
+                    TieBreak::Part0 => true,
+                    // "Away": not from the same partition the last vertex
+                    // was moved from; first move defaults to partition 0.
+                    TieBreak::Away => self.last_moved_from != Some(PartId::P0),
+                    TieBreak::Toward => self.last_moved_from != Some(PartId::P1),
+                };
+                Some(if pick_p0 { v0 } else { v1 })
+            }
+        }
+    }
+
+    /// Finds the best selectable move from one side's container.
+    fn scan_side(
+        &mut self,
+        bisection: &Bisection<'_>,
+        side: PartId,
+    ) -> Option<(VertexId, i64)> {
+        let container = &mut self.containers[side.index()];
+        let mut key = container.descend_max()?;
+        let min = container.min_key_bound();
+        loop {
+            if let Some(head) = container.head_of(key) {
+                let mut cursor = Some(head);
+                let mut examined = 0usize;
+                while let Some(v) = cursor {
+                    if examined >= self.config.lookahead {
+                        break;
+                    }
+                    examined += 1;
+                    if self.constraint.is_legal_move(bisection, v) {
+                        return Some((v, key));
+                    }
+                    cursor = container.next_in_bucket(v);
+                }
+                // Every examined entry was illegal.
+                if self.config.illegal_head == IllegalHeadPolicy::SkipSide {
+                    return None;
+                }
+            }
+            if key == min {
+                return None;
+            }
+            key -= 1;
+        }
+    }
+
+    /// Applies the move of `v` and updates neighbor gains with the generic
+    /// four-cut-value delta computation the paper describes, honoring the
+    /// zero-delta policy.
+    fn apply_and_update<R: Rng>(
+        &mut self,
+        bisection: &mut Bisection<'_>,
+        v: VertexId,
+        rng: &mut R,
+        zero_delta_events: &mut u64,
+        nonzero_delta_events: &mut u64,
+    ) {
+        let from = bisection.side(v);
+        let to = from.other();
+        bisection.move_vertex(v);
+        let graph = bisection.graph();
+        for &e in graph.vertex_nets(v) {
+            let w = i64::from(graph.net_weight(e));
+            let after = [
+                bisection.pins_in(e, PartId::P0),
+                bisection.pins_in(e, PartId::P1),
+            ];
+            let mut before = after;
+            before[from.index()] += 1;
+            before[to.index()] -= 1;
+
+            // Under the `Nonzero` policy nets that cannot change any pin's
+            // contribution are skipped outright — exactly the fast path the
+            // `Nonzero` choice legitimizes. Under `All` every pin must be
+            // visited because even a zero delta triggers a re-insertion.
+            if self.config.zero_delta == ZeroDeltaPolicy::Nonzero
+                && before[from.index()] > 2
+                && before[to.index()] > 1
+            {
+                continue;
+            }
+
+            for &y in graph.net_pins(e) {
+                if y == v {
+                    continue;
+                }
+                let side_y = bisection.side(y);
+                if !self.containers[side_y.index()].contains(y) {
+                    continue; // locked this pass, fixed, or excluded
+                }
+                let s = side_y.index();
+                let o = side_y.other().index();
+                let contrib_before =
+                    i64::from(before[s] == 1) * w - i64::from(before[o] == 0) * w;
+                let contrib_after = i64::from(after[s] == 1) * w - i64::from(after[o] == 0) * w;
+                let delta = contrib_after - contrib_before;
+                let container = &mut self.containers[s];
+                if delta == 0 {
+                    *zero_delta_events += 1;
+                    if self.config.zero_delta == ZeroDeltaPolicy::All {
+                        let key = container.key_of(y);
+                        container.update(y, key, self.config.insertion, rng);
+                    }
+                } else {
+                    *nonzero_delta_events += 1;
+                    let key = container.key_of(y);
+                    container.update(y, key + delta, self.config.insertion, rng);
+                }
+            }
+        }
+    }
+}
+
+/// Score of a move-sequence prefix for best-prefix selection.
+#[derive(Clone, Copy, Debug)]
+struct PrefixScore {
+    violation: u64,
+    cut: u64,
+    margin: i64,
+    prefix: usize,
+}
+
+impl PrefixScore {
+    fn beats(&self, best: &PrefixScore, rule: crate::config::PassBestRule) -> bool {
+        use crate::config::PassBestRule;
+        match (self.violation, self.cut).cmp(&(best.violation, best.cut)) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => match rule {
+                PassBestRule::FirstSeen => false,
+                PassBestRule::LastSeen => true,
+                PassBestRule::MostBalanced => self.margin > best.margin,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{InitialSolution, InsertionPolicy, PassBestRule, TieBreak};
+    use hypart_hypergraph::HypergraphBuilder;
+
+    /// Two unit-weight cliques of size k bridged by `bridges` nets.
+    fn two_clusters(k: usize, bridges: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let left: Vec<_> = (0..k).map(|_| b.add_vertex(1)).collect();
+        let right: Vec<_> = (0..k).map(|_| b.add_vertex(1)).collect();
+        for grp in [&left, &right] {
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    b.add_net([grp[i], grp[j]], 1).unwrap();
+                }
+            }
+        }
+        for i in 0..bridges {
+            b.add_net([left[i % k], right[i % k]], 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_the_natural_two_cluster_cut() {
+        let h = two_clusters(6, 2);
+        let c = BalanceConstraint::with_slack(h.total_vertex_weight(), 1);
+        for seed in 0..5 {
+            let out = FmPartitioner::new(FmConfig::lifo()).run(&h, &c, seed);
+            assert_eq!(out.cut, 2, "seed {seed}");
+            assert!(out.balanced);
+        }
+    }
+
+    #[test]
+    fn clip_also_finds_the_cut() {
+        let h = two_clusters(6, 2);
+        let c = BalanceConstraint::with_slack(h.total_vertex_weight(), 1);
+        let out = FmPartitioner::new(FmConfig::clip()).run(&h, &c, 1);
+        assert_eq!(out.cut, 2);
+        assert!(out.balanced);
+    }
+
+    #[test]
+    fn all_knob_combinations_produce_legal_solutions() {
+        let h = two_clusters(5, 3);
+        let c = BalanceConstraint::with_slack(h.total_vertex_weight(), 1);
+        for selection in [SelectionRule::Classic, SelectionRule::Clip] {
+            for tie in [TieBreak::Away, TieBreak::Part0, TieBreak::Toward] {
+                for zd in [ZeroDeltaPolicy::All, ZeroDeltaPolicy::Nonzero] {
+                    for ins in [
+                        InsertionPolicy::Lifo,
+                        InsertionPolicy::Fifo,
+                        InsertionPolicy::Random,
+                    ] {
+                        let cfg = FmConfig::default()
+                            .with_selection(selection)
+                            .with_tie_break(tie)
+                            .with_zero_delta(zd)
+                            .with_insertion(ins);
+                        let out = FmPartitioner::new(cfg).run(&h, &c, 7);
+                        assert!(out.balanced, "{cfg:?}");
+                        assert!(out.cut <= 10, "{cfg:?} cut {}", out.cut);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_cut() {
+        let h = two_clusters(8, 5);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let out = FmPartitioner::new(FmConfig::lifo()).run(&h, &c, 3);
+        assert!(out.stats.final_cut <= out.stats.initial_cut);
+    }
+
+    #[test]
+    fn fixed_vertices_never_move() {
+        let h = two_clusters(4, 1);
+        // Fix one left-cluster vertex on the *wrong* side.
+        let h = h.with_fixed(VertexId::new(0), Some(PartId::P1));
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.25);
+        let out = FmPartitioner::new(FmConfig::lifo()).run(&h, &c, 5);
+        assert_eq!(out.assignment[0], PartId::P1);
+    }
+
+    #[test]
+    fn overweight_exclusion_reports_excluded_cells() {
+        let mut b = HypergraphBuilder::new();
+        let macro_cell = b.add_vertex(1000);
+        let v: Vec<_> = (0..10).map(|_| b.add_vertex(1)).collect();
+        b.add_net([macro_cell, v[0]], 1).unwrap();
+        for i in 0..9 {
+            b.add_net([v[i], v[i + 1]], 1).unwrap();
+        }
+        let h = b.build().unwrap();
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.02);
+        let out = FmPartitioner::new(FmConfig::lifo()).run(&h, &c, 1);
+        assert_eq!(out.stats.excluded_overweight, 1);
+    }
+
+    #[test]
+    fn reported_baselines_are_weaker_on_average() {
+        let h = two_clusters(7, 4);
+        let c = BalanceConstraint::with_slack(h.total_vertex_weight(), 1);
+        let strong: u64 = (0..20)
+            .map(|s| FmPartitioner::new(FmConfig::lifo()).run(&h, &c, s).cut)
+            .sum();
+        let weak: u64 = (0..20)
+            .map(|s| {
+                FmPartitioner::new(FmConfig::reported_lifo())
+                    .run(&h, &c, s)
+                    .cut
+            })
+            .sum();
+        assert!(
+            strong <= weak,
+            "strong total {strong} should not exceed weak total {weak}"
+        );
+    }
+
+    #[test]
+    fn pass_best_rules_all_converge() {
+        let h = two_clusters(5, 2);
+        let c = BalanceConstraint::with_slack(h.total_vertex_weight(), 1);
+        for rule in [
+            PassBestRule::FirstSeen,
+            PassBestRule::LastSeen,
+            PassBestRule::MostBalanced,
+        ] {
+            let cfg = FmConfig::default().with_pass_best(rule);
+            let out = FmPartitioner::new(cfg).run(&h, &c, 11);
+            assert!(out.balanced, "{rule:?}");
+            assert_eq!(out.cut, 2, "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let h = two_clusters(6, 3);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let a = FmPartitioner::new(FmConfig::clip()).run(&h, &c, 123);
+        let b = FmPartitioner::new(FmConfig::clip()).run(&h, &c, 123);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.cut, b.cut);
+    }
+
+    #[test]
+    fn lookahead_still_produces_legal_results() {
+        let h = two_clusters(5, 2);
+        let c = BalanceConstraint::with_slack(h.total_vertex_weight(), 1);
+        let cfg = FmConfig::clip().with_lookahead(8);
+        let out = FmPartitioner::new(cfg).run(&h, &c, 2);
+        assert!(out.balanced);
+    }
+
+    #[test]
+    fn empty_graph_runs_cleanly() {
+        let h = HypergraphBuilder::new().build().unwrap();
+        let c = BalanceConstraint::with_fraction(0, 0.02);
+        let out = FmPartitioner::new(FmConfig::lifo()).run(&h, &c, 0);
+        assert_eq!(out.cut, 0);
+        assert!(out.assignment.is_empty());
+    }
+
+    #[test]
+    fn uniform_random_initial_recovers_feasibility() {
+        let h = two_clusters(8, 2);
+        let c = BalanceConstraint::with_slack(h.total_vertex_weight(), 1);
+        let cfg = FmConfig::lifo().with_initial(InitialSolution::UniformRandom);
+        // Several seeds: even badly unbalanced starts must end feasible.
+        for seed in 0..10 {
+            let out = FmPartitioner::new(cfg).run(&h, &c, seed);
+            assert!(out.balanced, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Model-based property test: [`GainContainer`] against a naive reference
+//! implementation under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use hypart_core::gain::GainContainer;
+use hypart_core::InsertionPolicy;
+use hypart_hypergraph::VertexId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Naive reference: per-bucket `Vec` with explicit head-at-front order.
+#[derive(Default)]
+struct NaiveModel {
+    /// (key, bucket front-to-back) pairs.
+    buckets: std::collections::BTreeMap<i64, Vec<u32>>,
+    key_of: std::collections::HashMap<u32, i64>,
+}
+
+impl NaiveModel {
+    fn insert_head(&mut self, v: u32, key: i64) {
+        self.buckets.entry(key).or_default().insert(0, v);
+        self.key_of.insert(v, key);
+    }
+    fn insert_tail(&mut self, v: u32, key: i64) {
+        self.buckets.entry(key).or_default().push(v);
+        self.key_of.insert(v, key);
+    }
+    fn remove(&mut self, v: u32) {
+        let key = self.key_of.remove(&v).expect("present");
+        let bucket = self.buckets.get_mut(&key).expect("bucket exists");
+        bucket.retain(|&x| x != v);
+        if bucket.is_empty() {
+            self.buckets.remove(&key);
+        }
+    }
+    fn contains(&self, v: u32) -> bool {
+        self.key_of.contains_key(&v)
+    }
+    fn max_key(&self) -> Option<i64> {
+        self.buckets.keys().next_back().copied()
+    }
+    fn bucket(&self, key: i64) -> Vec<u32> {
+        self.buckets.get(&key).cloned().unwrap_or_default()
+    }
+    fn len(&self) -> usize {
+        self.key_of.len()
+    }
+}
+
+/// One random operation on the pair of structures.
+#[derive(Clone, Debug)]
+enum Op {
+    InsertHead(u32, i64),
+    InsertTail(u32, i64),
+    Remove(u32),
+    Update(u32, i64),
+}
+
+fn op_strategy(num_vertices: u32, key_bound: i64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..num_vertices, -key_bound..=key_bound).prop_map(|(v, k)| Op::InsertHead(v, k)),
+        (0..num_vertices, -key_bound..=key_bound).prop_map(|(v, k)| Op::InsertTail(v, k)),
+        (0..num_vertices).prop_map(Op::Remove),
+        (0..num_vertices, -key_bound..=key_bound).prop_map(|(v, k)| Op::Update(v, k)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn container_matches_naive_model(ops in proptest::collection::vec(op_strategy(24, 9), 0..300)) {
+        const N: usize = 24;
+        const BOUND: i64 = 9;
+        let mut real = GainContainer::new(N, BOUND);
+        let mut model = NaiveModel::default();
+        let mut rng = SmallRng::seed_from_u64(0); // policy is explicit below
+
+        for op in ops {
+            match op {
+                Op::InsertHead(v, k) if !model.contains(v) => {
+                    real.insert(VertexId::new(v), k, InsertionPolicy::Lifo, &mut rng);
+                    model.insert_head(v, k);
+                }
+                Op::InsertTail(v, k) if !model.contains(v) => {
+                    real.insert(VertexId::new(v), k, InsertionPolicy::Fifo, &mut rng);
+                    model.insert_tail(v, k);
+                }
+                Op::Remove(v) if model.contains(v) => {
+                    real.remove(VertexId::new(v));
+                    model.remove(v);
+                }
+                Op::Update(v, k) if model.contains(v) => {
+                    // Update = remove + LIFO reinsert, in both structures.
+                    real.update(VertexId::new(v), k, InsertionPolicy::Lifo, &mut rng);
+                    model.remove(v);
+                    model.insert_head(v, k);
+                }
+                _ => continue, // skip ops invalid in the current state
+            }
+
+            // Full-state equivalence after every operation.
+            prop_assert_eq!(real.len(), model.len());
+            prop_assert_eq!(real.descend_max(), model.max_key());
+            for key in -BOUND..=BOUND {
+                let real_bucket: Vec<u32> =
+                    real.bucket_contents(key).iter().map(|v| v.raw()).collect();
+                prop_assert_eq!(&real_bucket, &model.bucket(key), "bucket {}", key);
+            }
+            for v in 0..N as u32 {
+                prop_assert_eq!(real.contains(VertexId::new(v)), model.contains(v));
+                if model.contains(v) {
+                    prop_assert_eq!(real.key_of(VertexId::new(v)), model.key_of[&v]);
+                }
+            }
+        }
+    }
+}

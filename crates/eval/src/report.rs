@@ -1,0 +1,212 @@
+//! Markdown experiment reports.
+//!
+//! The paper closes §3 by noting that a richer presentation medium than a
+//! conference page ("e.g., a webpage") should carry the standard
+//! deviations and distribution descriptors that tables omit. This module
+//! assembles exactly that artifact: a markdown report combining tables,
+//! preformatted plots, and distribution summaries.
+
+use std::fmt::Write as _;
+
+use crate::stats::Summary;
+use crate::table::Table;
+
+/// Incremental markdown report builder.
+///
+/// ```
+/// use hypart_eval::report::Report;
+/// use hypart_eval::table::Table;
+///
+/// let mut report = Report::new("Nightly partitioning run");
+/// report.section("Setup");
+/// report.paragraph("50 seeded trials per configuration.");
+/// let mut t = Table::new(["algo", "cut"]);
+/// t.add_row(["LIFO", "333/639"]);
+/// report.table(&t);
+/// let markdown = report.render();
+/// assert!(markdown.starts_with("# Nightly partitioning run"));
+/// assert!(markdown.contains("| algo | cut |"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Report {
+    title: String,
+    blocks: Vec<Block>,
+}
+
+#[derive(Clone, Debug)]
+enum Block {
+    Section(String),
+    Subsection(String),
+    Paragraph(String),
+    MarkdownTable { headers: Vec<String>, rows: Vec<Vec<String>> },
+    Preformatted(String),
+}
+
+impl Report {
+    /// Creates a report with a top-level title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Adds a `##` section heading.
+    pub fn section(&mut self, heading: impl Into<String>) -> &mut Self {
+        self.blocks.push(Block::Section(heading.into()));
+        self
+    }
+
+    /// Adds a `###` subsection heading.
+    pub fn subsection(&mut self, heading: impl Into<String>) -> &mut Self {
+        self.blocks.push(Block::Subsection(heading.into()));
+        self
+    }
+
+    /// Adds a prose paragraph.
+    pub fn paragraph(&mut self, text: impl Into<String>) -> &mut Self {
+        self.blocks.push(Block::Paragraph(text.into()));
+        self
+    }
+
+    /// Adds a [`Table`] as a markdown pipe table (its title, if any,
+    /// becomes an italic caption line).
+    pub fn table(&mut self, table: &Table) -> &mut Self {
+        let csv = table.to_csv();
+        let mut lines = csv.lines();
+        let headers: Vec<String> = split_csv_line(lines.next().unwrap_or(""));
+        let rows: Vec<Vec<String>> = lines.map(split_csv_line).collect();
+        self.blocks.push(Block::MarkdownTable { headers, rows });
+        self
+    }
+
+    /// Adds preformatted text (ASCII plots, frontier reports, diagrams).
+    pub fn preformatted(&mut self, text: impl Into<String>) -> &mut Self {
+        self.blocks.push(Block::Preformatted(text.into()));
+        self
+    }
+
+    /// Adds a distribution summary line for a labeled sample — the
+    /// "standard deviations and other descriptors" the paper wants
+    /// reported.
+    pub fn distribution(&mut self, label: &str, sample: &[f64]) -> &mut Self {
+        match Summary::of(sample) {
+            Some(s) => self.paragraph(format!(
+                "**{label}** (n={}): min {:.1}, median {:.1}, mean {:.1} ± {:.1}, max {:.1}",
+                s.n, s.min, s.median, s.mean, s.std_dev, s.max
+            )),
+            None => self.paragraph(format!("**{label}**: no samples")),
+        }
+    }
+
+    /// Renders the whole report as markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}\n", self.title);
+        for block in &self.blocks {
+            match block {
+                Block::Section(h) => {
+                    let _ = writeln!(out, "## {h}\n");
+                }
+                Block::Subsection(h) => {
+                    let _ = writeln!(out, "### {h}\n");
+                }
+                Block::Paragraph(p) => {
+                    let _ = writeln!(out, "{p}\n");
+                }
+                Block::Preformatted(text) => {
+                    let _ = writeln!(out, "```text\n{}\n```\n", text.trim_end());
+                }
+                Block::MarkdownTable { headers, rows } => {
+                    let _ = writeln!(out, "| {} |", headers.join(" | "));
+                    let _ = writeln!(
+                        out,
+                        "|{}|",
+                        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+                    );
+                    for row in rows {
+                        let _ = writeln!(out, "| {} |", row.join(" | "));
+                    }
+                    let _ = writeln!(out);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits one RFC-4180 CSV line (as produced by [`Table::to_csv`]).
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cell = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted && chars.peek() == Some(&'"') => {
+                chars.next();
+                cell.push('"');
+            }
+            '"' => quoted = !quoted,
+            ',' if !quoted => {
+                out.push(std::mem::take(&mut cell));
+            }
+            c => cell.push(c),
+        }
+    }
+    out.push(cell);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_has_all_block_kinds() {
+        let mut report = Report::new("T");
+        report
+            .section("S")
+            .subsection("SS")
+            .paragraph("hello")
+            .preformatted("plot\nhere");
+        let mut t = Table::new(["a", "b"]);
+        t.add_row(["1", "2"]);
+        report.table(&t);
+        let md = report.render();
+        assert!(md.contains("# T"));
+        assert!(md.contains("## S"));
+        assert!(md.contains("### SS"));
+        assert!(md.contains("hello"));
+        assert!(md.contains("```text\nplot\nhere\n```"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn distribution_line() {
+        let mut report = Report::new("T");
+        report.distribution("cuts", &[1.0, 2.0, 3.0]);
+        let md = report.render();
+        assert!(md.contains("**cuts** (n=3)"));
+        assert!(md.contains("median 2.0"));
+        report.distribution("empty", &[]);
+        assert!(report.render().contains("no samples"));
+    }
+
+    #[test]
+    fn csv_cells_with_commas_survive() {
+        let mut t = Table::new(["x"]);
+        t.add_row(["a,b"]);
+        let mut report = Report::new("T");
+        report.table(&t);
+        assert!(report.render().contains("| a,b |"));
+    }
+
+    #[test]
+    fn split_csv_handles_quotes() {
+        assert_eq!(split_csv_line("a,\"b,c\",d"), vec!["a", "b,c", "d"]);
+        assert_eq!(split_csv_line("\"he said \"\"hi\"\"\""), vec!["he said \"hi\""]);
+    }
+}

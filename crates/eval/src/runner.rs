@@ -1,0 +1,390 @@
+//! Seeded multi-trial execution of partitioning heuristics.
+
+use std::time::{Duration, Instant};
+
+use hypart_core::{BalanceConstraint, FmConfig, FmPartitioner};
+use hypart_hypergraph::Hypergraph;
+use hypart_ml::{multi_start, MlConfig, MlPartitioner};
+
+/// One trial's outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Trial {
+    /// Seed of the trial.
+    pub seed: u64,
+    /// Weighted cut achieved.
+    pub cut: u64,
+    /// `true` if the solution satisfied the balance constraint.
+    pub balanced: bool,
+    /// Wall-clock duration of the trial.
+    pub elapsed: Duration,
+}
+
+/// An algorithm under experimental evaluation.
+///
+/// Implementations must be deterministic functions of `seed` so that
+/// experiments are reproducible — one of the paper's core demands.
+pub trait Heuristic {
+    /// Display name used in tables and diagrams.
+    fn name(&self) -> &str;
+
+    /// Solves one instance from one seed.
+    fn solve(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> Trial;
+}
+
+/// Flat FM / CLIP heuristic (single start of [`FmPartitioner`]).
+#[derive(Clone, Debug)]
+pub struct FlatFmHeuristic {
+    name: String,
+    partitioner: FmPartitioner,
+}
+
+impl FlatFmHeuristic {
+    /// Wraps a flat engine configuration under a display name.
+    pub fn new(name: impl Into<String>, config: FmConfig) -> Self {
+        FlatFmHeuristic {
+            name: name.into(),
+            partitioner: FmPartitioner::new(config),
+        }
+    }
+}
+
+impl Heuristic for FlatFmHeuristic {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn solve(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> Trial {
+        let t = Instant::now();
+        let out = self.partitioner.run(h, constraint, seed);
+        Trial {
+            seed,
+            cut: out.cut,
+            balanced: out.balanced,
+            elapsed: t.elapsed(),
+        }
+    }
+}
+
+/// Multilevel heuristic (single start of [`MlPartitioner`]).
+#[derive(Clone, Debug)]
+pub struct MlHeuristic {
+    name: String,
+    partitioner: MlPartitioner,
+}
+
+impl MlHeuristic {
+    /// Wraps a multilevel configuration under a display name.
+    pub fn new(name: impl Into<String>, config: MlConfig) -> Self {
+        MlHeuristic {
+            name: name.into(),
+            partitioner: MlPartitioner::new(config),
+        }
+    }
+}
+
+impl Heuristic for MlHeuristic {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn solve(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> Trial {
+        let t = Instant::now();
+        let out = self.partitioner.run(h, constraint, seed);
+        Trial {
+            seed,
+            cut: out.cut,
+            balanced: out.balanced,
+            elapsed: t.elapsed(),
+        }
+    }
+}
+
+/// hMetis-1.5-style multi-start driver: `nruns` starts then V-cycling of
+/// the best (the Tables 4–5 evaluation subject; one "trial" is a full
+/// multi-start configuration run).
+#[derive(Clone, Debug)]
+pub struct MultiStartHeuristic {
+    name: String,
+    partitioner: MlPartitioner,
+    nruns: usize,
+    max_vcycles: usize,
+}
+
+impl MultiStartHeuristic {
+    /// Wraps a multilevel configuration in an `nruns`-start driver.
+    pub fn new(
+        name: impl Into<String>,
+        config: MlConfig,
+        nruns: usize,
+        max_vcycles: usize,
+    ) -> Self {
+        MultiStartHeuristic {
+            name: name.into(),
+            partitioner: MlPartitioner::new(config),
+            nruns,
+            max_vcycles,
+        }
+    }
+
+    /// Number of independent starts per trial.
+    pub fn nruns(&self) -> usize {
+        self.nruns
+    }
+}
+
+impl Heuristic for MultiStartHeuristic {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn solve(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> Trial {
+        let t = Instant::now();
+        let out = multi_start(
+            &self.partitioner,
+            h,
+            constraint,
+            self.nruns,
+            seed,
+            self.max_vcycles,
+        );
+        Trial {
+            seed,
+            cut: out.cut,
+            balanced: out.balanced,
+            elapsed: t.elapsed(),
+        }
+    }
+}
+
+/// A set of independent trials of one heuristic on one instance.
+#[derive(Clone, Debug)]
+pub struct TrialSet {
+    /// Heuristic display name.
+    pub heuristic: String,
+    /// Instance name.
+    pub instance: String,
+    /// Per-trial records, in seed order.
+    pub trials: Vec<Trial>,
+}
+
+impl TrialSet {
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// `true` if no trials were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// Minimum cut across trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn min_cut(&self) -> u64 {
+        self.trials.iter().map(|t| t.cut).min().expect("non-empty")
+    }
+
+    /// Average cut across trials.
+    pub fn avg_cut(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().map(|t| t.cut as f64).sum::<f64>() / self.trials.len() as f64
+    }
+
+    /// Average trial duration in seconds.
+    pub fn avg_seconds(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials
+            .iter()
+            .map(|t| t.elapsed.as_secs_f64())
+            .sum::<f64>()
+            / self.trials.len() as f64
+    }
+
+    /// Cut values as `f64`, for statistics.
+    pub fn cuts(&self) -> Vec<f64> {
+        self.trials.iter().map(|t| t.cut as f64).collect()
+    }
+
+    /// Fraction of trials whose final solution was balanced.
+    pub fn balanced_fraction(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().filter(|t| t.balanced).count() as f64 / self.trials.len() as f64
+    }
+
+    /// The traditional "min/avg" cell the partitioning literature reports,
+    /// e.g. `"333/639"`.
+    pub fn min_avg_cell(&self) -> String {
+        format!("{}/{}", self.min_cut(), self.avg_cut().round() as u64)
+    }
+}
+
+/// Runs `num_trials` independent single-start trials of `heuristic` with
+/// seeds `base_seed..base_seed + num_trials`.
+pub fn run_trials(
+    heuristic: &dyn Heuristic,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    num_trials: usize,
+    base_seed: u64,
+) -> TrialSet {
+    let trials = (0..num_trials)
+        .map(|i| heuristic.solve(h, constraint, base_seed.wrapping_add(i as u64)))
+        .collect();
+    TrialSet {
+        heuristic: heuristic.name().to_string(),
+        instance: h.name().to_string(),
+        trials,
+    }
+}
+
+/// Parallel variant of [`run_trials`]: trials execute on up to `threads`
+/// OS threads (0 = one per core). Results are **identical** to the
+/// sequential version — each trial is a pure function of its seed and the
+/// output is assembled in seed order — so parallelism only changes
+/// wall-clock time, never the reported distribution. (Per-trial `elapsed`
+/// values are measured under concurrency and may differ slightly from a
+/// sequential run; cut values cannot.)
+pub fn run_trials_parallel(
+    heuristic: &(dyn Heuristic + Sync),
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    num_trials: usize,
+    base_seed: u64,
+    threads: usize,
+) -> TrialSet {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    }
+    .min(num_trials.max(1))
+    .max(1);
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Trial>>> =
+        (0..num_trials).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= num_trials {
+                    break;
+                }
+                let trial = heuristic.solve(h, constraint, base_seed.wrapping_add(i as u64));
+                *slots[i].lock().expect("no poisoned slot") = Some(trial);
+            });
+        }
+    });
+    TrialSet {
+        heuristic: heuristic.name().to_string(),
+        instance: h.name().to_string(),
+        trials: slots
+            .into_iter()
+            .map(|cell| cell.into_inner().expect("no poison").expect("slot filled"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypart_benchgen::toys::two_clusters;
+    use hypart_core::FmConfig;
+
+    fn setup() -> (Hypergraph, BalanceConstraint) {
+        let h = two_clusters(8, 2);
+        let c = BalanceConstraint::with_slack(h.total_vertex_weight(), 1);
+        (h, c)
+    }
+
+    #[test]
+    fn flat_trials_find_optimum() {
+        let (h, c) = setup();
+        let heur = FlatFmHeuristic::new("LIFO", FmConfig::lifo());
+        let set = run_trials(&heur, &h, &c, 8, 0);
+        assert_eq!(set.len(), 8);
+        assert_eq!(set.min_cut(), 2);
+        assert!(set.avg_cut() >= 2.0);
+        assert_eq!(set.balanced_fraction(), 1.0);
+        assert_eq!(set.heuristic, "LIFO");
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let (h, c) = setup();
+        let heur = FlatFmHeuristic::new("CLIP", FmConfig::clip());
+        let a = run_trials(&heur, &h, &c, 5, 42);
+        let b = run_trials(&heur, &h, &c, 5, 42);
+        let cuts_a: Vec<u64> = a.trials.iter().map(|t| t.cut).collect();
+        let cuts_b: Vec<u64> = b.trials.iter().map(|t| t.cut).collect();
+        assert_eq!(cuts_a, cuts_b);
+    }
+
+    #[test]
+    fn ml_heuristic_runs() {
+        let (h, c) = setup();
+        let heur = MlHeuristic::new("ML LIFO", MlConfig::ml_lifo());
+        let set = run_trials(&heur, &h, &c, 3, 0);
+        assert_eq!(set.min_cut(), 2);
+    }
+
+    #[test]
+    fn multi_start_heuristic_runs() {
+        let (h, c) = setup();
+        let heur = MultiStartHeuristic::new("hMetis-like x4", MlConfig::ml_lifo(), 4, 1);
+        assert_eq!(heur.nruns(), 4);
+        let set = run_trials(&heur, &h, &c, 2, 0);
+        assert_eq!(set.min_cut(), 2);
+    }
+
+    #[test]
+    fn parallel_trials_match_sequential() {
+        let (h, c) = setup();
+        let heur = FlatFmHeuristic::new("LIFO", FmConfig::lifo());
+        let seq = run_trials(&heur, &h, &c, 12, 3);
+        for threads in [0, 1, 3] {
+            let par = run_trials_parallel(&heur, &h, &c, 12, 3, threads);
+            let seq_cuts: Vec<u64> = seq.trials.iter().map(|t| t.cut).collect();
+            let par_cuts: Vec<u64> = par.trials.iter().map(|t| t.cut).collect();
+            assert_eq!(seq_cuts, par_cuts, "threads={threads}");
+            let seq_seeds: Vec<u64> = seq.trials.iter().map(|t| t.seed).collect();
+            let par_seeds: Vec<u64> = par.trials.iter().map(|t| t.seed).collect();
+            assert_eq!(seq_seeds, par_seeds, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn min_avg_cell_formats_like_the_paper() {
+        let set = TrialSet {
+            heuristic: "x".into(),
+            instance: "y".into(),
+            trials: vec![
+                Trial { seed: 0, cut: 333, balanced: true, elapsed: Duration::ZERO },
+                Trial { seed: 1, cut: 945, balanced: true, elapsed: Duration::ZERO },
+            ],
+        };
+        assert_eq!(set.min_avg_cell(), "333/639");
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let set = TrialSet {
+            heuristic: "x".into(),
+            instance: "y".into(),
+            trials: vec![],
+        };
+        assert!(set.is_empty());
+        assert_eq!(set.avg_cut(), 0.0);
+        assert_eq!(set.avg_seconds(), 0.0);
+        assert_eq!(set.balanced_fraction(), 0.0);
+    }
+}

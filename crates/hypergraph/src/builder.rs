@@ -1,0 +1,240 @@
+//! Incremental construction of [`Hypergraph`] instances.
+
+use crate::error::BuildError;
+use crate::graph::Hypergraph;
+use crate::ids::{NetId, PartId, VertexId};
+
+/// Builder for [`Hypergraph`].
+///
+/// Vertices are added first (each returning its [`VertexId`]), then nets
+/// referencing those vertices. Duplicate pins within one net are silently
+/// collapsed (ISPD98-style netlists routinely contain them); nets reduced to
+/// a single pin are kept, since a single-pin net is legal (it simply can
+/// never be cut).
+///
+/// # Example
+///
+/// ```
+/// use hypart_hypergraph::{HypergraphBuilder, PartId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::with_capacity(4, 2);
+/// let pads: Vec<_> = (0..4).map(|i| b.add_vertex(i + 1)).collect();
+/// b.add_net([pads[0], pads[1], pads[2]], 1)?;
+/// b.add_net([pads[2], pads[3]], 2)?;
+/// b.fix_vertex(pads[0], PartId::P0);
+/// let h = b.name("pads").build()?;
+/// assert_eq!(h.num_fixed(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HypergraphBuilder {
+    name: String,
+    vertex_weights: Vec<u64>,
+    net_weights: Vec<u32>,
+    net_pin_offsets: Vec<u32>,
+    net_pin_list: Vec<VertexId>,
+    fixed: Vec<(u32, PartId)>,
+    scratch: Vec<VertexId>,
+}
+
+impl HypergraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self {
+            net_pin_offsets: vec![0],
+            ..Self::default()
+        }
+    }
+
+    /// Creates a builder with capacity reserved for `vertices` vertices and
+    /// `nets` nets (an average net size of 4 pins is assumed for pin storage).
+    pub fn with_capacity(vertices: usize, nets: usize) -> Self {
+        let mut b = Self::new();
+        b.vertex_weights.reserve(vertices);
+        b.net_weights.reserve(nets);
+        b.net_pin_offsets.reserve(nets + 1);
+        b.net_pin_list.reserve(nets.saturating_mul(4));
+        b
+    }
+
+    /// Sets the instance name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_weights.len()
+    }
+
+    /// Number of nets added so far.
+    pub fn num_nets(&self) -> usize {
+        self.net_weights.len()
+    }
+
+    /// Adds a vertex with the given weight (cell area) and returns its id.
+    /// Weight 0 is permitted (e.g. pad cells) but note that zero-weight
+    /// vertices are free to move under any balance constraint.
+    pub fn add_vertex(&mut self, weight: u64) -> VertexId {
+        let id = VertexId::from_index(self.vertex_weights.len());
+        self.vertex_weights.push(weight);
+        id
+    }
+
+    /// Adds `n` vertices of identical weight, returning the id of the first;
+    /// ids are consecutive.
+    pub fn add_vertices(&mut self, n: usize, weight: u64) -> VertexId {
+        let first = VertexId::from_index(self.vertex_weights.len());
+        self.vertex_weights.extend(std::iter::repeat_n(weight, n));
+        first
+    }
+
+    /// Adds a net over the given pins with the given weight and returns its
+    /// id. Duplicate pins are collapsed; pin order is otherwise preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::EmptyNet`] if `pins` is empty and
+    /// [`BuildError::UnknownVertex`] if any pin is out of range.
+    pub fn add_net<I>(&mut self, pins: I, weight: u32) -> Result<NetId, BuildError>
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        let net_index = self.net_weights.len();
+        self.scratch.clear();
+        for v in pins {
+            if v.index() >= self.vertex_weights.len() {
+                return Err(BuildError::UnknownVertex {
+                    net: net_index,
+                    vertex: v.raw(),
+                    num_vertices: self.vertex_weights.len(),
+                });
+            }
+            if !self.scratch.contains(&v) {
+                self.scratch.push(v);
+            }
+        }
+        if self.scratch.is_empty() {
+            return Err(BuildError::EmptyNet { net: net_index });
+        }
+        let new_len = self
+            .net_pin_list
+            .len()
+            .checked_add(self.scratch.len())
+            .filter(|&l| u32::try_from(l).is_ok())
+            .ok_or(BuildError::TooManyPins)?;
+        self.net_pin_list.extend_from_slice(&self.scratch);
+        self.net_pin_offsets.push(new_len as u32);
+        self.net_weights.push(weight);
+        Ok(NetId::from_index(net_index))
+    }
+
+    /// Marks vertex `v` as fixed in partition `part`. The check that `v`
+    /// exists is deferred to [`build`](Self::build) so pads can be fixed
+    /// before or after net insertion in any order.
+    pub fn fix_vertex(&mut self, v: VertexId, part: PartId) {
+        self.fixed.push((v.raw(), part));
+    }
+
+    /// Finalizes the builder into an immutable [`Hypergraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::FixUnknownVertex`] if a fixed-vertex assignment
+    /// references a vertex that was never added.
+    pub fn build(self) -> Result<Hypergraph, BuildError> {
+        let num_vertices = self.vertex_weights.len();
+        let mut fixed = vec![None; num_vertices];
+        for (raw, part) in self.fixed {
+            if raw as usize >= num_vertices {
+                return Err(BuildError::FixUnknownVertex {
+                    vertex: raw,
+                    num_vertices,
+                });
+            }
+            fixed[raw as usize] = Some(part);
+        }
+        Ok(Hypergraph::from_parts(
+            self.name,
+            self.net_pin_offsets,
+            self.net_pin_list,
+            self.vertex_weights,
+            self.net_weights,
+            fixed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_pins_are_collapsed() {
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        let v1 = b.add_vertex(1);
+        let e = b.add_net([v0, v1, v0, v1, v0], 1).unwrap();
+        let h = b.build().unwrap();
+        assert_eq!(h.net_size(e), 2);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn single_pin_net_is_allowed() {
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        let e = b.add_net([v0], 1).unwrap();
+        let h = b.build().unwrap();
+        assert_eq!(h.net_size(e), 1);
+    }
+
+    #[test]
+    fn empty_net_is_rejected() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(1);
+        let err = b.add_net(std::iter::empty(), 1).unwrap_err();
+        assert_eq!(err, BuildError::EmptyNet { net: 0 });
+    }
+
+    #[test]
+    fn unknown_pin_is_rejected() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(1);
+        let err = b.add_net([VertexId::new(5)], 1).unwrap_err();
+        assert!(matches!(err, BuildError::UnknownVertex { vertex: 5, .. }));
+    }
+
+    #[test]
+    fn fix_unknown_vertex_is_rejected_at_build() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(1);
+        b.fix_vertex(VertexId::new(9), PartId::P0);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, BuildError::FixUnknownVertex { vertex: 9, .. }));
+    }
+
+    #[test]
+    fn add_vertices_bulk() {
+        let mut b = HypergraphBuilder::new();
+        let first = b.add_vertices(5, 7);
+        assert_eq!(first.index(), 0);
+        assert_eq!(b.num_vertices(), 5);
+        let h = b.build().unwrap();
+        assert_eq!(h.total_vertex_weight(), 35);
+    }
+
+    #[test]
+    fn later_fix_overrides_earlier() {
+        let mut b = HypergraphBuilder::new();
+        let v = b.add_vertex(1);
+        b.fix_vertex(v, PartId::P0);
+        b.fix_vertex(v, PartId::P1);
+        let h = b.build().unwrap();
+        assert_eq!(h.fixed_part(v), Some(PartId::P1));
+        assert_eq!(h.num_fixed(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Error types for hypergraph construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building a [`crate::Hypergraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A net referenced a vertex id that was never added.
+    UnknownVertex {
+        /// Index of the offending net (in insertion order).
+        net: usize,
+        /// The out-of-range vertex index.
+        vertex: u32,
+        /// Number of vertices actually present.
+        num_vertices: usize,
+    },
+    /// A net was added with no pins at all.
+    EmptyNet {
+        /// Index of the offending net (in insertion order).
+        net: usize,
+    },
+    /// A fixed-vertex assignment referenced an unknown vertex.
+    FixUnknownVertex {
+        /// The out-of-range vertex index.
+        vertex: u32,
+        /// Number of vertices actually present.
+        num_vertices: usize,
+    },
+    /// Total pin count overflows the `u32` CSR offsets.
+    TooManyPins,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownVertex {
+                net,
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "net {net} references vertex {vertex} but only {num_vertices} vertices exist"
+            ),
+            BuildError::EmptyNet { net } => write!(f, "net {net} has no pins"),
+            BuildError::FixUnknownVertex {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "fixed assignment references vertex {vertex} but only {num_vertices} vertices exist"
+            ),
+            BuildError::TooManyPins => write!(f, "total pin count exceeds u32 capacity"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Error produced while parsing a hypergraph or partition file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file violated the expected syntax.
+    Syntax {
+        /// 1-based line number of the offense.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The parsed structure failed hypergraph validation.
+    Build(BuildError),
+}
+
+impl ParseError {
+    /// Convenience constructor for a syntax error at `line`.
+    pub fn syntax(line: usize, message: impl Into<String>) -> Self {
+        ParseError::Syntax {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Build(e) => write!(f, "invalid hypergraph: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Build(e) => Some(e),
+            ParseError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+impl From<BuildError> for ParseError {
+    fn from(e: BuildError) -> Self {
+        ParseError::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_error_messages_are_informative() {
+        let e = BuildError::UnknownVertex {
+            net: 3,
+            vertex: 10,
+            num_vertices: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("net 3"));
+        assert!(s.contains("vertex 10"));
+        assert!(s.contains("5 vertices"));
+    }
+
+    #[test]
+    fn parse_error_wraps_sources() {
+        let io = ParseError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.source().is_some());
+        let b = ParseError::from(BuildError::EmptyNet { net: 0 });
+        assert!(b.source().is_some());
+        let s = ParseError::syntax(12, "bad token");
+        assert!(s.source().is_none());
+        assert!(s.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BuildError>();
+        assert_send_sync::<ParseError>();
+    }
+}

@@ -1,0 +1,419 @@
+//! The immutable [`Hypergraph`] structure.
+
+use crate::ids::{NetId, PartId, VertexId};
+
+/// An immutable vertex- and net-weighted hypergraph with optional fixed
+/// vertices, stored in CSR form in both directions.
+///
+/// Construct one with [`crate::HypergraphBuilder`]. Once built, the structure
+/// is immutable; partitioning engines keep their mutable state (partition
+/// assignments, gain containers) outside the hypergraph so that many
+/// concurrent runs can share one instance.
+///
+/// # Representation
+///
+/// * net → pins: `net_pin_offsets` / `net_pin_list` (CSR)
+/// * vertex → incident nets: `vertex_net_offsets` / `vertex_net_list` (CSR)
+/// * `vertex_weights[v]`: cell area of `v` (`u64`)
+/// * `net_weights[e]`: weight of net `e` (`u32`, typically 1)
+/// * `fixed[v]`: `Some(part)` if vertex `v` is preplaced
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    name: String,
+    net_pin_offsets: Vec<u32>,
+    net_pin_list: Vec<VertexId>,
+    vertex_net_offsets: Vec<u32>,
+    vertex_net_list: Vec<NetId>,
+    vertex_weights: Vec<u64>,
+    net_weights: Vec<u32>,
+    fixed: Vec<Option<PartId>>,
+    total_vertex_weight: u64,
+    num_fixed: usize,
+}
+
+impl Hypergraph {
+    pub(crate) fn from_parts(
+        name: String,
+        net_pin_offsets: Vec<u32>,
+        net_pin_list: Vec<VertexId>,
+        vertex_weights: Vec<u64>,
+        net_weights: Vec<u32>,
+        fixed: Vec<Option<PartId>>,
+    ) -> Self {
+        let num_vertices = vertex_weights.len();
+        debug_assert_eq!(net_pin_offsets.len(), net_weights.len() + 1);
+        debug_assert_eq!(fixed.len(), num_vertices);
+
+        // Build the inverse (vertex -> nets) CSR with a counting pass.
+        let mut degree = vec![0u32; num_vertices];
+        for &v in &net_pin_list {
+            degree[v.index()] += 1;
+        }
+        let mut vertex_net_offsets = Vec::with_capacity(num_vertices + 1);
+        let mut acc = 0u32;
+        vertex_net_offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            vertex_net_offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = vertex_net_offsets[..num_vertices].to_vec();
+        let mut vertex_net_list = vec![NetId::new(0); net_pin_list.len()];
+        for e in 0..net_weights.len() {
+            let start = net_pin_offsets[e] as usize;
+            let end = net_pin_offsets[e + 1] as usize;
+            for &v in &net_pin_list[start..end] {
+                let slot = cursor[v.index()];
+                vertex_net_list[slot as usize] = NetId::from_index(e);
+                cursor[v.index()] = slot + 1;
+            }
+        }
+
+        let total_vertex_weight = vertex_weights.iter().sum();
+        let num_fixed = fixed.iter().filter(|f| f.is_some()).count();
+
+        Hypergraph {
+            name,
+            net_pin_offsets,
+            net_pin_list,
+            vertex_net_offsets,
+            vertex_net_list,
+            vertex_weights,
+            net_weights,
+            fixed,
+            total_vertex_weight,
+            num_fixed,
+        }
+    }
+
+    /// Human-readable instance name (e.g. `"ibm01s"`); empty if unnamed.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of vertices (cells).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_weights.len()
+    }
+
+    /// Number of nets (hyperedges).
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.net_weights.len()
+    }
+
+    /// Total number of pins (sum of net sizes).
+    #[inline]
+    pub fn num_pins(&self) -> usize {
+        self.net_pin_list.len()
+    }
+
+    /// Iterator over all vertex ids, `v0 .. v(n-1)`.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = VertexId> + Clone {
+        (0..self.num_vertices() as u32).map(VertexId::new)
+    }
+
+    /// Iterator over all net ids, `e0 .. e(m-1)`.
+    pub fn nets(&self) -> impl ExactSizeIterator<Item = NetId> + Clone {
+        (0..self.num_nets() as u32).map(NetId::new)
+    }
+
+    /// The pins (member vertices) of net `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn net_pins(&self, e: NetId) -> &[VertexId] {
+        let start = self.net_pin_offsets[e.index()] as usize;
+        let end = self.net_pin_offsets[e.index() + 1] as usize;
+        &self.net_pin_list[start..end]
+    }
+
+    /// The size (pin count) of net `e`.
+    #[inline]
+    pub fn net_size(&self, e: NetId) -> usize {
+        (self.net_pin_offsets[e.index() + 1] - self.net_pin_offsets[e.index()]) as usize
+    }
+
+    /// The nets incident to vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn vertex_nets(&self, v: VertexId) -> &[NetId] {
+        let start = self.vertex_net_offsets[v.index()] as usize;
+        let end = self.vertex_net_offsets[v.index() + 1] as usize;
+        &self.vertex_net_list[start..end]
+    }
+
+    /// The degree (number of incident nets) of vertex `v`.
+    #[inline]
+    pub fn vertex_degree(&self, v: VertexId) -> usize {
+        (self.vertex_net_offsets[v.index() + 1] - self.vertex_net_offsets[v.index()]) as usize
+    }
+
+    /// The weight (cell area) of vertex `v`.
+    #[inline]
+    pub fn vertex_weight(&self, v: VertexId) -> u64 {
+        self.vertex_weights[v.index()]
+    }
+
+    /// The weight of net `e`.
+    #[inline]
+    pub fn net_weight(&self, e: NetId) -> u32 {
+        self.net_weights[e.index()]
+    }
+
+    /// Sum of all vertex weights.
+    #[inline]
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.total_vertex_weight
+    }
+
+    /// The partition vertex `v` is fixed in, or `None` if it is free.
+    #[inline]
+    pub fn fixed_part(&self, v: VertexId) -> Option<PartId> {
+        self.fixed[v.index()]
+    }
+
+    /// `true` if vertex `v` is fixed in some partition.
+    #[inline]
+    pub fn is_fixed(&self, v: VertexId) -> bool {
+        self.fixed[v.index()].is_some()
+    }
+
+    /// Number of fixed vertices.
+    #[inline]
+    pub fn num_fixed(&self) -> usize {
+        self.num_fixed
+    }
+
+    /// `true` if all vertices have weight 1 (the classic "unit-area" mode the
+    /// paper warns against using exclusively).
+    pub fn is_unit_area(&self) -> bool {
+        self.vertex_weights.iter().all(|&w| w == 1)
+    }
+
+    /// Maximum vertex weight (0 for an empty hypergraph).
+    pub fn max_vertex_weight(&self) -> u64 {
+        self.vertex_weights.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum vertex degree (0 for an empty hypergraph).
+    pub fn max_vertex_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.vertex_degree(VertexId::from_index(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum net size (0 for a hypergraph with no nets).
+    pub fn max_net_size(&self) -> usize {
+        (0..self.num_nets())
+            .map(|e| self.net_size(NetId::from_index(e)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Upper bound on the gain of any single vertex move under the weighted
+    /// net-cut objective: the maximum over vertices of the sum of incident
+    /// net weights. Gain containers size their bucket arrays with this.
+    pub fn max_gain_bound(&self) -> i64 {
+        self.vertices()
+            .map(|v| {
+                self.vertex_nets(v)
+                    .iter()
+                    .map(|&e| i64::from(self.net_weight(e)))
+                    .sum::<i64>()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns a copy of this hypergraph with a different name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Returns a copy of this hypergraph with all vertex weights set to 1
+    /// ("unit-area mode", as historically used with the MCNC benchmarks).
+    pub fn to_unit_area(&self) -> Hypergraph {
+        let mut h = self.clone();
+        h.vertex_weights.iter_mut().for_each(|w| *w = 1);
+        h.total_vertex_weight = h.vertex_weights.len() as u64;
+        h
+    }
+
+    /// Returns a copy with vertex `v` fixed in partition `part` (or freed,
+    /// with `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn with_fixed(&self, v: VertexId, part: Option<PartId>) -> Hypergraph {
+        let mut h = self.clone();
+        let was = h.fixed[v.index()];
+        h.fixed[v.index()] = part;
+        match (was, part) {
+            (None, Some(_)) => h.num_fixed += 1,
+            (Some(_), None) => h.num_fixed -= 1,
+            _ => {}
+        }
+        h
+    }
+
+    /// Checks internal consistency (CSR offsets monotone, ids in range, the
+    /// two CSR directions agree). Intended for tests and debug assertions;
+    /// returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        let m = self.num_nets();
+        if self.net_pin_offsets.len() != m + 1 {
+            return Err("net offset array has wrong length".into());
+        }
+        if self.vertex_net_offsets.len() != n + 1 {
+            return Err("vertex offset array has wrong length".into());
+        }
+        for w in self.net_pin_offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("net offsets not monotone".into());
+            }
+        }
+        for w in self.vertex_net_offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("vertex offsets not monotone".into());
+            }
+        }
+        for &v in &self.net_pin_list {
+            if v.index() >= n {
+                return Err(format!("pin references out-of-range vertex {v:?}"));
+            }
+        }
+        // Cross-check: v appears in net_pins(e) iff e appears in vertex_nets(v).
+        let mut pin_pairs: Vec<(u32, u32)> = Vec::with_capacity(self.num_pins());
+        for e in self.nets() {
+            for &v in self.net_pins(e) {
+                pin_pairs.push((v.raw(), e.raw()));
+            }
+        }
+        let mut inv_pairs: Vec<(u32, u32)> = Vec::with_capacity(self.num_pins());
+        for v in self.vertices() {
+            for &e in self.vertex_nets(v) {
+                inv_pairs.push((v.raw(), e.raw()));
+            }
+        }
+        pin_pairs.sort_unstable();
+        inv_pairs.sort_unstable();
+        if pin_pairs != inv_pairs {
+            return Err("forward and inverse CSR disagree".into());
+        }
+        let expected_total: u64 = self.vertex_weights.iter().sum();
+        if expected_total != self.total_vertex_weight {
+            return Err("cached total vertex weight is stale".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HypergraphBuilder, NetId, PartId, VertexId};
+
+    fn tiny() -> crate::Hypergraph {
+        // v0 --e0-- v1 --e1-- v2 ; e2 = {v0, v1, v2}
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        let v1 = b.add_vertex(2);
+        let v2 = b.add_vertex(3);
+        b.add_net([v0, v1], 1).unwrap();
+        b.add_net([v1, v2], 5).unwrap();
+        b.add_net([v0, v1, v2], 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let h = tiny();
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_nets(), 3);
+        assert_eq!(h.num_pins(), 7);
+        assert_eq!(h.total_vertex_weight(), 6);
+        assert_eq!(h.vertex_weight(VertexId::new(2)), 3);
+        assert_eq!(h.net_weight(NetId::new(1)), 5);
+        assert_eq!(h.net_size(NetId::new(2)), 3);
+        assert_eq!(h.vertex_degree(VertexId::new(1)), 3);
+        assert_eq!(h.max_net_size(), 3);
+        assert_eq!(h.max_vertex_degree(), 3);
+        assert_eq!(h.max_vertex_weight(), 3);
+        assert!(!h.is_unit_area());
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn inverse_csr_matches_forward() {
+        let h = tiny();
+        let nets_of_v1: Vec<u32> = h
+            .vertex_nets(VertexId::new(1))
+            .iter()
+            .map(|e| e.raw())
+            .collect();
+        let mut sorted = nets_of_v1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn max_gain_bound_is_weighted_degree() {
+        let h = tiny();
+        // v1 touches nets of weight 1, 5, 1 -> bound 7.
+        assert_eq!(h.max_gain_bound(), 7);
+    }
+
+    #[test]
+    fn unit_area_conversion() {
+        let h = tiny().to_unit_area();
+        assert!(h.is_unit_area());
+        assert_eq!(h.total_vertex_weight(), 3);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn fixed_vertices() {
+        let h = tiny();
+        assert_eq!(h.num_fixed(), 0);
+        let h = h.with_fixed(VertexId::new(0), Some(PartId::P1));
+        assert_eq!(h.num_fixed(), 1);
+        assert!(h.is_fixed(VertexId::new(0)));
+        assert_eq!(h.fixed_part(VertexId::new(0)), Some(PartId::P1));
+        let h = h.with_fixed(VertexId::new(0), None);
+        assert_eq!(h.num_fixed(), 0);
+    }
+
+    #[test]
+    fn with_name_renames() {
+        let h = tiny().with_name("tiny3");
+        assert_eq!(h.name(), "tiny3");
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let h = HypergraphBuilder::new().build().unwrap();
+        assert_eq!(h.num_vertices(), 0);
+        assert_eq!(h.num_nets(), 0);
+        assert_eq!(h.max_gain_bound(), 0);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let h = tiny();
+        assert_eq!(h.vertices().count(), 3);
+        assert_eq!(h.nets().count(), 3);
+        let total_pins: usize = h.nets().map(|e| h.net_pins(e).len()).sum();
+        assert_eq!(total_pins, h.num_pins());
+    }
+}

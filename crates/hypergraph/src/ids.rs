@@ -1,0 +1,186 @@
+//! Strongly typed identifiers for vertices, nets, and partitions.
+//!
+//! These are thin `u32`-backed newtypes. The extra type safety prevents the
+//! classic bug family where a net index is used to index a vertex array —
+//! while `index()` keeps hot loops free of conversion noise.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $letter:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw `u32` index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Creates an id from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `raw` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(raw: usize) -> Self {
+                Self(u32::try_from(raw).expect("id overflows u32"))
+            }
+
+            /// Returns the raw index as `usize`, suitable for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw index as `u32`.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($letter, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a vertex (cell / module) in a [`crate::Hypergraph`].
+    VertexId,
+    "v"
+);
+
+id_type!(
+    /// Identifier of a net (hyperedge) in a [`crate::Hypergraph`].
+    NetId,
+    "e"
+);
+
+/// Identifier of one side of a bipartitioning: partition 0 or partition 1.
+///
+/// The engines in this workspace are 2-way partitioners (the paper addresses
+/// only FM-based 2-way partitioning), so the partition id is a dedicated
+/// two-valued type rather than a general integer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum PartId {
+    /// Partition 0 (by convention the "left" side).
+    #[default]
+    P0,
+    /// Partition 1 (by convention the "right" side).
+    P1,
+}
+
+impl PartId {
+    /// Both partitions, in order.
+    pub const ALL: [PartId; 2] = [PartId::P0, PartId::P1];
+
+    /// Returns the opposite partition.
+    ///
+    /// ```
+    /// use hypart_hypergraph::PartId;
+    /// assert_eq!(PartId::P0.other(), PartId::P1);
+    /// assert_eq!(PartId::P1.other(), PartId::P0);
+    /// ```
+    #[inline]
+    pub const fn other(self) -> PartId {
+        match self {
+            PartId::P0 => PartId::P1,
+            PartId::P1 => PartId::P0,
+        }
+    }
+
+    /// Returns 0 for `P0` and 1 for `P1`, suitable for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            PartId::P0 => 0,
+            PartId::P1 => 1,
+        }
+    }
+
+    /// Builds a `PartId` from an index.
+    ///
+    /// Returns `None` if `index > 1`.
+    #[inline]
+    pub const fn from_index(index: usize) -> Option<PartId> {
+        match index {
+            0 => Some(PartId::P0),
+            1 => Some(PartId::P1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PartId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_round_trip() {
+        let v = VertexId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(VertexId::from_index(42), v);
+        assert_eq!(usize::from(v), 42);
+    }
+
+    #[test]
+    fn net_id_debug_format() {
+        assert_eq!(format!("{:?}", NetId::new(7)), "e7");
+        assert_eq!(format!("{:?}", VertexId::new(7)), "v7");
+        assert_eq!(format!("{}", NetId::new(7)), "7");
+    }
+
+    #[test]
+    fn part_id_other_is_involution() {
+        for p in PartId::ALL {
+            assert_eq!(p.other().other(), p);
+            assert_ne!(p.other(), p);
+        }
+    }
+
+    #[test]
+    fn part_id_index_round_trip() {
+        assert_eq!(PartId::from_index(0), Some(PartId::P0));
+        assert_eq!(PartId::from_index(1), Some(PartId::P1));
+        assert_eq!(PartId::from_index(2), None);
+        assert_eq!(PartId::P1.index(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflows u32")]
+    fn from_index_overflow_panics() {
+        let _ = VertexId::from_index(usize::MAX);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert!(NetId::new(0) < NetId::new(100));
+    }
+}

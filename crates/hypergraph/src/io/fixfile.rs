@@ -1,0 +1,181 @@
+//! hMETIS-style fix files: one line per vertex, the partition the vertex
+//! is fixed in (`0` / `1`) or `-1` for free vertices.
+//!
+//! hMETIS consumes these alongside `.hgr` files to express the fixed
+//! terminals that top-down placement produces; the pair
+//! ([`hgr`](super::hgr), `fixfile`) round-trips everything our
+//! [`Hypergraph`] carries.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use crate::error::ParseError;
+use crate::{Hypergraph, PartId};
+
+/// Reads a fix file: entry `i` is `Some(part)` if vertex `i` is fixed.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on I/O failure or a token other than `-1`,
+/// `0`, or `1`.
+pub fn read<R: std::io::Read>(reader: R) -> Result<Vec<Option<PartId>>, ParseError> {
+    let reader = BufReader::new(reader);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let entry = match t {
+            "-1" => None,
+            "0" => Some(PartId::P0),
+            "1" => Some(PartId::P1),
+            other => {
+                return Err(ParseError::syntax(
+                    line_no,
+                    format!("`{other}` is not -1, 0, or 1"),
+                ))
+            }
+        };
+        out.push(entry);
+    }
+    Ok(out)
+}
+
+/// Reads a fix file from `path`.
+///
+/// # Errors
+///
+/// See [`read`].
+pub fn read_path(path: impl AsRef<Path>) -> Result<Vec<Option<PartId>>, ParseError> {
+    read(std::fs::File::open(path)?)
+}
+
+/// Writes the fixed-vertex assignments of `h` as a fix file.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write<W: Write>(h: &Hypergraph, mut writer: W) -> std::io::Result<()> {
+    for v in h.vertices() {
+        match h.fixed_part(v) {
+            None => writeln!(writer, "-1")?,
+            Some(p) => writeln!(writer, "{}", p.index())?,
+        }
+    }
+    Ok(())
+}
+
+/// Writes the fix file for `h` to `path`.
+///
+/// # Errors
+///
+/// See [`write()`].
+pub fn write_path(h: &Hypergraph, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write(h, std::io::BufWriter::new(file))
+}
+
+/// Applies fix-file entries to a copy of `h`.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Syntax`] (line 0) if the entry count does not
+/// match the vertex count.
+pub fn apply(h: &Hypergraph, fixes: &[Option<PartId>]) -> Result<Hypergraph, ParseError> {
+    if fixes.len() != h.num_vertices() {
+        return Err(ParseError::syntax(
+            0,
+            format!(
+                "fix file has {} entries but hypergraph has {} vertices",
+                fixes.len(),
+                h.num_vertices()
+            ),
+        ));
+    }
+    let mut out = h.clone();
+    for (i, &fix) in fixes.iter().enumerate() {
+        out = out.with_fixed(crate::VertexId::from_index(i), fix);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HypergraphBuilder, VertexId};
+
+    fn sample() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex(1)).collect();
+        b.add_net([v[0], v[1]], 1).unwrap();
+        b.add_net([v[2], v[3]], 1).unwrap();
+        b.fix_vertex(v[1], PartId::P0);
+        b.fix_vertex(v[3], PartId::P1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = sample();
+        let mut buf = Vec::new();
+        write(&h, &mut buf).unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf), "-1\n0\n-1\n1\n");
+        let fixes = read(&buf[..]).unwrap();
+        assert_eq!(
+            fixes,
+            vec![None, Some(PartId::P0), None, Some(PartId::P1)]
+        );
+    }
+
+    #[test]
+    fn apply_transfers_fixes() {
+        let h = sample();
+        let mut free = HypergraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| free.add_vertex(1)).collect();
+        free.add_net([v[0], v[1]], 1).unwrap();
+        free.add_net([v[2], v[3]], 1).unwrap();
+        let free = free.build().unwrap();
+        assert_eq!(free.num_fixed(), 0);
+
+        let mut buf = Vec::new();
+        write(&h, &mut buf).unwrap();
+        let fixes = read(&buf[..]).unwrap();
+        let fixed = apply(&free, &fixes).unwrap();
+        assert_eq!(fixed.num_fixed(), 2);
+        assert_eq!(fixed.fixed_part(VertexId::new(3)), Some(PartId::P1));
+    }
+
+    #[test]
+    fn bad_token_rejected() {
+        assert!(read("2\n".as_bytes()).is_err());
+        assert!(read("x\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let h = sample();
+        let err = apply(&h, &[None]).unwrap_err();
+        assert!(err.to_string().contains("1 entries"), "{err}");
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let fixes = read("% header\n-1\n1\n".as_bytes()).unwrap();
+        assert_eq!(fixes, vec![None, Some(PartId::P1)]);
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let h = sample();
+        let dir = std::env::temp_dir().join("hypart_fix_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.fix");
+        write_path(&h, &path).unwrap();
+        let fixes = read_path(&path).unwrap();
+        assert_eq!(fixes.len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,375 @@
+//! hMETIS `.hgr` format.
+//!
+//! Layout (all indices 1-based, `%` starts a comment line):
+//!
+//! ```text
+//! <num_nets> <num_vertices> [fmt]
+//! [net-weight] v1 v2 ...        (one line per net)
+//! [vertex-weight]               (one line per vertex, if fmt has 10-bit)
+//! ```
+//!
+//! `fmt` is omitted or one of `1` (net weights), `10` (vertex weights),
+//! `11` (both) — exactly as in the hMETIS user manual.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use crate::error::ParseError;
+use crate::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// Which weights an `.hgr` file carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HgrFormat {
+    /// No weights: all nets and vertices weight 1.
+    #[default]
+    Plain,
+    /// Net weights only (`fmt = 1`).
+    NetWeights,
+    /// Vertex weights only (`fmt = 10`).
+    VertexWeights,
+    /// Both net and vertex weights (`fmt = 11`).
+    BothWeights,
+}
+
+impl HgrFormat {
+    fn has_net_weights(self) -> bool {
+        matches!(self, HgrFormat::NetWeights | HgrFormat::BothWeights)
+    }
+    fn has_vertex_weights(self) -> bool {
+        matches!(self, HgrFormat::VertexWeights | HgrFormat::BothWeights)
+    }
+    fn code(self) -> Option<u32> {
+        match self {
+            HgrFormat::Plain => None,
+            HgrFormat::NetWeights => Some(1),
+            HgrFormat::VertexWeights => Some(10),
+            HgrFormat::BothWeights => Some(11),
+        }
+    }
+    fn from_code(code: u32, line: usize) -> Result<Self, ParseError> {
+        match code {
+            1 => Ok(HgrFormat::NetWeights),
+            10 => Ok(HgrFormat::VertexWeights),
+            11 => Ok(HgrFormat::BothWeights),
+            other => Err(ParseError::syntax(
+                line,
+                format!("unknown hgr fmt code {other} (expected 1, 10, or 11)"),
+            )),
+        }
+    }
+}
+
+/// Parses a hypergraph from `.hgr` text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on I/O failure, malformed syntax, out-of-range
+/// vertex references, or a net/vertex count mismatch.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "3 4\n1 2\n2 3 4\n1 4\n";
+/// let h = hypart_hypergraph::io::hgr::read(text.as_bytes())?;
+/// assert_eq!(h.num_nets(), 3);
+/// assert_eq!(h.num_vertices(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read<R: std::io::Read>(reader: R) -> Result<Hypergraph, ParseError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    let (header_line_no, header) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break (i + 1, line);
+            }
+            None => return Err(ParseError::syntax(1, "empty file: missing header")),
+        }
+    };
+
+    let mut it = header.split_whitespace();
+    let num_nets: usize = parse_field(it.next(), header_line_no, "net count")?;
+    let num_vertices: usize = parse_field(it.next(), header_line_no, "vertex count")?;
+    let fmt = match it.next() {
+        None => HgrFormat::Plain,
+        Some(tok) => {
+            let code: u32 = tok
+                .parse()
+                .map_err(|_| ParseError::syntax(header_line_no, "fmt field is not an integer"))?;
+            HgrFormat::from_code(code, header_line_no)?
+        }
+    };
+    if it.next().is_some() {
+        return Err(ParseError::syntax(
+            header_line_no,
+            "trailing tokens after header",
+        ));
+    }
+
+    let mut builder = HypergraphBuilder::with_capacity(num_vertices, num_nets);
+    // Vertex weights are read after the nets; add unit placeholders now and
+    // rebuild at the end if the file carries vertex weights.
+    builder.add_vertices(num_vertices, 1);
+
+    let mut nets: Vec<(Vec<VertexId>, u32)> = Vec::with_capacity(num_nets);
+    let mut nets_read = 0usize;
+    let mut vertex_weights: Vec<u64> = Vec::new();
+
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        if nets_read < num_nets {
+            let mut toks = t.split_whitespace();
+            let weight: u32 = if fmt.has_net_weights() {
+                parse_field(toks.next(), line_no, "net weight")?
+            } else {
+                1
+            };
+            let mut pins = Vec::new();
+            for tok in toks {
+                let one_based: usize = tok.parse().map_err(|_| {
+                    ParseError::syntax(line_no, format!("pin `{tok}` is not an integer"))
+                })?;
+                if one_based == 0 || one_based > num_vertices {
+                    return Err(ParseError::syntax(
+                        line_no,
+                        format!("pin {one_based} out of range 1..={num_vertices}"),
+                    ));
+                }
+                pins.push(VertexId::from_index(one_based - 1));
+            }
+            if pins.is_empty() {
+                return Err(ParseError::syntax(line_no, "net line has no pins"));
+            }
+            nets.push((pins, weight));
+            nets_read += 1;
+        } else if fmt.has_vertex_weights() && vertex_weights.len() < num_vertices {
+            let w: u64 = t.parse().map_err(|_| {
+                ParseError::syntax(line_no, format!("vertex weight `{t}` is not an integer"))
+            })?;
+            vertex_weights.push(w);
+        } else {
+            return Err(ParseError::syntax(line_no, "unexpected trailing content"));
+        }
+    }
+
+    if nets_read != num_nets {
+        return Err(ParseError::syntax(
+            0,
+            format!("header promised {num_nets} nets but file contains {nets_read}"),
+        ));
+    }
+    if fmt.has_vertex_weights() && vertex_weights.len() != num_vertices {
+        return Err(ParseError::syntax(
+            0,
+            format!(
+                "header promised {} vertex weights but file contains {}",
+                num_vertices,
+                vertex_weights.len()
+            ),
+        ));
+    }
+
+    let mut builder = if fmt.has_vertex_weights() {
+        let mut b = HypergraphBuilder::with_capacity(num_vertices, num_nets);
+        for &w in &vertex_weights {
+            b.add_vertex(w);
+        }
+        b
+    } else {
+        builder
+    };
+    for (pins, w) in nets {
+        builder.add_net(pins, w)?;
+    }
+    Ok(builder.build()?)
+}
+
+/// Reads an `.hgr` file from `path`.
+///
+/// # Errors
+///
+/// See [`read`].
+pub fn read_path(path: impl AsRef<Path>) -> Result<Hypergraph, ParseError> {
+    let file = std::fs::File::open(path)?;
+    read(file)
+}
+
+/// Writes `h` in `.hgr` format. Weights are emitted only when any differ
+/// from 1, choosing the minimal `fmt` code.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write<W: Write>(h: &Hypergraph, mut writer: W) -> std::io::Result<()> {
+    let net_weighted = h.nets().any(|e| h.net_weight(e) != 1);
+    let vertex_weighted = !h.is_unit_area();
+    let fmt = match (net_weighted, vertex_weighted) {
+        (false, false) => HgrFormat::Plain,
+        (true, false) => HgrFormat::NetWeights,
+        (false, true) => HgrFormat::VertexWeights,
+        (true, true) => HgrFormat::BothWeights,
+    };
+    match fmt.code() {
+        None => writeln!(writer, "{} {}", h.num_nets(), h.num_vertices())?,
+        Some(code) => writeln!(writer, "{} {} {}", h.num_nets(), h.num_vertices(), code)?,
+    }
+    let mut line = String::new();
+    for e in h.nets() {
+        line.clear();
+        if fmt.has_net_weights() {
+            line.push_str(&h.net_weight(e).to_string());
+        }
+        for &v in h.net_pins(e) {
+            if !line.is_empty() {
+                line.push(' ');
+            }
+            line.push_str(&(v.index() + 1).to_string());
+        }
+        writeln!(writer, "{line}")?;
+    }
+    if fmt.has_vertex_weights() {
+        for v in h.vertices() {
+            writeln!(writer, "{}", h.vertex_weight(v))?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes `h` to an `.hgr` file at `path`.
+///
+/// # Errors
+///
+/// See [`write()`].
+pub fn write_path(h: &Hypergraph, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut buf = std::io::BufWriter::new(file);
+    write(h, &mut buf)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    tok: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    tok.ok_or_else(|| ParseError::syntax(line, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ParseError::syntax(line, format!("{what} is not a valid integer")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+
+    fn weighted_sample() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = [3u64, 1, 1, 7].iter().map(|&w| b.add_vertex(w)).collect();
+        b.add_net([v[0], v[1]], 2).unwrap();
+        b.add_net([v[1], v[2], v[3]], 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn plain_round_trip() {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex(1)).collect();
+        b.add_net([v[0], v[1]], 1).unwrap();
+        b.add_net([v[1], v[2], v[3]], 1).unwrap();
+        let h = b.build().unwrap();
+
+        let mut buf = Vec::new();
+        write(&h, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("2 4\n"));
+        let h2 = read(&buf[..]).unwrap();
+        assert_eq!(h2.num_nets(), 2);
+        assert_eq!(h2.num_vertices(), 4);
+        assert_eq!(h2.net_pins(crate::NetId::new(1)).len(), 3);
+    }
+
+    #[test]
+    fn both_weights_round_trip() {
+        let h = weighted_sample();
+        let mut buf = Vec::new();
+        write(&h, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("2 4 11\n"), "got: {text}");
+        let h2 = read(&buf[..]).unwrap();
+        assert_eq!(h2.net_weight(crate::NetId::new(0)), 2);
+        assert_eq!(h2.vertex_weight(crate::VertexId::new(3)), 7);
+        assert_eq!(h2.total_vertex_weight(), h.total_vertex_weight());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "% a comment\n\n2 3\n% nets follow\n1 2\n\n2 3\n";
+        let h = read(text.as_bytes()).unwrap();
+        assert_eq!(h.num_nets(), 2);
+        assert_eq!(h.num_vertices(), 3);
+    }
+
+    #[test]
+    fn pin_out_of_range_is_reported_with_line() {
+        let text = "1 2\n1 5\n";
+        let err = read(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn missing_nets_is_an_error() {
+        let text = "3 4\n1 2\n";
+        let err = read(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("promised 3 nets"), "{err}");
+    }
+
+    #[test]
+    fn zero_pin_index_rejected() {
+        let text = "1 2\n0 1\n";
+        assert!(read(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn bad_fmt_code_rejected() {
+        let text = "1 2 7\n1 2\n";
+        let err = read(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown hgr fmt"), "{err}");
+    }
+
+    #[test]
+    fn net_weight_only_round_trip() {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..2).map(|_| b.add_vertex(1)).collect();
+        b.add_net([v[0], v[1]], 9).unwrap();
+        let h = b.build().unwrap();
+        let mut buf = Vec::new();
+        write(&h, &mut buf).unwrap();
+        assert!(String::from_utf8_lossy(&buf).starts_with("1 2 1\n"));
+        let h2 = read(&buf[..]).unwrap();
+        assert_eq!(h2.net_weight(crate::NetId::new(0)), 9);
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let h = weighted_sample();
+        let dir = std::env::temp_dir().join("hypart_hgr_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.hgr");
+        write_path(&h, &path).unwrap();
+        let h2 = read_path(&path).unwrap();
+        assert_eq!(h2.num_pins(), h.num_pins());
+        std::fs::remove_file(&path).ok();
+    }
+}

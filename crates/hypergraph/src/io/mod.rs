@@ -1,0 +1,19 @@
+//! Reading and writing hypergraphs and partitionings in the interchange
+//! formats used by the VLSI partitioning community.
+//!
+//! * [`hgr`] — the hMETIS plain-text hypergraph format (`.hgr`), with
+//!   optional net and vertex weights.
+//! * [`netd`] — a simplified ISPD98 `netD`-style netlist format with cell
+//!   areas and pad (fixed-terminal) records.
+//! * [`partfile`] — one-partition-id-per-line solution files, as consumed by
+//!   downstream placement flows and external evaluators.
+//! * [`fixfile`] — hMETIS-style fixed-vertex files (`-1` / `0` / `1` per
+//!   vertex), pairing with `.hgr` to express fixed terminals.
+//!
+//! All readers work on any [`std::io::BufRead`]; all writers on any
+//! [`std::io::Write`]; path-based convenience wrappers are provided.
+
+pub mod fixfile;
+pub mod hgr;
+pub mod netd;
+pub mod partfile;

@@ -1,0 +1,102 @@
+//! Partition solution files: one partition id (0 or 1) per line, line `i`
+//! giving the partition of vertex `i` — the format hMETIS emits and
+//! placement flows consume.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use crate::error::ParseError;
+use crate::PartId;
+
+/// Reads a partition assignment (one id per line).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on I/O failure or if a line is not `0` or `1`.
+pub fn read<R: std::io::Read>(reader: R) -> Result<Vec<PartId>, ParseError> {
+    let reader = BufReader::new(reader);
+    let mut parts = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let idx: usize = t
+            .parse()
+            .map_err(|_| ParseError::syntax(line_no, format!("`{t}` is not a partition id")))?;
+        let part = PartId::from_index(idx)
+            .ok_or_else(|| ParseError::syntax(line_no, format!("partition {idx} is not 0 or 1")))?;
+        parts.push(part);
+    }
+    Ok(parts)
+}
+
+/// Reads a partition file from `path`.
+///
+/// # Errors
+///
+/// See [`read`].
+pub fn read_path(path: impl AsRef<Path>) -> Result<Vec<PartId>, ParseError> {
+    read(std::fs::File::open(path)?)
+}
+
+/// Writes a partition assignment, one id per line.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write<W: Write>(parts: &[PartId], mut writer: W) -> std::io::Result<()> {
+    for p in parts {
+        writeln!(writer, "{}", p.index())?;
+    }
+    Ok(())
+}
+
+/// Writes a partition assignment to `path`.
+///
+/// # Errors
+///
+/// See [`write()`].
+pub fn write_path(parts: &[PartId], path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write(parts, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let parts = vec![PartId::P0, PartId::P1, PartId::P1, PartId::P0];
+        let mut buf = Vec::new();
+        write(&parts, &mut buf).unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf), "0\n1\n1\n0\n");
+        assert_eq!(read(&buf[..]).unwrap(), parts);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "% solution\n0\n\n1\n";
+        assert_eq!(read(text.as_bytes()).unwrap(), vec![PartId::P0, PartId::P1]);
+    }
+
+    #[test]
+    fn invalid_id_rejected() {
+        assert!(read("2\n".as_bytes()).is_err());
+        assert!(read("x\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let parts = vec![PartId::P1, PartId::P0];
+        let dir = std::env::temp_dir().join("hypart_part_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sol.part");
+        write_path(&parts, &path).unwrap();
+        assert_eq!(read_path(&path).unwrap(), parts);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,456 @@
+//! Hypergraph coarsening: FirstChoice / heavy-edge clustering.
+//!
+//! Connectivity between two vertices is the hMetis weight
+//! `Σ_{e ∋ u,v} w(e) / (|e| − 1)` over shared nets. Vertices are visited in
+//! random order; each unmatched vertex joins the most strongly connected
+//! candidate subject to a cluster-weight cap. The coarse hypergraph
+//! collapses duplicate pins, drops single-pin nets, and merges identical
+//! nets (summing weights).
+//!
+//! Fixed vertices only cluster with free vertices or vertices fixed in the
+//! same partition; the cluster inherits the fixed side. Restricted
+//! coarsening (for V-cycles) additionally forbids clustering across the
+//! current partition boundary.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use hypart_hypergraph::{Hypergraph, HypergraphBuilder, NetId, PartId, VertexId};
+
+/// Matching scheme used by [`coarsen_once`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum CoarsenScheme {
+    /// FirstChoice: an unmatched vertex may join an already-formed cluster
+    /// (hMetis's default; shrinks faster on sparse netlists).
+    #[default]
+    FirstChoice,
+    /// Heavy-edge matching: only pairs of unmatched vertices merge.
+    HeavyEdge,
+}
+
+/// Parameters of the coarsening process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoarsenConfig {
+    /// Matching scheme.
+    pub scheme: CoarsenScheme,
+    /// Stop coarsening when at most this many vertices remain.
+    pub stop_size: usize,
+    /// A level must shrink below this fraction of the previous vertex
+    /// count to be kept; otherwise coarsening stops (guards against
+    /// stalls).
+    pub shrink_threshold: f64,
+    /// Nets larger than this are ignored during connectivity computation
+    /// (clock-like nets carry no clustering signal and cost O(size²)).
+    pub max_net_size_for_matching: usize,
+    /// Cluster weight cap as a multiple of the current level's average
+    /// vertex weight: a cluster may not exceed
+    /// `cluster_cap_multiple × total_weight / |V|` (but a single vertex
+    /// heavier than that still forms its own singleton cluster). Keeps the
+    /// per-level shrink factor in the healthy 2–4× range.
+    pub cluster_cap_multiple: f64,
+}
+
+impl Default for CoarsenConfig {
+    fn default() -> Self {
+        CoarsenConfig {
+            scheme: CoarsenScheme::FirstChoice,
+            stop_size: 120,
+            shrink_threshold: 0.95,
+            max_net_size_for_matching: 300,
+            cluster_cap_multiple: 6.0,
+        }
+    }
+}
+
+/// One coarsening level: the coarse hypergraph plus the fine→coarse vertex
+/// map.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    /// The coarse hypergraph.
+    pub graph: Hypergraph,
+    /// `map[fine_vertex] = coarse_vertex`.
+    pub map: Vec<VertexId>,
+}
+
+impl CoarseLevel {
+    /// Projects a coarse assignment back to the fine level.
+    pub fn project(&self, coarse_assignment: &[PartId]) -> Vec<PartId> {
+        self.map
+            .iter()
+            .map(|cv| coarse_assignment[cv.index()])
+            .collect()
+    }
+}
+
+/// Performs one coarsening step on `h`. Returns `None` if the result would
+/// not shrink below `config.shrink_threshold` of the input size (coarsening
+/// has stalled) or if `h` is already at or below `config.stop_size`.
+///
+/// `restrict`: when `Some(assignment)`, vertices may only cluster with
+/// vertices on the same side (restricted coarsening for V-cycles).
+pub fn coarsen_once<R: Rng>(
+    h: &Hypergraph,
+    config: &CoarsenConfig,
+    restrict: Option<&[PartId]>,
+    rng: &mut R,
+) -> Option<CoarseLevel> {
+    let n = h.num_vertices();
+    if n <= config.stop_size {
+        return None;
+    }
+    if let Some(r) = restrict {
+        assert_eq!(r.len(), n, "restriction assignment length mismatch");
+    }
+    let avg_weight = h.total_vertex_weight() as f64 / n as f64;
+    let cap = ((avg_weight * config.cluster_cap_multiple) as u64)
+        .max(h.max_vertex_weight())
+        .max(1);
+
+    const UNMATCHED: u32 = u32::MAX;
+    let mut cluster_of = vec![UNMATCHED; n];
+    let mut cluster_weight: Vec<u64> = Vec::new();
+    let mut cluster_fixed: Vec<Option<PartId>> = Vec::new();
+    let mut cluster_side: Vec<Option<PartId>> = Vec::new(); // for restricted mode
+    let mut num_clusters = 0u32;
+
+    let mut order: Vec<VertexId> = h.vertices().collect();
+    order.shuffle(rng);
+
+    // Scratch: connectivity accumulation per candidate cluster/vertex.
+    let mut conn: HashMap<u32, f64> = HashMap::new();
+
+    for &v in &order {
+        if cluster_of[v.index()] != UNMATCHED {
+            continue;
+        }
+        let v_fixed = h.fixed_part(v);
+        let v_side = restrict.map(|r| r[v.index()]);
+        let v_weight = h.vertex_weight(v);
+        conn.clear();
+        for &e in h.vertex_nets(v) {
+            let size = h.net_size(e);
+            if size < 2 || size > config.max_net_size_for_matching {
+                continue;
+            }
+            let score = f64::from(h.net_weight(e)) / (size - 1) as f64;
+            for &u in h.net_pins(e) {
+                if u == v {
+                    continue;
+                }
+                let target = match (config.scheme, cluster_of[u.index()]) {
+                    // FirstChoice may join u's existing cluster.
+                    (CoarsenScheme::FirstChoice, c) if c != UNMATCHED => c,
+                    // HeavyEdge only merges two unmatched vertices.
+                    (CoarsenScheme::HeavyEdge, c) if c != UNMATCHED => continue,
+                    // Unmatched vertex u: encode as cluster-to-be keyed by
+                    // the vertex id offset past the cluster id space.
+                    _ => u.raw() | (1 << 31),
+                };
+                *conn.entry(target).or_insert(0.0) += score;
+            }
+        }
+
+        // Pick the admissible candidate with the highest connectivity
+        // (deterministic tie-break on the raw key for reproducibility).
+        let mut best: Option<(u32, f64)> = None;
+        for (&key, &score) in conn.iter() {
+            let (target_weight, target_fixed, target_side) = if key & (1 << 31) != 0 {
+                let u = VertexId::new(key & !(1 << 31));
+                (
+                    h.vertex_weight(u),
+                    h.fixed_part(u),
+                    restrict.map(|r| r[u.index()]),
+                )
+            } else {
+                (
+                    cluster_weight[key as usize],
+                    cluster_fixed[key as usize],
+                    cluster_side[key as usize].map(Some).unwrap_or(None),
+                )
+            };
+            if v_weight + target_weight > cap {
+                continue;
+            }
+            if let (Some(a), Some(b)) = (v_fixed, target_fixed) {
+                if a != b {
+                    continue;
+                }
+            }
+            if restrict.is_some() && v_side != target_side {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bk, bs)) => {
+                    score > bs || (score == bs && key < bk)
+                }
+            };
+            if better {
+                best = Some((key, score));
+            }
+        }
+
+        match best {
+            Some((key, _)) if key & (1 << 31) != 0 => {
+                // Merge v with the unmatched vertex u into a new cluster.
+                let u = VertexId::new(key & !(1 << 31));
+                let c = num_clusters;
+                num_clusters += 1;
+                cluster_of[v.index()] = c;
+                cluster_of[u.index()] = c;
+                cluster_weight.push(v_weight + h.vertex_weight(u));
+                cluster_fixed.push(v_fixed.or(h.fixed_part(u)));
+                cluster_side.push(v_side);
+            }
+            Some((key, _)) => {
+                // Join v to the existing cluster `key`.
+                cluster_of[v.index()] = key;
+                cluster_weight[key as usize] += v_weight;
+                if cluster_fixed[key as usize].is_none() {
+                    cluster_fixed[key as usize] = v_fixed;
+                }
+            }
+            None => {
+                // v stays a singleton cluster.
+                let c = num_clusters;
+                num_clusters += 1;
+                cluster_of[v.index()] = c;
+                cluster_weight.push(v_weight);
+                cluster_fixed.push(v_fixed);
+                cluster_side.push(v_side);
+            }
+        }
+    }
+
+    let coarse_n = num_clusters as usize;
+    if (coarse_n as f64) > config.shrink_threshold * n as f64 {
+        return None;
+    }
+
+    // Build the coarse hypergraph.
+    let mut builder = HypergraphBuilder::with_capacity(coarse_n, h.num_nets());
+    for &w in cluster_weight.iter().take(coarse_n) {
+        builder.add_vertex(w);
+    }
+    for (c, fix) in cluster_fixed.iter().take(coarse_n).enumerate() {
+        if let Some(p) = fix {
+            builder.fix_vertex(VertexId::from_index(c), *p);
+        }
+    }
+    // Collapse nets: map pins, dedupe within net, drop single-pin nets,
+    // merge identical nets by summing weights.
+    let mut net_index: HashMap<Vec<u32>, NetId> = HashMap::new();
+    let mut merged: Vec<(Vec<u32>, u32)> = Vec::new();
+    let mut pin_scratch: Vec<u32> = Vec::new();
+    for e in h.nets() {
+        pin_scratch.clear();
+        for &v in h.net_pins(e) {
+            pin_scratch.push(cluster_of[v.index()]);
+        }
+        pin_scratch.sort_unstable();
+        pin_scratch.dedup();
+        if pin_scratch.len() < 2 {
+            continue;
+        }
+        match net_index.get(&pin_scratch) {
+            Some(&idx) => merged[idx.index()].1 += h.net_weight(e),
+            None => {
+                let idx = NetId::from_index(merged.len());
+                net_index.insert(pin_scratch.clone(), idx);
+                merged.push((pin_scratch.clone(), h.net_weight(e)));
+            }
+        }
+    }
+    for (pins, weight) in merged {
+        builder
+            .add_net(pins.into_iter().map(VertexId::new), weight)
+            .expect("coarse pins are valid");
+    }
+    let graph = builder
+        .name(format!("{}|c{}", h.name(), coarse_n))
+        .build()
+        .expect("coarse hypergraph is valid");
+    Some(CoarseLevel {
+        graph,
+        map: cluster_of.into_iter().map(VertexId::new).collect(),
+    })
+}
+
+/// Builds a full coarsening hierarchy: `levels[0]` coarsens the input,
+/// `levels[i]` coarsens `levels[i-1].graph`, until `stop_size` or a stall.
+pub fn build_hierarchy<R: Rng>(
+    h: &Hypergraph,
+    config: &CoarsenConfig,
+    restrict: Option<&[PartId]>,
+    rng: &mut R,
+) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut projected_restrict: Option<Vec<PartId>> = restrict.map(<[PartId]>::to_vec);
+    loop {
+        let current = levels.last().map_or(h, |l| &l.graph);
+        let Some(level) = coarsen_once(current, config, projected_restrict.as_deref(), rng)
+        else {
+            break;
+        };
+        if let Some(r) = &projected_restrict {
+            // Project the restriction to the coarse level: every fine vertex
+            // of a cluster is on the same side by construction.
+            let mut coarse_r = vec![PartId::P0; level.graph.num_vertices()];
+            for (fine, coarse) in level.map.iter().enumerate() {
+                coarse_r[coarse.index()] = r[fine];
+            }
+            projected_restrict = Some(coarse_r);
+        }
+        levels.push(level);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypart_benchgen::toys::{grid, two_clusters};
+    use hypart_benchgen::{ispd98_like, mcnc_like};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn coarsening_preserves_total_weight() {
+        let h = ispd98_like(1, 0.03, 4);
+        let level = coarsen_once(&h, &CoarsenConfig::default(), None, &mut rng()).unwrap();
+        assert_eq!(
+            level.graph.total_vertex_weight(),
+            h.total_vertex_weight()
+        );
+        level.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn coarsening_shrinks() {
+        let h = mcnc_like(1000, 2);
+        let level = coarsen_once(&h, &CoarsenConfig::default(), None, &mut rng()).unwrap();
+        assert!(level.graph.num_vertices() < h.num_vertices());
+        assert!(level.graph.num_vertices() >= h.num_vertices() / 8);
+    }
+
+    #[test]
+    fn map_covers_all_coarse_vertices() {
+        let h = mcnc_like(500, 2);
+        let level = coarsen_once(&h, &CoarsenConfig::default(), None, &mut rng()).unwrap();
+        let mut seen = vec![false; level.graph.num_vertices()];
+        for cv in &level.map {
+            seen[cv.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every coarse vertex has members");
+    }
+
+    #[test]
+    fn small_graph_is_not_coarsened() {
+        let h = two_clusters(5, 1); // 10 vertices < stop_size
+        assert!(coarsen_once(&h, &CoarsenConfig::default(), None, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn hierarchy_reaches_stop_size() {
+        let h = mcnc_like(2000, 8);
+        let cfg = CoarsenConfig::default();
+        let levels = build_hierarchy(&h, &cfg, None, &mut rng());
+        assert!(!levels.is_empty());
+        let coarsest = &levels.last().unwrap().graph;
+        // Either small enough, or coarsening stalled above it — both legal;
+        // for mcnc-like instances it should comfortably reach stop size.
+        assert!(coarsest.num_vertices() <= cfg.stop_size * 3);
+    }
+
+    #[test]
+    fn heavy_edge_matches_only_pairs() {
+        let h = mcnc_like(600, 1);
+        let cfg = CoarsenConfig {
+            scheme: CoarsenScheme::HeavyEdge,
+            ..CoarsenConfig::default()
+        };
+        let level = coarsen_once(&h, &cfg, None, &mut rng()).unwrap();
+        // Pair matching can at best halve: coarse size >= n/2.
+        assert!(level.graph.num_vertices() >= h.num_vertices() / 2);
+        level.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn restricted_coarsening_never_crosses_the_cut() {
+        let h = grid(20, 20);
+        let assignment: Vec<PartId> = (0..400)
+            .map(|i| if i % 400 < 200 { PartId::P0 } else { PartId::P1 })
+            .collect();
+        let level =
+            coarsen_once(&h, &CoarsenConfig::default(), Some(&assignment), &mut rng()).unwrap();
+        // All fine vertices of one cluster must share a side.
+        let mut side_of_cluster: Vec<Option<PartId>> =
+            vec![None; level.graph.num_vertices()];
+        for (fine, coarse) in level.map.iter().enumerate() {
+            match side_of_cluster[coarse.index()] {
+                None => side_of_cluster[coarse.index()] = Some(assignment[fine]),
+                Some(s) => assert_eq!(s, assignment[fine], "cluster crosses the cut"),
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_vertices_propagate_and_never_conflict() {
+        use hypart_benchgen::with_pad_ring;
+        let h = with_pad_ring(&mcnc_like(400, 3), 40, 1);
+        let level = coarsen_once(&h, &CoarsenConfig::default(), None, &mut rng()).unwrap();
+        // Count fixed area per side before and after: must match.
+        let fixed_area = |g: &Hypergraph, p: PartId| -> u64 {
+            g.vertices()
+                .filter(|&v| g.fixed_part(v) == Some(p))
+                .map(|v| g.vertex_weight(v))
+                .sum()
+        };
+        // Each coarse fixed cluster contains at least the fixed fine area
+        // of its members; no cluster may contain fixed vertices of both
+        // sides (checked via the fine map).
+        let mut cluster_fix: Vec<Option<PartId>> = vec![None; level.graph.num_vertices()];
+        for v in h.vertices() {
+            if let Some(p) = h.fixed_part(v) {
+                let c = level.map[v.index()];
+                match cluster_fix[c.index()] {
+                    None => cluster_fix[c.index()] = Some(p),
+                    Some(q) => assert_eq!(p, q, "cluster mixes fixed sides"),
+                }
+            }
+        }
+        let _ = fixed_area(&h, PartId::P0);
+    }
+
+    #[test]
+    fn cluster_cap_is_respected() {
+        let h = ispd98_like(2, 0.02, 9);
+        let cfg = CoarsenConfig::default();
+        let avg = h.total_vertex_weight() as f64 / h.num_vertices() as f64;
+        let cap = ((avg * cfg.cluster_cap_multiple) as u64).max(h.max_vertex_weight());
+        let level = coarsen_once(&h, &cfg, None, &mut rng()).unwrap();
+        for v in level.graph.vertices() {
+            assert!(level.graph.vertex_weight(v) <= cap);
+        }
+    }
+
+    #[test]
+    fn coarse_nets_have_no_duplicates_or_singletons() {
+        let h = mcnc_like(800, 6);
+        let level = coarsen_once(&h, &CoarsenConfig::default(), None, &mut rng()).unwrap();
+        let g = &level.graph;
+        let mut seen = std::collections::HashSet::new();
+        for e in g.nets() {
+            assert!(g.net_size(e) >= 2);
+            let mut pins: Vec<u32> = g.net_pins(e).iter().map(|v| v.raw()).collect();
+            pins.sort_unstable();
+            assert!(seen.insert(pins), "duplicate coarse net");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Multi-start driver with V-cycling of the best result — the hMetis-1.5
+//! evaluation subject of the paper's Tables 4–5.
+//!
+//! "We run hMetis-1.5 using number of starts equal to 1, 2, 4, 8, 16 and
+//! 100 […] hMetis-1.5 will V-cycle the best result among these starts."
+//! [`multi_start`] reproduces that protocol: `nruns` independent seeded
+//! multilevel starts, then repeated V-cycles on the best until a cycle
+//! stops improving.
+
+use std::time::{Duration, Instant};
+
+use crate::partitioner::{MlOutcome, MlPartitioner};
+use hypart_core::BalanceConstraint;
+use hypart_hypergraph::{Hypergraph, PartId};
+
+/// Record of one independent start inside a multi-start run.
+#[derive(Clone, Debug)]
+pub struct StartRecord {
+    /// Seed used for the start.
+    pub seed: u64,
+    /// Cut the start achieved.
+    pub cut: u64,
+    /// Wall-clock time of the start.
+    pub elapsed: Duration,
+}
+
+/// Result of a multi-start + V-cycle run.
+#[derive(Clone, Debug)]
+pub struct MultiStartOutcome {
+    /// Best assignment after V-cycling.
+    pub assignment: Vec<PartId>,
+    /// Best cut after V-cycling.
+    pub cut: u64,
+    /// `true` if the final solution is balanced.
+    pub balanced: bool,
+    /// Per-start records, in seed order (before V-cycling).
+    pub starts: Vec<StartRecord>,
+    /// Number of V-cycles applied to the best start.
+    pub vcycles_applied: usize,
+    /// Total wall-clock time including V-cycling.
+    pub total_elapsed: Duration,
+}
+
+impl MultiStartOutcome {
+    /// Best cut among the independent starts (before V-cycling).
+    pub fn best_start_cut(&self) -> u64 {
+        self.starts.iter().map(|s| s.cut).min().unwrap_or(0)
+    }
+}
+
+/// Runs `nruns` independent multilevel starts (seeds `base_seed`,
+/// `base_seed + 1`, …), then V-cycles the best result until a V-cycle
+/// fails to improve the cut (at most `max_vcycles`).
+///
+/// # Panics
+///
+/// Panics if `nruns == 0`.
+pub fn multi_start(
+    partitioner: &MlPartitioner,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    nruns: usize,
+    base_seed: u64,
+    max_vcycles: usize,
+) -> MultiStartOutcome {
+    assert!(nruns >= 1, "multi_start needs at least one run");
+    let t0 = Instant::now();
+    let mut starts = Vec::with_capacity(nruns);
+    let mut best: Option<MlOutcome> = None;
+    for i in 0..nruns {
+        let seed = base_seed.wrapping_add(i as u64);
+        let t = Instant::now();
+        let out = partitioner.run(h, constraint, seed);
+        starts.push(StartRecord {
+            seed,
+            cut: out.cut,
+            elapsed: t.elapsed(),
+        });
+        let better = best.as_ref().is_none_or(|b| {
+            (!b.balanced && out.balanced) || (b.balanced == out.balanced && out.cut < b.cut)
+        });
+        if better {
+            best = Some(out);
+        }
+    }
+    let mut best = best.expect("nruns >= 1");
+
+    let mut vcycles_applied = 0usize;
+    for i in 0..max_vcycles {
+        let cycled = partitioner.vcycle(
+            h,
+            constraint,
+            &best.assignment,
+            base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64),
+        );
+        vcycles_applied += 1;
+        if cycled.cut < best.cut {
+            best = cycled;
+        } else {
+            break;
+        }
+    }
+
+    MultiStartOutcome {
+        assignment: best.assignment,
+        cut: best.cut,
+        balanced: best.balanced,
+        starts,
+        vcycles_applied,
+        total_elapsed: t0.elapsed(),
+    }
+}
+
+/// Parallel variant of [`multi_start`]: the independent starts run on up
+/// to `threads` OS threads (0 = one per available core). The result is
+/// **bitwise identical** to the sequential version for the same
+/// arguments — each start is a pure function of its seed, and the best is
+/// chosen by the same deterministic (balanced, cut, seed-order) rule —
+/// so parallelism changes wall-clock time only, never reported quality.
+/// Per-start wall times remain meaningful; `total_elapsed` reflects the
+/// parallel schedule.
+///
+/// # Panics
+///
+/// Panics if `nruns == 0`.
+pub fn multi_start_parallel(
+    partitioner: &MlPartitioner,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    nruns: usize,
+    base_seed: u64,
+    max_vcycles: usize,
+    threads: usize,
+) -> MultiStartOutcome {
+    assert!(nruns >= 1, "multi_start needs at least one run");
+    let t0 = Instant::now();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    }
+    .min(nruns)
+    .max(1);
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<(MlOutcome, StartRecord)>> = Vec::new();
+    slots.resize_with(nruns, || None);
+    let slot_cells: Vec<std::sync::Mutex<Option<(MlOutcome, StartRecord)>>> =
+        slots.into_iter().map(std::sync::Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= nruns {
+                    break;
+                }
+                let seed = base_seed.wrapping_add(i as u64);
+                let t = Instant::now();
+                let out = partitioner.run(h, constraint, seed);
+                let record = StartRecord {
+                    seed,
+                    cut: out.cut,
+                    elapsed: t.elapsed(),
+                };
+                *slot_cells[i].lock().expect("no poisoned slot") = Some((out, record));
+            });
+        }
+    });
+
+    let mut starts = Vec::with_capacity(nruns);
+    let mut best: Option<MlOutcome> = None;
+    for cell in slot_cells {
+        let (out, record) = cell
+            .into_inner()
+            .expect("no poisoned slot")
+            .expect("every slot filled");
+        starts.push(record);
+        let better = best.as_ref().is_none_or(|b| {
+            (!b.balanced && out.balanced) || (b.balanced == out.balanced && out.cut < b.cut)
+        });
+        if better {
+            best = Some(out);
+        }
+    }
+    let mut best = best.expect("nruns >= 1");
+
+    let mut vcycles_applied = 0usize;
+    for i in 0..max_vcycles {
+        let cycled = partitioner.vcycle(
+            h,
+            constraint,
+            &best.assignment,
+            base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64),
+        );
+        vcycles_applied += 1;
+        if cycled.cut < best.cut {
+            best = cycled;
+        } else {
+            break;
+        }
+    }
+
+    MultiStartOutcome {
+        assignment: best.assignment,
+        cut: best.cut,
+        balanced: best.balanced,
+        starts,
+        vcycles_applied,
+        total_elapsed: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::MlConfig;
+    use hypart_benchgen::mcnc_like;
+
+    #[test]
+    fn more_starts_never_hurt_best_cut() {
+        let h = mcnc_like(400, 2);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_lifo());
+        let one = multi_start(&ml, &h, &c, 1, 100, 0);
+        let four = multi_start(&ml, &h, &c, 4, 100, 0);
+        assert!(four.best_start_cut() <= one.best_start_cut());
+        assert_eq!(four.starts.len(), 4);
+    }
+
+    #[test]
+    fn vcycling_improves_or_keeps() {
+        let h = mcnc_like(500, 4);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_lifo());
+        let no_vc = multi_start(&ml, &h, &c, 2, 7, 0);
+        let vc = multi_start(&ml, &h, &c, 2, 7, 3);
+        assert!(vc.cut <= no_vc.cut);
+        assert!(vc.vcycles_applied >= 1);
+        assert_eq!(no_vc.vcycles_applied, 0);
+    }
+
+    #[test]
+    fn records_timing() {
+        let h = mcnc_like(200, 1);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_lifo());
+        let out = multi_start(&ml, &h, &c, 2, 0, 1);
+        assert!(out.total_elapsed >= out.starts.iter().map(|s| s.elapsed).sum());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let h = mcnc_like(400, 6);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_lifo());
+        let seq = multi_start(&ml, &h, &c, 6, 11, 2);
+        for threads in [1, 2, 4] {
+            let par = multi_start_parallel(&ml, &h, &c, 6, 11, 2, threads);
+            assert_eq!(par.cut, seq.cut, "threads={threads}");
+            assert_eq!(par.assignment, seq.assignment, "threads={threads}");
+            let seq_cuts: Vec<u64> = seq.starts.iter().map(|s| s.cut).collect();
+            let par_cuts: Vec<u64> = par.starts.iter().map(|s| s.cut).collect();
+            assert_eq!(seq_cuts, par_cuts, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_auto_thread_count_works() {
+        let h = mcnc_like(200, 3);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_lifo());
+        let out = multi_start_parallel(&ml, &h, &c, 3, 0, 0, 0);
+        assert_eq!(out.starts.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_panics() {
+        let h = mcnc_like(100, 1);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_lifo());
+        let _ = multi_start(&ml, &h, &c, 0, 0, 0);
+    }
+}

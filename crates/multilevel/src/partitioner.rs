@@ -1,0 +1,306 @@
+//! The multilevel partitioner: coarsen → initial partition → uncoarsen +
+//! refine, plus restricted-coarsening V-cycles.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coarsen::{build_hierarchy, CoarsenConfig};
+use hypart_core::{
+    generate_initial, BalanceConstraint, Bisection, FmConfig, FmPartitioner, InitialSolution,
+};
+use hypart_hypergraph::{Hypergraph, PartId};
+
+/// Configuration of the multilevel partitioner.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MlConfig {
+    /// Flat engine used for refinement at every level — ML LIFO vs ML CLIP
+    /// in the paper's Table 1 is exactly this knob.
+    pub refine: FmConfig,
+    /// Coarsening parameters.
+    pub coarsen: CoarsenConfig,
+    /// Number of seeded initial partitions tried on the coarsest graph
+    /// (best kept).
+    pub initial_tries: usize,
+}
+
+impl Default for MlConfig {
+    fn default() -> Self {
+        MlConfig {
+            refine: FmConfig::lifo(),
+            coarsen: CoarsenConfig::default(),
+            initial_tries: 10,
+        }
+    }
+}
+
+impl MlConfig {
+    /// ML LIFO: multilevel with the classic LIFO FM refinement engine.
+    pub fn ml_lifo() -> Self {
+        MlConfig::default()
+    }
+
+    /// ML CLIP: multilevel with the CLIP refinement engine.
+    pub fn ml_clip() -> Self {
+        MlConfig {
+            refine: FmConfig::clip(),
+            ..MlConfig::default()
+        }
+    }
+
+    /// Replaces the refinement engine configuration (builder-style).
+    pub fn with_refine(mut self, refine: FmConfig) -> Self {
+        self.refine = refine;
+        self
+    }
+}
+
+/// Result of one multilevel run.
+#[derive(Clone, Debug)]
+pub struct MlOutcome {
+    /// Final assignment on the input hypergraph.
+    pub assignment: Vec<PartId>,
+    /// Final weighted cut.
+    pub cut: u64,
+    /// `true` if the final solution satisfies the balance constraint.
+    pub balanced: bool,
+    /// Number of coarsening levels used.
+    pub levels: usize,
+    /// Corked passes observed across all refinement stages (corking
+    /// remains observable inside ML wrappers, per §2.2).
+    pub corked_passes: usize,
+    /// Total refinement passes across all levels.
+    pub total_passes: usize,
+}
+
+/// A multilevel 2-way partitioner (hMetis-style V-cycle refinement is
+/// available via [`vcycle`](MlPartitioner::vcycle)).
+#[derive(Clone, Debug)]
+pub struct MlPartitioner {
+    config: MlConfig,
+}
+
+impl MlPartitioner {
+    /// Creates a multilevel partitioner with the given configuration.
+    pub fn new(config: MlConfig) -> Self {
+        MlPartitioner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MlConfig {
+        &self.config
+    }
+
+    /// Runs one multilevel start on `h` from `seed`.
+    pub fn run(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> MlOutcome {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let levels = build_hierarchy(h, &self.config.coarsen, None, &mut rng);
+        let coarsest: &Hypergraph = levels.last().map_or(h, |l| &l.graph);
+
+        // Initial partitioning on the coarsest graph: several seeded
+        // greedy starts, each refined, best kept.
+        let initial = self.best_initial(coarsest, constraint, &mut rng);
+
+        self.uncoarsen(h, &levels, initial, constraint, &mut rng)
+    }
+
+    /// Applies one V-cycle to an existing solution: restricted coarsening
+    /// that never clusters across the cut, then uncoarsening with
+    /// refinement at every level starting from the projected solution.
+    pub fn vcycle(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        assignment: &[PartId],
+        seed: u64,
+    ) -> MlOutcome {
+        assert_eq!(
+            assignment.len(),
+            h.num_vertices(),
+            "assignment length mismatch"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let levels = build_hierarchy(h, &self.config.coarsen, Some(assignment), &mut rng);
+
+        // Project the current solution down the (restricted) hierarchy:
+        // every cluster is on one side by construction.
+        let mut coarse_assignment = assignment.to_vec();
+        for level in &levels {
+            let mut next = vec![PartId::P0; level.graph.num_vertices()];
+            for (fine, coarse) in level.map.iter().enumerate() {
+                next[coarse.index()] = coarse_assignment[fine];
+            }
+            coarse_assignment = next;
+        }
+
+        self.uncoarsen(h, &levels, coarse_assignment, constraint, &mut rng)
+    }
+
+    fn best_initial<R: Rng>(
+        &self,
+        coarsest: &Hypergraph,
+        constraint: &BalanceConstraint,
+        rng: &mut R,
+    ) -> Vec<PartId> {
+        let engine = FmPartitioner::new(self.config.refine);
+        let mut best: Option<(u64, u64, Vec<PartId>)> = None; // (violation, cut, parts)
+        for t in 0..self.config.initial_tries.max(1) {
+            let rule = if t % 2 == 0 {
+                InitialSolution::AreaSortedGreedy
+            } else {
+                InitialSolution::RandomBalanced
+            };
+            let parts = generate_initial(coarsest, rule, rng);
+            let mut bisection =
+                Bisection::new(coarsest, parts).expect("generated initial is valid");
+            engine.refine(&mut bisection, constraint, rng);
+            let score = (
+                constraint.total_violation(&bisection),
+                bisection.cut(),
+            );
+            if best
+                .as_ref()
+                .is_none_or(|(v, c, _)| score < (*v, *c))
+            {
+                best = Some((score.0, score.1, bisection.into_assignment()));
+            }
+        }
+        best.expect("at least one initial try").2
+    }
+
+    fn uncoarsen<R: Rng>(
+        &self,
+        h: &Hypergraph,
+        levels: &[crate::coarsen::CoarseLevel],
+        coarsest_assignment: Vec<PartId>,
+        constraint: &BalanceConstraint,
+        rng: &mut R,
+    ) -> MlOutcome {
+        let engine = FmPartitioner::new(self.config.refine);
+        let mut corked_passes = 0usize;
+        let mut total_passes = 0usize;
+        let mut assignment = coarsest_assignment;
+
+        // Refine at the coarsest level, then project and refine at each
+        // finer level down to the input graph.
+        for i in (0..=levels.len()).rev() {
+            let graph: &Hypergraph = if i == 0 {
+                h
+            } else {
+                &levels[i - 1].graph
+            };
+            if i < levels.len() {
+                assignment = levels[i].project(&assignment);
+            }
+            let mut bisection =
+                Bisection::new(graph, assignment).expect("projected assignment is valid");
+            let stats = engine.refine(&mut bisection, constraint, rng);
+            corked_passes += stats.corked_passes();
+            total_passes += stats.num_passes();
+            assignment = bisection.into_assignment();
+        }
+
+        let bisection = Bisection::new(h, assignment).expect("assignment is valid");
+        MlOutcome {
+            cut: bisection.cut(),
+            balanced: constraint.is_satisfied(&bisection),
+            levels: levels.len(),
+            corked_passes,
+            total_passes,
+            assignment: bisection.into_assignment(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypart_benchgen::toys::{grid, two_clusters};
+    use hypart_benchgen::{ispd98_like, mcnc_like};
+    use hypart_core::{FmConfig, FmPartitioner};
+
+    #[test]
+    fn finds_optimal_cut_on_clusters() {
+        let h = two_clusters(12, 3);
+        let c = BalanceConstraint::with_slack(h.total_vertex_weight(), 1);
+        let out = MlPartitioner::new(MlConfig::ml_lifo()).run(&h, &c, 3);
+        assert_eq!(out.cut, 3);
+        assert!(out.balanced);
+    }
+
+    #[test]
+    fn grid_cut_is_near_optimal() {
+        let h = grid(16, 16);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.1);
+        let out = MlPartitioner::new(MlConfig::ml_lifo()).run(&h, &c, 1);
+        assert!(out.balanced);
+        // Optimal straight cutline cuts 16; allow slack for heuristics.
+        assert!(out.cut <= 24, "cut {}", out.cut);
+    }
+
+    #[test]
+    fn multilevel_beats_flat_on_structured_instances() {
+        let h = ispd98_like(1, 0.04, 5);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let flat_avg: u64 = (0..3)
+            .map(|s| FmPartitioner::new(FmConfig::lifo()).run(&h, &c, s).cut)
+            .sum::<u64>()
+            / 3;
+        let ml_avg: u64 = (0..3)
+            .map(|s| MlPartitioner::new(MlConfig::ml_lifo()).run(&h, &c, s).cut)
+            .sum::<u64>()
+            / 3;
+        assert!(
+            ml_avg <= flat_avg,
+            "ML avg {ml_avg} should not exceed flat avg {flat_avg}"
+        );
+    }
+
+    #[test]
+    fn ml_clip_works_and_is_balanced() {
+        let h = ispd98_like(1, 0.03, 6);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let out = MlPartitioner::new(MlConfig::ml_clip()).run(&h, &c, 4);
+        assert!(out.balanced);
+        assert!(out.levels > 0);
+    }
+
+    #[test]
+    fn vcycle_never_worsens() {
+        let h = ispd98_like(1, 0.03, 8);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_lifo());
+        let first = ml.run(&h, &c, 2);
+        let cycled = ml.vcycle(&h, &c, &first.assignment, 77);
+        assert!(
+            cycled.cut <= first.cut,
+            "v-cycle worsened: {} -> {}",
+            first.cut,
+            cycled.cut
+        );
+        assert!(cycled.balanced);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let h = mcnc_like(600, 9);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_lifo());
+        let a = ml.run(&h, &c, 42);
+        let b = ml.run(&h, &c, 42);
+        assert_eq!(a.cut, b.cut);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn respects_fixed_vertices() {
+        use hypart_benchgen::with_pad_ring;
+        let h = with_pad_ring(&mcnc_like(400, 3), 20, 1);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let out = MlPartitioner::new(MlConfig::ml_lifo()).run(&h, &c, 0);
+        for v in h.vertices() {
+            if let Some(p) = h.fixed_part(v) {
+                assert_eq!(out.assignment[v.index()], p, "{v:?} moved off its pad");
+            }
+        }
+    }
+}

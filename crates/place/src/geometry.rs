@@ -1,0 +1,198 @@
+//! Placement geometry: points, rectangles, and per-cell coordinates.
+
+use hypart_hypergraph::VertexId;
+
+/// A 2-D point in placement coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+}
+
+/// An axis-aligned rectangle `[x0, x1] × [y0, y1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f64,
+    /// Bottom edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x1 < x0` or `y1 < y0`.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x1 >= x0 && y1 >= y0, "degenerate rectangle");
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// Width of the rectangle.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height of the rectangle.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// `true` if `p` is inside (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        (self.x0..=self.x1).contains(&p.x) && (self.y0..=self.y1).contains(&p.y)
+    }
+
+    /// Projects `p` onto the nearest point of this rectangle (identity if
+    /// inside) — the terminal-propagation projection of Dunlop–Kernighan.
+    pub fn project(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.x0, self.x1), p.y.clamp(self.y0, self.y1))
+    }
+
+    /// Splits vertically at fraction `f` of the width: returns (left,
+    /// right).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not in `[0, 1]`.
+    pub fn split_vertical(&self, f: f64) -> (Rect, Rect) {
+        assert!((0.0..=1.0).contains(&f), "split fraction out of range");
+        let xm = self.x0 + self.width() * f;
+        (
+            Rect::new(self.x0, self.y0, xm, self.y1),
+            Rect::new(xm, self.y0, self.x1, self.y1),
+        )
+    }
+
+    /// Splits horizontally at fraction `f` of the height: returns
+    /// (bottom, top).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not in `[0, 1]`.
+    pub fn split_horizontal(&self, f: f64) -> (Rect, Rect) {
+        assert!((0.0..=1.0).contains(&f), "split fraction out of range");
+        let ym = self.y0 + self.height() * f;
+        (
+            Rect::new(self.x0, self.y0, self.x1, ym),
+            Rect::new(self.x0, ym, self.x1, self.y1),
+        )
+    }
+}
+
+/// Per-cell coordinates: `positions[v]` is the location of vertex `v`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Placement {
+    positions: Vec<Point>,
+}
+
+impl Placement {
+    /// Creates a placement with all cells at the origin.
+    pub fn new(num_cells: usize) -> Self {
+        Placement {
+            positions: vec![Point::default(); num_cells],
+        }
+    }
+
+    /// Number of placed cells.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of vertex `v`.
+    #[inline]
+    pub fn position(&self, v: VertexId) -> Point {
+        self.positions[v.index()]
+    }
+
+    /// Sets the position of vertex `v`.
+    #[inline]
+    pub fn set_position(&mut self, v: VertexId, p: Point) {
+        self.positions[v.index()] = p;
+    }
+
+    /// Iterates over `(vertex, position)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, Point)> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (VertexId::from_index(i), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::new(0.0, 0.0, 10.0, 4.0);
+        assert_eq!(r.width(), 10.0);
+        assert_eq!(r.height(), 4.0);
+        assert_eq!(r.center(), Point::new(5.0, 2.0));
+        assert!(r.contains(Point::new(10.0, 4.0)));
+        assert!(!r.contains(Point::new(10.1, 4.0)));
+    }
+
+    #[test]
+    fn projection_clamps() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(r.project(Point::new(-5.0, 3.0)), Point::new(0.0, 3.0));
+        assert_eq!(r.project(Point::new(20.0, 20.0)), Point::new(10.0, 10.0));
+        assert_eq!(r.project(Point::new(4.0, 4.0)), Point::new(4.0, 4.0));
+    }
+
+    #[test]
+    fn splits_partition_the_area() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let (l, rr) = r.split_vertical(0.3);
+        assert_eq!(l.width(), 3.0);
+        assert_eq!(rr.width(), 7.0);
+        assert_eq!(l.x1, rr.x0);
+        let (b, t) = r.split_horizontal(0.5);
+        assert_eq!(b.height(), 5.0);
+        assert_eq!(t.y0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn inverted_rect_panics() {
+        let _ = Rect::new(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn placement_get_set() {
+        let mut p = Placement::new(3);
+        assert_eq!(p.len(), 3);
+        p.set_position(VertexId::new(1), Point::new(2.0, 3.0));
+        assert_eq!(p.position(VertexId::new(1)), Point::new(2.0, 3.0));
+        assert_eq!(p.iter().count(), 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Multi-way partitioning — the paper's named open gap (§4) — two ways:
+//! direct k-way FM (Sanchis-style) versus recursive multilevel min-cut
+//! bisection, compared on cut, (λ−1) cost, balance, and runtime.
+//!
+//! Run: `cargo run --release --example kway_compare`
+
+use std::time::Instant;
+
+use hypart::benchgen::ispd98_like;
+use hypart::kway::{KWayPartition, MlKWayConfig, MlKWayPartitioner};
+use hypart::prelude::*;
+
+fn main() {
+    let h = ispd98_like(1, 0.08, 77);
+    println!(
+        "instance {}: {} cells, {} nets\n",
+        h.name(),
+        h.num_vertices(),
+        h.num_nets()
+    );
+
+    for k in [2usize, 4, 8] {
+        let balance = KWayBalance::with_fraction(h.total_vertex_weight(), k, 0.10);
+        println!(
+            "k = {k} (per-part window [{}, {}]):",
+            balance.lower(),
+            balance.upper()
+        );
+
+        let t = Instant::now();
+        let direct = KWayFmPartitioner::new(KWayConfig::default()).run(&h, &balance, 5);
+        let direct_time = t.elapsed();
+
+        let t = Instant::now();
+        let recursive = recursive_bisection(&h, k, 0.10, &MlConfig::default(), 5);
+        let recursive_time = t.elapsed();
+
+        let t = Instant::now();
+        let ml_kway = MlKWayPartitioner::new(MlKWayConfig::default()).run(&h, &balance, 5);
+        let ml_kway_time = t.elapsed();
+
+        for (name, out, time) in [
+            ("direct k-way FM    ", &direct, direct_time),
+            ("recursive bisection", &recursive, recursive_time),
+            ("multilevel k-way FM", &ml_kway, ml_kway_time),
+        ] {
+            // Re-verify the reported numbers from scratch before printing.
+            let check = KWayPartition::new(&h, k, out.assignment.clone());
+            assert_eq!(check.recompute_cut(), out.cut);
+            println!(
+                "  {name}: cut {:>5}  lambda-1 {:>5}  balanced {}  {time:.2?}",
+                out.cut,
+                out.lambda_minus_one,
+                out.is_balanced(&balance),
+            );
+        }
+        println!();
+    }
+    println!(
+        "Flat direct k-way FM trails both multilevel approaches on\n\
+         structured netlists; wrapping the same k-way engine in\n\
+         coarsening (multilevel k-way) recovers the quality — the\n\
+         future-work direction the paper points at in its conclusion."
+    );
+}

@@ -1,0 +1,81 @@
+//! Top-down placement flow: the use model that motivates the paper (§2.1).
+//!
+//! A placer recursively bisects the netlist; at every level below the top,
+//! terminal propagation fixes boundary cells into partitions. This example
+//! runs a 3-level recursive min-cut bisection of an ISPD98-like netlist
+//! with fixed terminals, under the tight runtime regime the paper says
+//! placement imposes (single-start partitioning at every node of the
+//! recursion tree).
+//!
+//! Run: `cargo run --release --example placement_flow`
+
+use std::time::Instant;
+
+use hypart::benchgen::{ispd98_like, with_pad_ring};
+use hypart::hypergraph::subgraph::induce;
+use hypart::prelude::*;
+
+/// One node of the placement recursion: a subset of cells to bisect.
+struct Region {
+    cells: Vec<VertexId>,
+    depth: usize,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An ibm01-like netlist with pads fixed alternately, as a chip has.
+    let base = ispd98_like(1, 0.10, 2024);
+    let h = with_pad_ring(&base, 64, 7);
+    println!(
+        "netlist: {} cells, {} nets, {} pins, {} fixed pads",
+        h.num_vertices(),
+        h.num_nets(),
+        h.num_pins(),
+        h.num_fixed()
+    );
+
+    let ml = MlPartitioner::new(MlConfig::ml_lifo());
+    let t0 = Instant::now();
+
+    // Region queue for a depth-3 recursive bisection (8 placement bins).
+    let mut regions = vec![Region {
+        cells: h.vertices().collect(),
+        depth: 0,
+    }];
+    let mut bins: Vec<Vec<VertexId>> = Vec::new();
+    let mut total_cut = 0u64;
+
+    while let Some(region) = regions.pop() {
+        if region.depth == 3 || region.cells.len() < 32 {
+            bins.push(region.cells);
+            continue;
+        }
+        // Extract the sub-hypergraph induced by this region's cells.
+        let sub = induce(&h, &region.cells);
+        let (sub, back_map) = (sub.graph, sub.back_map);
+        let constraint = BalanceConstraint::with_fraction(sub.total_vertex_weight(), 0.10);
+        // Placement runtime regimes allow a single start per region.
+        let out = ml.run(&sub, &constraint, 1000 + region.depth as u64);
+        total_cut += out.cut;
+
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (sub_idx, &orig) in back_map.iter().enumerate() {
+            match out.assignment[sub_idx] {
+                PartId::P0 => left.push(orig),
+                PartId::P1 => right.push(orig),
+            }
+        }
+        regions.push(Region { cells: left, depth: region.depth + 1 });
+        regions.push(Region { cells: right, depth: region.depth + 1 });
+    }
+
+    println!(
+        "recursive bisection into {} bins: total cut {} in {:.2?} \
+         (bin sizes: {:?})",
+        bins.len(),
+        total_cut,
+        t0.elapsed(),
+        bins.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    Ok(())
+}

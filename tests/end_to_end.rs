@@ -1,0 +1,157 @@
+//! End-to-end integration tests spanning all workspace crates:
+//! generator → partitioner → evaluator pipelines with quality, legality,
+//! and reproducibility assertions.
+
+use hypart::benchgen::toys::{grid, ring, two_clusters};
+use hypart::benchgen::{ispd98_like, mcnc_like, with_pad_ring};
+use hypart::core::brute::optimal_bisection;
+use hypart::eval::runner::{run_trials, FlatFmHeuristic, MlHeuristic};
+use hypart::prelude::*;
+
+#[test]
+fn flat_fm_matches_brute_force_on_toys() {
+    for (h, fraction) in [
+        (ring(12), 0.2),
+        (two_clusters(6, 2), 0.2),
+        (grid(4, 4), 0.26),
+    ] {
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), fraction);
+        let optimal = optimal_bisection(&h, &c).expect("feasible").cut;
+        let best = (0..20)
+            .map(|s| FmPartitioner::new(FmConfig::lifo()).run(&h, &c, s).cut)
+            .min()
+            .expect("runs");
+        assert_eq!(best, optimal, "{}: best {best} vs optimal {optimal}", h.name());
+    }
+}
+
+#[test]
+fn multilevel_beats_flat_on_average() {
+    let h = ispd98_like(1, 0.05, 17);
+    let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+    let flat = run_trials(
+        &FlatFmHeuristic::new("flat", FmConfig::lifo()),
+        &h,
+        &c,
+        5,
+        0,
+    );
+    let ml = run_trials(&MlHeuristic::new("ml", MlConfig::ml_lifo()), &h, &c, 5, 0);
+    assert!(
+        ml.avg_cut() <= flat.avg_cut(),
+        "ml {} vs flat {}",
+        ml.avg_cut(),
+        flat.avg_cut()
+    );
+}
+
+#[test]
+fn looser_balance_never_hurts_best_cut() {
+    let h = ispd98_like(2, 0.04, 23);
+    let tight = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.02);
+    let loose = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+    let ml = MlPartitioner::new(MlConfig::ml_lifo());
+    let best_tight = (0..4).map(|s| ml.run(&h, &tight, s).cut).min().expect("runs");
+    let best_loose = (0..4).map(|s| ml.run(&h, &loose, s).cut).min().expect("runs");
+    assert!(
+        best_loose <= best_tight,
+        "loose {best_loose} should be <= tight {best_tight}"
+    );
+}
+
+#[test]
+fn fixed_terminals_are_honored_through_the_whole_stack() {
+    let h = with_pad_ring(&ispd98_like(1, 0.03, 31), 30, 2);
+    let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+    for outcome in [
+        MlPartitioner::new(MlConfig::ml_lifo()).run(&h, &c, 3).assignment,
+        FmPartitioner::new(FmConfig::clip()).run(&h, &c, 3).assignment,
+    ] {
+        for v in h.vertices() {
+            if let Some(p) = h.fixed_part(v) {
+                assert_eq!(outcome[v.index()], p);
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_instances_round_trip_through_hgr() {
+    let h = ispd98_like(3, 0.02, 11);
+    let mut buf = Vec::new();
+    hypart::hypergraph::io::hgr::write(&h, &mut buf).expect("write");
+    let h2 = hypart::hypergraph::io::hgr::read(&buf[..]).expect("read");
+    assert_eq!(h2.num_vertices(), h.num_vertices());
+    assert_eq!(h2.num_nets(), h.num_nets());
+    assert_eq!(h2.num_pins(), h.num_pins());
+    assert_eq!(h2.total_vertex_weight(), h.total_vertex_weight());
+
+    // Solutions found on the round-tripped instance evaluate identically.
+    let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+    let out = FmPartitioner::new(FmConfig::lifo()).run(&h, &c, 1);
+    let b1 = Bisection::new(&h, out.assignment.clone()).expect("valid");
+    let b2 = Bisection::new(&h2, out.assignment).expect("valid");
+    assert_eq!(b1.cut(), b2.cut());
+}
+
+#[test]
+fn netd_round_trip_preserves_fixed_pads() {
+    let h = with_pad_ring(&mcnc_like(100, 7), 10, 3);
+    let mut buf = Vec::new();
+    hypart::hypergraph::io::netd::write(&h, &mut buf).expect("write");
+    let h2 = hypart::hypergraph::io::netd::read(&buf[..]).expect("read");
+    assert_eq!(h2.num_fixed(), h.num_fixed());
+    assert_eq!(h2.num_pins(), h.num_pins());
+}
+
+#[test]
+fn unit_area_mode_masks_corking_and_actual_area_exposes_it() {
+    // The §2.3 claim end-to-end: corkable CLIP corks on actual areas under
+    // a tight window, but not on the unit-area variant of the same
+    // instance.
+    let actual = ispd98_like(1, 0.05, 13);
+    let unit = actual.to_unit_area().with_name("unit");
+    let corkable = FmPartitioner::new(FmConfig::clip().with_exclude_overweight(false));
+
+    let corked_on = |h: &Hypergraph| -> usize {
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.02);
+        (0..6)
+            .map(|s| corkable.run(h, &c, s).stats.corked_passes())
+            .sum()
+    };
+    let actual_corked = corked_on(&actual);
+    let unit_corked = corked_on(&unit);
+    assert!(
+        actual_corked > unit_corked,
+        "actual-area corked {actual_corked} vs unit-area {unit_corked}"
+    );
+}
+
+#[test]
+fn engines_are_deterministic_across_the_stack() {
+    let h = ispd98_like(2, 0.03, 41);
+    let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.02);
+    let a = multi_start(&MlPartitioner::new(MlConfig::ml_clip()), &h, &c, 2, 9, 1);
+    let b = multi_start(&MlPartitioner::new(MlConfig::ml_clip()), &h, &c, 2, 9, 1);
+    assert_eq!(a.cut, b.cut);
+    assert_eq!(a.assignment, b.assignment);
+}
+
+#[test]
+fn balanced_solutions_from_every_engine_preset() {
+    let h = ispd98_like(1, 0.04, 53);
+    let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+    for fm in [
+        FmConfig::lifo(),
+        FmConfig::clip(),
+        FmConfig::reported_lifo(),
+        FmConfig::reported_clip(),
+    ] {
+        let out = FmPartitioner::new(fm).run(&h, &c, 5);
+        assert!(out.balanced, "{fm:?} produced an unbalanced solution");
+        // Verify the cut claim against a from-scratch evaluation.
+        let bis = Bisection::new(&h, out.assignment).expect("valid");
+        assert_eq!(bis.cut(), out.cut);
+        assert_eq!(bis.recompute_cut(), out.cut);
+    }
+}
