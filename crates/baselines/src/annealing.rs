@@ -102,8 +102,7 @@ impl AnnealingPartitioner {
                     continue;
                 }
                 let delta = -bisection.gain(v); // positive = cut increase
-                let accept = delta <= 0
-                    || rng.gen::<f64>() < (-(delta as f64) / temperature).exp();
+                let accept = delta <= 0 || rng.gen::<f64>() < (-(delta as f64) / temperature).exp();
                 if !accept {
                     continue;
                 }
@@ -135,8 +134,8 @@ impl AnnealingPartitioner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hypart_benchgen::toys::{ring, two_clusters};
     use hypart_benchgen::mcnc_like;
+    use hypart_benchgen::toys::{ring, two_clusters};
 
     fn slack(h: &Hypergraph) -> BalanceConstraint {
         BalanceConstraint::with_slack(h.total_vertex_weight(), 1)

@@ -97,10 +97,9 @@ impl SpectralPartitioner {
                 continue;
             }
             let cut = bisection.cut();
-            if constraint.is_satisfied(&bisection)
-                && best_feasible.is_none_or(|(c, _)| cut < c) {
-                    best_feasible = Some((cut, i + 1));
-                }
+            if constraint.is_satisfied(&bisection) && best_feasible.is_none_or(|(c, _)| cut < c) {
+                best_feasible = Some((cut, i + 1));
+            }
             let ratio = cut as f64 / (w0 * w1);
             if ratio < best_ratio {
                 best_ratio = ratio;

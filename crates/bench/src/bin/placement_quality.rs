@@ -19,13 +19,19 @@ fn main() {
     let h = instance(&cfg, 1);
     let die = Rect::new(0.0, 0.0, 2000.0, 2000.0);
 
-    let mut table = Table::new(["engine in placer", "term-prop", "HPWL min", "HPWL mean", "std"])
-        .with_title(format!(
-            "Placement quality vs partitioner strength on {} ({} cells, {} seeds)",
-            h.name(),
-            h.num_vertices(),
-            cfg.trials
-        ));
+    let mut table = Table::new([
+        "engine in placer",
+        "term-prop",
+        "HPWL min",
+        "HPWL mean",
+        "std",
+    ])
+    .with_title(format!(
+        "Placement quality vs partitioner strength on {} ({} cells, {} seeds)",
+        h.name(),
+        h.num_vertices(),
+        cfg.trials
+    ));
 
     let engines: [(&str, MlConfig); 3] = [
         ("ML + Our LIFO", MlConfig::ml_lifo()),

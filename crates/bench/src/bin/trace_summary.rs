@@ -1,0 +1,53 @@
+//! Summarizes a JSONL run-event trace produced by `hypart partition
+//! --trace FILE.jsonl` (or any [`JsonlSink`] consumer): per-kind event
+//! counts, corking rate, move/rollback totals, and the final cut — the
+//! same counters the CLI prints live, recovered offline from the file.
+//!
+//! Usage: `cargo run --release -p hypart-bench --bin trace_summary -- FILE.jsonl [FILE2.jsonl ...]`
+//!
+//! [`JsonlSink`]: hypart_trace::JsonlSink
+
+use hypart_trace::json::JsonValue;
+use hypart_trace::{CounterSink, RunEvent, TraceSink};
+
+fn summarize(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let counters = CounterSink::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = JsonValue::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        let event = RunEvent::from_json(&value).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        counters.emit(event);
+        lines += 1;
+    }
+    // Events carry no timestamps (determinism), so the histogram times the
+    // replay itself; the counts are the faithful part of the summary.
+    Ok(format!(
+        "{path}: {lines} events\n{}\n  (pass durations reflect replay wall-clock, not the original run)",
+        counters.summary()
+    ))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: trace_summary FILE.jsonl [FILE2.jsonl ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        match summarize(path) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -273,12 +273,8 @@ pub fn table45(
         let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), fraction);
         let mut row = vec![h.name().to_string()];
         for &starts in &TABLE45_STARTS {
-            let heuristic = MultiStartHeuristic::new(
-                format!("hML x{starts}"),
-                MlConfig::default(),
-                starts,
-                4,
-            );
+            let heuristic =
+                MultiStartHeuristic::new(format!("hML x{starts}"), MlConfig::default(), starts, 4);
             let set = run_trials(&heuristic, &h, &c, repetitions, cfg.seed);
             row.push(format!("{:.1}/{:.2}", set.avg_cut(), set.avg_seconds()));
         }
@@ -351,7 +347,11 @@ pub fn pareto_experiment(cfg: &ExperimentConfig) -> String {
     ];
     for (label, heuristic) in &configs {
         let set = run_trials(heuristic.as_ref(), &h, &c, cfg.trials, cfg.seed);
-        points.push(PerfPoint::new(label.clone(), set.avg_cut(), set.avg_seconds()));
+        points.push(PerfPoint::new(
+            label.clone(),
+            set.avg_cut(),
+            set.avg_seconds(),
+        ));
     }
     let frontier = pareto_frontier(&points);
     let mut out = frontier_report(&points);
@@ -418,21 +418,22 @@ pub fn corking_experiment(cfg: &ExperimentConfig) -> Table {
         "CLIP corking trace, 2% tolerance, {} runs, scale {}",
         cfg.trials, cfg.scale
     ));
-    let mut instances: Vec<(Hypergraph, &str)> = (1..=2)
-        .map(|i| (instance(cfg, i), "actual"))
-        .collect();
+    let mut instances: Vec<(Hypergraph, &str)> =
+        (1..=2).map(|i| (instance(cfg, i), "actual")).collect();
     instances.push((
-        mcnc_like(
-            (2000.0 * cfg.scale * 10.0) as usize + 100,
-            cfg.seed,
-        ),
+        mcnc_like((2000.0 * cfg.scale * 10.0) as usize + 100, cfg.seed),
         "unit",
     ));
 
     for (h, areas) in &instances {
         let c = tol2(h);
         let corked = corked_stats(h, &c, FmConfig::reported_clip(), cfg);
-        let fixed = corked_stats(h, &c, FmConfig::reported_clip().with_exclude_overweight(true), cfg);
+        let fixed = corked_stats(
+            h,
+            &c,
+            FmConfig::reported_clip().with_exclude_overweight(true),
+            cfg,
+        );
         let p = wilcoxon_rank_sum(&corked.2.cuts(), &fixed.2.cuts())
             .map(|w| format!("{:.4}", w.p_value))
             .unwrap_or_else(|| "-".into());
@@ -457,6 +458,11 @@ pub fn corking_experiment(cfg: &ExperimentConfig) -> Table {
 }
 
 /// Runs CLIP trials collecting (corked passes, total passes, trial set).
+///
+/// Corking is counted from the uniform [`RunEvent`] stream — the same
+/// `corked`-flagged `PassEnd` events the CLI's `--trace` writes — rather
+/// than from engine-private statistics, so this experiment exercises the
+/// observability path it reports on.
 fn corked_stats(
     h: &Hypergraph,
     c: &BalanceConstraint,
@@ -464,15 +470,21 @@ fn corked_stats(
     cfg: &ExperimentConfig,
 ) -> (usize, usize, TrialSet) {
     use hypart_core::FmPartitioner;
+    use hypart_trace::{MemorySink, RunEvent};
     let engine = FmPartitioner::new(fm);
     let mut corked = 0usize;
     let mut total = 0usize;
     let mut trials = Vec::with_capacity(cfg.trials);
     for i in 0..cfg.trials {
         let seed = cfg.seed.wrapping_add(i as u64);
+        let sink = MemorySink::new();
         let t = std::time::Instant::now();
-        let out = engine.run(h, c, seed);
-        corked += out.stats.corked_passes();
+        let out = engine.run_traced(h, c, seed, &sink);
+        for event in sink.take() {
+            if let RunEvent::PassEnd { corked: true, .. } = event {
+                corked += 1;
+            }
+        }
         total += out.stats.num_passes();
         trials.push(hypart_eval::runner::Trial {
             seed,
@@ -504,13 +516,12 @@ pub fn ablation_experiment(cfg: &ExperimentConfig) -> Table {
 
     let h = instance(cfg, 1);
     let c = tol2(&h);
-    let mut table = Table::new(["dimension", "setting", "min/avg cut", "avg sec"]).with_title(
-        format!(
+    let mut table =
+        Table::new(["dimension", "setting", "min/avg cut", "avg sec"]).with_title(format!(
             "Ablations on {} (2% tolerance, {} runs)",
             h.name(),
             cfg.trials
-        ),
-    );
+        ));
 
     let run_flat = |dimension: &str, setting: &str, fm: FmConfig, table: &mut Table| {
         let set = run_trials(

@@ -57,10 +57,10 @@ pub fn ispd98_like(index: usize, scale: f64, seed: u64) -> Hypergraph {
     // windows exhibit corking, as on the real ibm designs.
     let num_macros = ((n as f64 * MACRO_FRACTION).round() as usize).max(2);
     let expected_body_total: f64 = n as f64 * 5.3; // E[log-uniform 1..=16]
-    // Macro areas scale with the design so the area *profile* (fractions
-    // of total) is scale-invariant: the giant macro holds ~4 % of the
-    // area, other macros 0.2-2 % — wide enough to exceed a 2 % balance
-    // window (corking), never so wide that 10 % windows become infeasible.
+                                                   // Macro areas scale with the design so the area *profile* (fractions
+                                                   // of total) is scale-invariant: the giant macro holds ~4 % of the
+                                                   // area, other macros 0.2-2 % — wide enough to exceed a 2 % balance
+                                                   // window (corking), never so wide that 10 % windows become infeasible.
     let giant_area = ((expected_body_total * 0.04) as u64).max(32);
     let macro_low = ((expected_body_total * 0.002) as u64).max(16);
     let macro_high = ((expected_body_total * 0.02) as u64).max(macro_low + 1);
@@ -207,10 +207,7 @@ mod tests {
     }
 
     /// Local cut computation (this crate must not depend on hypart-core).
-    fn hypart_core_free_cut(
-        h: &Hypergraph,
-        parts: &[hypart_hypergraph::PartId],
-    ) -> usize {
+    fn hypart_core_free_cut(h: &Hypergraph, parts: &[hypart_hypergraph::PartId]) -> usize {
         h.nets()
             .filter(|&e| {
                 let mut seen = [false; 2];

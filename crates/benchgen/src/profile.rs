@@ -53,24 +53,132 @@ impl Ispd98Profile {
 
 /// The eighteen IBM benchmark profiles, in order.
 pub const IBM_PROFILES: [Ispd98Profile; 18] = [
-    Ispd98Profile { name: "ibm01", cells: 12_752, nets: 14_111, pins: 50_566, has_macros: true },
-    Ispd98Profile { name: "ibm02", cells: 19_601, nets: 19_584, pins: 81_199, has_macros: true },
-    Ispd98Profile { name: "ibm03", cells: 23_136, nets: 27_401, pins: 93_573, has_macros: true },
-    Ispd98Profile { name: "ibm04", cells: 27_507, nets: 31_970, pins: 105_859, has_macros: true },
-    Ispd98Profile { name: "ibm05", cells: 29_347, nets: 28_446, pins: 126_308, has_macros: true },
-    Ispd98Profile { name: "ibm06", cells: 32_498, nets: 34_826, pins: 128_182, has_macros: true },
-    Ispd98Profile { name: "ibm07", cells: 45_926, nets: 48_117, pins: 175_639, has_macros: true },
-    Ispd98Profile { name: "ibm08", cells: 51_309, nets: 50_513, pins: 204_890, has_macros: true },
-    Ispd98Profile { name: "ibm09", cells: 53_395, nets: 60_902, pins: 222_088, has_macros: true },
-    Ispd98Profile { name: "ibm10", cells: 69_429, nets: 75_196, pins: 297_567, has_macros: true },
-    Ispd98Profile { name: "ibm11", cells: 70_558, nets: 81_454, pins: 280_786, has_macros: true },
-    Ispd98Profile { name: "ibm12", cells: 71_076, nets: 77_240, pins: 317_760, has_macros: true },
-    Ispd98Profile { name: "ibm13", cells: 84_199, nets: 99_666, pins: 357_075, has_macros: true },
-    Ispd98Profile { name: "ibm14", cells: 147_605, nets: 152_772, pins: 546_816, has_macros: true },
-    Ispd98Profile { name: "ibm15", cells: 161_570, nets: 186_608, pins: 715_823, has_macros: true },
-    Ispd98Profile { name: "ibm16", cells: 183_484, nets: 190_048, pins: 778_823, has_macros: true },
-    Ispd98Profile { name: "ibm17", cells: 185_495, nets: 189_581, pins: 860_036, has_macros: true },
-    Ispd98Profile { name: "ibm18", cells: 210_613, nets: 201_920, pins: 819_697, has_macros: true },
+    Ispd98Profile {
+        name: "ibm01",
+        cells: 12_752,
+        nets: 14_111,
+        pins: 50_566,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm02",
+        cells: 19_601,
+        nets: 19_584,
+        pins: 81_199,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm03",
+        cells: 23_136,
+        nets: 27_401,
+        pins: 93_573,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm04",
+        cells: 27_507,
+        nets: 31_970,
+        pins: 105_859,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm05",
+        cells: 29_347,
+        nets: 28_446,
+        pins: 126_308,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm06",
+        cells: 32_498,
+        nets: 34_826,
+        pins: 128_182,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm07",
+        cells: 45_926,
+        nets: 48_117,
+        pins: 175_639,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm08",
+        cells: 51_309,
+        nets: 50_513,
+        pins: 204_890,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm09",
+        cells: 53_395,
+        nets: 60_902,
+        pins: 222_088,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm10",
+        cells: 69_429,
+        nets: 75_196,
+        pins: 297_567,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm11",
+        cells: 70_558,
+        nets: 81_454,
+        pins: 280_786,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm12",
+        cells: 71_076,
+        nets: 77_240,
+        pins: 317_760,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm13",
+        cells: 84_199,
+        nets: 99_666,
+        pins: 357_075,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm14",
+        cells: 147_605,
+        nets: 152_772,
+        pins: 546_816,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm15",
+        cells: 161_570,
+        nets: 186_608,
+        pins: 715_823,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm16",
+        cells: 183_484,
+        nets: 190_048,
+        pins: 778_823,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm17",
+        cells: 185_495,
+        nets: 189_581,
+        pins: 860_036,
+        has_macros: true,
+    },
+    Ispd98Profile {
+        name: "ibm18",
+        cells: 210_613,
+        nets: 201_920,
+        pins: 819_697,
+        has_macros: true,
+    },
 ];
 
 #[cfg(test)]

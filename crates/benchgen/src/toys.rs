@@ -64,7 +64,8 @@ pub fn two_clusters(k: usize, bridges: usize) -> Hypergraph {
         }
     }
     for i in 0..bridges {
-        b.add_net([left[i % k], right[i % k]], 1).expect("pins valid");
+        b.add_net([left[i % k], right[i % k]], 1)
+            .expect("pins valid");
     }
     b.name(format!("clusters{k}b{bridges}"))
         .build()

@@ -25,15 +25,16 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use hypart_core::{objective, BalanceConstraint, Bisection, FmConfig, FmPartitioner};
-use hypart_hypergraph::{io, Hypergraph, PartId};
-use hypart_kway::{recursive_bisection, KWayBalance, KWayConfig, KWayFmPartitioner};
-use hypart_ml::{multi_start, MlConfig, MlPartitioner};
 use hypart_eval::bsf::BsfCurve;
 use hypart_eval::json::trial_set_to_json;
 use hypart_eval::report::Report;
 use hypart_eval::runner::{run_trials, FlatFmHeuristic, MlHeuristic};
 use hypart_eval::stats::wilcoxon_rank_sum;
+use hypart_hypergraph::{io, Hypergraph, PartId};
+use hypart_kway::{recursive_bisection, KWayBalance, KWayConfig, KWayFmPartitioner};
+use hypart_ml::{multi_start_traced, MlConfig, MlPartitioner};
 use hypart_place::{hpwl, PlacerConfig, Rect, RowLegalizer, TopDownPlacer};
+use hypart_trace::{CounterSink, JsonlSink, NullSink, TeeSink, TraceSink};
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -54,6 +55,8 @@ pub enum Command {
         seed: u64,
         /// Output `.part` path (defaults to `<input>.part`).
         output: Option<PathBuf>,
+        /// Optional JSONL run-event trace path.
+        trace: Option<PathBuf>,
     },
     /// `eval <netlist> <partfile> [--tol F]`
     Eval {
@@ -151,6 +154,7 @@ hypart — hypergraph partitioning for VLSI CAD
 USAGE:
   hypart partition <netlist> [--engine lifo|clip|ml-lifo|ml-clip|hmetis|kway]
                    [--k K] [--tol F] [--starts N] [--seed S] [--out FILE]
+                   [--trace FILE.jsonl]
   hypart eval <netlist> <partfile> [--tol F]
   hypart stats <netlist>
   hypart place <netlist> [--width W] [--height H] [--rows R] [--seed S] [--out FILE]
@@ -214,7 +218,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 return Err("--k must be at least 2".into());
             }
             if k > 2 && !matches!(engine, Engine::Kway) && !k.is_power_of_two() {
-                return Err("k > 2 with a 2-way engine requires k = 2^m (recursive bisection)".into());
+                return Err(
+                    "k > 2 with a 2-way engine requires k = 2^m (recursive bisection)".into(),
+                );
             }
             Ok(Command::Partition {
                 input,
@@ -224,6 +230,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 starts: parse_flag("--starts", 1.0)? as usize,
                 seed: parse_flag("--seed", 1.0)? as u64,
                 output: flag_value("--out").map(PathBuf::from),
+                trace: flag_value("--trace").map(PathBuf::from),
             })
         }
         "eval" => Ok(Command::Eval {
@@ -235,7 +242,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             input: positional.first().ok_or("stats: missing <netlist>")?.into(),
         }),
         "report" => Ok(Command::Report {
-            input: positional.first().ok_or("report: missing <netlist>")?.into(),
+            input: positional
+                .first()
+                .ok_or("report: missing <netlist>")?
+                .into(),
             trials: parse_flag("--trials", 10.0)? as usize,
             tolerance: parse_flag("--tol", 0.02)?,
             seed: parse_flag("--seed", 1.0)? as u64,
@@ -294,7 +304,13 @@ pub fn run(command: Command) -> Result<String, String> {
             let stats = hypart_hypergraph::stats::InstanceStats::of(&h);
             Ok(format!("{}\n{}\n", h.name(), stats.summary()))
         }
-        Command::Report { input, trials, tolerance, seed, output } => {
+        Command::Report {
+            input,
+            trials,
+            tolerance,
+            seed,
+            output,
+        } => {
             let h = load_netlist(&input)?;
             let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), tolerance);
             let stats = hypart_hypergraph::stats::InstanceStats::of(&h);
@@ -309,20 +325,28 @@ pub fn run(command: Command) -> Result<String, String> {
 
             let flat = run_trials(
                 &FlatFmHeuristic::new("Flat LIFO FM", hypart_core::FmConfig::lifo()),
-                &h, &c, trials, seed,
+                &h,
+                &c,
+                trials,
+                seed,
             );
             let clip = run_trials(
                 &FlatFmHeuristic::new("Flat CLIP FM", hypart_core::FmConfig::clip()),
-                &h, &c, trials, seed,
+                &h,
+                &c,
+                trials,
+                seed,
             );
             let ml = run_trials(
                 &MlHeuristic::new("ML LIFO FM", MlConfig::ml_lifo()),
-                &h, &c, trials, seed,
+                &h,
+                &c,
+                trials,
+                seed,
             );
 
-            let mut table = hypart_eval::table::Table::new([
-                "engine", "min/avg cut", "avg sec", "balanced",
-            ]);
+            let mut table =
+                hypart_eval::table::Table::new(["engine", "min/avg cut", "avg sec", "balanced"]);
             for set in [&flat, &clip, &ml] {
                 table.add_row([
                     set.heuristic.clone(),
@@ -367,7 +391,14 @@ records : {}
                 json_path.display()
             ))
         }
-        Command::Place { input, width, height, rows, seed, output } => {
+        Command::Place {
+            input,
+            width,
+            height,
+            rows,
+            seed,
+            output,
+        } => {
             let h = load_netlist(&input)?;
             let die = Rect::new(0.0, 0.0, width, height);
             let t0 = Instant::now();
@@ -389,8 +420,7 @@ records : {}
             for (v, p) in placement.iter() {
                 let _ = writeln!(text, "{} {:.3} {:.3}", v.raw(), p.x, p.y);
             }
-            std::fs::write(&out_path, text)
-                .map_err(|e| format!("{}: {e}", out_path.display()))?;
+            std::fs::write(&out_path, text).map_err(|e| format!("{}: {e}", out_path.display()))?;
             Ok(format!(
                 "placed {} cells in {elapsed:.2?}{legal_note}
 HPWL     : {:.0}
@@ -401,7 +431,12 @@ solution : {}
                 out_path.display(),
             ))
         }
-        Command::Gen { spec, scale, seed, out } => {
+        Command::Gen {
+            spec,
+            scale,
+            seed,
+            out,
+        } => {
             let h = if let Some(rest) = spec.strip_prefix("mcnc") {
                 let cells: usize = rest
                     .parse()
@@ -426,7 +461,11 @@ solution : {}
                 h.num_pins()
             ))
         }
-        Command::Eval { input, part_file, tolerance } => {
+        Command::Eval {
+            input,
+            part_file,
+            tolerance,
+        } => {
             let h = load_netlist(&input)?;
             let parts = io::partfile::read_path(&part_file)
                 .map_err(|e| format!("{}: {e}", part_file.display()))?;
@@ -457,32 +496,37 @@ solution : {}
             starts,
             seed,
             output,
+            trace,
         } => {
             let h = load_netlist(&input)?;
             let t0 = Instant::now();
-            let (assignment, cut, balanced): (Vec<u16>, u64, bool) = if k == 2 {
-                let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), tolerance);
-                let (parts, cut, balanced) = run_two_way(&h, &c, engine, starts, seed);
-                (
-                    parts.iter().map(|p| p.index() as u16).collect(),
-                    cut,
-                    balanced,
-                )
-            } else {
-                let balance = KWayBalance::with_fraction(h.total_vertex_weight(), k, tolerance);
-                let out = match engine {
-                    Engine::Kway => {
-                        KWayFmPartitioner::new(KWayConfig::default()).run(&h, &balance, seed)
-                    }
-                    _ => recursive_bisection(&h, k, tolerance, &engine_ml_config(engine), seed),
-                };
-                let balanced = out.is_balanced(&balance);
-                (out.assignment, out.cut, balanced)
+            let (assignment, cut, balanced, trace_note) = match &trace {
+                Some(trace_path) => {
+                    let file = std::fs::File::create(trace_path)
+                        .map_err(|e| format!("{}: {e}", trace_path.display()))?;
+                    let jsonl = JsonlSink::new(std::io::BufWriter::new(file));
+                    let counters = CounterSink::new();
+                    let tee = TeeSink::new(&jsonl, &counters);
+                    let result = partition_traced(&h, engine, k, tolerance, starts, seed, &tee);
+                    jsonl
+                        .finish()
+                        .map_err(|e| format!("{}: {e}", trace_path.display()))?;
+                    let note = format!(
+                        "trace    : {}\n\n{}",
+                        trace_path.display(),
+                        counters.summary()
+                    );
+                    (result.0, result.1, result.2, note)
+                }
+                None => {
+                    let (a, c, b) =
+                        partition_traced(&h, engine, k, tolerance, starts, seed, &NullSink);
+                    (a, c, b, String::new())
+                }
             };
             let elapsed = t0.elapsed();
 
-            let out_path =
-                output.unwrap_or_else(|| input.with_extension("part"));
+            let out_path = output.unwrap_or_else(|| input.with_extension("part"));
             if k == 2 {
                 let parts: Vec<PartId> = assignment
                     .iter()
@@ -491,20 +535,21 @@ solution : {}
                 io::partfile::write_path(&parts, &out_path)
                     .map_err(|e| format!("{}: {e}", out_path.display()))?;
             } else {
-                let text: String = assignment
-                    .iter()
-                    .map(|p| format!("{p}\n"))
-                    .collect();
+                let text: String = assignment.iter().map(|p| format!("{p}\n")).collect();
                 std::fs::write(&out_path, text)
                     .map_err(|e| format!("{}: {e}", out_path.display()))?;
             }
-            Ok(format!(
+            let mut report = format!(
                 "instance : {} ({} cells, {} nets)\nengine   : {engine:?}, k = {k}, tol = {tolerance}, starts = {starts}\ncut      : {cut}\nbalanced : {balanced}\ntime     : {elapsed:.2?}\nsolution : {}\n",
                 h.name(),
                 h.num_vertices(),
                 h.num_nets(),
                 out_path.display(),
-            ))
+            );
+            if !trace_note.is_empty() {
+                report.push_str(&trace_note);
+            }
+            Ok(report)
         }
     }
 }
@@ -516,12 +561,47 @@ fn engine_ml_config(engine: Engine) -> MlConfig {
     }
 }
 
-fn run_two_way(
+/// Dispatches one partition invocation to the selected engine, narrating
+/// into `sink` (pass a `NullSink` for untraced runs). Recursive bisection
+/// for `k > 2` with a 2-way engine is the one path that stays silent —
+/// its sub-bisections have no uniform trace scope yet.
+fn partition_traced<S: TraceSink + ?Sized>(
+    h: &Hypergraph,
+    engine: Engine,
+    k: usize,
+    tolerance: f64,
+    starts: usize,
+    seed: u64,
+    sink: &S,
+) -> (Vec<u16>, u64, bool) {
+    if k == 2 {
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), tolerance);
+        let (parts, cut, balanced) = run_two_way_traced(h, &c, engine, starts, seed, sink);
+        (
+            parts.iter().map(|p| p.index() as u16).collect(),
+            cut,
+            balanced,
+        )
+    } else {
+        let balance = KWayBalance::with_fraction(h.total_vertex_weight(), k, tolerance);
+        let out = match engine {
+            Engine::Kway => {
+                KWayFmPartitioner::new(KWayConfig::default()).run_traced(h, &balance, seed, sink)
+            }
+            _ => recursive_bisection(h, k, tolerance, &engine_ml_config(engine), seed),
+        };
+        let balanced = out.is_balanced(&balance);
+        (out.assignment, out.cut, balanced)
+    }
+}
+
+fn run_two_way_traced<S: TraceSink + ?Sized>(
     h: &Hypergraph,
     c: &BalanceConstraint,
     engine: Engine,
     starts: usize,
     seed: u64,
+    sink: &S,
 ) -> (Vec<PartId>, u64, bool) {
     match engine {
         Engine::Lifo | Engine::Clip => {
@@ -532,7 +612,7 @@ fn run_two_way(
             };
             let partitioner = FmPartitioner::new(fm);
             let best = (0..starts.max(1) as u64)
-                .map(|i| partitioner.run(h, c, seed.wrapping_add(i)))
+                .map(|i| partitioner.run_traced(h, c, seed.wrapping_add(i), sink))
                 .min_by_key(|o| (!o.balanced, o.cut))
                 .expect("at least one start");
             (best.assignment, best.cut, best.balanced)
@@ -540,7 +620,7 @@ fn run_two_way(
         Engine::MlLifo | Engine::MlClip => {
             let ml = MlPartitioner::new(engine_ml_config(engine));
             let best = (0..starts.max(1) as u64)
-                .map(|i| ml.run(h, c, seed.wrapping_add(i)))
+                .map(|i| ml.run_traced(h, c, seed.wrapping_add(i), sink))
                 .min_by_key(|o| (!o.balanced, o.cut))
                 .expect("at least one start");
             (best.assignment, best.cut, best.balanced)
@@ -548,7 +628,7 @@ fn run_two_way(
         Engine::Hmetis | Engine::Kway => {
             // Kway with k == 2 degrades gracefully to the multistart driver.
             let ml = MlPartitioner::new(MlConfig::default());
-            let out = multi_start(&ml, h, c, starts.max(1), seed, 4);
+            let out = multi_start_traced(&ml, h, c, starts.max(1), seed, 4, sink);
             (out.assignment, out.cut, out.balanced)
         }
     }
@@ -566,7 +646,13 @@ mod tests {
     fn parse_partition_defaults() {
         let cmd = parse_args(&args(&["partition", "x.hgr"])).unwrap();
         match cmd {
-            Command::Partition { engine, k, tolerance, starts, .. } => {
+            Command::Partition {
+                engine,
+                k,
+                tolerance,
+                starts,
+                ..
+            } => {
                 assert_eq!(engine, Engine::MlLifo);
                 assert_eq!(k, 2);
                 assert_eq!(tolerance, 0.02);
@@ -579,12 +665,32 @@ mod tests {
     #[test]
     fn parse_partition_flags() {
         let cmd = parse_args(&args(&[
-            "partition", "x.hgr", "--engine", "clip", "--k", "4", "--tol", "0.1", "--starts",
-            "8", "--seed", "99", "--out", "y.part",
+            "partition",
+            "x.hgr",
+            "--engine",
+            "clip",
+            "--k",
+            "4",
+            "--tol",
+            "0.1",
+            "--starts",
+            "8",
+            "--seed",
+            "99",
+            "--out",
+            "y.part",
         ]))
         .unwrap();
         match cmd {
-            Command::Partition { engine, k, tolerance, starts, seed, output, .. } => {
+            Command::Partition {
+                engine,
+                k,
+                tolerance,
+                starts,
+                seed,
+                output,
+                ..
+            } => {
                 assert_eq!(engine, Engine::Clip);
                 assert_eq!(k, 4);
                 assert_eq!(tolerance, 0.1);
@@ -600,13 +706,25 @@ mod tests {
     fn parse_rejects_bad_engine_and_k() {
         assert!(parse_args(&args(&["partition", "x.hgr", "--engine", "magic"])).is_err());
         assert!(parse_args(&args(&["partition", "x.hgr", "--k", "1"])).is_err());
-        assert!(
-            parse_args(&args(&["partition", "x.hgr", "--k", "3", "--engine", "ml-lifo"])).is_err()
-        );
+        assert!(parse_args(&args(&[
+            "partition",
+            "x.hgr",
+            "--k",
+            "3",
+            "--engine",
+            "ml-lifo"
+        ]))
+        .is_err());
         // k=3 is fine for the direct k-way engine.
-        assert!(
-            parse_args(&args(&["partition", "x.hgr", "--k", "3", "--engine", "kway"])).is_ok()
-        );
+        assert!(parse_args(&args(&[
+            "partition",
+            "x.hgr",
+            "--k",
+            "3",
+            "--engine",
+            "kway"
+        ]))
+        .is_ok());
     }
 
     #[test]
@@ -654,6 +772,7 @@ mod tests {
             starts: 2,
             seed: 5,
             output: Some(part.clone()),
+            trace: None,
         })
         .unwrap();
         assert!(report.contains("cut"), "{report}");
@@ -689,6 +808,7 @@ mod tests {
             starts: 1,
             seed: 5,
             output: None,
+            trace: None,
         })
         .unwrap();
         assert!(report.contains("k = 4"), "{report}");
@@ -703,7 +823,12 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::Place { width, height, rows, .. } => {
+            Command::Place {
+                width,
+                height,
+                rows,
+                ..
+            } => {
                 assert_eq!(width, 500.0);
                 assert_eq!(height, 400.0);
                 assert_eq!(rows, 10);

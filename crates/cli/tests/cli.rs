@@ -44,7 +44,11 @@ fn full_pipeline_gen_stats_partition_eval() {
         .arg(&hgr)
         .output()
         .expect("gen");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = hypart().arg("stats").arg(&hgr).output().expect("stats");
     assert!(out.status.success());
@@ -53,11 +57,17 @@ fn full_pipeline_gen_stats_partition_eval() {
     let out = hypart()
         .arg("partition")
         .arg(&hgr)
-        .args(["--engine", "ml-lifo", "--tol", "0.1", "--starts", "2", "--out"])
+        .args([
+            "--engine", "ml-lifo", "--tol", "0.1", "--starts", "2", "--out",
+        ])
         .arg(&part)
         .output()
         .expect("partition");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(report.contains("cut"), "{report}");
     assert!(part.exists());
@@ -91,7 +101,11 @@ fn kway_partition_writes_k_part_ids() {
         .args(["--engine", "kway", "--k", "4", "--tol", "0.3"])
         .output()
         .expect("partition");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let solution = std::fs::read_to_string(dir.join("k.part")).expect("solution file");
     let max_part: usize = solution
         .lines()

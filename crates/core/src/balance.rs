@@ -92,7 +92,9 @@ impl BalanceConstraint {
     pub fn violation(&self, w: u64) -> u64 {
         if w < self.lower {
             self.lower - w
-        } else { w.saturating_sub(self.upper) }
+        } else {
+            w.saturating_sub(self.upper)
+        }
     }
 
     /// Total violation of a bisection: sum of both parts' distances from
@@ -234,11 +236,8 @@ mod tests {
     fn margin_prefers_centered_solutions() {
         let h = path4();
         let c = BalanceConstraint::with_fraction(4, 0.5); // window [1,3]
-        let centered = Bisection::new(
-            &h,
-            vec![PartId::P0, PartId::P0, PartId::P1, PartId::P1],
-        )
-        .unwrap();
+        let centered =
+            Bisection::new(&h, vec![PartId::P0, PartId::P0, PartId::P1, PartId::P1]).unwrap();
         let skewed =
             Bisection::new(&h, vec![PartId::P0, PartId::P1, PartId::P1, PartId::P1]).unwrap();
         assert!(c.margin(&centered) > c.margin(&skewed));

@@ -68,7 +68,11 @@ pub fn optimal_bisection(
     // If there are no fixed vertices the problem is symmetric; pin the
     // first free vertex to halve the search space.
     let symmetric = h.num_fixed() == 0 && !free.is_empty();
-    let bits = if symmetric { free.len() - 1 } else { free.len() };
+    let bits = if symmetric {
+        free.len() - 1
+    } else {
+        free.len()
+    };
     let moving = if symmetric { &free[1..] } else { &free[..] };
 
     for mask in 0u64..(1u64 << bits) {

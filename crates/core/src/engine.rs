@@ -10,13 +10,12 @@ use rand::{Rng, SeedableRng};
 
 use crate::balance::BalanceConstraint;
 use crate::bisection::Bisection;
-use crate::config::{
-    FmConfig, IllegalHeadPolicy, SelectionRule, TieBreak, ZeroDeltaPolicy,
-};
+use crate::config::{FmConfig, IllegalHeadPolicy, SelectionRule, TieBreak, ZeroDeltaPolicy};
 use crate::gain::GainContainer;
 use crate::initial::generate_initial;
 use crate::stats::{FmStats, PassStats, CORKED_FRACTION};
 use hypart_hypergraph::{Hypergraph, PartId, VertexId};
+use hypart_trace::{NullSink, RunEvent, TraceSink};
 
 /// Result of a full FM run on one instance.
 #[derive(Clone, Debug)]
@@ -55,12 +54,29 @@ impl FmPartitioner {
 
     /// Runs a complete partitioning of `h`: generate the configured initial
     /// solution from `seed`, then refine until no pass improves.
+    ///
+    /// Equivalent to [`run_traced`](FmPartitioner::run_traced) with a
+    /// [`NullSink`].
     pub fn run(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> FmOutcome {
+        self.run_traced(h, constraint, seed, &NullSink)
+    }
+
+    /// [`run`](FmPartitioner::run), narrating the execution into `sink`
+    /// (one [`RunEvent::RunBegin`]..[`RunEvent::RunEnd`] bracket with the
+    /// full pass/move anatomy inside). Tracing never changes the result:
+    /// the sink observes, it does not steer.
+    pub fn run_traced<S: TraceSink + ?Sized>(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        seed: u64,
+        sink: &S,
+    ) -> FmOutcome {
         let mut rng = SmallRng::seed_from_u64(seed);
         let assignment = generate_initial(h, self.config.initial, &mut rng);
         let mut bisection =
             Bisection::new(h, assignment).expect("generated initial solution is always valid");
-        let stats = self.refine(&mut bisection, constraint, &mut rng);
+        let stats = self.refine_traced(&mut bisection, constraint, &mut rng, sink);
         FmOutcome {
             cut: bisection.cut(),
             balanced: constraint.is_satisfied(&bisection),
@@ -72,11 +88,29 @@ impl FmPartitioner {
     /// Refines `bisection` in place with FM passes until a pass fails to
     /// improve (lexicographically on (balance violation, cut)) or
     /// `max_passes` is reached. Returns per-pass statistics.
+    ///
+    /// Equivalent to [`refine_traced`](FmPartitioner::refine_traced) with
+    /// a [`NullSink`].
     pub fn refine<R: Rng>(
         &self,
         bisection: &mut Bisection<'_>,
         constraint: &BalanceConstraint,
         rng: &mut R,
+    ) -> FmStats {
+        self.refine_traced(bisection, constraint, rng, &NullSink)
+    }
+
+    /// [`refine`](FmPartitioner::refine) with event emission. The
+    /// returned [`FmStats`] is derivable from the stream: every
+    /// `PassStats` field mirrors a [`RunEvent::PassEnd`] field, and the
+    /// legacy `cut_trace` is the `cut` column of the
+    /// [`RunEvent::Move`] events of that pass.
+    pub fn refine_traced<R: Rng, S: TraceSink + ?Sized>(
+        &self,
+        bisection: &mut Bisection<'_>,
+        constraint: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
     ) -> FmStats {
         let graph = bisection.graph();
         let bound = (2 * graph.max_gain_bound()).max(1);
@@ -98,9 +132,12 @@ impl FmPartitioner {
             fixed: graph.num_fixed(),
             ..FmStats::default()
         };
-        for _ in 0..self.config.max_passes {
+        sink.emit(RunEvent::RunBegin {
+            cut: stats.initial_cut,
+        });
+        for pass_index in 0..self.config.max_passes {
             let before = (constraint.total_violation(bisection), bisection.cut());
-            let pass = state.run_pass(bisection, rng);
+            let pass = state.run_pass(bisection, rng, sink, pass_index);
             stats.passes.push(pass);
             let after = (constraint.total_violation(bisection), bisection.cut());
             if after >= before {
@@ -109,6 +146,10 @@ impl FmPartitioner {
         }
         stats.excluded_overweight = state.excluded_overweight;
         stats.final_cut = bisection.cut();
+        sink.emit(RunEvent::RunEnd {
+            cut: stats.final_cut,
+            passes: stats.passes.len(),
+        });
         stats
     }
 }
@@ -125,13 +166,33 @@ struct PassState<'c> {
 }
 
 impl PassState<'_> {
-    fn run_pass<R: Rng>(&mut self, bisection: &mut Bisection<'_>, rng: &mut R) -> PassStats {
+    fn run_pass<R: Rng, S: TraceSink + ?Sized>(
+        &mut self,
+        bisection: &mut Bisection<'_>,
+        rng: &mut R,
+        sink: &S,
+        pass_index: usize,
+    ) -> PassStats {
         self.seed(bisection, rng);
         self.moves.clear();
         self.last_moved_from = None;
 
         let cut_before = bisection.cut();
         let violation_before = self.constraint.total_violation(bisection);
+        sink.emit(RunEvent::PassBegin {
+            pass: pass_index,
+            cut: cut_before,
+            eligible: self.eligible.len(),
+        });
+        if self.excluded_overweight > 0 {
+            sink.emit(RunEvent::OverweightExcluded {
+                pass: pass_index,
+                count: self.excluded_overweight,
+            });
+        }
+        // Cached once per pass: per-move emission only for enabled sinks,
+        // so a NullSink costs one branch per move at most.
+        let traced = sink.is_enabled();
 
         // Best-prefix tracking, lexicographic on (violation, cut), with the
         // configured tie-break among equals. Prefix 0 = "make no moves".
@@ -151,6 +212,7 @@ impl PassState<'_> {
             };
             let from = bisection.side(v);
             self.containers[from.index()].remove(v);
+            let cut_prev = bisection.cut();
             self.apply_and_update(
                 bisection,
                 v,
@@ -162,6 +224,13 @@ impl PassState<'_> {
             self.last_moved_from = Some(from);
             if self.config.record_trace {
                 cut_trace.push(bisection.cut());
+            }
+            if traced {
+                sink.emit(RunEvent::Move {
+                    vertex: v.index() as u64,
+                    gain: cut_prev as i64 - bisection.cut() as i64,
+                    cut: bisection.cut(),
+                });
             }
 
             let candidate = PrefixScore {
@@ -179,11 +248,35 @@ impl PassState<'_> {
         let rolled_back = self.moves.len() - best.prefix;
         for &v in self.moves[best.prefix..].iter().rev() {
             bisection.move_vertex(v);
+            if traced {
+                sink.emit(RunEvent::Rollback {
+                    vertex: v.index() as u64,
+                    cut: bisection.cut(),
+                });
+            }
         }
         debug_assert_eq!(bisection.cut(), best.cut);
 
         let moves_made = self.moves.len();
         let eligible = self.eligible.len();
+        let corked = ended_with_leftovers
+            && eligible > 0
+            && moves_made * CORKED_FRACTION.1 < eligible * CORKED_FRACTION.0;
+        if corked {
+            sink.emit(RunEvent::Corked {
+                pass: pass_index,
+                moves_made,
+                eligible,
+            });
+        }
+        sink.emit(RunEvent::PassEnd {
+            pass: pass_index,
+            cut: bisection.cut(),
+            moves_made,
+            moves_rolled_back: rolled_back,
+            leftovers: ended_with_leftovers,
+            corked,
+        });
         PassStats {
             moves_made,
             moves_rolled_back: rolled_back,
@@ -192,9 +285,7 @@ impl PassState<'_> {
             cut_after: bisection.cut(),
             zero_delta_events,
             nonzero_delta_events,
-            corked: ended_with_leftovers
-                && eligible > 0
-                && moves_made * CORKED_FRACTION.1 < eligible * CORKED_FRACTION.0,
+            corked,
             cut_trace,
         }
     }
@@ -276,11 +367,7 @@ impl PassState<'_> {
     }
 
     /// Finds the best selectable move from one side's container.
-    fn scan_side(
-        &mut self,
-        bisection: &Bisection<'_>,
-        side: PartId,
-    ) -> Option<(VertexId, i64)> {
+    fn scan_side(&mut self, bisection: &Bisection<'_>, side: PartId) -> Option<(VertexId, i64)> {
         let container = &mut self.containers[side.index()];
         let mut key = container.descend_max()?;
         let min = container.min_key_bound();
@@ -356,8 +443,7 @@ impl PassState<'_> {
                 }
                 let s = side_y.index();
                 let o = side_y.other().index();
-                let contrib_before =
-                    i64::from(before[s] == 1) * w - i64::from(before[o] == 0) * w;
+                let contrib_before = i64::from(before[s] == 1) * w - i64::from(before[o] == 0) * w;
                 let contrib_after = i64::from(after[s] == 1) * w - i64::from(after[o] == 0) * w;
                 let delta = contrib_after - contrib_before;
                 let container = &mut self.containers[s];

@@ -34,11 +34,7 @@ use hypart_hypergraph::{Hypergraph, PartId, VertexId};
 /// # Ok(())
 /// # }
 /// ```
-pub fn generate_initial<R: Rng>(
-    h: &Hypergraph,
-    rule: InitialSolution,
-    rng: &mut R,
-) -> Vec<PartId> {
+pub fn generate_initial<R: Rng>(h: &Hypergraph, rule: InitialSolution, rng: &mut R) -> Vec<PartId> {
     let mut assignment = vec![PartId::P0; h.num_vertices()];
     let mut weight = [0u64; 2];
     let mut free: Vec<VertexId> = Vec::with_capacity(h.num_vertices());
@@ -63,7 +59,11 @@ pub fn generate_initial<R: Rng>(
         }
         InitialSolution::UniformRandom => {
             for v in free {
-                let p = if rng.gen::<bool>() { PartId::P1 } else { PartId::P0 };
+                let p = if rng.gen::<bool>() {
+                    PartId::P1
+                } else {
+                    PartId::P0
+                };
                 assignment[v.index()] = p;
                 weight[p.index()] += h.vertex_weight(v);
             }

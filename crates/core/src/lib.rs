@@ -65,4 +65,4 @@ pub use config::{
 };
 pub use engine::{FmOutcome, FmPartitioner};
 pub use initial::generate_initial;
-pub use stats::{FmStats, PassStats};
+pub use stats::{FmStats, PassStats, CORKED_FRACTION};

@@ -46,7 +46,11 @@ fn recipe() -> impl Strategy<Value = Recipe> {
 fn config() -> impl Strategy<Value = FmConfig> {
     (
         prop_oneof![Just(SelectionRule::Classic), Just(SelectionRule::Clip)],
-        prop_oneof![Just(TieBreak::Away), Just(TieBreak::Part0), Just(TieBreak::Toward)],
+        prop_oneof![
+            Just(TieBreak::Away),
+            Just(TieBreak::Part0),
+            Just(TieBreak::Toward)
+        ],
         prop_oneof![Just(ZeroDeltaPolicy::All), Just(ZeroDeltaPolicy::Nonzero)],
         prop_oneof![
             Just(InsertionPolicy::Lifo),

@@ -1,152 +1,11 @@
 //! Minimal JSON emission for experiment results.
 //!
-//! Machine-readable result export without pulling a serialization
-//! dependency into the workspace: a small value tree with spec-compliant
-//! string escaping and float formatting, sufficient for the flat records
-//! experiments produce.
+//! The value builder/parser itself lives in [`hypart_trace::json`] (the
+//! trace crate defines the JSONL event schema, so it owns the
+//! serializer); this module re-exports it and adds the experiment-record
+//! conversions.
 
-use std::collections::BTreeMap;
-use std::fmt;
-
-/// A JSON value.
-#[derive(Clone, Debug, PartialEq)]
-pub enum JsonValue {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Finite number (non-finite values serialize as `null`, as
-    /// `JSON.stringify` does).
-    Number(f64),
-    /// String.
-    String(String),
-    /// Array.
-    Array(Vec<JsonValue>),
-    /// Object with deterministic (sorted) key order.
-    Object(BTreeMap<String, JsonValue>),
-}
-
-impl JsonValue {
-    /// Convenience constructor for an object from key/value pairs.
-    ///
-    /// ```
-    /// use hypart_eval::json::JsonValue;
-    ///
-    /// let v = JsonValue::object([
-    ///     ("cut", JsonValue::Number(42.0)),
-    ///     ("balanced", JsonValue::Bool(true)),
-    /// ]);
-    /// assert_eq!(v.to_string(), r#"{"balanced":true,"cut":42}"#);
-    /// ```
-    pub fn object<K, I>(pairs: I) -> JsonValue
-    where
-        K: Into<String>,
-        I: IntoIterator<Item = (K, JsonValue)>,
-    {
-        JsonValue::Object(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.into(), v))
-                .collect(),
-        )
-    }
-
-    /// Convenience constructor for an array.
-    pub fn array<I: IntoIterator<Item = JsonValue>>(items: I) -> JsonValue {
-        JsonValue::Array(items.into_iter().collect())
-    }
-
-    /// Convenience constructor for a string value.
-    pub fn string(s: impl Into<String>) -> JsonValue {
-        JsonValue::String(s.into())
-    }
-}
-
-impl From<f64> for JsonValue {
-    fn from(x: f64) -> Self {
-        JsonValue::Number(x)
-    }
-}
-
-impl From<u64> for JsonValue {
-    fn from(x: u64) -> Self {
-        JsonValue::Number(x as f64)
-    }
-}
-
-impl From<usize> for JsonValue {
-    fn from(x: usize) -> Self {
-        JsonValue::Number(x as f64)
-    }
-}
-
-impl From<bool> for JsonValue {
-    fn from(x: bool) -> Self {
-        JsonValue::Bool(x)
-    }
-}
-
-impl From<&str> for JsonValue {
-    fn from(s: &str) -> Self {
-        JsonValue::String(s.to_string())
-    }
-}
-
-impl fmt::Display for JsonValue {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            JsonValue::Null => write!(f, "null"),
-            JsonValue::Bool(b) => write!(f, "{b}"),
-            JsonValue::Number(x) => {
-                if !x.is_finite() {
-                    write!(f, "null")
-                } else if x.fract() == 0.0 && x.abs() < 9e15 {
-                    write!(f, "{}", *x as i64)
-                } else {
-                    write!(f, "{x}")
-                }
-            }
-            JsonValue::String(s) => write_escaped(f, s),
-            JsonValue::Array(items) => {
-                write!(f, "[")?;
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ",")?;
-                    }
-                    write!(f, "{item}")?;
-                }
-                write!(f, "]")
-            }
-            JsonValue::Object(map) => {
-                write!(f, "{{")?;
-                for (i, (k, v)) in map.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ",")?;
-                    }
-                    write_escaped(f, k)?;
-                    write!(f, ":{v}")?;
-                }
-                write!(f, "}}")
-            }
-        }
-    }
-}
-
-fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
-    write!(f, "\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => write!(f, "\\\"")?,
-            '\\' => write!(f, "\\\\")?,
-            '\n' => write!(f, "\\n")?,
-            '\r' => write!(f, "\\r")?,
-            '\t' => write!(f, "\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
-        }
-    }
-    write!(f, "\"")
-}
+pub use hypart_trace::json::JsonValue;
 
 /// Serializes a [`crate::runner::TrialSet`] to a JSON object with the full
 /// per-trial records (the distribution data the paper says a flexible
@@ -174,30 +33,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scalars() {
-        assert_eq!(JsonValue::Null.to_string(), "null");
-        assert_eq!(JsonValue::Bool(true).to_string(), "true");
-        assert_eq!(JsonValue::Number(3.0).to_string(), "3");
-        assert_eq!(JsonValue::Number(3.25).to_string(), "3.25");
-        assert_eq!(JsonValue::Number(f64::NAN).to_string(), "null");
-        assert_eq!(JsonValue::string("hi").to_string(), "\"hi\"");
-    }
-
-    #[test]
-    fn escaping() {
-        assert_eq!(
-            JsonValue::string("a\"b\\c\nd").to_string(),
-            r#""a\"b\\c\nd""#
-        );
-        assert_eq!(JsonValue::string("\u{1}").to_string(), "\"\\u0001\"");
-    }
-
-    #[test]
-    fn containers() {
-        let v = JsonValue::array([JsonValue::from(1u64), JsonValue::Null]);
-        assert_eq!(v.to_string(), "[1,null]");
-        let o = JsonValue::object([("b", JsonValue::from(2u64)), ("a", JsonValue::from(1u64))]);
-        assert_eq!(o.to_string(), r#"{"a":1,"b":2}"#); // sorted keys
+    fn reexported_builder_works() {
+        let v = JsonValue::object([
+            ("cut", JsonValue::Number(42.0)),
+            ("balanced", JsonValue::Bool(true)),
+        ]);
+        assert_eq!(v.to_string(), r#"{"balanced":true,"cut":42}"#);
     }
 
     #[test]
@@ -217,5 +58,15 @@ mod tests {
         assert!(json.contains(r#""heuristic":"H""#));
         assert!(json.contains(r#""cut":10"#));
         assert!(json.contains(r#""seconds":0.25"#));
+
+        // Experiment records parse back with the workspace parser.
+        let parsed = JsonValue::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("trials").and_then(|t| match t {
+                JsonValue::Array(items) => items[0].get("cut").and_then(JsonValue::as_u64),
+                _ => None,
+            }),
+            Some(10)
+        );
     }
 }

@@ -109,10 +109,7 @@ mod tests {
 
     #[test]
     fn identical_points_are_all_kept() {
-        let p = vec![
-            PerfPoint::new("a", 5.0, 5.0),
-            PerfPoint::new("b", 5.0, 5.0),
-        ];
+        let p = vec![PerfPoint::new("a", 5.0, 5.0), PerfPoint::new("b", 5.0, 5.0)];
         assert_eq!(pareto_frontier(&p).len(), 2);
     }
 

@@ -72,11 +72,7 @@ impl RankingDiagram {
             let cheapest = row
                 .curves
                 .iter()
-                .min_by(|a, b| {
-                    a.min_budget()
-                        .partial_cmp(&b.min_budget())
-                        .expect("no NaN")
-                })
+                .min_by(|a, b| a.min_budget().partial_cmp(&b.min_budget()).expect("no NaN"))
                 .expect("row has curves");
             (
                 cheapest.heuristic.clone(),

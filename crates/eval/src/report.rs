@@ -38,7 +38,10 @@ enum Block {
     Section(String),
     Subsection(String),
     Paragraph(String),
-    MarkdownTable { headers: Vec<String>, rows: Vec<Vec<String>> },
+    MarkdownTable {
+        headers: Vec<String>,
+        rows: Vec<Vec<String>>,
+    },
     Preformatted(String),
 }
 
@@ -207,6 +210,9 @@ mod tests {
     #[test]
     fn split_csv_handles_quotes() {
         assert_eq!(split_csv_line("a,\"b,c\",d"), vec!["a", "b,c", "d"]);
-        assert_eq!(split_csv_line("\"he said \"\"hi\"\"\""), vec!["he said \"hi\""]);
+        assert_eq!(
+            split_csv_line("\"he said \"\"hi\"\"\""),
+            vec!["he said \"hi\""]
+        );
     }
 }

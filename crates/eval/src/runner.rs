@@ -4,7 +4,8 @@ use std::time::{Duration, Instant};
 
 use hypart_core::{BalanceConstraint, FmConfig, FmPartitioner};
 use hypart_hypergraph::Hypergraph;
-use hypart_ml::{multi_start, MlConfig, MlPartitioner};
+use hypart_ml::{multi_start, multi_start_traced, MlConfig, MlPartitioner};
+use hypart_trace::{MemorySink, NullSink, RunEvent, TraceSink};
 
 /// One trial's outcome.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +30,24 @@ pub trait Heuristic {
 
     /// Solves one instance from one seed.
     fn solve(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> Trial;
+
+    /// Solves one instance from one seed, narrating into `sink`.
+    ///
+    /// The default implementation ignores the sink and calls
+    /// [`solve`](Heuristic::solve), so existing heuristics keep working;
+    /// the built-in heuristics override it to thread the sink through to
+    /// their engines. (`&dyn TraceSink` rather than a generic keeps the
+    /// trait object-safe for `&dyn Heuristic` harness code.)
+    fn solve_traced(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        seed: u64,
+        sink: &dyn TraceSink,
+    ) -> Trial {
+        let _ = sink;
+        self.solve(h, constraint, seed)
+    }
 }
 
 /// Flat FM / CLIP heuristic (single start of [`FmPartitioner`]).
@@ -54,8 +73,18 @@ impl Heuristic for FlatFmHeuristic {
     }
 
     fn solve(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> Trial {
+        self.solve_traced(h, constraint, seed, &NullSink)
+    }
+
+    fn solve_traced(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        seed: u64,
+        sink: &dyn TraceSink,
+    ) -> Trial {
         let t = Instant::now();
-        let out = self.partitioner.run(h, constraint, seed);
+        let out = self.partitioner.run_traced(h, constraint, seed, sink);
         Trial {
             seed,
             cut: out.cut,
@@ -88,8 +117,18 @@ impl Heuristic for MlHeuristic {
     }
 
     fn solve(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> Trial {
+        self.solve_traced(h, constraint, seed, &NullSink)
+    }
+
+    fn solve_traced(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        seed: u64,
+        sink: &dyn TraceSink,
+    ) -> Trial {
         let t = Instant::now();
-        let out = self.partitioner.run(h, constraint, seed);
+        let out = self.partitioner.run_traced(h, constraint, seed, sink);
         Trial {
             seed,
             cut: out.cut,
@@ -146,6 +185,31 @@ impl Heuristic for MultiStartHeuristic {
             self.nruns,
             seed,
             self.max_vcycles,
+        );
+        Trial {
+            seed,
+            cut: out.cut,
+            balanced: out.balanced,
+            elapsed: t.elapsed(),
+        }
+    }
+
+    fn solve_traced(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        seed: u64,
+        sink: &dyn TraceSink,
+    ) -> Trial {
+        let t = Instant::now();
+        let out = multi_start_traced(
+            &self.partitioner,
+            h,
+            constraint,
+            self.nruns,
+            seed,
+            self.max_vcycles,
+            sink,
         );
         Trial {
             seed,
@@ -246,6 +310,65 @@ pub fn run_trials(
     }
 }
 
+/// Runs one trial with `TrialBegin`/`TrialEnd` bracketing in `sink`.
+fn solve_one_traced(
+    heuristic: &dyn Heuristic,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    trial_index: usize,
+    seed: u64,
+    sink: &dyn TraceSink,
+) -> Trial {
+    if sink.is_enabled() {
+        sink.emit(RunEvent::TrialBegin {
+            trial: trial_index as u64,
+            seed,
+            heuristic: heuristic.name().to_string(),
+            instance: h.name().to_string(),
+        });
+    }
+    let trial = heuristic.solve_traced(h, constraint, seed, sink);
+    if sink.is_enabled() {
+        sink.emit(RunEvent::TrialEnd {
+            trial: trial_index as u64,
+            seed,
+            cut: trial.cut,
+            balanced: trial.balanced,
+        });
+    }
+    trial
+}
+
+/// [`run_trials`] with event emission: each trial's engine events are
+/// bracketed by [`RunEvent::TrialBegin`]/[`RunEvent::TrialEnd`], in seed
+/// order.
+pub fn run_trials_traced(
+    heuristic: &dyn Heuristic,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    num_trials: usize,
+    base_seed: u64,
+    sink: &dyn TraceSink,
+) -> TrialSet {
+    let trials = (0..num_trials)
+        .map(|i| {
+            solve_one_traced(
+                heuristic,
+                h,
+                constraint,
+                i,
+                base_seed.wrapping_add(i as u64),
+                sink,
+            )
+        })
+        .collect();
+    TrialSet {
+        heuristic: heuristic.name().to_string(),
+        instance: h.name().to_string(),
+        trials,
+    }
+}
+
 /// Parallel variant of [`run_trials`]: trials execute on up to `threads`
 /// OS threads (0 = one per core). Results are **identical** to the
 /// sequential version — each trial is a pure function of its seed and the
@@ -261,6 +384,26 @@ pub fn run_trials_parallel(
     base_seed: u64,
     threads: usize,
 ) -> TrialSet {
+    run_trials_parallel_traced(
+        heuristic, h, constraint, num_trials, base_seed, threads, &NullSink,
+    )
+}
+
+/// [`run_trials_parallel`] with event emission. Each trial buffers its
+/// events (including its own `TrialBegin`/`TrialEnd` bracket) into a
+/// private [`MemorySink`] on its worker thread; buffers are flushed into
+/// `sink` in seed order once all trials finish, so the stream is
+/// **identical** to [`run_trials_traced`]'s for any thread count.
+pub fn run_trials_parallel_traced(
+    heuristic: &(dyn Heuristic + Sync),
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    num_trials: usize,
+    base_seed: u64,
+    threads: usize,
+    sink: &dyn TraceSink,
+) -> TrialSet {
+    let traced = sink.is_enabled();
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {
@@ -270,8 +413,9 @@ pub fn run_trials_parallel(
     .max(1);
 
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<Trial>>> =
-        (0..num_trials).map(|_| std::sync::Mutex::new(None)).collect();
+    let slots: Vec<std::sync::Mutex<Option<(Trial, MemorySink)>>> = (0..num_trials)
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -279,8 +423,14 @@ pub fn run_trials_parallel(
                 if i >= num_trials {
                     break;
                 }
-                let trial = heuristic.solve(h, constraint, base_seed.wrapping_add(i as u64));
-                *slots[i].lock().expect("no poisoned slot") = Some(trial);
+                let seed = base_seed.wrapping_add(i as u64);
+                let buffer = MemorySink::new();
+                let trial = if traced {
+                    solve_one_traced(heuristic, h, constraint, i, seed, &buffer)
+                } else {
+                    heuristic.solve(h, constraint, seed)
+                };
+                *slots[i].lock().expect("no poisoned slot") = Some((trial, buffer));
             });
         }
     });
@@ -289,7 +439,13 @@ pub fn run_trials_parallel(
         instance: h.name().to_string(),
         trials: slots
             .into_iter()
-            .map(|cell| cell.into_inner().expect("no poison").expect("slot filled"))
+            .map(|cell| {
+                let (trial, buffer) = cell.into_inner().expect("no poison").expect("slot filled");
+                if traced {
+                    buffer.flush_into(sink);
+                }
+                trial
+            })
             .collect(),
     }
 }
@@ -363,13 +519,67 @@ mod tests {
     }
 
     #[test]
+    fn traced_trials_bracket_each_trial() {
+        let (h, c) = setup();
+        let heur = MlHeuristic::new("ML", MlConfig::ml_lifo());
+        let sink = MemorySink::new();
+        let set = run_trials_traced(&heur, &h, &c, 3, 10, &sink);
+        let events = sink.take();
+        let begins: Vec<(u64, u64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                RunEvent::TrialBegin { trial, seed, .. } => Some((*trial, *seed)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(begins, vec![(0, 10), (1, 11), (2, 12)]);
+        let ends: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                RunEvent::TrialEnd { cut, .. } => Some(*cut),
+                _ => None,
+            })
+            .collect();
+        let cuts: Vec<u64> = set.trials.iter().map(|t| t.cut).collect();
+        assert_eq!(ends, cuts);
+    }
+
+    #[test]
+    fn parallel_traced_trials_match_sequential_stream() {
+        let (h, c) = setup();
+        let heur = FlatFmHeuristic::new("CLIP", FmConfig::clip());
+        let seq_sink = MemorySink::new();
+        let seq = run_trials_traced(&heur, &h, &c, 9, 5, &seq_sink);
+        let seq_events = seq_sink.take();
+        assert!(!seq_events.is_empty());
+        for threads in [1, 3, 0] {
+            let par_sink = MemorySink::new();
+            let par = run_trials_parallel_traced(&heur, &h, &c, 9, 5, threads, &par_sink);
+            let seq_cuts: Vec<u64> = seq.trials.iter().map(|t| t.cut).collect();
+            let par_cuts: Vec<u64> = par.trials.iter().map(|t| t.cut).collect();
+            assert_eq!(seq_cuts, par_cuts, "threads={threads}");
+            assert_eq!(par_sink.take(), seq_events, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn min_avg_cell_formats_like_the_paper() {
         let set = TrialSet {
             heuristic: "x".into(),
             instance: "y".into(),
             trials: vec![
-                Trial { seed: 0, cut: 333, balanced: true, elapsed: Duration::ZERO },
-                Trial { seed: 1, cut: 945, balanced: true, elapsed: Duration::ZERO },
+                Trial {
+                    seed: 0,
+                    cut: 333,
+                    balanced: true,
+                    elapsed: Duration::ZERO,
+                },
+                Trial {
+                    seed: 1,
+                    cut: 945,
+                    balanced: true,
+                    elapsed: Duration::ZERO,
+                },
             ],
         };
         assert_eq!(set.min_avg_cell(), "333/639");

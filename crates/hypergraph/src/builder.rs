@@ -214,7 +214,10 @@ mod tests {
         b.add_vertex(1);
         b.fix_vertex(VertexId::new(9), PartId::P0);
         let err = b.build().unwrap_err();
-        assert!(matches!(err, BuildError::FixUnknownVertex { vertex: 9, .. }));
+        assert!(matches!(
+            err,
+            BuildError::FixUnknownVertex { vertex: 9, .. }
+        ));
     }
 
     #[test]

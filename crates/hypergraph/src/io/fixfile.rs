@@ -124,10 +124,7 @@ mod tests {
         write(&h, &mut buf).unwrap();
         assert_eq!(String::from_utf8_lossy(&buf), "-1\n0\n-1\n1\n");
         let fixes = read(&buf[..]).unwrap();
-        assert_eq!(
-            fixes,
-            vec![None, Some(PartId::P0), None, Some(PartId::P1)]
-        );
+        assert_eq!(fixes, vec![None, Some(PartId::P0), None, Some(PartId::P1)]);
     }
 
     #[test]

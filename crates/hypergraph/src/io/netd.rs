@@ -53,19 +53,17 @@ pub fn read<R: std::io::Read>(reader: R) -> Result<Hypergraph, ParseError> {
     let mut names: Vec<String> = Vec::new();
     let mut name_index: HashMap<String, usize> = HashMap::new();
 
-    let intern = |name: &str,
-                      names: &mut Vec<String>,
-                      name_index: &mut HashMap<String, usize>|
-     -> usize {
-        if let Some(&i) = name_index.get(name) {
-            i
-        } else {
-            let i = names.len();
-            names.push(name.to_string());
-            name_index.insert(name.to_string(), i);
-            i
-        }
-    };
+    let intern =
+        |name: &str, names: &mut Vec<String>, name_index: &mut HashMap<String, usize>| -> usize {
+            if let Some(&i) = name_index.get(name) {
+                i
+            } else {
+                let i = names.len();
+                names.push(name.to_string());
+                name_index.insert(name.to_string(), i);
+                i
+            }
+        };
 
     for (i, line) in reader.lines().enumerate() {
         let line_no = i + 1;

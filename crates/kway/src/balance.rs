@@ -73,7 +73,9 @@ impl KWayBalance {
     pub fn violation(&self, w: u64) -> u64 {
         if w < self.lower {
             self.lower - w
-        } else { w.saturating_sub(self.upper) }
+        } else {
+            w.saturating_sub(self.upper)
+        }
     }
 
     /// Sum of all parts' violations.

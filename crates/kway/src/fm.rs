@@ -14,8 +14,9 @@ use rand::{Rng, SeedableRng};
 use crate::balance::KWayBalance;
 use crate::partition::KWayPartition;
 use hypart_core::gain::GainContainer;
-use hypart_core::InsertionPolicy;
+use hypart_core::{InsertionPolicy, CORKED_FRACTION};
 use hypart_hypergraph::{Hypergraph, VertexId};
+use hypart_trace::{NullSink, RunEvent, TraceSink};
 
 /// Configuration of the direct k-way FM engine.
 ///
@@ -93,11 +94,24 @@ impl KWayFmPartitioner {
     ///
     /// Panics if `balance.num_parts() < 2`.
     pub fn run(&self, h: &Hypergraph, balance: &KWayBalance, seed: u64) -> KWayOutcome {
+        self.run_traced(h, balance, seed, &NullSink)
+    }
+
+    /// [`run`](KWayFmPartitioner::run) with event emission: the same
+    /// `RunBegin` → passes → `RunEnd` bracket the 2-way engine produces,
+    /// so k-way traces are consumed by the exact same tooling.
+    pub fn run_traced<S: TraceSink + ?Sized>(
+        &self,
+        h: &Hypergraph,
+        balance: &KWayBalance,
+        seed: u64,
+        sink: &S,
+    ) -> KWayOutcome {
         let k = balance.num_parts();
         let mut rng = SmallRng::seed_from_u64(seed);
         let assignment = initial_kway(h, k, &mut rng);
         let mut partition = KWayPartition::new(h, k, assignment);
-        let passes = self.refine(&mut partition, balance, &mut rng);
+        let passes = self.refine_traced(&mut partition, balance, &mut rng, sink);
         KWayOutcome {
             num_parts: k,
             cut: partition.cut(),
@@ -116,6 +130,17 @@ impl KWayFmPartitioner {
         balance: &KWayBalance,
         rng: &mut R,
     ) -> usize {
+        self.refine_traced(partition, balance, rng, &NullSink)
+    }
+
+    /// [`refine`](KWayFmPartitioner::refine) with event emission.
+    pub fn refine_traced<R: Rng, S: TraceSink + ?Sized>(
+        &self,
+        partition: &mut KWayPartition<'_>,
+        balance: &KWayBalance,
+        rng: &mut R,
+        sink: &S,
+    ) -> usize {
         let k = partition.num_parts();
         let graph = partition.graph();
         let bound = graph.max_gain_bound().max(1);
@@ -123,40 +148,58 @@ impl KWayFmPartitioner {
             .map(|_| GainContainer::new(graph.num_vertices(), bound))
             .collect();
 
+        if sink.is_enabled() {
+            sink.emit(RunEvent::RunBegin {
+                cut: partition.cut(),
+            });
+        }
         let mut passes = 0;
-        for _ in 0..self.config.max_passes {
+        for pass in 0..self.config.max_passes {
             let before = (balance.total_violation(partition), partition.cut());
-            self.run_pass(partition, balance, &mut containers, rng);
+            self.run_pass(partition, balance, &mut containers, rng, sink, pass);
             passes += 1;
             let after = (balance.total_violation(partition), partition.cut());
             if after >= before {
                 break;
             }
         }
+        if sink.is_enabled() {
+            sink.emit(RunEvent::RunEnd {
+                cut: partition.cut(),
+                passes,
+            });
+        }
         passes
     }
 
-    fn run_pass<R: Rng>(
+    fn run_pass<R: Rng, S: TraceSink + ?Sized>(
         &self,
         partition: &mut KWayPartition<'_>,
         balance: &KWayBalance,
         containers: &mut [GainContainer],
         rng: &mut R,
+        sink: &S,
+        pass: usize,
     ) {
         let k = partition.num_parts();
         let graph = partition.graph();
         let window = balance.window();
+        let traced = sink.is_enabled();
 
         for c in containers.iter_mut() {
             c.clear();
         }
+        let mut eligible = 0usize;
+        let mut excluded_overweight = 0usize;
         for v in graph.vertices() {
             if graph.is_fixed(v) {
                 continue;
             }
             if self.config.exclude_overweight && graph.vertex_weight(v) > window {
+                excluded_overweight += 1;
                 continue;
             }
+            eligible += 1;
             let from = partition.part_of(v);
             for to in 0..k {
                 if to != from {
@@ -167,6 +210,19 @@ impl KWayFmPartitioner {
                         rng,
                     );
                 }
+            }
+        }
+        if traced {
+            sink.emit(RunEvent::PassBegin {
+                pass,
+                cut: partition.cut(),
+                eligible,
+            });
+            if excluded_overweight > 0 {
+                sink.emit(RunEvent::OverweightExcluded {
+                    pass,
+                    count: excluded_overweight,
+                });
             }
         }
 
@@ -182,8 +238,16 @@ impl KWayFmPartitioner {
                     containers[from * k + t].remove(v);
                 }
             }
+            let cut_prev = partition.cut();
             self.apply_and_update(partition, v, to, containers, rng);
             moves.push((v, from, to));
+            if traced {
+                sink.emit(RunEvent::Move {
+                    vertex: v.index() as u64,
+                    gain: cut_prev as i64 - partition.cut() as i64,
+                    cut: partition.cut(),
+                });
+            }
             let score = (balance.total_violation(partition), partition.cut());
             if score < best_score {
                 best_score = score;
@@ -191,10 +255,38 @@ impl KWayFmPartitioner {
             }
         }
 
+        let ended_with_leftovers = containers.iter().any(|c| !c.is_empty());
+        let moves_made = moves.len();
         for &(v, from, _) in moves[best_prefix..].iter().rev() {
             partition.move_vertex(v, from);
+            if traced {
+                sink.emit(RunEvent::Rollback {
+                    vertex: v.index() as u64,
+                    cut: partition.cut(),
+                });
+            }
         }
         debug_assert_eq!(partition.cut(), best_score.1);
+        if traced {
+            let corked = ended_with_leftovers
+                && eligible > 0
+                && moves_made * CORKED_FRACTION.1 < eligible * CORKED_FRACTION.0;
+            if corked {
+                sink.emit(RunEvent::Corked {
+                    pass,
+                    moves_made,
+                    eligible,
+                });
+            }
+            sink.emit(RunEvent::PassEnd {
+                pass,
+                cut: partition.cut(),
+                moves_made,
+                moves_rolled_back: moves_made - best_prefix,
+                leftovers: ended_with_leftovers,
+                corked,
+            });
+        }
     }
 
     /// Picks the highest-gain legal head move across all (from, to)
@@ -305,8 +397,7 @@ impl KWayFmPartitioner {
                             lambda - i64::from(s_count == 1) + i64::from(t_count == 0);
                         w * (i64::from(lambda >= 2) - i64::from(lambda_after_y >= 2))
                     };
-                    let delta =
-                        contrib(lambda_after, s_a, t_a) - contrib(lambda_before, s_b, t_b);
+                    let delta = contrib(lambda_after, s_a, t_a) - contrib(lambda_before, s_b, t_b);
                     if delta != 0 {
                         let container = &mut containers[s * k + t];
                         let key = container.key_of(y);
@@ -336,9 +427,7 @@ fn initial_kway<R: Rng>(h: &Hypergraph, k: usize, rng: &mut R) -> Vec<u16> {
     }
     free.shuffle(rng);
     for v in free {
-        let lightest = (0..k)
-            .min_by_key(|&p| weight[p])
-            .expect("k >= 2");
+        let lightest = (0..k).min_by_key(|&p| weight[p]).expect("k >= 2");
         assignment[v.index()] = lightest as u16;
         weight[lightest] += h.vertex_weight(v);
     }
@@ -366,7 +455,8 @@ mod tests {
             groups.push(g);
         }
         for i in 0..4 {
-            b.add_net([groups[i][0], groups[(i + 1) % 4][0]], 1).unwrap();
+            b.add_net([groups[i][0], groups[(i + 1) % 4][0]], 1)
+                .unwrap();
         }
         let h = b.build().unwrap();
         let balance = KWayBalance::with_fraction(h.total_vertex_weight(), 4, 0.25);
@@ -410,7 +500,11 @@ mod tests {
         let h = two_clusters(8, 3);
         let balance = KWayBalance::with_fraction(h.total_vertex_weight(), 2, 0.15);
         let best = (0..10u64)
-            .map(|s| KWayFmPartitioner::new(KWayConfig::default()).run(&h, &balance, s).cut)
+            .map(|s| {
+                KWayFmPartitioner::new(KWayConfig::default())
+                    .run(&h, &balance, s)
+                    .cut
+            })
             .min()
             .expect("runs");
         assert_eq!(best, 3);

@@ -27,13 +27,15 @@ pub fn recursive_bisection(
     seed: u64,
 ) -> KWayOutcome {
     assert!(k >= 2, "k must be at least 2, got {k}");
-    assert!(k.is_power_of_two(), "recursive bisection needs k = 2^m, got {k}");
+    assert!(
+        k.is_power_of_two(),
+        "recursive bisection needs k = 2^m, got {k}"
+    );
     let ml = MlPartitioner::new(ml_config.clone());
 
     let mut assignment = vec![0u16; h.num_vertices()];
     // Work list: (cells of the region, base part index, parts to split into).
-    let mut stack: Vec<(Vec<VertexId>, usize, usize)> =
-        vec![(h.vertices().collect(), 0, k)];
+    let mut stack: Vec<(Vec<VertexId>, usize, usize)> = vec![(h.vertices().collect(), 0, k)];
     let mut next_seed = seed;
 
     while let Some((cells, base, parts)) = stack.pop() {
@@ -49,8 +51,7 @@ pub fn recursive_bisection(
         // standard conservative schedule.
         let levels = k.trailing_zeros() as f64;
         let per_level = (fraction / levels).max(0.005);
-        let constraint =
-            BalanceConstraint::with_fraction(sub.total_vertex_weight(), per_level);
+        let constraint = BalanceConstraint::with_fraction(sub.total_vertex_weight(), per_level);
         let out = ml.run(&sub, &constraint, next_seed);
         next_seed = next_seed.wrapping_add(0x9E37_79B9);
 

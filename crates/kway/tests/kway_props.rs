@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use hypart_benchgen::random_hypergraph;
-use hypart_kway::{KWayBalance, KWayConfig, KWayFmPartitioner, KWayPartition};
 use hypart_hypergraph::VertexId;
+use hypart_kway::{KWayBalance, KWayConfig, KWayFmPartitioner, KWayPartition};
 
 fn params() -> impl Strategy<Value = (usize, usize, usize, u64, u64, usize)> {
     (

@@ -183,9 +183,7 @@ pub fn coarsen_once<R: Rng>(
             }
             let better = match best {
                 None => true,
-                Some((bk, bs)) => {
-                    score > bs || (score == bs && key < bk)
-                }
+                Some((bk, bs)) => score > bs || (score == bs && key < bk),
             };
             if better {
                 best = Some((key, score));
@@ -290,8 +288,7 @@ pub fn build_hierarchy<R: Rng>(
     let mut projected_restrict: Option<Vec<PartId>> = restrict.map(<[PartId]>::to_vec);
     loop {
         let current = levels.last().map_or(h, |l| &l.graph);
-        let Some(level) = coarsen_once(current, config, projected_restrict.as_deref(), rng)
-        else {
+        let Some(level) = coarsen_once(current, config, projected_restrict.as_deref(), rng) else {
             break;
         };
         if let Some(r) = &projected_restrict {
@@ -324,10 +321,7 @@ mod tests {
     fn coarsening_preserves_total_weight() {
         let h = ispd98_like(1, 0.03, 4);
         let level = coarsen_once(&h, &CoarsenConfig::default(), None, &mut rng()).unwrap();
-        assert_eq!(
-            level.graph.total_vertex_weight(),
-            h.total_vertex_weight()
-        );
+        assert_eq!(level.graph.total_vertex_weight(), h.total_vertex_weight());
         level.graph.validate().unwrap();
     }
 
@@ -385,13 +379,18 @@ mod tests {
     fn restricted_coarsening_never_crosses_the_cut() {
         let h = grid(20, 20);
         let assignment: Vec<PartId> = (0..400)
-            .map(|i| if i % 400 < 200 { PartId::P0 } else { PartId::P1 })
+            .map(|i| {
+                if i % 400 < 200 {
+                    PartId::P0
+                } else {
+                    PartId::P1
+                }
+            })
             .collect();
         let level =
             coarsen_once(&h, &CoarsenConfig::default(), Some(&assignment), &mut rng()).unwrap();
         // All fine vertices of one cluster must share a side.
-        let mut side_of_cluster: Vec<Option<PartId>> =
-            vec![None; level.graph.num_vertices()];
+        let mut side_of_cluster: Vec<Option<PartId>> = vec![None; level.graph.num_vertices()];
         for (fine, coarse) in level.map.iter().enumerate() {
             match side_of_cluster[coarse.index()] {
                 None => side_of_cluster[coarse.index()] = Some(assignment[fine]),

@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 use crate::partitioner::{MlOutcome, MlPartitioner};
 use hypart_core::BalanceConstraint;
 use hypart_hypergraph::{Hypergraph, PartId};
+use hypart_trace::{MemorySink, NullSink, RunEvent, TraceSink};
 
 /// Record of one independent start inside a multi-start run.
 #[derive(Clone, Debug)]
@@ -63,6 +64,29 @@ pub fn multi_start(
     base_seed: u64,
     max_vcycles: usize,
 ) -> MultiStartOutcome {
+    multi_start_traced(
+        partitioner,
+        h,
+        constraint,
+        nruns,
+        base_seed,
+        max_vcycles,
+        &NullSink,
+    )
+}
+
+/// [`multi_start`] with event emission: each start's multilevel events in
+/// seed order, then [`RunEvent::VcycleBegin`]/[`RunEvent::VcycleEnd`]
+/// brackets around every V-cycle applied to the best result.
+pub fn multi_start_traced<S: TraceSink + ?Sized>(
+    partitioner: &MlPartitioner,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    nruns: usize,
+    base_seed: u64,
+    max_vcycles: usize,
+    sink: &S,
+) -> MultiStartOutcome {
     assert!(nruns >= 1, "multi_start needs at least one run");
     let t0 = Instant::now();
     let mut starts = Vec::with_capacity(nruns);
@@ -70,7 +94,7 @@ pub fn multi_start(
     for i in 0..nruns {
         let seed = base_seed.wrapping_add(i as u64);
         let t = Instant::now();
-        let out = partitioner.run(h, constraint, seed);
+        let out = partitioner.run_traced(h, constraint, seed, sink);
         starts.push(StartRecord {
             seed,
             cut: out.cut,
@@ -83,23 +107,16 @@ pub fn multi_start(
             best = Some(out);
         }
     }
-    let mut best = best.expect("nruns >= 1");
-
-    let mut vcycles_applied = 0usize;
-    for i in 0..max_vcycles {
-        let cycled = partitioner.vcycle(
-            h,
-            constraint,
-            &best.assignment,
-            base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64),
-        );
-        vcycles_applied += 1;
-        if cycled.cut < best.cut {
-            best = cycled;
-        } else {
-            break;
-        }
-    }
+    let best = best.expect("nruns >= 1");
+    let (best, vcycles_applied) = vcycle_best(
+        partitioner,
+        h,
+        constraint,
+        base_seed,
+        max_vcycles,
+        best,
+        sink,
+    );
 
     MultiStartOutcome {
         assignment: best.assignment,
@@ -109,6 +126,52 @@ pub fn multi_start(
         vcycles_applied,
         total_elapsed: t0.elapsed(),
     }
+}
+
+/// V-cycles `best` until a cycle stops improving (at most `max_vcycles`),
+/// bracketing each cycle with `VcycleBegin`/`VcycleEnd` events. Shared
+/// tail of the sequential and parallel drivers — both must pick the same
+/// V-cycle seeds so their outcomes stay bitwise identical.
+fn vcycle_best<S: TraceSink + ?Sized>(
+    partitioner: &MlPartitioner,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    base_seed: u64,
+    max_vcycles: usize,
+    mut best: MlOutcome,
+    sink: &S,
+) -> (MlOutcome, usize) {
+    let mut vcycles_applied = 0usize;
+    for i in 0..max_vcycles {
+        if sink.is_enabled() {
+            sink.emit(RunEvent::VcycleBegin {
+                index: i,
+                cut: best.cut,
+            });
+        }
+        let cycled = partitioner.vcycle_traced(
+            h,
+            constraint,
+            &best.assignment,
+            base_seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64),
+            sink,
+        );
+        vcycles_applied += 1;
+        if sink.is_enabled() {
+            sink.emit(RunEvent::VcycleEnd {
+                index: i,
+                cut: cycled.cut,
+            });
+        }
+        if cycled.cut < best.cut {
+            best = cycled;
+        } else {
+            break;
+        }
+    }
+    (best, vcycles_applied)
 }
 
 /// Parallel variant of [`multi_start`]: the independent starts run on up
@@ -132,8 +195,37 @@ pub fn multi_start_parallel(
     max_vcycles: usize,
     threads: usize,
 ) -> MultiStartOutcome {
+    multi_start_parallel_traced(
+        partitioner,
+        h,
+        constraint,
+        nruns,
+        base_seed,
+        max_vcycles,
+        threads,
+        &NullSink,
+    )
+}
+
+/// [`multi_start_parallel`] with event emission. Each start buffers its
+/// events into a private [`MemorySink`] on its worker thread; the buffers
+/// are flushed into `sink` in seed order after all starts finish, so the
+/// emitted stream is **identical** to [`multi_start_traced`]'s regardless
+/// of thread count — trace equality is a test oracle, not an accident.
+#[allow(clippy::too_many_arguments)]
+pub fn multi_start_parallel_traced<S: TraceSink + ?Sized>(
+    partitioner: &MlPartitioner,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    nruns: usize,
+    base_seed: u64,
+    max_vcycles: usize,
+    threads: usize,
+    sink: &S,
+) -> MultiStartOutcome {
     assert!(nruns >= 1, "multi_start needs at least one run");
     let t0 = Instant::now();
+    let traced = sink.is_enabled();
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {
@@ -143,9 +235,9 @@ pub fn multi_start_parallel(
     .max(1);
 
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<(MlOutcome, StartRecord)>> = Vec::new();
+    let mut slots: Vec<Option<(MlOutcome, StartRecord, MemorySink)>> = Vec::new();
     slots.resize_with(nruns, || None);
-    let slot_cells: Vec<std::sync::Mutex<Option<(MlOutcome, StartRecord)>>> =
+    let slot_cells: Vec<std::sync::Mutex<Option<(MlOutcome, StartRecord, MemorySink)>>> =
         slots.into_iter().map(std::sync::Mutex::new).collect();
 
     std::thread::scope(|scope| {
@@ -156,14 +248,19 @@ pub fn multi_start_parallel(
                     break;
                 }
                 let seed = base_seed.wrapping_add(i as u64);
+                let buffer = MemorySink::new();
                 let t = Instant::now();
-                let out = partitioner.run(h, constraint, seed);
+                let out = if traced {
+                    partitioner.run_traced(h, constraint, seed, &buffer)
+                } else {
+                    partitioner.run(h, constraint, seed)
+                };
                 let record = StartRecord {
                     seed,
                     cut: out.cut,
                     elapsed: t.elapsed(),
                 };
-                *slot_cells[i].lock().expect("no poisoned slot") = Some((out, record));
+                *slot_cells[i].lock().expect("no poisoned slot") = Some((out, record, buffer));
             });
         }
     });
@@ -171,10 +268,13 @@ pub fn multi_start_parallel(
     let mut starts = Vec::with_capacity(nruns);
     let mut best: Option<MlOutcome> = None;
     for cell in slot_cells {
-        let (out, record) = cell
+        let (out, record, buffer) = cell
             .into_inner()
             .expect("no poisoned slot")
             .expect("every slot filled");
+        if traced {
+            buffer.flush_into(sink);
+        }
         starts.push(record);
         let better = best.as_ref().is_none_or(|b| {
             (!b.balanced && out.balanced) || (b.balanced == out.balanced && out.cut < b.cut)
@@ -183,23 +283,16 @@ pub fn multi_start_parallel(
             best = Some(out);
         }
     }
-    let mut best = best.expect("nruns >= 1");
-
-    let mut vcycles_applied = 0usize;
-    for i in 0..max_vcycles {
-        let cycled = partitioner.vcycle(
-            h,
-            constraint,
-            &best.assignment,
-            base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64),
-        );
-        vcycles_applied += 1;
-        if cycled.cut < best.cut {
-            best = cycled;
-        } else {
-            break;
-        }
-    }
+    let best = best.expect("nruns >= 1");
+    let (best, vcycles_applied) = vcycle_best(
+        partitioner,
+        h,
+        constraint,
+        base_seed,
+        max_vcycles,
+        best,
+        sink,
+    );
 
     MultiStartOutcome {
         assignment: best.assignment,
@@ -272,6 +365,83 @@ mod tests {
         let ml = MlPartitioner::new(MlConfig::ml_lifo());
         let out = multi_start_parallel(&ml, &h, &c, 3, 0, 0, 0);
         assert_eq!(out.starts.len(), 3);
+    }
+
+    #[test]
+    fn parallel_trace_is_identical_across_thread_counts() {
+        let h = mcnc_like(300, 8);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_clip());
+
+        let seq_sink = MemorySink::new();
+        let seq = multi_start_traced(&ml, &h, &c, 5, 21, 2, &seq_sink);
+        let seq_events = seq_sink.take();
+        assert!(!seq_events.is_empty());
+
+        for threads in [1, 3, 0] {
+            let par_sink = MemorySink::new();
+            let par = multi_start_parallel_traced(&ml, &h, &c, 5, 21, 2, threads, &par_sink);
+            // Trial-for-trial identical cuts...
+            let seq_cuts: Vec<u64> = seq.starts.iter().map(|s| s.cut).collect();
+            let par_cuts: Vec<u64> = par.starts.iter().map(|s| s.cut).collect();
+            assert_eq!(seq_cuts, par_cuts, "threads={threads}");
+            assert_eq!(par.cut, seq.cut, "threads={threads}");
+            // ...and an identical event stream: per-start buffering plus
+            // seed-order flushing makes the trace a pure function of the
+            // arguments, not of the schedule.
+            assert_eq!(par_sink.take(), seq_events, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn multilevel_trace_has_level_transitions() {
+        let h = mcnc_like(500, 2);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_lifo());
+        let sink = MemorySink::new();
+        let out = ml.run_traced(&h, &c, 4, &sink);
+        let events = sink.take();
+        let downs = events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::LevelDown { .. }))
+            .count();
+        let ups: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                RunEvent::LevelUp { level, .. } => Some(*level),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(downs, out.levels);
+        // Uncoarsening refines at every level, coarsest first, down to the
+        // input graph (level 0).
+        let expect: Vec<usize> = (0..=out.levels).rev().collect();
+        assert_eq!(ups, expect);
+        // V-cycle brackets only appear in the multi-start driver.
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, RunEvent::VcycleBegin { .. })));
+    }
+
+    #[test]
+    fn vcycle_events_bracket_each_cycle() {
+        let h = mcnc_like(400, 5);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_lifo());
+        let sink = MemorySink::new();
+        let out = multi_start_traced(&ml, &h, &c, 2, 7, 3, &sink);
+        let events = sink.take();
+        let begins = events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::VcycleBegin { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::VcycleEnd { .. }))
+            .count();
+        assert_eq!(begins, out.vcycles_applied);
+        assert_eq!(ends, out.vcycles_applied);
+        assert!(begins >= 1);
     }
 
     #[test]

@@ -37,5 +37,8 @@ pub mod coarsen;
 mod driver;
 mod partitioner;
 
-pub use driver::{multi_start, multi_start_parallel, MultiStartOutcome, StartRecord};
+pub use driver::{
+    multi_start, multi_start_parallel, multi_start_parallel_traced, multi_start_traced,
+    MultiStartOutcome, StartRecord,
+};
 pub use partitioner::{MlConfig, MlOutcome, MlPartitioner};

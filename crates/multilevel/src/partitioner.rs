@@ -9,6 +9,7 @@ use hypart_core::{
     generate_initial, BalanceConstraint, Bisection, FmConfig, FmPartitioner, InitialSolution,
 };
 use hypart_hypergraph::{Hypergraph, PartId};
+use hypart_trace::{NullSink, RunEvent, TraceSink};
 
 /// Configuration of the multilevel partitioner.
 #[derive(Clone, Debug, PartialEq)]
@@ -91,27 +92,60 @@ impl MlPartitioner {
     }
 
     /// Runs one multilevel start on `h` from `seed`.
+    ///
+    /// Equivalent to [`run_traced`](MlPartitioner::run_traced) with a
+    /// `NullSink`.
     pub fn run(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> MlOutcome {
+        self.run_traced(h, constraint, seed, &NullSink)
+    }
+
+    /// [`run`](MlPartitioner::run), narrating into `sink`: one
+    /// [`RunEvent::LevelDown`] per coarsening level, then the flat-engine
+    /// events of every initial try and per-level refinement, each level
+    /// prefixed by [`RunEvent::LevelUp`].
+    pub fn run_traced<S: TraceSink + ?Sized>(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        seed: u64,
+        sink: &S,
+    ) -> MlOutcome {
         let mut rng = SmallRng::seed_from_u64(seed);
         let levels = build_hierarchy(h, &self.config.coarsen, None, &mut rng);
+        emit_level_downs(&levels, sink);
         let coarsest: &Hypergraph = levels.last().map_or(h, |l| &l.graph);
 
         // Initial partitioning on the coarsest graph: several seeded
         // greedy starts, each refined, best kept.
-        let initial = self.best_initial(coarsest, constraint, &mut rng);
+        let initial = self.best_initial(coarsest, constraint, &mut rng, sink);
 
-        self.uncoarsen(h, &levels, initial, constraint, &mut rng)
+        self.uncoarsen(h, &levels, initial, constraint, &mut rng, sink)
     }
 
     /// Applies one V-cycle to an existing solution: restricted coarsening
     /// that never clusters across the cut, then uncoarsening with
     /// refinement at every level starting from the projected solution.
+    ///
+    /// Equivalent to [`vcycle_traced`](MlPartitioner::vcycle_traced) with
+    /// a `NullSink`.
     pub fn vcycle(
         &self,
         h: &Hypergraph,
         constraint: &BalanceConstraint,
         assignment: &[PartId],
         seed: u64,
+    ) -> MlOutcome {
+        self.vcycle_traced(h, constraint, assignment, seed, &NullSink)
+    }
+
+    /// [`vcycle`](MlPartitioner::vcycle) with event emission.
+    pub fn vcycle_traced<S: TraceSink + ?Sized>(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        assignment: &[PartId],
+        seed: u64,
+        sink: &S,
     ) -> MlOutcome {
         assert_eq!(
             assignment.len(),
@@ -120,6 +154,7 @@ impl MlPartitioner {
         );
         let mut rng = SmallRng::seed_from_u64(seed);
         let levels = build_hierarchy(h, &self.config.coarsen, Some(assignment), &mut rng);
+        emit_level_downs(&levels, sink);
 
         // Project the current solution down the (restricted) hierarchy:
         // every cluster is on one side by construction.
@@ -132,14 +167,15 @@ impl MlPartitioner {
             coarse_assignment = next;
         }
 
-        self.uncoarsen(h, &levels, coarse_assignment, constraint, &mut rng)
+        self.uncoarsen(h, &levels, coarse_assignment, constraint, &mut rng, sink)
     }
 
-    fn best_initial<R: Rng>(
+    fn best_initial<R: Rng, S: TraceSink + ?Sized>(
         &self,
         coarsest: &Hypergraph,
         constraint: &BalanceConstraint,
         rng: &mut R,
+        sink: &S,
     ) -> Vec<PartId> {
         let engine = FmPartitioner::new(self.config.refine);
         let mut best: Option<(u64, u64, Vec<PartId>)> = None; // (violation, cut, parts)
@@ -152,28 +188,24 @@ impl MlPartitioner {
             let parts = generate_initial(coarsest, rule, rng);
             let mut bisection =
                 Bisection::new(coarsest, parts).expect("generated initial is valid");
-            engine.refine(&mut bisection, constraint, rng);
-            let score = (
-                constraint.total_violation(&bisection),
-                bisection.cut(),
-            );
-            if best
-                .as_ref()
-                .is_none_or(|(v, c, _)| score < (*v, *c))
-            {
+            engine.refine_traced(&mut bisection, constraint, rng, sink);
+            let score = (constraint.total_violation(&bisection), bisection.cut());
+            if best.as_ref().is_none_or(|(v, c, _)| score < (*v, *c)) {
                 best = Some((score.0, score.1, bisection.into_assignment()));
             }
         }
         best.expect("at least one initial try").2
     }
 
-    fn uncoarsen<R: Rng>(
+    #[allow(clippy::too_many_arguments)]
+    fn uncoarsen<R: Rng, S: TraceSink + ?Sized>(
         &self,
         h: &Hypergraph,
         levels: &[crate::coarsen::CoarseLevel],
         coarsest_assignment: Vec<PartId>,
         constraint: &BalanceConstraint,
         rng: &mut R,
+        sink: &S,
     ) -> MlOutcome {
         let engine = FmPartitioner::new(self.config.refine);
         let mut corked_passes = 0usize;
@@ -183,17 +215,20 @@ impl MlPartitioner {
         // Refine at the coarsest level, then project and refine at each
         // finer level down to the input graph.
         for i in (0..=levels.len()).rev() {
-            let graph: &Hypergraph = if i == 0 {
-                h
-            } else {
-                &levels[i - 1].graph
-            };
+            let graph: &Hypergraph = if i == 0 { h } else { &levels[i - 1].graph };
             if i < levels.len() {
                 assignment = levels[i].project(&assignment);
             }
+            if sink.is_enabled() {
+                sink.emit(RunEvent::LevelUp {
+                    level: i,
+                    vertices: graph.num_vertices(),
+                    nets: graph.num_nets(),
+                });
+            }
             let mut bisection =
                 Bisection::new(graph, assignment).expect("projected assignment is valid");
-            let stats = engine.refine(&mut bisection, constraint, rng);
+            let stats = engine.refine_traced(&mut bisection, constraint, rng, sink);
             corked_passes += stats.corked_passes();
             total_passes += stats.num_passes();
             assignment = bisection.into_assignment();
@@ -208,6 +243,23 @@ impl MlPartitioner {
             total_passes,
             assignment: bisection.into_assignment(),
         }
+    }
+}
+
+/// Emits one [`RunEvent::LevelDown`] per coarse level, coarsest last.
+///
+/// Level `0` is the input graph (never announced going down — the caller
+/// is already there); coarse level `i + 1` holds `levels[i].graph`.
+fn emit_level_downs<S: TraceSink + ?Sized>(levels: &[crate::coarsen::CoarseLevel], sink: &S) {
+    if !sink.is_enabled() {
+        return;
+    }
+    for (i, level) in levels.iter().enumerate() {
+        sink.emit(RunEvent::LevelDown {
+            level: i + 1,
+            vertices: level.graph.num_vertices(),
+            nets: level.graph.num_nets(),
+        });
     }
 }
 

@@ -139,8 +139,7 @@ impl RowLegalizer {
             for (v, left, width) in placed {
                 let target = Point::new(left + width / 2.0, self.row_y(r));
                 let coarse = placement.position(v);
-                total_displacement +=
-                    (target.x - coarse.x).abs() + (target.y - coarse.y).abs();
+                total_displacement += (target.x - coarse.x).abs() + (target.y - coarse.y).abs();
                 legal.set_position(v, target);
             }
         }
@@ -198,8 +197,10 @@ mod tests {
                 );
             }
             for &(l, rr) in &spans {
-                assert!(l >= die().x0 - 1e-9 && rr <= die().x1 + 1e-9,
-                    "row {r}: span [{l}, {rr}] escapes the die");
+                assert!(
+                    l >= die().x0 - 1e-9 && rr <= die().x1 + 1e-9,
+                    "row {r}: span [{l}, {rr}] escapes the die"
+                );
             }
         }
     }

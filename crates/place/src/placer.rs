@@ -66,8 +66,7 @@ impl TopDownPlacer {
             placement.set_position(v, die.center());
         }
 
-        let mut queue: Vec<(Vec<VertexId>, Rect, usize)> =
-            vec![(h.vertices().collect(), die, 0)];
+        let mut queue: Vec<(Vec<VertexId>, Rect, usize)> = vec![(h.vertices().collect(), die, 0)];
         let mut region_counter: u64 = 0;
 
         while let Some((cells, rect, depth)) = queue.pop() {
@@ -77,13 +76,8 @@ impl TopDownPlacer {
             }
             region_counter += 1;
             let split_vertical = rect.width() >= rect.height();
-            let (sub, dummies) = self.build_region_instance(
-                h,
-                &cells,
-                rect,
-                split_vertical,
-                &placement,
-            );
+            let (sub, dummies) =
+                self.build_region_instance(h, &cells, rect, split_vertical, &placement);
             let constraint =
                 BalanceConstraint::with_fraction(sub.total_vertex_weight(), self.config.tolerance);
             let out = ml.run(
@@ -188,7 +182,11 @@ impl TopDownPlacer {
                     } else {
                         projected.y <= center.y
                     };
-                    pins.push(if to_first { left_terminal } else { right_terminal });
+                    pins.push(if to_first {
+                        left_terminal
+                    } else {
+                        right_terminal
+                    });
                     dummies_used += 1;
                 }
                 if pins.len() >= 2 {

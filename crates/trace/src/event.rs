@@ -1,0 +1,518 @@
+//! The uniform run-event vocabulary shared by every engine.
+//!
+//! Events are deliberately **timing-free and allocation-free on the hot
+//! path**: two runs of the same engine on the same instance and seed emit
+//! byte-identical streams regardless of thread count or machine load,
+//! which is what makes trace equality a usable test oracle. Wall-clock
+//! observations belong to sinks (see
+//! [`CounterSink`](crate::CounterSink)), not to events.
+
+use crate::json::JsonValue;
+
+/// One observation from a partitioning engine.
+///
+/// The variants cover the full anatomy of a run, from experiment harness
+/// scope (`TrialBegin`/`TrialEnd`) through flat-engine scope
+/// (`RunBegin`..`RunEnd`, one per [`refine`] invocation) down to
+/// per-move granularity, plus the multilevel hierarchy transitions and
+/// V-cycle boundaries that wrap flat runs.
+///
+/// Per-move events ([`Move`](RunEvent::Move) /
+/// [`Rollback`](RunEvent::Rollback)) are only emitted when the sink
+/// reports [`is_enabled`](crate::TraceSink::is_enabled), so a
+/// [`NullSink`](crate::NullSink) costs one cached boolean test per pass.
+///
+/// [`refine`]: RunEvent::RunBegin
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunEvent {
+    /// An experiment-harness trial starts (one seeded heuristic
+    /// invocation).
+    TrialBegin {
+        /// Trial index within the trial set.
+        trial: u64,
+        /// Seed of the trial.
+        seed: u64,
+        /// Heuristic display name.
+        heuristic: String,
+        /// Instance name.
+        instance: String,
+    },
+    /// The trial finished.
+    TrialEnd {
+        /// Trial index within the trial set.
+        trial: u64,
+        /// Seed of the trial.
+        seed: u64,
+        /// Final weighted cut.
+        cut: u64,
+        /// Whether the final solution was balanced.
+        balanced: bool,
+    },
+    /// A flat-engine refinement starts (one `refine` call — the
+    /// multilevel wrapper emits one per level, plus one per initial try).
+    RunBegin {
+        /// Weighted cut of the starting solution.
+        cut: u64,
+    },
+    /// The refinement converged.
+    RunEnd {
+        /// Final weighted cut.
+        cut: u64,
+        /// Number of passes executed.
+        passes: usize,
+    },
+    /// An FM pass starts with freshly seeded gain containers.
+    PassBegin {
+        /// Zero-based pass index within the run.
+        pass: usize,
+        /// Weighted cut at pass start.
+        cut: u64,
+        /// Free vertices inserted into the gain containers.
+        eligible: usize,
+    },
+    /// Cells wider than the balance window were kept out of the gain
+    /// containers this pass (`FmConfig::exclude_overweight`). Only
+    /// emitted when the count is nonzero.
+    OverweightExcluded {
+        /// Zero-based pass index.
+        pass: usize,
+        /// Number of excluded cells.
+        count: usize,
+    },
+    /// One tentative move was applied (emitted only for enabled sinks).
+    Move {
+        /// Moved vertex id.
+        vertex: u64,
+        /// Realized gain: cut before the move minus cut after (may be
+        /// negative; under CLIP this is *not* the bucket key).
+        gain: i64,
+        /// Weighted cut after the move.
+        cut: u64,
+    },
+    /// One tentative move was undone while rolling back to the best
+    /// prefix (emitted only for enabled sinks, in undo order).
+    Rollback {
+        /// Un-moved vertex id.
+        vertex: u64,
+        /// Weighted cut after the undo.
+        cut: u64,
+    },
+    /// The pass corked (§2.3): it ended with movable vertices left in the
+    /// containers but moved fewer than `CORKED_FRACTION` of its eligible
+    /// vertices.
+    Corked {
+        /// Zero-based pass index.
+        pass: usize,
+        /// Moves tentatively made.
+        moves_made: usize,
+        /// Eligible vertices at pass start.
+        eligible: usize,
+    },
+    /// The pass finished (after rollback).
+    PassEnd {
+        /// Zero-based pass index.
+        pass: usize,
+        /// Weighted cut after rollback to the best prefix.
+        cut: u64,
+        /// Moves tentatively made.
+        moves_made: usize,
+        /// Moves undone by the rollback.
+        moves_rolled_back: usize,
+        /// Whether the pass ended with movable vertices still available
+        /// (the corking precondition).
+        leftovers: bool,
+        /// Whether the pass corked.
+        corked: bool,
+    },
+    /// Coarsening produced the next (smaller) level of the hierarchy.
+    LevelDown {
+        /// One-based coarse level index (1 = first clustering).
+        level: usize,
+        /// Vertices of the coarse graph.
+        vertices: usize,
+        /// Nets of the coarse graph.
+        nets: usize,
+    },
+    /// Uncoarsening is about to refine at a level (0 = the input graph).
+    LevelUp {
+        /// Level index about to be refined (0 = input graph).
+        level: usize,
+        /// Vertices of the graph at this level.
+        vertices: usize,
+        /// Nets of the graph at this level.
+        nets: usize,
+    },
+    /// A V-cycle on the incumbent best solution starts.
+    VcycleBegin {
+        /// Zero-based V-cycle index.
+        index: usize,
+        /// Incumbent cut entering the cycle.
+        cut: u64,
+    },
+    /// The V-cycle finished.
+    VcycleEnd {
+        /// Zero-based V-cycle index.
+        index: usize,
+        /// Cut produced by the cycle (kept only if it improves).
+        cut: u64,
+    },
+}
+
+/// Event kind names, in [`RunEvent::kind_index`] order.
+pub const EVENT_KINDS: [&str; 14] = [
+    "trial_begin",
+    "trial_end",
+    "run_begin",
+    "run_end",
+    "pass_begin",
+    "overweight_excluded",
+    "move",
+    "rollback",
+    "corked",
+    "pass_end",
+    "level_down",
+    "level_up",
+    "vcycle_begin",
+    "vcycle_end",
+];
+
+impl RunEvent {
+    /// Stable snake_case name of the variant (the `"ev"` field of the
+    /// JSONL schema).
+    pub fn kind(&self) -> &'static str {
+        EVENT_KINDS[self.kind_index()]
+    }
+
+    /// Dense index of the variant, for counter arrays.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            RunEvent::TrialBegin { .. } => 0,
+            RunEvent::TrialEnd { .. } => 1,
+            RunEvent::RunBegin { .. } => 2,
+            RunEvent::RunEnd { .. } => 3,
+            RunEvent::PassBegin { .. } => 4,
+            RunEvent::OverweightExcluded { .. } => 5,
+            RunEvent::Move { .. } => 6,
+            RunEvent::Rollback { .. } => 7,
+            RunEvent::Corked { .. } => 8,
+            RunEvent::PassEnd { .. } => 9,
+            RunEvent::LevelDown { .. } => 10,
+            RunEvent::LevelUp { .. } => 11,
+            RunEvent::VcycleBegin { .. } => 12,
+            RunEvent::VcycleEnd { .. } => 13,
+        }
+    }
+
+    /// Serializes the event as a flat JSON object with an `"ev"` kind
+    /// field (one line of the JSONL schema).
+    pub fn to_json(&self) -> JsonValue {
+        let ev = ("ev", JsonValue::string(self.kind()));
+        match self {
+            RunEvent::TrialBegin {
+                trial,
+                seed,
+                heuristic,
+                instance,
+            } => JsonValue::object([
+                ev,
+                ("trial", (*trial).into()),
+                ("seed", (*seed).into()),
+                ("heuristic", JsonValue::string(heuristic.clone())),
+                ("instance", JsonValue::string(instance.clone())),
+            ]),
+            RunEvent::TrialEnd {
+                trial,
+                seed,
+                cut,
+                balanced,
+            } => JsonValue::object([
+                ev,
+                ("trial", (*trial).into()),
+                ("seed", (*seed).into()),
+                ("cut", (*cut).into()),
+                ("balanced", (*balanced).into()),
+            ]),
+            RunEvent::RunBegin { cut } => JsonValue::object([ev, ("cut", (*cut).into())]),
+            RunEvent::RunEnd { cut, passes } => {
+                JsonValue::object([ev, ("cut", (*cut).into()), ("passes", (*passes).into())])
+            }
+            RunEvent::PassBegin {
+                pass,
+                cut,
+                eligible,
+            } => JsonValue::object([
+                ev,
+                ("pass", (*pass).into()),
+                ("cut", (*cut).into()),
+                ("eligible", (*eligible).into()),
+            ]),
+            RunEvent::OverweightExcluded { pass, count } => {
+                JsonValue::object([ev, ("pass", (*pass).into()), ("count", (*count).into())])
+            }
+            RunEvent::Move { vertex, gain, cut } => JsonValue::object([
+                ev,
+                ("vertex", (*vertex).into()),
+                ("gain", (*gain).into()),
+                ("cut", (*cut).into()),
+            ]),
+            RunEvent::Rollback { vertex, cut } => {
+                JsonValue::object([ev, ("vertex", (*vertex).into()), ("cut", (*cut).into())])
+            }
+            RunEvent::Corked {
+                pass,
+                moves_made,
+                eligible,
+            } => JsonValue::object([
+                ev,
+                ("pass", (*pass).into()),
+                ("moves_made", (*moves_made).into()),
+                ("eligible", (*eligible).into()),
+            ]),
+            RunEvent::PassEnd {
+                pass,
+                cut,
+                moves_made,
+                moves_rolled_back,
+                leftovers,
+                corked,
+            } => JsonValue::object([
+                ev,
+                ("pass", (*pass).into()),
+                ("cut", (*cut).into()),
+                ("moves_made", (*moves_made).into()),
+                ("moves_rolled_back", (*moves_rolled_back).into()),
+                ("leftovers", (*leftovers).into()),
+                ("corked", (*corked).into()),
+            ]),
+            RunEvent::LevelDown {
+                level,
+                vertices,
+                nets,
+            } => JsonValue::object([
+                ev,
+                ("level", (*level).into()),
+                ("vertices", (*vertices).into()),
+                ("nets", (*nets).into()),
+            ]),
+            RunEvent::LevelUp {
+                level,
+                vertices,
+                nets,
+            } => JsonValue::object([
+                ev,
+                ("level", (*level).into()),
+                ("vertices", (*vertices).into()),
+                ("nets", (*nets).into()),
+            ]),
+            RunEvent::VcycleBegin { index, cut } => {
+                JsonValue::object([ev, ("index", (*index).into()), ("cut", (*cut).into())])
+            }
+            RunEvent::VcycleEnd { index, cut } => {
+                JsonValue::object([ev, ("index", (*index).into()), ("cut", (*cut).into())])
+            }
+        }
+    }
+
+    /// Parses one JSONL object back into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing/ill-typed field.
+    pub fn from_json(value: &JsonValue) -> Result<RunEvent, String> {
+        let kind = value
+            .get("ev")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing `ev` field")?;
+        let u = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("{kind}: missing u64 `{key}`"))
+        };
+        let us = |key: &str| -> Result<usize, String> { u(key).map(|x| x as usize) };
+        let i = |key: &str| -> Result<i64, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_i64)
+                .ok_or_else(|| format!("{kind}: missing i64 `{key}`"))
+        };
+        let b = |key: &str| -> Result<bool, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| format!("{kind}: missing bool `{key}`"))
+        };
+        let s = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{kind}: missing string `{key}`"))
+        };
+        match kind {
+            "trial_begin" => Ok(RunEvent::TrialBegin {
+                trial: u("trial")?,
+                seed: u("seed")?,
+                heuristic: s("heuristic")?,
+                instance: s("instance")?,
+            }),
+            "trial_end" => Ok(RunEvent::TrialEnd {
+                trial: u("trial")?,
+                seed: u("seed")?,
+                cut: u("cut")?,
+                balanced: b("balanced")?,
+            }),
+            "run_begin" => Ok(RunEvent::RunBegin { cut: u("cut")? }),
+            "run_end" => Ok(RunEvent::RunEnd {
+                cut: u("cut")?,
+                passes: us("passes")?,
+            }),
+            "pass_begin" => Ok(RunEvent::PassBegin {
+                pass: us("pass")?,
+                cut: u("cut")?,
+                eligible: us("eligible")?,
+            }),
+            "overweight_excluded" => Ok(RunEvent::OverweightExcluded {
+                pass: us("pass")?,
+                count: us("count")?,
+            }),
+            "move" => Ok(RunEvent::Move {
+                vertex: u("vertex")?,
+                gain: i("gain")?,
+                cut: u("cut")?,
+            }),
+            "rollback" => Ok(RunEvent::Rollback {
+                vertex: u("vertex")?,
+                cut: u("cut")?,
+            }),
+            "corked" => Ok(RunEvent::Corked {
+                pass: us("pass")?,
+                moves_made: us("moves_made")?,
+                eligible: us("eligible")?,
+            }),
+            "pass_end" => Ok(RunEvent::PassEnd {
+                pass: us("pass")?,
+                cut: u("cut")?,
+                moves_made: us("moves_made")?,
+                moves_rolled_back: us("moves_rolled_back")?,
+                leftovers: b("leftovers")?,
+                corked: b("corked")?,
+            }),
+            "level_down" => Ok(RunEvent::LevelDown {
+                level: us("level")?,
+                vertices: us("vertices")?,
+                nets: us("nets")?,
+            }),
+            "level_up" => Ok(RunEvent::LevelUp {
+                level: us("level")?,
+                vertices: us("vertices")?,
+                nets: us("nets")?,
+            }),
+            "vcycle_begin" => Ok(RunEvent::VcycleBegin {
+                index: us("index")?,
+                cut: u("cut")?,
+            }),
+            "vcycle_end" => Ok(RunEvent::VcycleEnd {
+                index: us("index")?,
+                cut: u("cut")?,
+            }),
+            other => Err(format!("unknown event kind `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<RunEvent> {
+        vec![
+            RunEvent::TrialBegin {
+                trial: 0,
+                seed: 42,
+                heuristic: "ML LIFO".into(),
+                instance: "ibm01\"q".into(),
+            },
+            RunEvent::TrialEnd {
+                trial: 0,
+                seed: 42,
+                cut: 312,
+                balanced: true,
+            },
+            RunEvent::RunBegin { cut: 500 },
+            RunEvent::RunEnd {
+                cut: 300,
+                passes: 3,
+            },
+            RunEvent::PassBegin {
+                pass: 0,
+                cut: 500,
+                eligible: 120,
+            },
+            RunEvent::OverweightExcluded { pass: 0, count: 2 },
+            RunEvent::Move {
+                vertex: 17,
+                gain: -3,
+                cut: 503,
+            },
+            RunEvent::Rollback {
+                vertex: 17,
+                cut: 500,
+            },
+            RunEvent::Corked {
+                pass: 1,
+                moves_made: 2,
+                eligible: 120,
+            },
+            RunEvent::PassEnd {
+                pass: 1,
+                cut: 480,
+                moves_made: 2,
+                moves_rolled_back: 1,
+                leftovers: true,
+                corked: true,
+            },
+            RunEvent::LevelDown {
+                level: 1,
+                vertices: 60,
+                nets: 70,
+            },
+            RunEvent::LevelUp {
+                level: 0,
+                vertices: 120,
+                nets: 140,
+            },
+            RunEvent::VcycleBegin { index: 0, cut: 310 },
+            RunEvent::VcycleEnd { index: 0, cut: 305 },
+        ]
+    }
+
+    #[test]
+    fn kinds_are_dense_and_distinct() {
+        let events = samples();
+        assert_eq!(events.len(), EVENT_KINDS.len());
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.kind_index(), i);
+            assert_eq!(e.kind(), EVENT_KINDS[i]);
+        }
+    }
+
+    #[test]
+    fn json_round_trip_every_variant() {
+        for event in samples() {
+            let line = event.to_json().to_string();
+            let parsed = RunEvent::from_json(&JsonValue::parse(&line).unwrap()).unwrap();
+            assert_eq!(parsed, event, "{line}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        let missing = JsonValue::parse(r#"{"ev":"move","vertex":1}"#).unwrap();
+        assert!(RunEvent::from_json(&missing).is_err());
+        let unknown = JsonValue::parse(r#"{"ev":"warp"}"#).unwrap();
+        assert!(RunEvent::from_json(&unknown).is_err());
+        let no_ev = JsonValue::parse(r#"{"cut":1}"#).unwrap();
+        assert!(RunEvent::from_json(&no_ev).is_err());
+    }
+}

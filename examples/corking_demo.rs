@@ -40,7 +40,10 @@ fn demo(h: &Hypergraph, trials: usize) {
     );
 
     for (label, fm) in [
-        ("CLIP, corkable      ", FmConfig::clip().with_exclude_overweight(false)),
+        (
+            "CLIP, corkable      ",
+            FmConfig::clip().with_exclude_overweight(false),
+        ),
         ("CLIP + exclusion fix", FmConfig::clip()),
     ] {
         let engine = FmPartitioner::new(fm);
@@ -55,8 +58,6 @@ fn demo(h: &Hypergraph, trials: usize) {
         }
         let min = cuts.iter().min().copied().unwrap_or(0);
         let avg = cuts.iter().sum::<u64>() as f64 / cuts.len() as f64;
-        println!(
-            "  {label}: corked passes {corked}/{passes}, cuts min/avg {min}/{avg:.0}"
-        );
+        println!("  {label}: corked passes {corked}/{passes}, cuts min/avg {min}/{avg:.0}");
     }
 }

@@ -40,9 +40,10 @@ fn main() {
     println!("random placement    : HPWL {:>12.0}", hpwl(&h, &random));
 
     // Strong partitioner, with and without terminal propagation.
-    for (label, terminal_propagation) in
-        [("min-cut, no term-prop", false), ("min-cut + term-prop ", true)]
-    {
+    for (label, terminal_propagation) in [
+        ("min-cut, no term-prop", false),
+        ("min-cut + term-prop ", true),
+    ] {
         let t = Instant::now();
         let placer = TopDownPlacer::new(PlacerConfig {
             terminal_propagation,
@@ -88,12 +89,7 @@ fn main() {
 }
 
 /// ASCII density map: darker glyph = more cell area in the bin.
-fn density_map(
-    h: &hypart::Hypergraph,
-    placement: &Placement,
-    die: Rect,
-    bins: usize,
-) -> String {
+fn density_map(h: &hypart::Hypergraph, placement: &Placement, die: Rect, bins: usize) -> String {
     let mut grid = vec![0u64; bins * bins];
     for (v, p) in placement.iter() {
         let bx = (((p.x - die.x0) / die.width()) * bins as f64) as usize;

@@ -72,6 +72,9 @@ fn ascii_trajectory(trace: &[u64], width: usize, height: usize) -> String {
         out.push_str(std::str::from_utf8(&row).expect("ascii"));
         out.push('\n');
     }
-    out.push_str(&format!("  cut range [{lo}, {hi}], {} moves\n", trace.len()));
+    out.push_str(&format!(
+        "  cut range [{lo}, {hi}], {} moves\n",
+        trace.len()
+    ));
     out
 }

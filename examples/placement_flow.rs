@@ -65,8 +65,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 PartId::P1 => right.push(orig),
             }
         }
-        regions.push(Region { cells: left, depth: region.depth + 1 });
-        regions.push(Region { cells: right, depth: region.depth + 1 });
+        regions.push(Region {
+            cells: left,
+            depth: region.depth + 1,
+        });
+        regions.push(Region {
+            cells: right,
+            depth: region.depth + 1,
+        });
     }
 
     println!(

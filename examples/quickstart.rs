@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir();
     hypart::hypergraph::io::hgr::write_path(&h, dir.join("quickstart.hgr"))?;
     hypart::hypergraph::io::partfile::write_path(&ml.assignment, dir.join("quickstart.part"))?;
-    println!("wrote {0}/quickstart.hgr and {0}/quickstart.part", dir.display());
+    println!(
+        "wrote {0}/quickstart.hgr and {0}/quickstart.part",
+        dir.display()
+    );
 
     Ok(())
 }

@@ -21,6 +21,7 @@
 //! | [`baselines`] | `hypart-baselines` | spectral ratio-cut and simulated-annealing comparison baselines |
 //! | [`benchgen`] | `hypart-benchgen` | ISPD98-like / MCNC-like / random instance generators |
 //! | [`eval`] | `hypart-eval` | trial runner, statistics, BSF curves, Pareto frontiers, ranking diagrams, tables |
+//! | [`trace`] | `hypart-trace` | [`trace::RunEvent`] stream, [`trace::TraceSink`] impls (null/memory/JSONL/counter), JSON builder |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use hypart_hypergraph as hypergraph;
 pub use hypart_kway as kway;
 pub use hypart_ml as ml;
 pub use hypart_place as place;
+pub use hypart_trace as trace;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
@@ -66,6 +68,9 @@ pub mod prelude {
     pub use hypart_kway::{recursive_bisection, KWayBalance, KWayConfig, KWayFmPartitioner};
     pub use hypart_ml::{multi_start, MlConfig, MlPartitioner};
     pub use hypart_place::{hpwl, PlacerConfig, Rect, TopDownPlacer};
+    pub use hypart_trace::{
+        CounterSink, JsonlSink, MemorySink, NullSink, RunEvent, TeeSink, TraceSink,
+    };
 }
 
 #[doc(inline)]

@@ -21,27 +21,41 @@ fn flat_fm_matches_brute_force_on_toys() {
             .map(|s| FmPartitioner::new(FmConfig::lifo()).run(&h, &c, s).cut)
             .min()
             .expect("runs");
-        assert_eq!(best, optimal, "{}: best {best} vs optimal {optimal}", h.name());
+        assert_eq!(
+            best,
+            optimal,
+            "{}: best {best} vs optimal {optimal}",
+            h.name()
+        );
     }
 }
 
 #[test]
 fn multilevel_beats_flat_on_average() {
+    // Deterministic formulation: fixed seed set, median-over-N comparison.
+    // The median of 9 trials is far more stable than a mean of 5, so the
+    // assertion reflects the paper's actual claim (multilevel dominates
+    // flat FM in distribution) rather than one stream's luck.
+    let median = |set: &hypart::eval::runner::TrialSet| -> f64 {
+        let mut cuts = set.cuts();
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite cuts"));
+        cuts[cuts.len() / 2]
+    };
     let h = ispd98_like(1, 0.05, 17);
     let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
     let flat = run_trials(
         &FlatFmHeuristic::new("flat", FmConfig::lifo()),
         &h,
         &c,
-        5,
+        9,
         0,
     );
-    let ml = run_trials(&MlHeuristic::new("ml", MlConfig::ml_lifo()), &h, &c, 5, 0);
+    let ml = run_trials(&MlHeuristic::new("ml", MlConfig::ml_lifo()), &h, &c, 9, 0);
     assert!(
-        ml.avg_cut() <= flat.avg_cut(),
-        "ml {} vs flat {}",
-        ml.avg_cut(),
-        flat.avg_cut()
+        median(&ml) <= median(&flat),
+        "ml median {} vs flat median {}",
+        median(&ml),
+        median(&flat)
     );
 }
 
@@ -51,8 +65,14 @@ fn looser_balance_never_hurts_best_cut() {
     let tight = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.02);
     let loose = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
     let ml = MlPartitioner::new(MlConfig::ml_lifo());
-    let best_tight = (0..4).map(|s| ml.run(&h, &tight, s).cut).min().expect("runs");
-    let best_loose = (0..4).map(|s| ml.run(&h, &loose, s).cut).min().expect("runs");
+    let best_tight = (0..4)
+        .map(|s| ml.run(&h, &tight, s).cut)
+        .min()
+        .expect("runs");
+    let best_loose = (0..4)
+        .map(|s| ml.run(&h, &loose, s).cut)
+        .min()
+        .expect("runs");
     assert!(
         best_loose <= best_tight,
         "loose {best_loose} should be <= tight {best_tight}"
@@ -64,8 +84,12 @@ fn fixed_terminals_are_honored_through_the_whole_stack() {
     let h = with_pad_ring(&ispd98_like(1, 0.03, 31), 30, 2);
     let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
     for outcome in [
-        MlPartitioner::new(MlConfig::ml_lifo()).run(&h, &c, 3).assignment,
-        FmPartitioner::new(FmConfig::clip()).run(&h, &c, 3).assignment,
+        MlPartitioner::new(MlConfig::ml_lifo())
+            .run(&h, &c, 3)
+            .assignment,
+        FmPartitioner::new(FmConfig::clip())
+            .run(&h, &c, 3)
+            .assignment,
     ] {
         for v in h.vertices() {
             if let Some(p) = h.fixed_part(v) {
@@ -108,19 +132,24 @@ fn netd_round_trip_preserves_fixed_pads() {
 fn unit_area_mode_masks_corking_and_actual_area_exposes_it() {
     // The §2.3 claim end-to-end: corkable CLIP corks on actual areas under
     // a tight window, but not on the unit-area variant of the same
-    // instance.
-    let actual = ispd98_like(1, 0.05, 13);
-    let unit = actual.to_unit_area().with_name("unit");
+    // instance. Summed over a fixed set of instance and trial seeds so the
+    // signal is deterministic rather than hinging on one lucky stream.
     let corkable = FmPartitioner::new(FmConfig::clip().with_exclude_overweight(false));
-
     let corked_on = |h: &Hypergraph| -> usize {
         let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.02);
-        (0..6)
+        (0..12)
             .map(|s| corkable.run(h, &c, s).stats.corked_passes())
             .sum()
     };
-    let actual_corked = corked_on(&actual);
-    let unit_corked = corked_on(&unit);
+
+    let mut actual_corked = 0;
+    let mut unit_corked = 0;
+    for instance_seed in [13, 17, 23] {
+        let actual = ispd98_like(1, 0.05, instance_seed);
+        let unit = actual.to_unit_area().with_name("unit");
+        actual_corked += corked_on(&actual);
+        unit_corked += corked_on(&unit);
+    }
     assert!(
         actual_corked > unit_corked,
         "actual-area corked {actual_corked} vs unit-area {unit_corked}"

@@ -3,8 +3,7 @@
 //! which direction the numbers move).
 
 use hypart_bench::{
-    corking_experiment, instance, table2, table3, table45, tol2, ExperimentConfig,
-    TABLE45_STARTS,
+    corking_experiment, instance, table2, table3, table45, tol2, ExperimentConfig, TABLE45_STARTS,
 };
 use hypart_eval::runner::{run_trials, MultiStartHeuristic};
 use hypart_ml::MlConfig;
@@ -115,7 +114,12 @@ fn corking_shape_exclusion_reduces_corked_passes_on_actual_areas() {
         .map(|l| l.split(',').map(str::to_string).collect())
         .collect();
     let corked_of = |row: &[String]| -> u64 {
-        row[3].split('/').next().expect("pair").parse().expect("corked count")
+        row[3]
+            .split('/')
+            .next()
+            .expect("pair")
+            .parse()
+            .expect("corked count")
     };
     let mut corkable_total = 0u64;
     let mut fixed_total = 0u64;

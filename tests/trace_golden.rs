@@ -1,0 +1,68 @@
+//! Golden-file test of the JSONL trace schema: the byte-exact stream a
+//! fixed toy run emits is pinned under `tests/golden/`, so any schema
+//! drift (field rename, ordering change, number formatting) fails loudly
+//! instead of silently breaking downstream consumers.
+//!
+//! To regenerate after an *intentional* schema change:
+//! `UPDATE_GOLDEN=1 cargo test --test trace_golden`.
+
+use hypart::prelude::*;
+use hypart::trace::json::JsonValue;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_toy.jsonl");
+
+/// The fixed toy run: two 4-cliques bridged by two nets, flat LIFO FM,
+/// seed 3. Small enough that the whole trace stays reviewable in a diff.
+fn toy_trace() -> String {
+    let mut b = HypergraphBuilder::new();
+    let v: Vec<_> = (0..8).map(|_| b.add_vertex(1)).collect();
+    for g in [&v[0..4], &v[4..8]] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_net([g[i], g[j]], 1).unwrap();
+            }
+        }
+    }
+    b.add_net([v[0], v[4]], 1).unwrap();
+    b.add_net([v[3], v[7]], 1).unwrap();
+    let h = b.build().unwrap();
+
+    let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.25);
+    let sink = JsonlSink::new(Vec::new());
+    FmPartitioner::new(FmConfig::lifo()).run_traced(&h, &c, 3, &sink);
+    String::from_utf8(sink.finish().expect("in-memory write")).expect("utf-8")
+}
+
+#[test]
+fn jsonl_schema_matches_golden_file() {
+    let got = toy_trace();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).expect("write golden");
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create");
+    assert_eq!(
+        got, want,
+        "JSONL trace schema drifted from tests/golden/trace_toy.jsonl; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_lines_parse_back_to_events() {
+    let text = toy_trace();
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let value = JsonValue::parse(line).unwrap_or_else(|e| panic!("line {i}: {e}"));
+        let event = RunEvent::from_json(&value).unwrap_or_else(|e| panic!("line {i}: {e}"));
+        // Round-trip: event -> JSON -> text reproduces the line exactly.
+        assert_eq!(event.to_json().to_string(), line, "line {i}");
+        events.push(event);
+    }
+    assert!(matches!(events.first(), Some(RunEvent::RunBegin { .. })));
+    assert!(matches!(events.last(), Some(RunEvent::RunEnd { .. })));
+    // Every line advertises its kind in the "ev" field.
+    for (event, line) in events.iter().zip(text.lines()) {
+        assert!(line.contains(&format!("\"ev\":\"{}\"", event.kind())));
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API subset its benches use: [`Criterion`],
+//! [`benchmark_group`](Criterion::benchmark_group),
+//! [`bench_function`](Criterion::bench_function), [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally minimal: each benchmark runs
+//! `sample_size` timed samples and reports min / mean / max wall-clock
+//! per iteration. Under `cargo test` (cargo passes `--test`) every
+//! benchmark executes exactly once, as upstream does, so benches act as
+//! smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// computation whose result is unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim times routines
+/// individually, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        }
+    }
+
+    /// Times `routine` for the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {id:<40} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "bench {id:<40} {:>12.2?} .. {:>12.2?} (mean {:>12.2?}, n={})",
+        min,
+        max,
+        mean,
+        samples.len()
+    );
+}
+
+/// The benchmark manager.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.effective_samples());
+        f(&mut bencher);
+        report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Sets the sample size for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, optionally with a shared
+/// configuration expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = ::core::default::Default::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Mirror upstream: `cargo bench -- --list` prints nothing
+            // fancy, and `cargo test` (which passes `--test`) still runs
+            // every benchmark once via Criterion::test_mode.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| black_box(2 + 2)));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || 21u64,
+                |x| {
+                    runs += 1;
+                    x * 2
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+}
