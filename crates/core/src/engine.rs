@@ -11,9 +11,9 @@ use rand::{Rng, SeedableRng};
 use crate::balance::BalanceConstraint;
 use crate::bisection::Bisection;
 use crate::config::{FmConfig, IllegalHeadPolicy, SelectionRule, TieBreak, ZeroDeltaPolicy};
-use crate::gain::GainContainer;
 use crate::initial::generate_initial;
 use crate::stats::{FmStats, PassStats, CORKED_FRACTION};
+use crate::workspace::FmWorkspace;
 use hypart_hypergraph::{Hypergraph, PartId, VertexId};
 use hypart_trace::{NullSink, RunEvent, TraceSink};
 
@@ -112,17 +112,39 @@ impl FmPartitioner {
         rng: &mut R,
         sink: &S,
     ) -> FmStats {
+        let mut workspace = FmWorkspace::new();
+        self.refine_traced_with(bisection, constraint, rng, sink, &mut workspace)
+    }
+
+    /// [`refine_traced`](FmPartitioner::refine_traced) with an external
+    /// [`FmWorkspace`]: the gain containers and scratch vectors come from
+    /// (and return to) `workspace`, so a caller that refines many times —
+    /// the multilevel driver at every level of every start — pays the
+    /// container setup O(len + buckets touched) instead of
+    /// O(V + bucket range) allocate-and-zero per call. Results are
+    /// identical to the workspace-free entry points.
+    pub fn refine_traced_with<R: Rng, S: TraceSink + ?Sized>(
+        &self,
+        bisection: &mut Bisection<'_>,
+        constraint: &BalanceConstraint,
+        rng: &mut R,
+        sink: &S,
+        workspace: &mut FmWorkspace,
+    ) -> FmStats {
         let graph = bisection.graph();
-        let bound = (2 * graph.max_gain_bound()).max(1);
+        // Bucket range per selection rule: classic FM keys are true gains,
+        // bounded by ±max_gain_bound; only CLIP's cumulative delta-gain
+        // keys (current gain minus initial gain) need twice that.
+        let bound = match self.config.selection {
+            SelectionRule::Classic => graph.max_gain_bound(),
+            SelectionRule::Clip => 2 * graph.max_gain_bound(),
+        }
+        .max(1);
+        workspace.containers(2, graph.num_vertices(), bound);
         let mut state = PassState {
             config: &self.config,
             constraint,
-            containers: [
-                GainContainer::new(graph.num_vertices(), bound),
-                GainContainer::new(graph.num_vertices(), bound),
-            ],
-            eligible: Vec::new(),
-            moves: Vec::new(),
+            ws: workspace,
             last_moved_from: None,
             excluded_overweight: 0,
         };
@@ -154,13 +176,14 @@ impl FmPartitioner {
     }
 }
 
-/// Mutable working state shared across the passes of one refinement.
+/// Mutable working state shared across the passes of one refinement. The
+/// containers and scratch vectors live in the borrowed [`FmWorkspace`]
+/// (entries 0–1 of its pool, one per partition side), so they outlive the
+/// refinement and are reused by the next one.
 struct PassState<'c> {
     config: &'c FmConfig,
     constraint: &'c BalanceConstraint,
-    containers: [GainContainer; 2],
-    eligible: Vec<VertexId>,
-    moves: Vec<VertexId>,
+    ws: &'c mut FmWorkspace,
     last_moved_from: Option<PartId>,
     excluded_overweight: usize,
 }
@@ -174,7 +197,7 @@ impl PassState<'_> {
         pass_index: usize,
     ) -> PassStats {
         self.seed(bisection, rng);
-        self.moves.clear();
+        self.ws.moves.clear();
         self.last_moved_from = None;
 
         let cut_before = bisection.cut();
@@ -182,7 +205,7 @@ impl PassState<'_> {
         sink.emit(RunEvent::PassBegin {
             pass: pass_index,
             cut: cut_before,
-            eligible: self.eligible.len(),
+            eligible: self.ws.eligible.len(),
         });
         if self.excluded_overweight > 0 {
             sink.emit(RunEvent::OverweightExcluded {
@@ -208,10 +231,10 @@ impl PassState<'_> {
 
         let ended_with_leftovers = loop {
             let Some(v) = self.select(bisection) else {
-                break !self.containers[0].is_empty() || !self.containers[1].is_empty();
+                break !self.ws.pool[0].is_empty() || !self.ws.pool[1].is_empty();
             };
             let from = bisection.side(v);
-            self.containers[from.index()].remove(v);
+            self.ws.pool[from.index()].remove(v);
             let cut_prev = bisection.cut();
             self.apply_and_update(
                 bisection,
@@ -220,7 +243,7 @@ impl PassState<'_> {
                 &mut zero_delta_events,
                 &mut nonzero_delta_events,
             );
-            self.moves.push(v);
+            self.ws.moves.push(v);
             self.last_moved_from = Some(from);
             if self.config.record_trace {
                 cut_trace.push(bisection.cut());
@@ -237,7 +260,7 @@ impl PassState<'_> {
                 violation: self.constraint.total_violation(bisection),
                 cut: bisection.cut(),
                 margin: self.constraint.margin(bisection),
-                prefix: self.moves.len(),
+                prefix: self.ws.moves.len(),
             };
             if candidate.beats(&best, self.config.pass_best) {
                 best = candidate;
@@ -245,8 +268,8 @@ impl PassState<'_> {
         };
 
         // Roll back everything after the best prefix.
-        let rolled_back = self.moves.len() - best.prefix;
-        for &v in self.moves[best.prefix..].iter().rev() {
+        let rolled_back = self.ws.moves.len() - best.prefix;
+        for &v in self.ws.moves[best.prefix..].iter().rev() {
             bisection.move_vertex(v);
             if traced {
                 sink.emit(RunEvent::Rollback {
@@ -257,8 +280,8 @@ impl PassState<'_> {
         }
         debug_assert_eq!(bisection.cut(), best.cut);
 
-        let moves_made = self.moves.len();
-        let eligible = self.eligible.len();
+        let moves_made = self.ws.moves.len();
+        let eligible = self.ws.eligible.len();
         let corked = ended_with_leftovers
             && eligible > 0
             && moves_made * CORKED_FRACTION.1 < eligible * CORKED_FRACTION.0;
@@ -293,9 +316,10 @@ impl PassState<'_> {
     /// Seeds both gain containers for a fresh pass.
     fn seed<R: Rng>(&mut self, bisection: &Bisection<'_>, rng: &mut R) {
         let graph = bisection.graph();
-        self.containers[0].clear();
-        self.containers[1].clear();
-        self.eligible.clear();
+        let ws = &mut *self.ws;
+        ws.pool[0].clear();
+        ws.pool[1].clear();
+        ws.eligible.clear();
         self.excluded_overweight = 0;
         let window = self.constraint.window();
         for v in graph.vertices() {
@@ -306,21 +330,16 @@ impl PassState<'_> {
                 self.excluded_overweight += 1;
                 continue;
             }
-            self.eligible.push(v);
+            ws.eligible.push(v);
         }
         match self.config.selection {
             SelectionRule::Classic => {
                 // Insert in vertex-id order at each vertex's initial gain —
                 // itself an implicit decision; id order is the common
                 // "netlist order" choice.
-                for &v in &self.eligible {
+                for &v in &ws.eligible {
                     let side = bisection.side(v);
-                    self.containers[side.index()].insert(
-                        v,
-                        bisection.gain(v),
-                        self.config.insertion,
-                        rng,
-                    );
+                    ws.pool[side.index()].insert(v, bisection.gain(v), self.config.insertion, rng);
                 }
             }
             SelectionRule::Clip => {
@@ -328,12 +347,15 @@ impl PassState<'_> {
                 // the highest-initial-gain move at the head. Seeding in
                 // ascending gain order with head insertion realizes that
                 // (and is precisely what puts high-degree, high-area cells
-                // at the head — the corking setup of §2.3).
-                let mut order: Vec<VertexId> = self.eligible.clone();
-                order.sort_by_key(|&v| bisection.gain(v));
-                for &v in &order {
+                // at the head — the corking setup of §2.3). The sort runs
+                // in persistent scratch (same contents, same stable sort,
+                // same order as ever) instead of a per-pass clone.
+                ws.order.clear();
+                ws.order.extend_from_slice(&ws.eligible);
+                ws.order.sort_by_key(|&v| bisection.gain(v));
+                for &v in &ws.order {
                     let side = bisection.side(v);
-                    self.containers[side.index()].push_head(v, 0);
+                    ws.pool[side.index()].push_head(v, 0);
                 }
             }
         }
@@ -368,7 +390,7 @@ impl PassState<'_> {
 
     /// Finds the best selectable move from one side's container.
     fn scan_side(&mut self, bisection: &Bisection<'_>, side: PartId) -> Option<(VertexId, i64)> {
-        let container = &mut self.containers[side.index()];
+        let container = &mut self.ws.pool[side.index()];
         let mut key = container.descend_max()?;
         let min = container.min_key_bound();
         loop {
@@ -438,7 +460,7 @@ impl PassState<'_> {
                     continue;
                 }
                 let side_y = bisection.side(y);
-                if !self.containers[side_y.index()].contains(y) {
+                if !self.ws.pool[side_y.index()].contains(y) {
                     continue; // locked this pass, fixed, or excluded
                 }
                 let s = side_y.index();
@@ -446,7 +468,7 @@ impl PassState<'_> {
                 let contrib_before = i64::from(before[s] == 1) * w - i64::from(before[o] == 0) * w;
                 let contrib_after = i64::from(after[s] == 1) * w - i64::from(after[o] == 0) * w;
                 let delta = contrib_after - contrib_before;
-                let container = &mut self.containers[s];
+                let container = &mut self.ws.pool[s];
                 if delta == 0 {
                     *zero_delta_events += 1;
                     if self.config.zero_delta == ZeroDeltaPolicy::All {

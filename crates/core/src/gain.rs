@@ -20,20 +20,35 @@ const NIL: u32 = u32::MAX;
 
 /// Bucket-array priority structure over vertices keyed by gain.
 ///
-/// Capacity is fixed at construction: vertex ids in `0..num_vertices`,
-/// keys in `-max_abs_key..=max_abs_key`. Exposed publicly so that other
-/// engines (e.g. k-way FM) can build on the same audited container — the
-/// paper argues that *benchmark algorithm implementations* in source form
-/// are as valuable as benchmark data.
+/// Capacity is set at construction (vertex ids in `0..num_vertices`, keys
+/// in `-max_abs_key..=max_abs_key`) and can be re-pointed at a new target
+/// with [`retarget`](Self::retarget), which keeps the allocations — this
+/// is what lets an [`crate::FmWorkspace`] reuse one arena across passes,
+/// levels, and starts. [`clear`](Self::clear) is O(len + buckets touched),
+/// not O(bucket range): insertions record the buckets they dirty and only
+/// those are reset. Exposed publicly so that other engines (e.g. k-way
+/// FM) can build on the same audited container — the paper argues that
+/// *benchmark algorithm implementations* in source form are as valuable
+/// as benchmark data.
 #[derive(Clone, Debug)]
 pub struct GainContainer {
+    /// Array capacity: bucket indices cover keys in `[-offset, offset]`.
+    /// May exceed `bound` after a [`retarget`](Self::retarget) to a
+    /// smaller key range (capacity is grow-only so reuse stays cheap).
     offset: i64,
+    /// Declared logical key bound: every stored key must lie in
+    /// `[-bound, bound]` (debug-asserted on every insertion).
+    bound: i64,
     head: Vec<u32>,
     tail: Vec<u32>,
     prev: Vec<u32>,
     next: Vec<u32>,
     key_of: Vec<i64>,
     present: Vec<bool>,
+    /// Bucket indices dirtied since the last clear — the lazy-clear
+    /// work list. A bucket is pushed at most once (guarded by `dirty`).
+    touched: Vec<u32>,
+    dirty: Vec<bool>,
     max_key: i64,
     len: usize,
 }
@@ -46,19 +61,54 @@ impl GainContainer {
         let buckets = (2 * max_abs_key + 1) as usize;
         GainContainer {
             offset: max_abs_key,
+            bound: max_abs_key,
             head: vec![NIL; buckets],
             tail: vec![NIL; buckets],
             prev: vec![NIL; num_vertices],
             next: vec![NIL; num_vertices],
             key_of: vec![0; num_vertices],
             present: vec![false; num_vertices],
+            touched: Vec::new(),
+            dirty: vec![false; buckets],
             max_key: -max_abs_key - 1,
             len: 0,
         }
     }
 
+    /// Re-points this container at a (possibly different) vertex count and
+    /// key bound, clearing it. Arena reuse for [`crate::FmWorkspace`]:
+    /// existing allocations are kept and only *grown* when the new target
+    /// exceeds capacity, so re-targeting an already-large container is
+    /// O(len + buckets touched) instead of O(V + bucket range).
+    pub fn retarget(&mut self, num_vertices: usize, max_abs_key: i64) {
+        assert!(max_abs_key >= 0, "key bound must be non-negative");
+        self.clear();
+        if max_abs_key > self.offset {
+            // All buckets are NIL after the clear, so re-basing the
+            // key -> bucket mapping needs no relocation.
+            let buckets = (2 * max_abs_key + 1) as usize;
+            self.head.resize(buckets, NIL);
+            self.tail.resize(buckets, NIL);
+            self.dirty.resize(buckets, false);
+            self.offset = max_abs_key;
+        }
+        if num_vertices > self.prev.len() {
+            self.prev.resize(num_vertices, NIL);
+            self.next.resize(num_vertices, NIL);
+            self.key_of.resize(num_vertices, 0);
+            self.present.resize(num_vertices, false);
+        }
+        self.bound = max_abs_key;
+        self.max_key = -max_abs_key - 1;
+    }
+
     #[inline]
     fn bucket(&self, key: i64) -> usize {
+        debug_assert!(
+            key >= -self.bound && key <= self.bound,
+            "key {key} out of declared bound ±{}",
+            self.bound
+        );
         let idx = key + self.offset;
         debug_assert!(
             idx >= 0 && (idx as usize) < self.head.len(),
@@ -66,6 +116,15 @@ impl GainContainer {
             self.offset
         );
         idx as usize
+    }
+
+    /// Marks `b` dirty, scheduling it for the next [`clear`](Self::clear).
+    #[inline]
+    fn touch(&mut self, b: usize) {
+        if !self.dirty[b] {
+            self.dirty[b] = true;
+            self.touched.push(b as u32);
+        }
     }
 
     /// Number of vertices currently stored.
@@ -121,6 +180,7 @@ impl GainContainer {
     pub fn push_head(&mut self, v: VertexId, key: i64) {
         debug_assert!(!self.present[v.index()], "{v:?} already present");
         let b = self.bucket(key);
+        self.touch(b);
         let old = self.head[b];
         self.next[v.index()] = old;
         self.prev[v.index()] = NIL;
@@ -140,6 +200,7 @@ impl GainContainer {
     pub fn push_tail(&mut self, v: VertexId, key: i64) {
         debug_assert!(!self.present[v.index()], "{v:?} already present");
         let b = self.bucket(key);
+        self.touch(b);
         let old = self.tail[b];
         self.prev[v.index()] = old;
         self.next[v.index()] = NIL;
@@ -199,13 +260,13 @@ impl GainContainer {
     /// highest non-empty key, or `None` if the container is empty.
     pub fn descend_max(&mut self) -> Option<i64> {
         if self.len == 0 {
-            self.max_key = -self.offset - 1;
+            self.max_key = -self.bound - 1;
             return None;
         }
-        while self.max_key >= -self.offset && self.head[self.bucket(self.max_key)] == NIL {
+        while self.max_key >= -self.bound && self.head[self.bucket(self.max_key)] == NIL {
             self.max_key -= 1;
         }
-        debug_assert!(self.max_key >= -self.offset);
+        debug_assert!(self.max_key >= -self.bound);
         Some(self.max_key)
     }
 
@@ -214,7 +275,7 @@ impl GainContainer {
     /// manual key iteration for selection scans.)
     #[inline]
     pub fn head_of(&self, key: i64) -> Option<VertexId> {
-        if key < -self.offset || key > self.offset {
+        if key < -self.bound || key > self.bound {
             return None;
         }
         let h = self.head[self.bucket(key)];
@@ -232,21 +293,37 @@ impl GainContainer {
     /// Minimum representable key.
     #[inline]
     pub fn min_key_bound(&self) -> i64 {
-        -self.offset
+        -self.bound
     }
 
-    /// Removes all vertices (bucket arrays are reset lazily by walking the
-    /// stored vertices; O(len + buckets touched)).
+    /// Number of buckets dirtied since the last clear — the exact count
+    /// the next [`clear`](Self::clear) will walk. Exposed so tests (and
+    /// diagnostics) can observe that clearing is O(len + buckets touched)
+    /// rather than O(bucket range).
+    #[inline]
+    pub fn touched_buckets(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Removes all vertices in O(len + buckets touched): only buckets an
+    /// insertion dirtied since the last clear are walked and reset — never
+    /// the whole bucket range, which for macro-heavy instances is orders
+    /// of magnitude wider than the set of keys actually used.
     pub fn clear(&mut self) {
-        if self.len > 0 {
-            for b in 0..self.head.len() {
-                self.head[b] = NIL;
-                self.tail[b] = NIL;
+        for &b in &self.touched {
+            let b = b as usize;
+            let mut cur = self.head[b];
+            while cur != NIL {
+                self.present[cur as usize] = false;
+                cur = self.next[cur as usize];
             }
-            self.present.iter_mut().for_each(|p| *p = false);
-            self.len = 0;
+            self.head[b] = NIL;
+            self.tail[b] = NIL;
+            self.dirty[b] = false;
         }
-        self.max_key = -self.offset - 1;
+        self.touched.clear();
+        self.len = 0;
+        self.max_key = -self.bound - 1;
     }
 
     /// Full contents of the bucket at `key`, head to tail. Intended for
@@ -376,6 +453,54 @@ mod tests {
         // Reusable after clear.
         g.insert(v(2), 1, InsertionPolicy::Lifo, &mut r);
         assert_eq!(g.descend_max(), Some(1));
+    }
+
+    #[test]
+    fn clear_touches_only_dirtied_buckets() {
+        // Regression for the O(bucket-range) clear: with a huge key range,
+        // one insert must dirty exactly one bucket, and that is all the
+        // following clear is allowed to walk.
+        let mut g = GainContainer::new(4, 10_000);
+        let mut r = rng();
+        assert_eq!(g.touched_buckets(), 0);
+        g.insert(v(0), 9_999, InsertionPolicy::Lifo, &mut r);
+        assert_eq!(g.touched_buckets(), 1);
+        g.clear();
+        assert_eq!(g.touched_buckets(), 0);
+        assert!(g.is_empty());
+        assert!(!g.contains(v(0)));
+        // Moving a vertex between buckets dirties both; re-keying within
+        // the same bucket does not add a second entry.
+        g.insert(v(1), -5_000, InsertionPolicy::Lifo, &mut r);
+        g.update(v(1), 5_000, InsertionPolicy::Lifo, &mut r);
+        g.update(v(1), 5_000, InsertionPolicy::Lifo, &mut r);
+        assert_eq!(g.touched_buckets(), 2);
+        g.clear();
+        assert_eq!(g.touched_buckets(), 0);
+        assert_eq!(g.descend_max(), None);
+    }
+
+    #[test]
+    fn retarget_reuses_and_grows() {
+        let mut g = GainContainer::new(4, 5);
+        let mut r = rng();
+        g.insert(v(0), 5, InsertionPolicy::Lifo, &mut r);
+        // Shrink the key range: contents cleared, old keys now rejected.
+        g.retarget(8, 2);
+        assert!(g.is_empty());
+        assert_eq!(g.min_key_bound(), -2);
+        assert!(g.head_of(5).is_none());
+        g.insert(v(6), 2, InsertionPolicy::Lifo, &mut r);
+        assert_eq!(g.descend_max(), Some(2));
+        // Grow both dimensions: more vertices and a wider key range.
+        g.retarget(16, 12);
+        assert!(g.is_empty());
+        assert_eq!(g.min_key_bound(), -12);
+        g.insert(v(15), -12, InsertionPolicy::Fifo, &mut r);
+        g.insert(v(0), 12, InsertionPolicy::Fifo, &mut r);
+        assert_eq!(g.descend_max(), Some(12));
+        g.remove(v(0));
+        assert_eq!(g.descend_max(), Some(-12));
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod gain;
 mod initial;
 pub mod objective;
 mod stats;
+mod workspace;
 
 pub use balance::BalanceConstraint;
 pub use bisection::{Bisection, BisectionError};
@@ -66,3 +67,4 @@ pub use config::{
 pub use engine::{FmOutcome, FmPartitioner};
 pub use initial::generate_initial;
 pub use stats::{FmStats, PassStats, CORKED_FRACTION};
+pub use workspace::FmWorkspace;

@@ -7,7 +7,7 @@ use hypart_core::gain::GainContainer;
 use hypart_core::InsertionPolicy;
 use hypart_hypergraph::VertexId;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Naive reference: per-bucket `Vec` with explicit head-at-front order.
 #[derive(Default)]
@@ -53,16 +53,24 @@ impl NaiveModel {
 enum Op {
     InsertHead(u32, i64),
     InsertTail(u32, i64),
+    InsertRandom(u32, i64),
     Remove(u32),
     Update(u32, i64),
+    UpdateRandom(u32, i64),
+    Clear,
 }
 
 fn op_strategy(num_vertices: u32, key_bound: i64) -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..num_vertices, -key_bound..=key_bound).prop_map(|(v, k)| Op::InsertHead(v, k)),
         (0..num_vertices, -key_bound..=key_bound).prop_map(|(v, k)| Op::InsertTail(v, k)),
+        (0..num_vertices, -key_bound..=key_bound).prop_map(|(v, k)| Op::InsertRandom(v, k)),
         (0..num_vertices).prop_map(Op::Remove),
         (0..num_vertices, -key_bound..=key_bound).prop_map(|(v, k)| Op::Update(v, k)),
+        (0..num_vertices, -key_bound..=key_bound).prop_map(|(v, k)| Op::UpdateRandom(v, k)),
+        // Rarely useful more than once in a row, but Clear must appear so
+        // the O(len + touched) reset is exercised mid-sequence.
+        (0..num_vertices).prop_map(|_| Op::Clear),
     ]
 }
 
@@ -75,7 +83,12 @@ proptest! {
         const BOUND: i64 = 9;
         let mut real = GainContainer::new(N, BOUND);
         let mut model = NaiveModel::default();
-        let mut rng = SmallRng::seed_from_u64(0); // policy is explicit below
+        // Twin identically-seeded RNGs, consumed in lockstep: `rng` drives
+        // the real container's `InsertionPolicy::Random` coin flips and
+        // `twin` predicts them for the model. Both draw exactly once per
+        // Random-policy insertion, so they never diverge.
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        let mut twin = SmallRng::seed_from_u64(0xC0FFEE);
 
         for op in ops {
             match op {
@@ -87,6 +100,14 @@ proptest! {
                     real.insert(VertexId::new(v), k, InsertionPolicy::Fifo, &mut rng);
                     model.insert_tail(v, k);
                 }
+                Op::InsertRandom(v, k) if !model.contains(v) => {
+                    real.insert(VertexId::new(v), k, InsertionPolicy::Random, &mut rng);
+                    if twin.gen::<bool>() {
+                        model.insert_head(v, k);
+                    } else {
+                        model.insert_tail(v, k);
+                    }
+                }
                 Op::Remove(v) if model.contains(v) => {
                     real.remove(VertexId::new(v));
                     model.remove(v);
@@ -96,6 +117,21 @@ proptest! {
                     real.update(VertexId::new(v), k, InsertionPolicy::Lifo, &mut rng);
                     model.remove(v);
                     model.insert_head(v, k);
+                }
+                Op::UpdateRandom(v, k) if model.contains(v) => {
+                    real.update(VertexId::new(v), k, InsertionPolicy::Random, &mut rng);
+                    model.remove(v);
+                    if twin.gen::<bool>() {
+                        model.insert_head(v, k);
+                    } else {
+                        model.insert_tail(v, k);
+                    }
+                }
+                Op::Clear => {
+                    real.clear();
+                    model = NaiveModel::default();
+                    prop_assert_eq!(real.touched_buckets(), 0);
+                    prop_assert_eq!(real.descend_max(), None);
                 }
                 _ => continue, // skip ops invalid in the current state
             }

@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use crate::balance::KWayBalance;
 use crate::partition::KWayPartition;
 use hypart_core::gain::GainContainer;
-use hypart_core::{InsertionPolicy, CORKED_FRACTION};
+use hypart_core::{FmWorkspace, InsertionPolicy, CORKED_FRACTION};
 use hypart_hypergraph::{Hypergraph, VertexId};
 use hypart_trace::{NullSink, RunEvent, TraceSink};
 
@@ -107,11 +107,26 @@ impl KWayFmPartitioner {
         seed: u64,
         sink: &S,
     ) -> KWayOutcome {
+        let mut workspace = FmWorkspace::new();
+        self.run_traced_with(h, balance, seed, sink, &mut workspace)
+    }
+
+    /// [`run_traced`](KWayFmPartitioner::run_traced) with an external
+    /// [`FmWorkspace`] supplying the k·(k−1) gain-container grid (see
+    /// [`refine_traced_with`](KWayFmPartitioner::refine_traced_with)).
+    pub fn run_traced_with<S: TraceSink + ?Sized>(
+        &self,
+        h: &Hypergraph,
+        balance: &KWayBalance,
+        seed: u64,
+        sink: &S,
+        workspace: &mut FmWorkspace,
+    ) -> KWayOutcome {
         let k = balance.num_parts();
         let mut rng = SmallRng::seed_from_u64(seed);
         let assignment = initial_kway(h, k, &mut rng);
         let mut partition = KWayPartition::new(h, k, assignment);
-        let passes = self.refine_traced(&mut partition, balance, &mut rng, sink);
+        let passes = self.refine_traced_with(&mut partition, balance, &mut rng, sink, workspace);
         KWayOutcome {
             num_parts: k,
             cut: partition.cut(),
@@ -141,12 +156,29 @@ impl KWayFmPartitioner {
         rng: &mut R,
         sink: &S,
     ) -> usize {
+        let mut workspace = FmWorkspace::new();
+        self.refine_traced_with(partition, balance, rng, sink, &mut workspace)
+    }
+
+    /// [`refine_traced`](KWayFmPartitioner::refine_traced) with an
+    /// external [`FmWorkspace`]: the k·(k−1) container grid (stored as a
+    /// k² pool for direct `from·k + to` indexing) is re-targeted in place
+    /// instead of allocated per refinement — the k-way analogue of the
+    /// 2-way engine's workspace reuse, and a much larger saving since the
+    /// grid is k² containers wide. Results are identical to the
+    /// workspace-free entry points.
+    pub fn refine_traced_with<R: Rng, S: TraceSink + ?Sized>(
+        &self,
+        partition: &mut KWayPartition<'_>,
+        balance: &KWayBalance,
+        rng: &mut R,
+        sink: &S,
+        workspace: &mut FmWorkspace,
+    ) -> usize {
         let k = partition.num_parts();
         let graph = partition.graph();
         let bound = graph.max_gain_bound().max(1);
-        let mut containers: Vec<GainContainer> = (0..k * k)
-            .map(|_| GainContainer::new(graph.num_vertices(), bound))
-            .collect();
+        let containers = workspace.containers(k * k, graph.num_vertices(), bound);
 
         if sink.is_enabled() {
             sink.emit(RunEvent::RunBegin {
@@ -156,7 +188,7 @@ impl KWayFmPartitioner {
         let mut passes = 0;
         for pass in 0..self.config.max_passes {
             let before = (balance.total_violation(partition), partition.cut());
-            self.run_pass(partition, balance, &mut containers, rng, sink, pass);
+            self.run_pass(partition, balance, containers, rng, sink, pass);
             passes += 1;
             let after = (balance.total_violation(partition), partition.cut());
             if after >= before {

@@ -10,8 +10,10 @@ use rand::{Rng, SeedableRng};
 use crate::balance::KWayBalance;
 use crate::fm::{KWayConfig, KWayFmPartitioner, KWayOutcome};
 use crate::partition::KWayPartition;
+use hypart_core::FmWorkspace;
 use hypart_hypergraph::Hypergraph;
 use hypart_ml::coarsen::{build_hierarchy, CoarsenConfig};
+use hypart_trace::NullSink;
 
 /// Configuration of the multilevel k-way partitioner.
 #[derive(Clone, Debug, PartialEq)]
@@ -60,11 +62,22 @@ impl MlKWayPartitioner {
         let levels = build_hierarchy(h, &self.config.coarsen, None, &mut rng);
         let coarsest: &Hypergraph = levels.last().map_or(h, |l| &l.graph);
 
+        // One workspace serves every initial try and every level of the
+        // uncoarsening sweep: the k² gain-container grid is re-targeted in
+        // place instead of reallocated per engine invocation.
+        let mut workspace = FmWorkspace::new();
+
         // Initial partitioning: several full engine runs on the coarsest
         // graph, best kept (lexicographic on violation then cut).
         let mut best: Option<(u64, u64, Vec<u16>)> = None;
         for t in 0..self.config.initial_tries.max(1) {
-            let out = engine.run(coarsest, balance, rng.gen::<u64>() ^ t as u64);
+            let out = engine.run_traced_with(
+                coarsest,
+                balance,
+                rng.gen::<u64>() ^ t as u64,
+                &NullSink,
+                &mut workspace,
+            );
             let p = KWayPartition::new(coarsest, k, out.assignment);
             let score = (balance.total_violation(&p), p.cut());
             if best.as_ref().is_none_or(|(v, c, _)| score < (*v, *c)) {
@@ -85,7 +98,13 @@ impl MlKWayPartitioner {
                 assignment = fine;
             }
             let mut partition = KWayPartition::new(graph, k, assignment);
-            total_passes += engine.refine(&mut partition, balance, &mut rng);
+            total_passes += engine.refine_traced_with(
+                &mut partition,
+                balance,
+                &mut rng,
+                &NullSink,
+                &mut workspace,
+            );
             assignment = partition.into_assignment();
         }
 

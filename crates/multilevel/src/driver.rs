@@ -10,7 +10,7 @@
 use std::time::{Duration, Instant};
 
 use crate::partitioner::{MlOutcome, MlPartitioner};
-use hypart_core::BalanceConstraint;
+use hypart_core::{BalanceConstraint, FmWorkspace};
 use hypart_hypergraph::{Hypergraph, PartId};
 use hypart_trace::{MemorySink, NullSink, RunEvent, TraceSink};
 
@@ -89,12 +89,15 @@ pub fn multi_start_traced<S: TraceSink + ?Sized>(
 ) -> MultiStartOutcome {
     assert!(nruns >= 1, "multi_start needs at least one run");
     let t0 = Instant::now();
+    // One workspace for the whole sweep: every start (and the V-cycle
+    // tail) refines with the same re-targeted gain-container arenas.
+    let mut workspace = FmWorkspace::new();
     let mut starts = Vec::with_capacity(nruns);
     let mut best: Option<MlOutcome> = None;
     for i in 0..nruns {
         let seed = base_seed.wrapping_add(i as u64);
         let t = Instant::now();
-        let out = partitioner.run_traced(h, constraint, seed, sink);
+        let out = partitioner.run_traced_with(h, constraint, seed, sink, &mut workspace);
         starts.push(StartRecord {
             seed,
             cut: out.cut,
@@ -116,6 +119,7 @@ pub fn multi_start_traced<S: TraceSink + ?Sized>(
         max_vcycles,
         best,
         sink,
+        &mut workspace,
     );
 
     MultiStartOutcome {
@@ -132,6 +136,7 @@ pub fn multi_start_traced<S: TraceSink + ?Sized>(
 /// bracketing each cycle with `VcycleBegin`/`VcycleEnd` events. Shared
 /// tail of the sequential and parallel drivers — both must pick the same
 /// V-cycle seeds so their outcomes stay bitwise identical.
+#[allow(clippy::too_many_arguments)]
 fn vcycle_best<S: TraceSink + ?Sized>(
     partitioner: &MlPartitioner,
     h: &Hypergraph,
@@ -140,6 +145,7 @@ fn vcycle_best<S: TraceSink + ?Sized>(
     max_vcycles: usize,
     mut best: MlOutcome,
     sink: &S,
+    workspace: &mut FmWorkspace,
 ) -> (MlOutcome, usize) {
     let mut vcycles_applied = 0usize;
     for i in 0..max_vcycles {
@@ -149,7 +155,7 @@ fn vcycle_best<S: TraceSink + ?Sized>(
                 cut: best.cut,
             });
         }
-        let cycled = partitioner.vcycle_traced(
+        let cycled = partitioner.vcycle_traced_with(
             h,
             constraint,
             &best.assignment,
@@ -157,6 +163,7 @@ fn vcycle_best<S: TraceSink + ?Sized>(
                 .wrapping_add(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(i as u64),
             sink,
+            workspace,
         );
         vcycles_applied += 1;
         if sink.is_enabled() {
@@ -242,25 +249,30 @@ pub fn multi_start_parallel_traced<S: TraceSink + ?Sized>(
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= nruns {
-                    break;
+            scope.spawn(|| {
+                // Workspaces are owned, not shared: one per worker thread,
+                // reused across every start that thread picks up.
+                let mut workspace = FmWorkspace::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= nruns {
+                        break;
+                    }
+                    let seed = base_seed.wrapping_add(i as u64);
+                    let buffer = MemorySink::new();
+                    let t = Instant::now();
+                    let out = if traced {
+                        partitioner.run_traced_with(h, constraint, seed, &buffer, &mut workspace)
+                    } else {
+                        partitioner.run_traced_with(h, constraint, seed, &NullSink, &mut workspace)
+                    };
+                    let record = StartRecord {
+                        seed,
+                        cut: out.cut,
+                        elapsed: t.elapsed(),
+                    };
+                    *slot_cells[i].lock().expect("no poisoned slot") = Some((out, record, buffer));
                 }
-                let seed = base_seed.wrapping_add(i as u64);
-                let buffer = MemorySink::new();
-                let t = Instant::now();
-                let out = if traced {
-                    partitioner.run_traced(h, constraint, seed, &buffer)
-                } else {
-                    partitioner.run(h, constraint, seed)
-                };
-                let record = StartRecord {
-                    seed,
-                    cut: out.cut,
-                    elapsed: t.elapsed(),
-                };
-                *slot_cells[i].lock().expect("no poisoned slot") = Some((out, record, buffer));
             });
         }
     });
@@ -284,6 +296,7 @@ pub fn multi_start_parallel_traced<S: TraceSink + ?Sized>(
         }
     }
     let best = best.expect("nruns >= 1");
+    let mut workspace = FmWorkspace::new();
     let (best, vcycles_applied) = vcycle_best(
         partitioner,
         h,
@@ -292,6 +305,7 @@ pub fn multi_start_parallel_traced<S: TraceSink + ?Sized>(
         max_vcycles,
         best,
         sink,
+        &mut workspace,
     );
 
     MultiStartOutcome {

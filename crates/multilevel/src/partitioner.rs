@@ -6,7 +6,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::coarsen::{build_hierarchy, CoarsenConfig};
 use hypart_core::{
-    generate_initial, BalanceConstraint, Bisection, FmConfig, FmPartitioner, InitialSolution,
+    generate_initial, BalanceConstraint, Bisection, FmConfig, FmPartitioner, FmWorkspace,
+    InitialSolution,
 };
 use hypart_hypergraph::{Hypergraph, PartId};
 use hypart_trace::{NullSink, RunEvent, TraceSink};
@@ -110,6 +111,24 @@ impl MlPartitioner {
         seed: u64,
         sink: &S,
     ) -> MlOutcome {
+        let mut workspace = FmWorkspace::new();
+        self.run_traced_with(h, constraint, seed, sink, &mut workspace)
+    }
+
+    /// [`run_traced`](MlPartitioner::run_traced) with an external
+    /// [`FmWorkspace`] shared by the refinement at every level (and every
+    /// initial try): gain containers are re-targeted in place instead of
+    /// reallocated per refinement. The multi-start driver passes one
+    /// workspace across all its starts. Results are identical to the
+    /// workspace-free entry points.
+    pub fn run_traced_with<S: TraceSink + ?Sized>(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        seed: u64,
+        sink: &S,
+        workspace: &mut FmWorkspace,
+    ) -> MlOutcome {
         let mut rng = SmallRng::seed_from_u64(seed);
         let levels = build_hierarchy(h, &self.config.coarsen, None, &mut rng);
         emit_level_downs(&levels, sink);
@@ -117,9 +136,9 @@ impl MlPartitioner {
 
         // Initial partitioning on the coarsest graph: several seeded
         // greedy starts, each refined, best kept.
-        let initial = self.best_initial(coarsest, constraint, &mut rng, sink);
+        let initial = self.best_initial(coarsest, constraint, &mut rng, sink, workspace);
 
-        self.uncoarsen(h, &levels, initial, constraint, &mut rng, sink)
+        self.uncoarsen(h, &levels, initial, constraint, &mut rng, sink, workspace)
     }
 
     /// Applies one V-cycle to an existing solution: restricted coarsening
@@ -147,6 +166,22 @@ impl MlPartitioner {
         seed: u64,
         sink: &S,
     ) -> MlOutcome {
+        let mut workspace = FmWorkspace::new();
+        self.vcycle_traced_with(h, constraint, assignment, seed, sink, &mut workspace)
+    }
+
+    /// [`vcycle_traced`](MlPartitioner::vcycle_traced) with an external
+    /// [`FmWorkspace`] (see
+    /// [`run_traced_with`](MlPartitioner::run_traced_with)).
+    pub fn vcycle_traced_with<S: TraceSink + ?Sized>(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        assignment: &[PartId],
+        seed: u64,
+        sink: &S,
+        workspace: &mut FmWorkspace,
+    ) -> MlOutcome {
         assert_eq!(
             assignment.len(),
             h.num_vertices(),
@@ -167,7 +202,15 @@ impl MlPartitioner {
             coarse_assignment = next;
         }
 
-        self.uncoarsen(h, &levels, coarse_assignment, constraint, &mut rng, sink)
+        self.uncoarsen(
+            h,
+            &levels,
+            coarse_assignment,
+            constraint,
+            &mut rng,
+            sink,
+            workspace,
+        )
     }
 
     fn best_initial<R: Rng, S: TraceSink + ?Sized>(
@@ -176,6 +219,7 @@ impl MlPartitioner {
         constraint: &BalanceConstraint,
         rng: &mut R,
         sink: &S,
+        workspace: &mut FmWorkspace,
     ) -> Vec<PartId> {
         let engine = FmPartitioner::new(self.config.refine);
         let mut best: Option<(u64, u64, Vec<PartId>)> = None; // (violation, cut, parts)
@@ -188,7 +232,7 @@ impl MlPartitioner {
             let parts = generate_initial(coarsest, rule, rng);
             let mut bisection =
                 Bisection::new(coarsest, parts).expect("generated initial is valid");
-            engine.refine_traced(&mut bisection, constraint, rng, sink);
+            engine.refine_traced_with(&mut bisection, constraint, rng, sink, workspace);
             let score = (constraint.total_violation(&bisection), bisection.cut());
             if best.as_ref().is_none_or(|(v, c, _)| score < (*v, *c)) {
                 best = Some((score.0, score.1, bisection.into_assignment()));
@@ -206,6 +250,7 @@ impl MlPartitioner {
         constraint: &BalanceConstraint,
         rng: &mut R,
         sink: &S,
+        workspace: &mut FmWorkspace,
     ) -> MlOutcome {
         let engine = FmPartitioner::new(self.config.refine);
         let mut corked_passes = 0usize;
@@ -228,7 +273,7 @@ impl MlPartitioner {
             }
             let mut bisection =
                 Bisection::new(graph, assignment).expect("projected assignment is valid");
-            let stats = engine.refine_traced(&mut bisection, constraint, rng, sink);
+            let stats = engine.refine_traced_with(&mut bisection, constraint, rng, sink, workspace);
             corked_passes += stats.corked_passes();
             total_passes += stats.num_passes();
             assignment = bisection.into_assignment();

@@ -10,6 +10,7 @@ use hypart::prelude::*;
 use hypart::trace::json::JsonValue;
 
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_toy.jsonl");
+const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
 
 /// The fixed toy run: two 4-cliques bridged by two nets, flat LIFO FM,
 /// seed 3. Small enough that the whole trace stays reviewable in a diff.
@@ -46,6 +47,76 @@ fn jsonl_schema_matches_golden_file() {
         "JSONL trace schema drifted from tests/golden/trace_toy.jsonl; \
          if intentional, regenerate with UPDATE_GOLDEN=1"
     );
+}
+
+/// Engine-level golden traces on a small `ispd98_like` instance: flat FM,
+/// CLIP, multilevel, and k-way each pin their full JSONL stream. These are
+/// the hot-path-optimization oracle — `FmWorkspace` reuse, per-rule bucket
+/// sizing, and the O(touched) container clear must all be *behaviorally
+/// invisible*, so the streams have to stay bitwise identical.
+///
+/// To regenerate after an *intentional* behavior change:
+/// `UPDATE_GOLDEN=1 cargo test --test trace_golden`.
+fn engine_traces() -> Vec<(&'static str, String)> {
+    use hypart::benchgen::ispd98_like;
+
+    let trace_of = |f: &dyn Fn(&JsonlSink<Vec<u8>>)| -> String {
+        let sink = JsonlSink::new(Vec::new());
+        f(&sink);
+        String::from_utf8(sink.finish().expect("in-memory write")).expect("utf-8")
+    };
+
+    let h = ispd98_like(1, 0.01, 13);
+    let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+    let flat = trace_of(&|sink| {
+        FmPartitioner::new(FmConfig::lifo()).run_traced(&h, &c, 5, sink);
+    });
+    let clip = trace_of(&|sink| {
+        FmPartitioner::new(FmConfig::clip()).run_traced(&h, &c, 5, sink);
+    });
+
+    let hm = ispd98_like(2, 0.012, 17);
+    let cm = BalanceConstraint::with_fraction(hm.total_vertex_weight(), 0.10);
+    let ml = trace_of(&|sink| {
+        hypart::ml::multi_start_traced(
+            &MlPartitioner::new(MlConfig::ml_clip()),
+            &hm,
+            &cm,
+            2,
+            9,
+            1,
+            sink,
+        );
+    });
+
+    let balance = KWayBalance::with_fraction(h.total_vertex_weight(), 4, 0.15);
+    let kway = trace_of(&|sink| {
+        KWayFmPartitioner::new(KWayConfig::default()).run_traced(&h, &balance, 5, sink);
+    });
+
+    vec![
+        ("trace_fm_ispd98.jsonl", flat),
+        ("trace_clip_ispd98.jsonl", clip),
+        ("trace_ml_ispd98.jsonl", ml),
+        ("trace_kway_ispd98.jsonl", kway),
+    ]
+}
+
+#[test]
+fn engine_jsonl_streams_match_golden_files() {
+    for (file, got) in engine_traces() {
+        let path = format!("{GOLDEN_DIR}/{file}");
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&path, &got).expect("write golden");
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|_| panic!("{file} missing — run with UPDATE_GOLDEN=1 to create"));
+        assert_eq!(
+            got, want,
+            "{file} drifted: the engines must emit bitwise-identical JSONL \
+             streams; if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+        );
+    }
 }
 
 #[test]
