@@ -82,6 +82,7 @@ macro_rules! impl_heuristic {
                     seed,
                     cut: out.cut,
                     balanced: out.balanced,
+                    stopped: hypart_core::StopReason::Completed,
                     elapsed: t.elapsed(),
                 }
             }

@@ -490,6 +490,7 @@ fn corked_stats(
             seed,
             cut: out.cut,
             balanced: out.balanced,
+            stopped: out.stopped,
             elapsed: t.elapsed(),
         });
     }

@@ -22,19 +22,21 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use hypart_core::{objective, BalanceConstraint, Bisection, FmConfig, FmPartitioner};
+use hypart_core::{
+    objective, BalanceConstraint, Bisection, FmConfig, FmPartitioner, RunCtx, StopReason,
+};
 use hypart_eval::bsf::BsfCurve;
 use hypart_eval::json::trial_set_to_json;
 use hypart_eval::report::Report;
-use hypart_eval::runner::{run_trials, FlatFmHeuristic, MlHeuristic};
+use hypart_eval::runner::{run_trials_with, FlatFmHeuristic, MlHeuristic};
 use hypart_eval::stats::wilcoxon_rank_sum;
 use hypart_hypergraph::{io, Hypergraph, PartId};
-use hypart_kway::{recursive_bisection, KWayBalance, KWayConfig, KWayFmPartitioner};
-use hypart_ml::{multi_start_traced, MlConfig, MlPartitioner};
+use hypart_kway::{recursive_bisection_with, KWayBalance, KWayConfig, KWayFmPartitioner};
+use hypart_ml::{multi_start_budgeted_with, multi_start_with, MlConfig, MlPartitioner};
 use hypart_place::{hpwl, PlacerConfig, Rect, RowLegalizer, TopDownPlacer};
-use hypart_trace::{CounterSink, JsonlSink, NullSink, TeeSink, TraceSink};
+use hypart_trace::{CounterSink, JsonlSink, TeeSink};
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -57,6 +59,11 @@ pub enum Command {
         output: Option<PathBuf>,
         /// Optional JSONL run-event trace path.
         trace: Option<PathBuf>,
+        /// Optional wall-clock budget in milliseconds. The engines stop
+        /// cooperatively at the deadline and report their best-so-far;
+        /// with `--engine hmetis` the driver keeps launching starts until
+        /// the budget expires instead of running a fixed count.
+        budget_ms: Option<u64>,
     },
     /// `eval <netlist> <partfile> [--tol F]`
     Eval {
@@ -100,6 +107,9 @@ pub enum Command {
         /// Output markdown path (defaults to `<input>.report.md`; a
         /// `.json` sibling carries the raw per-trial records).
         output: Option<PathBuf>,
+        /// Optional per-engine wall-clock budget in milliseconds; trials
+        /// past the deadline are skipped.
+        budget_ms: Option<u64>,
     },
     /// `gen <spec> --out <file>`
     Gen {
@@ -154,11 +164,11 @@ hypart — hypergraph partitioning for VLSI CAD
 USAGE:
   hypart partition <netlist> [--engine lifo|clip|ml-lifo|ml-clip|hmetis|kway]
                    [--k K] [--tol F] [--starts N] [--seed S] [--out FILE]
-                   [--trace FILE.jsonl]
+                   [--trace FILE.jsonl] [--budget-ms T]
   hypart eval <netlist> <partfile> [--tol F]
   hypart stats <netlist>
   hypart place <netlist> [--width W] [--height H] [--rows R] [--seed S] [--out FILE]
-  hypart report <netlist> [--trials N] [--tol F] [--seed S] [--out FILE]
+  hypart report <netlist> [--trials N] [--tol F] [--seed S] [--out FILE] [--budget-ms T]
   hypart gen <ibm01..ibm18|mcncN> [--scale S] [--seed K] --out FILE
 
 Netlists are read as hMETIS .hgr, or as simplified ISPD98 netD when the
@@ -185,6 +195,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         match flag_value(name) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("{name} takes a number")),
+        }
+    };
+    let parse_opt_u64 = |name: &str| -> Result<Option<u64>, String> {
+        match flag_value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("{name} takes an integer")),
         }
     };
     let positional: Vec<&str> = {
@@ -231,6 +250,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 seed: parse_flag("--seed", 1.0)? as u64,
                 output: flag_value("--out").map(PathBuf::from),
                 trace: flag_value("--trace").map(PathBuf::from),
+                budget_ms: parse_opt_u64("--budget-ms")?,
             })
         }
         "eval" => Ok(Command::Eval {
@@ -250,6 +270,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             tolerance: parse_flag("--tol", 0.02)?,
             seed: parse_flag("--seed", 1.0)? as u64,
             output: flag_value("--out").map(PathBuf::from),
+            budget_ms: parse_opt_u64("--budget-ms")?,
         }),
         "place" => Ok(Command::Place {
             input: positional.first().ok_or("place: missing <netlist>")?.into(),
@@ -310,6 +331,7 @@ pub fn run(command: Command) -> Result<String, String> {
             tolerance,
             seed,
             output,
+            budget_ms,
         } => {
             let h = load_netlist(&input)?;
             let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), tolerance);
@@ -323,26 +345,35 @@ pub fn run(command: Command) -> Result<String, String> {
                 tolerance * 100.0
             ));
 
-            let flat = run_trials(
+            // Each engine gets its own budget window so a slow engine
+            // cannot starve the ones evaluated after it.
+            let trial_ctx = |seed: u64| {
+                let ctx = RunCtx::new(seed);
+                match budget_ms {
+                    Some(ms) => ctx.with_budget(Duration::from_millis(ms)),
+                    None => ctx,
+                }
+            };
+            let flat = run_trials_with(
                 &FlatFmHeuristic::new("Flat LIFO FM", hypart_core::FmConfig::lifo()),
                 &h,
                 &c,
                 trials,
-                seed,
+                &mut trial_ctx(seed),
             );
-            let clip = run_trials(
+            let clip = run_trials_with(
                 &FlatFmHeuristic::new("Flat CLIP FM", hypart_core::FmConfig::clip()),
                 &h,
                 &c,
                 trials,
-                seed,
+                &mut trial_ctx(seed),
             );
-            let ml = run_trials(
+            let ml = run_trials_with(
                 &MlHeuristic::new("ML LIFO FM", MlConfig::ml_lifo()),
                 &h,
                 &c,
                 trials,
-                seed,
+                &mut trial_ctx(seed),
             );
 
             let mut table =
@@ -497,17 +528,26 @@ solution : {}
             seed,
             output,
             trace,
+            budget_ms,
         } => {
             let h = load_netlist(&input)?;
             let t0 = Instant::now();
-            let (assignment, cut, balanced, trace_note) = match &trace {
+            let make_ctx = || {
+                let ctx = RunCtx::new(seed);
+                match budget_ms {
+                    Some(ms) => ctx.with_budget(Duration::from_millis(ms)),
+                    None => ctx,
+                }
+            };
+            let (assignment, cut, balanced, stopped, trace_note) = match &trace {
                 Some(trace_path) => {
                     let file = std::fs::File::create(trace_path)
                         .map_err(|e| format!("{}: {e}", trace_path.display()))?;
                     let jsonl = JsonlSink::new(std::io::BufWriter::new(file));
                     let counters = CounterSink::new();
                     let tee = TeeSink::new(&jsonl, &counters);
-                    let result = partition_traced(&h, engine, k, tolerance, starts, seed, &tee);
+                    let mut ctx = make_ctx().with_sink(&tee);
+                    let result = partition_with(&h, engine, k, tolerance, starts, &mut ctx);
                     jsonl
                         .finish()
                         .map_err(|e| format!("{}: {e}", trace_path.display()))?;
@@ -516,12 +556,12 @@ solution : {}
                         trace_path.display(),
                         counters.summary()
                     );
-                    (result.0, result.1, result.2, note)
+                    (result.0, result.1, result.2, result.3, note)
                 }
                 None => {
-                    let (a, c, b) =
-                        partition_traced(&h, engine, k, tolerance, starts, seed, &NullSink);
-                    (a, c, b, String::new())
+                    let mut ctx = make_ctx();
+                    let (a, c, b, s) = partition_with(&h, engine, k, tolerance, starts, &mut ctx);
+                    (a, c, b, s, String::new())
                 }
             };
             let elapsed = t0.elapsed();
@@ -546,6 +586,13 @@ solution : {}
                 h.num_nets(),
                 out_path.display(),
             );
+            if stopped.is_stopped() {
+                let _ = writeln!(
+                    report,
+                    "stopped  : {} (best-so-far reported)",
+                    stopped.name()
+                );
+            }
             if !trace_note.is_empty() {
                 report.push_str(&trace_note);
             }
@@ -561,48 +608,46 @@ fn engine_ml_config(engine: Engine) -> MlConfig {
     }
 }
 
-/// Dispatches one partition invocation to the selected engine, narrating
-/// into `sink` (pass a `NullSink` for untraced runs). Recursive bisection
-/// for `k > 2` with a 2-way engine is the one path that stays silent —
-/// its sub-bisections have no uniform trace scope yet.
-fn partition_traced<S: TraceSink + ?Sized>(
+/// Dispatches one partition invocation to the selected engine under the
+/// context's sink, seed, and budget.
+fn partition_with(
     h: &Hypergraph,
     engine: Engine,
     k: usize,
     tolerance: f64,
     starts: usize,
-    seed: u64,
-    sink: &S,
-) -> (Vec<u16>, u64, bool) {
+    ctx: &mut RunCtx<'_>,
+) -> (Vec<u16>, u64, bool, StopReason) {
     if k == 2 {
         let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), tolerance);
-        let (parts, cut, balanced) = run_two_way_traced(h, &c, engine, starts, seed, sink);
+        let (parts, cut, balanced, stopped) = run_two_way_with(h, &c, engine, starts, ctx);
         (
             parts.iter().map(|p| p.index() as u16).collect(),
             cut,
             balanced,
+            stopped,
         )
     } else {
         let balance = KWayBalance::with_fraction(h.total_vertex_weight(), k, tolerance);
         let out = match engine {
             Engine::Kway => {
-                KWayFmPartitioner::new(KWayConfig::default()).run_traced(h, &balance, seed, sink)
+                KWayFmPartitioner::new(KWayConfig::default()).run_with(h, &balance, ctx)
             }
-            _ => recursive_bisection(h, k, tolerance, &engine_ml_config(engine), seed),
+            _ => recursive_bisection_with(h, k, tolerance, &engine_ml_config(engine), ctx),
         };
         let balanced = out.is_balanced(&balance);
-        (out.assignment, out.cut, balanced)
+        (out.assignment, out.cut, balanced, out.stopped)
     }
 }
 
-fn run_two_way_traced<S: TraceSink + ?Sized>(
+fn run_two_way_with(
     h: &Hypergraph,
     c: &BalanceConstraint,
     engine: Engine,
     starts: usize,
-    seed: u64,
-    sink: &S,
-) -> (Vec<PartId>, u64, bool) {
+    ctx: &mut RunCtx<'_>,
+) -> (Vec<PartId>, u64, bool, StopReason) {
+    let base_seed = ctx.seed;
     match engine {
         Engine::Lifo | Engine::Clip => {
             let fm = if engine == Engine::Lifo {
@@ -611,25 +656,59 @@ fn run_two_way_traced<S: TraceSink + ?Sized>(
                 FmConfig::clip()
             };
             let partitioner = FmPartitioner::new(fm);
-            let best = (0..starts.max(1) as u64)
-                .map(|i| partitioner.run_traced(h, c, seed.wrapping_add(i), sink))
-                .min_by_key(|o| (!o.balanced, o.cut))
-                .expect("at least one start");
-            (best.assignment, best.cut, best.balanced)
+            let mut best: Option<hypart_core::FmOutcome> = None;
+            let mut stopped = StopReason::Completed;
+            for i in 0..starts.max(1) as u64 {
+                ctx.seed = base_seed.wrapping_add(i);
+                let out = partitioner.run_with(h, c, ctx);
+                stopped = out.stopped;
+                if best
+                    .as_ref()
+                    .is_none_or(|b| (!out.balanced, out.cut) < (!b.balanced, b.cut))
+                {
+                    best = Some(out);
+                }
+                if stopped.is_stopped() {
+                    break;
+                }
+            }
+            ctx.seed = base_seed;
+            let best = best.expect("at least one start");
+            (best.assignment, best.cut, best.balanced, stopped)
         }
         Engine::MlLifo | Engine::MlClip => {
             let ml = MlPartitioner::new(engine_ml_config(engine));
-            let best = (0..starts.max(1) as u64)
-                .map(|i| ml.run_traced(h, c, seed.wrapping_add(i), sink))
-                .min_by_key(|o| (!o.balanced, o.cut))
-                .expect("at least one start");
-            (best.assignment, best.cut, best.balanced)
+            let mut best: Option<hypart_ml::MlOutcome> = None;
+            let mut stopped = StopReason::Completed;
+            for i in 0..starts.max(1) as u64 {
+                ctx.seed = base_seed.wrapping_add(i);
+                let out = ml.run_with(h, c, ctx);
+                stopped = out.stopped;
+                if best
+                    .as_ref()
+                    .is_none_or(|b| (!out.balanced, out.cut) < (!b.balanced, b.cut))
+                {
+                    best = Some(out);
+                }
+                if stopped.is_stopped() {
+                    break;
+                }
+            }
+            ctx.seed = base_seed;
+            let best = best.expect("at least one start");
+            (best.assignment, best.cut, best.balanced, stopped)
         }
         Engine::Hmetis | Engine::Kway => {
             // Kway with k == 2 degrades gracefully to the multistart driver.
             let ml = MlPartitioner::new(MlConfig::default());
-            let out = multi_start_traced(&ml, h, c, starts.max(1), seed, 4, sink);
-            (out.assignment, out.cut, out.balanced)
+            // With a budget the driver launches starts until the deadline
+            // instead of a fixed count.
+            let out = if ctx.deadline().is_some() {
+                multi_start_budgeted_with(&ml, h, c, ctx)
+            } else {
+                multi_start_with(&ml, h, c, starts.max(1), 4, ctx)
+            };
+            (out.assignment, out.cut, out.balanced, out.stopped)
         }
     }
 }
@@ -773,6 +852,7 @@ mod tests {
             seed: 5,
             output: Some(part.clone()),
             trace: None,
+            budget_ms: None,
         })
         .unwrap();
         assert!(report.contains("cut"), "{report}");
@@ -809,6 +889,7 @@ mod tests {
             seed: 5,
             output: None,
             trace: None,
+            budget_ms: None,
         })
         .unwrap();
         assert!(report.contains("k = 4"), "{report}");
@@ -879,6 +960,7 @@ mod tests {
             tolerance: 0.1,
             seed: 1,
             output: None,
+            budget_ms: None,
         })
         .unwrap();
         assert!(out.contains("report"), "{out}");

@@ -107,6 +107,22 @@ pub enum InitialSolution {
 /// The defaults are the strong choices identified in the paper; the
 /// constructors give the four named engine variants of Table 1 plus the
 /// deliberately weak "Reported"-style baselines of Tables 2–3.
+///
+/// Every field has a `with_*` builder, so any cell of the paper's Table 1
+/// grid is one chained expression. How the knobs map onto that grid:
+///
+/// | knob | Table 1 axis | strong default |
+/// |------|--------------|----------------|
+/// | [`selection`](Self::selection) | FM vs CLIP row family | `Classic` |
+/// | [`zero_delta`](Self::zero_delta) | "All∆gain" vs "Nonzero" columns | `Nonzero` |
+/// | [`tie_break`](Self::tie_break) | tie-break bias columns | `Away` |
+/// | [`insertion`](Self::insertion) | LIFO / FIFO / random rows | `Lifo` |
+/// | [`pass_best`](Self::pass_best) | §2.2 rollback decision | `LastSeen` |
+/// | [`illegal_head`](Self::illegal_head) | §2.3 bucket-head handling | `SkipBucket` |
+/// | [`exclude_overweight`](Self::exclude_overweight) | §2.3 anti-corking fix | `true` |
+/// | [`lookahead`](Self::lookahead) | §2.3 in-bucket lookahead | `1` |
+/// | [`max_passes`](Self::max_passes) | pass-limit stop rule | `64` |
+/// | [`initial`](Self::initial) | initial-solution generator | `RandomBalanced` |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct FmConfig {
     /// Classic FM or CLIP selection.
@@ -253,6 +269,23 @@ impl FmConfig {
     /// Returns this configuration with a different initial-solution rule.
     pub fn with_initial(mut self, initial: InitialSolution) -> Self {
         self.initial = initial;
+        self
+    }
+
+    /// Returns this configuration with a different illegal-head policy.
+    pub fn with_illegal_head(mut self, illegal_head: IllegalHeadPolicy) -> Self {
+        self.illegal_head = illegal_head;
+        self
+    }
+
+    /// Returns this configuration with a different pass limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_passes == 0` (the engine always runs one pass).
+    pub fn with_max_passes(mut self, max_passes: usize) -> Self {
+        assert!(max_passes >= 1, "max_passes must be at least 1");
+        self.max_passes = max_passes;
         self
     }
 

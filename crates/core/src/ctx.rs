@@ -1,0 +1,356 @@
+//! The execution context threaded through every engine entry point.
+//!
+//! The paper's §3 reporting methodology is built on quality–runtime
+//! tradeoffs — cost-at-time-τ distributions and best-so-far curves under
+//! a wall-clock budget — which requires every engine to be stoppable: told
+//! "you have τ milliseconds, hand back your best-so-far when they run
+//! out". [`RunCtx`] is the single vehicle for that and for every other
+//! cross-cutting execution concern:
+//!
+//! * an optional **deadline** ([`Instant`]) or relative budget,
+//! * a shared atomic **cancellation token** ([`CancelToken`]) flippable
+//!   from another thread,
+//! * the **trace sink** receiving [`RunEvent`](hypart_trace::RunEvent)s,
+//! * the reusable [`FmWorkspace`] scratch arenas,
+//! * the RNG **seed**.
+//!
+//! Engines take `&mut RunCtx` in their canonical `*_with` entry points;
+//! the plain `run`/`refine` conveniences construct a default context
+//! internally, so the two paths are byte-identical in behavior.
+//!
+//! # Budget checks
+//!
+//! Engines poll cooperatively through a [`BudgetProbe`] snapshot: at every
+//! pass boundary via [`BudgetProbe::stop_now`], and every
+//! [`RunCtx::move_check_interval`] moves inside a pass via
+//! [`BudgetProbe::stop_every`] (so a long pass on a large instance cannot
+//! overshoot the deadline by a full pass). On expiry or cancellation the
+//! engine finishes its best-prefix rollback, emits
+//! [`RunEvent::BudgetExhausted`](hypart_trace::RunEvent::BudgetExhausted),
+//! and returns a well-formed outcome flagged with the [`StopReason`] —
+//! never a panic, never a torn partition.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hypart_trace::{NullSink, StopReason, TraceSink};
+
+use crate::workspace::FmWorkspace;
+
+/// Default number of moves between mid-pass deadline checks.
+///
+/// `Instant::now` costs tens of nanoseconds; a gain-container move costs
+/// hundreds. Checking every 256 moves keeps the polling overhead well
+/// under 0.1% while bounding deadline overshoot to a few microseconds of
+/// work on any instance.
+pub const DEFAULT_MOVE_CHECK_INTERVAL: usize = 256;
+
+static NULL_SINK: NullSink = NullSink;
+
+/// A shared, clonable cancellation flag.
+///
+/// Clones observe the same underlying flag, so a driver can hand a clone
+/// to another thread (or a signal handler) and have every engine running
+/// under the originating [`RunCtx`] stop cooperatively at its next budget
+/// check.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The execution context for one partitioning run.
+///
+/// Bundles everything cross-cutting that used to be a separate entry-point
+/// axis (`run` / `run_traced` / `run_traced_with` …): the trace sink, the
+/// reusable workspace, the RNG seed, and the wall-clock budget /
+/// cancellation controls. Construct with [`RunCtx::new`] and chain the
+/// `with_*` builders:
+///
+/// ```
+/// use std::time::Duration;
+/// use hypart_core::RunCtx;
+///
+/// let mut ctx = RunCtx::new(42).with_budget(Duration::from_millis(50));
+/// assert_eq!(ctx.seed, 42);
+/// assert!(ctx.deadline().is_some());
+/// assert!(ctx.probe().stop_now().is_none());
+/// ```
+pub struct RunCtx<'s> {
+    /// Receiver of the run's [`RunEvent`](hypart_trace::RunEvent) stream.
+    pub sink: &'s dyn TraceSink,
+    /// Reusable scratch arenas, re-targeted by each engine invocation.
+    pub workspace: FmWorkspace,
+    /// Base RNG seed for the run.
+    pub seed: u64,
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+    check_moves: usize,
+}
+
+impl std::fmt::Debug for RunCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunCtx")
+            .field("seed", &self.seed)
+            .field("deadline", &self.deadline)
+            .field("cancel", &self.cancel)
+            .field("check_moves", &self.check_moves)
+            .field("sink_enabled", &self.sink.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for RunCtx<'static> {
+    fn default() -> Self {
+        RunCtx::new(0)
+    }
+}
+
+impl<'s> RunCtx<'s> {
+    /// A context with the given seed, no sink, no deadline, and a fresh
+    /// workspace — the exact behavior of the plain `run` entry points.
+    pub fn new(seed: u64) -> RunCtx<'static> {
+        RunCtx {
+            sink: &NULL_SINK,
+            workspace: FmWorkspace::new(),
+            seed,
+            deadline: None,
+            cancel: CancelToken::new(),
+            check_moves: DEFAULT_MOVE_CHECK_INTERVAL,
+        }
+    }
+
+    /// Replaces the trace sink (rebinding the context lifetime to it).
+    pub fn with_sink<'t>(self, sink: &'t dyn TraceSink) -> RunCtx<'t> {
+        RunCtx {
+            sink,
+            workspace: self.workspace,
+            seed: self.seed,
+            deadline: self.deadline,
+            cancel: self.cancel,
+            check_moves: self.check_moves,
+        }
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline to `budget` from now.
+    #[must_use]
+    pub fn with_budget(self, budget: Duration) -> Self {
+        let deadline = Instant::now() + budget;
+        self.with_deadline(deadline)
+    }
+
+    /// Shares an externally controlled cancellation token.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Replaces the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets how many moves elapse between mid-pass budget checks
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn with_move_check_interval(mut self, moves: usize) -> Self {
+        self.check_moves = moves.max(1);
+        self
+    }
+
+    /// Replaces the workspace (e.g. to reuse arenas across contexts).
+    #[must_use]
+    pub fn with_workspace(mut self, workspace: FmWorkspace) -> Self {
+        self.workspace = workspace;
+        self
+    }
+
+    /// The absolute deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// A clone of the cancellation token, for handing to other threads.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The number of moves between mid-pass budget checks.
+    pub fn move_check_interval(&self) -> usize {
+        self.check_moves
+    }
+
+    /// Snapshots the budget controls into an owned probe, so engines can
+    /// poll the deadline while holding `&mut` borrows of the workspace.
+    pub fn probe(&self) -> BudgetProbe {
+        BudgetProbe {
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+            check_moves: self.check_moves,
+            counter: 0,
+            latched: None,
+        }
+    }
+
+    /// A derived context for one unit of parallel work: same deadline,
+    /// same (shared) cancellation token and check interval, but its own
+    /// sink, seed, and fresh workspace. Parallel drivers give each start
+    /// a child whose sink is a per-start buffer, preserving the
+    /// sequential trace stream.
+    pub fn child<'t>(&self, sink: &'t dyn TraceSink, seed: u64) -> RunCtx<'t> {
+        RunCtx {
+            sink,
+            workspace: FmWorkspace::new(),
+            seed,
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+            check_moves: self.check_moves,
+        }
+    }
+}
+
+/// An owned snapshot of a context's budget controls.
+///
+/// Engines extract one probe up front ([`RunCtx::probe`]) and poll it
+/// during refinement; once a stop reason is observed it latches, so every
+/// later poll returns the same reason without re-reading the clock.
+#[derive(Clone, Debug)]
+pub struct BudgetProbe {
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+    check_moves: usize,
+    counter: usize,
+    latched: Option<StopReason>,
+}
+
+impl BudgetProbe {
+    /// A probe that never stops (no deadline, fresh token) — what the
+    /// unbudgeted convenience entry points use.
+    pub fn unbounded() -> Self {
+        BudgetProbe {
+            deadline: None,
+            cancel: CancelToken::new(),
+            check_moves: DEFAULT_MOVE_CHECK_INTERVAL,
+            counter: 0,
+            latched: None,
+        }
+    }
+
+    /// Checks the budget right now: cancellation first, then the
+    /// deadline. Returns the latched reason once stopped.
+    pub fn stop_now(&mut self) -> Option<StopReason> {
+        if self.latched.is_some() {
+            return self.latched;
+        }
+        if self.cancel.is_cancelled() {
+            self.latched = Some(StopReason::Cancelled);
+        } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.latched = Some(StopReason::Deadline);
+        }
+        self.latched
+    }
+
+    /// Counter-gated check for hot loops: performs the real check only
+    /// every `move_check_interval` calls (and returns the latched reason
+    /// in between). Call once per move.
+    pub fn stop_every(&mut self) -> Option<StopReason> {
+        self.counter += 1;
+        if self.counter >= self.check_moves {
+            self.counter = 0;
+            self.stop_now()
+        } else {
+            self.latched
+        }
+    }
+
+    /// The stop reason observed so far, [`StopReason::Completed`] if the
+    /// budget never ran out.
+    pub fn reason(&self) -> StopReason {
+        self.latched.unwrap_or(StopReason::Completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_never_stops() {
+        let ctx = RunCtx::new(7);
+        let mut probe = ctx.probe();
+        assert_eq!(probe.stop_now(), None);
+        for _ in 0..10_000 {
+            assert_eq!(probe.stop_every(), None);
+        }
+        assert_eq!(probe.reason(), StopReason::Completed);
+    }
+
+    #[test]
+    fn expired_deadline_latches() {
+        let ctx = RunCtx::new(0).with_deadline(Instant::now() - Duration::from_millis(1));
+        let mut probe = ctx.probe();
+        assert_eq!(probe.stop_now(), Some(StopReason::Deadline));
+        assert_eq!(probe.stop_now(), Some(StopReason::Deadline));
+        assert_eq!(probe.reason(), StopReason::Deadline);
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline_and_spreads_to_clones() {
+        let ctx = RunCtx::new(0).with_deadline(Instant::now() - Duration::from_millis(1));
+        let token = ctx.cancel_token();
+        token.cancel();
+        let mut probe = ctx.probe();
+        assert_eq!(probe.stop_now(), Some(StopReason::Cancelled));
+        let mut child_probe = ctx.child(&NullSink, 1).probe();
+        assert_eq!(child_probe.stop_now(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn stop_every_is_counter_gated() {
+        let ctx = RunCtx::new(0)
+            .with_move_check_interval(4)
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        let mut probe = ctx.probe();
+        assert_eq!(probe.stop_every(), None);
+        assert_eq!(probe.stop_every(), None);
+        assert_eq!(probe.stop_every(), None);
+        assert_eq!(probe.stop_every(), Some(StopReason::Deadline));
+        // Latched from here on, even between check boundaries.
+        assert_eq!(probe.stop_every(), Some(StopReason::Deadline));
+    }
+
+    #[test]
+    fn child_inherits_budget_but_not_workspace() {
+        let deadline = Instant::now() + Duration::from_secs(3600);
+        let ctx = RunCtx::new(5).with_deadline(deadline);
+        let child = ctx.child(&NullSink, 9);
+        assert_eq!(child.deadline(), Some(deadline));
+        assert_eq!(child.seed, 9);
+        assert_eq!(child.move_check_interval(), ctx.move_check_interval());
+    }
+}

@@ -11,11 +11,12 @@ use rand::{Rng, SeedableRng};
 use crate::balance::BalanceConstraint;
 use crate::bisection::Bisection;
 use crate::config::{FmConfig, IllegalHeadPolicy, SelectionRule, TieBreak, ZeroDeltaPolicy};
+use crate::ctx::{BudgetProbe, RunCtx};
 use crate::initial::generate_initial;
 use crate::stats::{FmStats, PassStats, CORKED_FRACTION};
 use crate::workspace::FmWorkspace;
 use hypart_hypergraph::{Hypergraph, PartId, VertexId};
-use hypart_trace::{NullSink, RunEvent, TraceSink};
+use hypart_trace::{RunEvent, StopReason, TraceSink};
 
 /// Result of a full FM run on one instance.
 #[derive(Clone, Debug)]
@@ -26,6 +27,9 @@ pub struct FmOutcome {
     pub cut: u64,
     /// `true` if the final solution satisfies the balance constraint.
     pub balanced: bool,
+    /// Why the run ended ([`StopReason::Completed`] unless the context's
+    /// budget ran out or its token was cancelled).
+    pub stopped: StopReason,
     /// Detailed run statistics.
     pub stats: FmStats,
 }
@@ -52,13 +56,41 @@ impl FmPartitioner {
         &self.config
     }
 
+    /// The canonical run entry point: generates the configured initial
+    /// solution from `ctx.seed`, then refines under the context's sink,
+    /// workspace, and budget. All other `run*` conveniences delegate here.
+    ///
+    /// If the context's deadline expires (or its token is cancelled) the
+    /// engine stops at its next cooperative check and returns the
+    /// best-so-far solution with `stopped` set — see
+    /// [`refine_with`](FmPartitioner::refine_with).
+    pub fn run_with(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        ctx: &mut RunCtx<'_>,
+    ) -> FmOutcome {
+        let mut rng = SmallRng::seed_from_u64(ctx.seed);
+        let assignment = generate_initial(h, self.config.initial, &mut rng);
+        let mut bisection =
+            Bisection::new(h, assignment).expect("generated initial solution is always valid");
+        let stats = self.refine_with(&mut bisection, constraint, &mut rng, ctx);
+        FmOutcome {
+            cut: bisection.cut(),
+            balanced: constraint.is_satisfied(&bisection),
+            stopped: stats.stopped,
+            assignment: bisection.into_assignment(),
+            stats,
+        }
+    }
+
     /// Runs a complete partitioning of `h`: generate the configured initial
     /// solution from `seed`, then refine until no pass improves.
     ///
-    /// Equivalent to [`run_traced`](FmPartitioner::run_traced) with a
-    /// [`NullSink`].
+    /// Equivalent to [`run_with`](FmPartitioner::run_with) with a default
+    /// [`RunCtx`] (no sink, no deadline).
     pub fn run(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> FmOutcome {
-        self.run_traced(h, constraint, seed, &NullSink)
+        self.run_with(h, constraint, &mut RunCtx::new(seed))
     }
 
     /// [`run`](FmPartitioner::run), narrating the execution into `sink`
@@ -72,32 +104,22 @@ impl FmPartitioner {
         seed: u64,
         sink: &S,
     ) -> FmOutcome {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let assignment = generate_initial(h, self.config.initial, &mut rng);
-        let mut bisection =
-            Bisection::new(h, assignment).expect("generated initial solution is always valid");
-        let stats = self.refine_traced(&mut bisection, constraint, &mut rng, sink);
-        FmOutcome {
-            cut: bisection.cut(),
-            balanced: constraint.is_satisfied(&bisection),
-            assignment: bisection.into_assignment(),
-            stats,
-        }
+        self.run_with(h, constraint, &mut RunCtx::new(seed).with_sink(&sink))
     }
 
     /// Refines `bisection` in place with FM passes until a pass fails to
     /// improve (lexicographically on (balance violation, cut)) or
     /// `max_passes` is reached. Returns per-pass statistics.
     ///
-    /// Equivalent to [`refine_traced`](FmPartitioner::refine_traced) with
-    /// a [`NullSink`].
+    /// Equivalent to [`refine_with`](FmPartitioner::refine_with) with a
+    /// default [`RunCtx`].
     pub fn refine<R: Rng>(
         &self,
         bisection: &mut Bisection<'_>,
         constraint: &BalanceConstraint,
         rng: &mut R,
     ) -> FmStats {
-        self.refine_traced(bisection, constraint, rng, &NullSink)
+        self.refine_with(bisection, constraint, rng, &mut RunCtx::new(0))
     }
 
     /// [`refine`](FmPartitioner::refine) with event emission. The
@@ -112,17 +134,20 @@ impl FmPartitioner {
         rng: &mut R,
         sink: &S,
     ) -> FmStats {
-        let mut workspace = FmWorkspace::new();
-        self.refine_traced_with(bisection, constraint, rng, sink, &mut workspace)
+        self.refine_with(
+            bisection,
+            constraint,
+            rng,
+            &mut RunCtx::new(0).with_sink(&sink),
+        )
     }
 
     /// [`refine_traced`](FmPartitioner::refine_traced) with an external
-    /// [`FmWorkspace`]: the gain containers and scratch vectors come from
-    /// (and return to) `workspace`, so a caller that refines many times —
-    /// the multilevel driver at every level of every start — pays the
-    /// container setup O(len + buckets touched) instead of
-    /// O(V + bucket range) allocate-and-zero per call. Results are
-    /// identical to the workspace-free entry points.
+    /// [`FmWorkspace`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `refine_with` — the workspace now travels in the `RunCtx`"
+    )]
     pub fn refine_traced_with<R: Rng, S: TraceSink + ?Sized>(
         &self,
         bisection: &mut Bisection<'_>,
@@ -131,6 +156,39 @@ impl FmPartitioner {
         sink: &S,
         workspace: &mut FmWorkspace,
     ) -> FmStats {
+        let mut ctx = RunCtx::new(0)
+            .with_workspace(std::mem::take(workspace))
+            .with_sink(&sink);
+        let stats = self.refine_with(bisection, constraint, rng, &mut ctx);
+        *workspace = ctx.workspace;
+        stats
+    }
+
+    /// The canonical refinement entry point: FM passes on `bisection`
+    /// until no pass improves, `max_passes` is reached, or the context's
+    /// budget runs out. The gain containers and scratch vectors come from
+    /// (and return to) `ctx.workspace`, so a caller that refines many
+    /// times — the multilevel driver at every level of every start — pays
+    /// the container setup O(len + buckets touched) instead of
+    /// O(V + bucket range) allocate-and-zero per call. Results are
+    /// identical to the workspace-free entry points.
+    ///
+    /// The budget is polled cooperatively: at every pass boundary and
+    /// every [`RunCtx::move_check_interval`] moves inside a pass. A
+    /// mid-pass stop still performs the normal best-prefix rollback, so
+    /// the bisection is always a legal, coherent solution; the run then
+    /// emits [`RunEvent::BudgetExhausted`] and returns with
+    /// `stats.stopped` set to the [`StopReason`].
+    pub fn refine_with<R: Rng>(
+        &self,
+        bisection: &mut Bisection<'_>,
+        constraint: &BalanceConstraint,
+        rng: &mut R,
+        ctx: &mut RunCtx<'_>,
+    ) -> FmStats {
+        let mut probe = ctx.probe();
+        let sink: &dyn TraceSink = ctx.sink;
+        let workspace = &mut ctx.workspace;
         let graph = bisection.graph();
         // Bucket range per selection rule: classic FM keys are true gains,
         // bounded by ±max_gain_bound; only CLIP's cumulative delta-gain
@@ -158,13 +216,27 @@ impl FmPartitioner {
             cut: stats.initial_cut,
         });
         for pass_index in 0..self.config.max_passes {
-            let before = (constraint.total_violation(bisection), bisection.cut());
-            let pass = state.run_pass(bisection, rng, sink, pass_index);
-            stats.passes.push(pass);
-            let after = (constraint.total_violation(bisection), bisection.cut());
-            if after >= before {
+            // Pass-boundary budget check: the cheapest place to stop, and
+            // the one that keeps the reported partition identical to what
+            // an unbudgeted run would have had after the same passes.
+            if probe.stop_now().is_some() {
                 break;
             }
+            let before = (constraint.total_violation(bisection), bisection.cut());
+            let pass = state.run_pass(bisection, rng, sink, pass_index, &mut probe);
+            stats.passes.push(pass);
+            let after = (constraint.total_violation(bisection), bisection.cut());
+            // A mid-pass stop latches in the probe; the truncated pass has
+            // already rolled back to its best prefix, so just exit.
+            if probe.reason().is_stopped() || after >= before {
+                break;
+            }
+        }
+        stats.stopped = probe.reason();
+        if stats.stopped.is_stopped() {
+            sink.emit(RunEvent::BudgetExhausted {
+                reason: stats.stopped,
+            });
         }
         stats.excluded_overweight = state.excluded_overweight;
         stats.final_cut = bisection.cut();
@@ -195,6 +267,7 @@ impl PassState<'_> {
         rng: &mut R,
         sink: &S,
         pass_index: usize,
+        probe: &mut BudgetProbe,
     ) -> PassStats {
         self.seed(bisection, rng);
         self.ws.moves.clear();
@@ -264,6 +337,14 @@ impl PassState<'_> {
             };
             if candidate.beats(&best, self.config.pass_best) {
                 best = candidate;
+            }
+
+            // Mid-pass budget check, counter-gated so the hot loop pays one
+            // increment per move. Truncating here is safe: the rollback
+            // below restores the best prefix seen so far, exactly as if
+            // the gain containers had run empty.
+            if probe.stop_every().is_some() {
+                break !self.ws.pool[0].is_empty() || !self.ws.pool[1].is_empty();
             }
         };
 

@@ -51,6 +51,7 @@ mod balance;
 mod bisection;
 pub mod brute;
 mod config;
+mod ctx;
 mod engine;
 pub mod gain;
 mod initial;
@@ -64,7 +65,9 @@ pub use config::{
     FmConfig, IllegalHeadPolicy, InitialSolution, InsertionPolicy, PassBestRule, SelectionRule,
     TieBreak, ZeroDeltaPolicy,
 };
+pub use ctx::{BudgetProbe, CancelToken, RunCtx, DEFAULT_MOVE_CHECK_INTERVAL};
 pub use engine::{FmOutcome, FmPartitioner};
+pub use hypart_trace::StopReason;
 pub use initial::generate_initial;
 pub use stats::{FmStats, PassStats, CORKED_FRACTION};
 pub use workspace::FmWorkspace;

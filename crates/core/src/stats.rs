@@ -1,5 +1,7 @@
 //! Run and pass statistics, including the corking diagnostics of §2.3.
 
+use hypart_trace::StopReason;
+
 /// Statistics of a single FM pass.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PassStats {
@@ -57,6 +59,10 @@ pub struct FmStats {
     pub excluded_overweight: usize,
     /// Fixed vertices (never inserted).
     pub fixed: usize,
+    /// Why the run ended: normal convergence ([`StopReason::Completed`])
+    /// or a cooperative stop at the context's deadline / cancellation
+    /// token, with the best-so-far solution kept.
+    pub stopped: StopReason,
 }
 
 impl FmStats {

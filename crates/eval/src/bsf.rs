@@ -177,6 +177,7 @@ mod tests {
                     seed: i as u64,
                     cut,
                     balanced: true,
+                    stopped: hypart_core::StopReason::Completed,
                     elapsed: Duration::from_millis(100),
                 })
                 .collect(),

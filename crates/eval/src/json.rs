@@ -51,6 +51,7 @@ mod tests {
                 seed: 1,
                 cut: 10,
                 balanced: true,
+                stopped: hypart_core::StopReason::Completed,
                 elapsed: std::time::Duration::from_millis(250),
             }],
         };

@@ -2,9 +2,9 @@
 
 use std::time::{Duration, Instant};
 
-use hypart_core::{BalanceConstraint, FmConfig, FmPartitioner};
+use hypart_core::{BalanceConstraint, FmConfig, FmPartitioner, RunCtx, StopReason};
 use hypart_hypergraph::Hypergraph;
-use hypart_ml::{multi_start, multi_start_traced, MlConfig, MlPartitioner};
+use hypart_ml::{multi_start_with, MlConfig, MlPartitioner};
 use hypart_trace::{MemorySink, NullSink, RunEvent, TraceSink};
 
 /// One trial's outcome.
@@ -16,6 +16,9 @@ pub struct Trial {
     pub cut: u64,
     /// `true` if the solution satisfied the balance constraint.
     pub balanced: bool,
+    /// Why the trial ended: ran to convergence, or was cut short by the
+    /// context's deadline / cancellation token.
+    pub stopped: StopReason,
     /// Wall-clock duration of the trial.
     pub elapsed: Duration,
 }
@@ -48,6 +51,24 @@ pub trait Heuristic {
         let _ = sink;
         self.solve(h, constraint, seed)
     }
+
+    /// The canonical entry point: solves one instance under the context's
+    /// sink, workspace, seed, and budget.
+    ///
+    /// The default implementation forwards the seed and sink to
+    /// [`solve_traced`](Heuristic::solve_traced) — so pre-existing
+    /// heuristics keep working but ignore the budget. The built-in
+    /// heuristics override it to thread the full context through to their
+    /// engines, which then stop cooperatively at the context's deadline
+    /// or cancellation and record the fact in [`Trial::stopped`].
+    fn solve_with(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        ctx: &mut RunCtx<'_>,
+    ) -> Trial {
+        self.solve_traced(h, constraint, ctx.seed, ctx.sink)
+    }
 }
 
 /// Flat FM / CLIP heuristic (single start of [`FmPartitioner`]).
@@ -73,7 +94,7 @@ impl Heuristic for FlatFmHeuristic {
     }
 
     fn solve(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> Trial {
-        self.solve_traced(h, constraint, seed, &NullSink)
+        self.solve_with(h, constraint, &mut RunCtx::new(seed))
     }
 
     fn solve_traced(
@@ -83,12 +104,22 @@ impl Heuristic for FlatFmHeuristic {
         seed: u64,
         sink: &dyn TraceSink,
     ) -> Trial {
+        self.solve_with(h, constraint, &mut RunCtx::new(seed).with_sink(sink))
+    }
+
+    fn solve_with(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        ctx: &mut RunCtx<'_>,
+    ) -> Trial {
         let t = Instant::now();
-        let out = self.partitioner.run_traced(h, constraint, seed, sink);
+        let out = self.partitioner.run_with(h, constraint, ctx);
         Trial {
-            seed,
+            seed: ctx.seed,
             cut: out.cut,
             balanced: out.balanced,
+            stopped: out.stopped,
             elapsed: t.elapsed(),
         }
     }
@@ -117,7 +148,7 @@ impl Heuristic for MlHeuristic {
     }
 
     fn solve(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> Trial {
-        self.solve_traced(h, constraint, seed, &NullSink)
+        self.solve_with(h, constraint, &mut RunCtx::new(seed))
     }
 
     fn solve_traced(
@@ -127,12 +158,22 @@ impl Heuristic for MlHeuristic {
         seed: u64,
         sink: &dyn TraceSink,
     ) -> Trial {
+        self.solve_with(h, constraint, &mut RunCtx::new(seed).with_sink(sink))
+    }
+
+    fn solve_with(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        ctx: &mut RunCtx<'_>,
+    ) -> Trial {
         let t = Instant::now();
-        let out = self.partitioner.run_traced(h, constraint, seed, sink);
+        let out = self.partitioner.run_with(h, constraint, ctx);
         Trial {
-            seed,
+            seed: ctx.seed,
             cut: out.cut,
             balanced: out.balanced,
+            stopped: out.stopped,
             elapsed: t.elapsed(),
         }
     }
@@ -177,21 +218,7 @@ impl Heuristic for MultiStartHeuristic {
     }
 
     fn solve(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> Trial {
-        let t = Instant::now();
-        let out = multi_start(
-            &self.partitioner,
-            h,
-            constraint,
-            self.nruns,
-            seed,
-            self.max_vcycles,
-        );
-        Trial {
-            seed,
-            cut: out.cut,
-            balanced: out.balanced,
-            elapsed: t.elapsed(),
-        }
+        self.solve_with(h, constraint, &mut RunCtx::new(seed))
     }
 
     fn solve_traced(
@@ -201,20 +228,29 @@ impl Heuristic for MultiStartHeuristic {
         seed: u64,
         sink: &dyn TraceSink,
     ) -> Trial {
+        self.solve_with(h, constraint, &mut RunCtx::new(seed).with_sink(sink))
+    }
+
+    fn solve_with(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        ctx: &mut RunCtx<'_>,
+    ) -> Trial {
         let t = Instant::now();
-        let out = multi_start_traced(
+        let out = multi_start_with(
             &self.partitioner,
             h,
             constraint,
             self.nruns,
-            seed,
             self.max_vcycles,
-            sink,
+            ctx,
         );
         Trial {
-            seed,
+            seed: ctx.seed,
             cut: out.cut,
             balanced: out.balanced,
+            stopped: out.stopped,
             elapsed: t.elapsed(),
         }
     }
@@ -293,6 +329,9 @@ impl TrialSet {
 
 /// Runs `num_trials` independent single-start trials of `heuristic` with
 /// seeds `base_seed..base_seed + num_trials`.
+///
+/// Equivalent to [`run_trials_with`] with a default [`RunCtx`] (no sink,
+/// no deadline).
 pub fn run_trials(
     heuristic: &dyn Heuristic,
     h: &Hypergraph,
@@ -300,36 +339,37 @@ pub fn run_trials(
     num_trials: usize,
     base_seed: u64,
 ) -> TrialSet {
-    let trials = (0..num_trials)
-        .map(|i| heuristic.solve(h, constraint, base_seed.wrapping_add(i as u64)))
-        .collect();
-    TrialSet {
-        heuristic: heuristic.name().to_string(),
-        instance: h.name().to_string(),
-        trials,
-    }
+    run_trials_with(
+        heuristic,
+        h,
+        constraint,
+        num_trials,
+        &mut RunCtx::new(base_seed),
+    )
 }
 
-/// Runs one trial with `TrialBegin`/`TrialEnd` bracketing in `sink`.
-fn solve_one_traced(
+/// Runs one trial with `TrialBegin`/`TrialEnd` bracketing in the
+/// context's sink.
+fn solve_one_with(
     heuristic: &dyn Heuristic,
     h: &Hypergraph,
     constraint: &BalanceConstraint,
     trial_index: usize,
     seed: u64,
-    sink: &dyn TraceSink,
+    ctx: &mut RunCtx<'_>,
 ) -> Trial {
-    if sink.is_enabled() {
-        sink.emit(RunEvent::TrialBegin {
+    if ctx.sink.is_enabled() {
+        ctx.sink.emit(RunEvent::TrialBegin {
             trial: trial_index as u64,
             seed,
             heuristic: heuristic.name().to_string(),
             instance: h.name().to_string(),
         });
     }
-    let trial = heuristic.solve_traced(h, constraint, seed, sink);
-    if sink.is_enabled() {
-        sink.emit(RunEvent::TrialEnd {
+    ctx.seed = seed;
+    let trial = heuristic.solve_with(h, constraint, ctx);
+    if ctx.sink.is_enabled() {
+        ctx.sink.emit(RunEvent::TrialEnd {
             trial: trial_index as u64,
             seed,
             cut: trial.cut,
@@ -342,6 +382,8 @@ fn solve_one_traced(
 /// [`run_trials`] with event emission: each trial's engine events are
 /// bracketed by [`RunEvent::TrialBegin`]/[`RunEvent::TrialEnd`], in seed
 /// order.
+///
+/// Equivalent to [`run_trials_with`] with a sink-only [`RunCtx`].
 pub fn run_trials_traced(
     heuristic: &dyn Heuristic,
     h: &Hypergraph,
@@ -350,18 +392,51 @@ pub fn run_trials_traced(
     base_seed: u64,
     sink: &dyn TraceSink,
 ) -> TrialSet {
-    let trials = (0..num_trials)
-        .map(|i| {
-            solve_one_traced(
-                heuristic,
-                h,
-                constraint,
-                i,
-                base_seed.wrapping_add(i as u64),
-                sink,
-            )
-        })
-        .collect();
+    run_trials_with(
+        heuristic,
+        h,
+        constraint,
+        num_trials,
+        &mut RunCtx::new(base_seed).with_sink(sink),
+    )
+}
+
+/// The canonical trial runner: `num_trials` independent trials with seeds
+/// `ctx.seed..ctx.seed + num_trials` under the context's sink, workspace,
+/// and budget. One workspace serves every trial.
+///
+/// On a deadline or cancellation the in-flight trial returns its
+/// best-so-far (flagged in [`Trial::stopped`]) and the remaining trials
+/// are skipped — the returned set then holds fewer than `num_trials`
+/// records, and the stop is announced with a
+/// [`RunEvent::BudgetExhausted`]. The first trial always runs so the set
+/// is never empty.
+pub fn run_trials_with(
+    heuristic: &dyn Heuristic,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    num_trials: usize,
+    ctx: &mut RunCtx<'_>,
+) -> TrialSet {
+    let base_seed = ctx.seed;
+    let mut probe = ctx.probe();
+    let mut trials = Vec::with_capacity(num_trials);
+    for i in 0..num_trials {
+        if i > 0 {
+            if let Some(reason) = probe.stop_now() {
+                ctx.sink.emit(RunEvent::BudgetExhausted { reason });
+                break;
+            }
+        }
+        let seed = base_seed.wrapping_add(i as u64);
+        let trial = solve_one_with(heuristic, h, constraint, i, seed, ctx);
+        let trial_stopped = trial.stopped;
+        trials.push(trial);
+        if trial_stopped.is_stopped() {
+            break;
+        }
+    }
+    ctx.seed = base_seed;
     TrialSet {
         heuristic: heuristic.name().to_string(),
         instance: h.name().to_string(),
@@ -384,8 +459,13 @@ pub fn run_trials_parallel(
     base_seed: u64,
     threads: usize,
 ) -> TrialSet {
-    run_trials_parallel_traced(
-        heuristic, h, constraint, num_trials, base_seed, threads, &NullSink,
+    run_trials_parallel_with(
+        heuristic,
+        h,
+        constraint,
+        num_trials,
+        threads,
+        &mut RunCtx::new(base_seed),
     )
 }
 
@@ -403,7 +483,45 @@ pub fn run_trials_parallel_traced(
     threads: usize,
     sink: &dyn TraceSink,
 ) -> TrialSet {
-    let traced = sink.is_enabled();
+    run_trials_parallel_with(
+        heuristic,
+        h,
+        constraint,
+        num_trials,
+        threads,
+        &mut RunCtx::new(base_seed).with_sink(sink),
+    )
+}
+
+/// The canonical parallel trial runner: trials execute on up to `threads`
+/// OS threads (0 = one per core) under the context's sink, seed, and
+/// budget.
+///
+/// Unbudgeted results and event streams are **identical** to
+/// [`run_trials_with`]'s for any thread count: each trial is a pure
+/// function of its seed, outputs are assembled in seed order, and
+/// per-trial event buffers are flushed in seed order. (Per-trial
+/// `elapsed` values are measured under concurrency and may differ
+/// slightly from a sequential run; cut values cannot.)
+///
+/// Under a budget every trial still executes — the work is already
+/// distributed when the deadline hits — but each trial individually
+/// observes the shared deadline and cancellation token and returns its
+/// best-so-far, flagged in [`Trial::stopped`]. Trials do not share the
+/// context's workspace; each worker trial allocates its own.
+pub fn run_trials_parallel_with(
+    heuristic: &(dyn Heuristic + Sync),
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    num_trials: usize,
+    threads: usize,
+    ctx: &mut RunCtx<'_>,
+) -> TrialSet {
+    let traced = ctx.sink.is_enabled();
+    let base_seed = ctx.seed;
+    let deadline = ctx.deadline();
+    let token = ctx.cancel_token();
+    let check_moves = ctx.move_check_interval();
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {
@@ -425,11 +543,15 @@ pub fn run_trials_parallel_traced(
                 }
                 let seed = base_seed.wrapping_add(i as u64);
                 let buffer = MemorySink::new();
-                let trial = if traced {
-                    solve_one_traced(heuristic, h, constraint, i, seed, &buffer)
-                } else {
-                    heuristic.solve(h, constraint, seed)
-                };
+                let trial_sink: &dyn TraceSink = if traced { &buffer } else { &NullSink };
+                let mut trial_ctx = RunCtx::new(seed)
+                    .with_sink(trial_sink)
+                    .with_cancel_token(token.clone())
+                    .with_move_check_interval(check_moves);
+                if let Some(d) = deadline {
+                    trial_ctx = trial_ctx.with_deadline(d);
+                }
+                let trial = solve_one_with(heuristic, h, constraint, i, seed, &mut trial_ctx);
                 *slots[i].lock().expect("no poisoned slot") = Some((trial, buffer));
             });
         }
@@ -442,7 +564,7 @@ pub fn run_trials_parallel_traced(
             .map(|cell| {
                 let (trial, buffer) = cell.into_inner().expect("no poison").expect("slot filled");
                 if traced {
-                    buffer.flush_into(sink);
+                    buffer.flush_into(ctx.sink);
                 }
                 trial
             })
@@ -572,12 +694,14 @@ mod tests {
                     seed: 0,
                     cut: 333,
                     balanced: true,
+                    stopped: StopReason::Completed,
                     elapsed: Duration::ZERO,
                 },
                 Trial {
                     seed: 1,
                     cut: 945,
                     balanced: true,
+                    stopped: StopReason::Completed,
                     elapsed: Duration::ZERO,
                 },
             ],

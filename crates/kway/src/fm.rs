@@ -14,9 +14,9 @@ use rand::{Rng, SeedableRng};
 use crate::balance::KWayBalance;
 use crate::partition::KWayPartition;
 use hypart_core::gain::GainContainer;
-use hypart_core::{FmWorkspace, InsertionPolicy, CORKED_FRACTION};
+use hypart_core::{BudgetProbe, FmWorkspace, InsertionPolicy, RunCtx, StopReason, CORKED_FRACTION};
 use hypart_hypergraph::{Hypergraph, VertexId};
-use hypart_trace::{NullSink, RunEvent, TraceSink};
+use hypart_trace::{RunEvent, TraceSink};
 
 /// Configuration of the direct k-way FM engine.
 ///
@@ -25,6 +25,14 @@ use hypart_trace::{NullSink, RunEvent, TraceSink};
 /// engine fixes the strong choices (LIFO by default, `Nonzero`-style
 /// zero-delta skipping, head-only bucket inspection) and keeps only the
 /// knobs with k-way-specific meaning.
+///
+/// Every field has a `with_*` builder:
+///
+/// | knob | Table 1 counterpart | strong default |
+/// |------|---------------------|----------------|
+/// | [`insertion`](Self::insertion) | LIFO / FIFO / random rows | `Lifo` |
+/// | [`max_passes`](Self::max_passes) | pass-limit stop rule | `32` |
+/// | [`exclude_overweight`](Self::exclude_overweight) | §2.3 anti-corking fix | `true` |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct KWayConfig {
     /// Bucket insertion policy.
@@ -46,6 +54,26 @@ impl Default for KWayConfig {
     }
 }
 
+impl KWayConfig {
+    /// Replaces the bucket insertion policy (builder-style).
+    pub fn with_insertion(mut self, insertion: InsertionPolicy) -> Self {
+        self.insertion = insertion;
+        self
+    }
+
+    /// Sets the refinement pass ceiling (builder-style).
+    pub fn with_max_passes(mut self, max_passes: usize) -> Self {
+        self.max_passes = max_passes;
+        self
+    }
+
+    /// Enables or disables overweight-cell exclusion (builder-style).
+    pub fn with_exclude_overweight(mut self, exclude_overweight: bool) -> Self {
+        self.exclude_overweight = exclude_overweight;
+        self
+    }
+}
+
 /// Result of a k-way partitioning run.
 #[derive(Clone, Debug)]
 pub struct KWayOutcome {
@@ -61,6 +89,9 @@ pub struct KWayOutcome {
     pub part_weights: Vec<u64>,
     /// Refinement passes executed.
     pub passes: usize,
+    /// Why refinement ended ([`StopReason::Completed`] unless the
+    /// context's budget ran out or its token was cancelled).
+    pub stopped: StopReason,
 }
 
 impl KWayOutcome {
@@ -87,14 +118,46 @@ impl KWayFmPartitioner {
         &self.config
     }
 
+    /// The canonical run entry point: a complete k-way partitioning of
+    /// `h` from a seeded greedy initial solution, under the context's
+    /// sink, workspace, seed, and budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `balance.num_parts() < 2`.
+    pub fn run_with(
+        &self,
+        h: &Hypergraph,
+        balance: &KWayBalance,
+        ctx: &mut RunCtx<'_>,
+    ) -> KWayOutcome {
+        let k = balance.num_parts();
+        let mut rng = SmallRng::seed_from_u64(ctx.seed);
+        let assignment = initial_kway(h, k, &mut rng);
+        let mut partition = KWayPartition::new(h, k, assignment);
+        let (passes, stopped) = self.refine_with(&mut partition, balance, &mut rng, ctx);
+        KWayOutcome {
+            num_parts: k,
+            cut: partition.cut(),
+            lambda_minus_one: partition.lambda_minus_one(),
+            part_weights: (0..k).map(|p| partition.part_weight(p)).collect(),
+            passes,
+            stopped,
+            assignment: partition.into_assignment(),
+        }
+    }
+
     /// Runs a complete k-way partitioning of `h` from a seeded greedy
     /// initial solution.
+    ///
+    /// Equivalent to [`run_with`](KWayFmPartitioner::run_with) with a
+    /// default [`RunCtx`] (no sink, no deadline).
     ///
     /// # Panics
     ///
     /// Panics if `balance.num_parts() < 2`.
     pub fn run(&self, h: &Hypergraph, balance: &KWayBalance, seed: u64) -> KWayOutcome {
-        self.run_traced(h, balance, seed, &NullSink)
+        self.run_with(h, balance, &mut RunCtx::new(seed))
     }
 
     /// [`run`](KWayFmPartitioner::run) with event emission: the same
@@ -107,13 +170,15 @@ impl KWayFmPartitioner {
         seed: u64,
         sink: &S,
     ) -> KWayOutcome {
-        let mut workspace = FmWorkspace::new();
-        self.run_traced_with(h, balance, seed, sink, &mut workspace)
+        self.run_with(h, balance, &mut RunCtx::new(seed).with_sink(&sink))
     }
 
     /// [`run_traced`](KWayFmPartitioner::run_traced) with an external
-    /// [`FmWorkspace`] supplying the k·(k−1) gain-container grid (see
-    /// [`refine_traced_with`](KWayFmPartitioner::refine_traced_with)).
+    /// [`FmWorkspace`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `run_with` — the workspace now travels in the `RunCtx`"
+    )]
     pub fn run_traced_with<S: TraceSink + ?Sized>(
         &self,
         h: &Hypergraph,
@@ -122,19 +187,12 @@ impl KWayFmPartitioner {
         sink: &S,
         workspace: &mut FmWorkspace,
     ) -> KWayOutcome {
-        let k = balance.num_parts();
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let assignment = initial_kway(h, k, &mut rng);
-        let mut partition = KWayPartition::new(h, k, assignment);
-        let passes = self.refine_traced_with(&mut partition, balance, &mut rng, sink, workspace);
-        KWayOutcome {
-            num_parts: k,
-            cut: partition.cut(),
-            lambda_minus_one: partition.lambda_minus_one(),
-            part_weights: (0..k).map(|p| partition.part_weight(p)).collect(),
-            passes,
-            assignment: partition.into_assignment(),
-        }
+        let mut ctx = RunCtx::new(seed)
+            .with_workspace(std::mem::take(workspace))
+            .with_sink(&sink);
+        let out = self.run_with(h, balance, &mut ctx);
+        *workspace = ctx.workspace;
+        out
     }
 
     /// Refines `partition` in place until a pass stops improving the
@@ -145,7 +203,8 @@ impl KWayFmPartitioner {
         balance: &KWayBalance,
         rng: &mut R,
     ) -> usize {
-        self.refine_traced(partition, balance, rng, &NullSink)
+        self.refine_with(partition, balance, rng, &mut RunCtx::new(0))
+            .0
     }
 
     /// [`refine`](KWayFmPartitioner::refine) with event emission.
@@ -156,17 +215,21 @@ impl KWayFmPartitioner {
         rng: &mut R,
         sink: &S,
     ) -> usize {
-        let mut workspace = FmWorkspace::new();
-        self.refine_traced_with(partition, balance, rng, sink, &mut workspace)
+        self.refine_with(
+            partition,
+            balance,
+            rng,
+            &mut RunCtx::new(0).with_sink(&sink),
+        )
+        .0
     }
 
     /// [`refine_traced`](KWayFmPartitioner::refine_traced) with an
-    /// external [`FmWorkspace`]: the k·(k−1) container grid (stored as a
-    /// k² pool for direct `from·k + to` indexing) is re-targeted in place
-    /// instead of allocated per refinement — the k-way analogue of the
-    /// 2-way engine's workspace reuse, and a much larger saving since the
-    /// grid is k² containers wide. Results are identical to the
-    /// workspace-free entry points.
+    /// external [`FmWorkspace`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `refine_with` — the workspace now travels in the `RunCtx`"
+    )]
     pub fn refine_traced_with<R: Rng, S: TraceSink + ?Sized>(
         &self,
         partition: &mut KWayPartition<'_>,
@@ -175,6 +238,36 @@ impl KWayFmPartitioner {
         sink: &S,
         workspace: &mut FmWorkspace,
     ) -> usize {
+        let mut ctx = RunCtx::new(0)
+            .with_workspace(std::mem::take(workspace))
+            .with_sink(&sink);
+        let (passes, _) = self.refine_with(partition, balance, rng, &mut ctx);
+        *workspace = ctx.workspace;
+        passes
+    }
+
+    /// The canonical refinement entry point: passes on `partition` until
+    /// a pass stops improving the lexicographic (violation, cut) score,
+    /// `max_passes` is reached, or the context's budget runs out. The
+    /// k·(k−1) container grid (stored as a k² pool for direct
+    /// `from·k + to` indexing) is re-targeted in place from
+    /// `ctx.workspace` instead of allocated per refinement — the k-way
+    /// analogue of the 2-way engine's workspace reuse, and a much larger
+    /// saving since the grid is k² containers wide.
+    ///
+    /// Returns the pass count and the [`StopReason`]. As in the 2-way
+    /// engine, a mid-pass stop still rolls back to the pass's best
+    /// prefix, so the partition is always legal and coherent.
+    pub fn refine_with<R: Rng>(
+        &self,
+        partition: &mut KWayPartition<'_>,
+        balance: &KWayBalance,
+        rng: &mut R,
+        ctx: &mut RunCtx<'_>,
+    ) -> (usize, StopReason) {
+        let mut probe = ctx.probe();
+        let sink: &dyn TraceSink = ctx.sink;
+        let workspace = &mut ctx.workspace;
         let k = partition.num_parts();
         let graph = partition.graph();
         let bound = graph.max_gain_bound().max(1);
@@ -187,13 +280,20 @@ impl KWayFmPartitioner {
         }
         let mut passes = 0;
         for pass in 0..self.config.max_passes {
-            let before = (balance.total_violation(partition), partition.cut());
-            self.run_pass(partition, balance, containers, rng, sink, pass);
-            passes += 1;
-            let after = (balance.total_violation(partition), partition.cut());
-            if after >= before {
+            if probe.stop_now().is_some() {
                 break;
             }
+            let before = (balance.total_violation(partition), partition.cut());
+            self.run_pass(partition, balance, containers, rng, sink, pass, &mut probe);
+            passes += 1;
+            let after = (balance.total_violation(partition), partition.cut());
+            if probe.reason().is_stopped() || after >= before {
+                break;
+            }
+        }
+        let stopped = probe.reason();
+        if stopped.is_stopped() {
+            sink.emit(RunEvent::BudgetExhausted { reason: stopped });
         }
         if sink.is_enabled() {
             sink.emit(RunEvent::RunEnd {
@@ -201,9 +301,10 @@ impl KWayFmPartitioner {
                 passes,
             });
         }
-        passes
+        (passes, stopped)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_pass<R: Rng, S: TraceSink + ?Sized>(
         &self,
         partition: &mut KWayPartition<'_>,
@@ -212,6 +313,7 @@ impl KWayFmPartitioner {
         rng: &mut R,
         sink: &S,
         pass: usize,
+        probe: &mut BudgetProbe,
     ) {
         let k = partition.num_parts();
         let graph = partition.graph();
@@ -284,6 +386,12 @@ impl KWayFmPartitioner {
             if score < best_score {
                 best_score = score;
                 best_prefix = moves.len();
+            }
+
+            // Mid-pass budget check; truncating is safe because the
+            // best-prefix rollback below restores a coherent solution.
+            if probe.stop_every().is_some() {
+                break;
             }
         }
 

@@ -46,4 +46,4 @@ pub use balance::KWayBalance;
 pub use fm::{KWayConfig, KWayFmPartitioner, KWayOutcome};
 pub use multilevel::{MlKWayConfig, MlKWayPartitioner};
 pub use partition::KWayPartition;
-pub use recursive::recursive_bisection;
+pub use recursive::{recursive_bisection, recursive_bisection_with};

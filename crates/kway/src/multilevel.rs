@@ -10,12 +10,20 @@ use rand::{Rng, SeedableRng};
 use crate::balance::KWayBalance;
 use crate::fm::{KWayConfig, KWayFmPartitioner, KWayOutcome};
 use crate::partition::KWayPartition;
-use hypart_core::FmWorkspace;
+use hypart_core::{RunCtx, StopReason};
 use hypart_hypergraph::Hypergraph;
 use hypart_ml::coarsen::{build_hierarchy, CoarsenConfig};
-use hypart_trace::NullSink;
 
 /// Configuration of the multilevel k-way partitioner.
+///
+/// Every field has a `with_*` builder, mirroring the 2-way
+/// `MlConfig`/`FmConfig` surface:
+///
+/// | knob | role |
+/// |------|------|
+/// | [`refine`](Self::refine) | flat k-way engine at every level |
+/// | [`coarsen`](Self::coarsen) | clustering schedule (shared with 2-way ML) |
+/// | [`initial_tries`](Self::initial_tries) | seeded starts on the coarsest graph |
 #[derive(Clone, Debug, PartialEq)]
 pub struct MlKWayConfig {
     /// Flat k-way engine used for refinement at every level.
@@ -33,6 +41,27 @@ impl Default for MlKWayConfig {
             coarsen: CoarsenConfig::default(),
             initial_tries: 8,
         }
+    }
+}
+
+impl MlKWayConfig {
+    /// Replaces the flat k-way refinement engine config (builder-style).
+    pub fn with_refine(mut self, refine: KWayConfig) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// Replaces the coarsening parameters (builder-style).
+    pub fn with_coarsen(mut self, coarsen: CoarsenConfig) -> Self {
+        self.coarsen = coarsen;
+        self
+    }
+
+    /// Sets how many seeded initial k-way partitions are tried on the
+    /// coarsest graph (builder-style; clamped to at least 1 at run time).
+    pub fn with_initial_tries(mut self, initial_tries: usize) -> Self {
+        self.initial_tries = initial_tries;
+        self
     }
 }
 
@@ -54,39 +83,59 @@ impl MlKWayPartitioner {
     }
 
     /// Runs one multilevel k-way start on `h` from `seed`.
+    ///
+    /// Equivalent to [`run_with`](MlKWayPartitioner::run_with) with a
+    /// default [`RunCtx`] (no sink, no deadline).
     pub fn run(&self, h: &Hypergraph, balance: &KWayBalance, seed: u64) -> KWayOutcome {
+        self.run_with(h, balance, &mut RunCtx::new(seed))
+    }
+
+    /// The canonical run entry point: one multilevel k-way start under
+    /// the context's sink, workspace, seed, and budget. One workspace
+    /// serves every initial try and every level of the uncoarsening
+    /// sweep: the k² gain-container grid is re-targeted in place instead
+    /// of reallocated per engine invocation. On a budget stop, remaining
+    /// refinement is skipped but the solution is still projected to the
+    /// input graph, so the outcome is always a legal full-size partition.
+    pub fn run_with(
+        &self,
+        h: &Hypergraph,
+        balance: &KWayBalance,
+        ctx: &mut RunCtx<'_>,
+    ) -> KWayOutcome {
         let k = balance.num_parts();
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let base_seed = ctx.seed;
+        let mut rng = SmallRng::seed_from_u64(base_seed);
         let engine = KWayFmPartitioner::new(self.config.refine);
 
         let levels = build_hierarchy(h, &self.config.coarsen, None, &mut rng);
         let coarsest: &Hypergraph = levels.last().map_or(h, |l| &l.graph);
 
-        // One workspace serves every initial try and every level of the
-        // uncoarsening sweep: the k² gain-container grid is re-targeted in
-        // place instead of reallocated per engine invocation.
-        let mut workspace = FmWorkspace::new();
-
         // Initial partitioning: several full engine runs on the coarsest
-        // graph, best kept (lexicographic on violation then cut).
+        // graph, best kept (lexicographic on violation then cut). The
+        // first try always runs so the outcome is well-formed even with
+        // an expired deadline; later tries are skipped once stopped.
         let mut best: Option<(u64, u64, Vec<u16>)> = None;
+        let mut stopped = StopReason::Completed;
         for t in 0..self.config.initial_tries.max(1) {
-            let out = engine.run_traced_with(
-                coarsest,
-                balance,
-                rng.gen::<u64>() ^ t as u64,
-                &NullSink,
-                &mut workspace,
-            );
+            ctx.seed = rng.gen::<u64>() ^ t as u64;
+            let out = engine.run_with(coarsest, balance, ctx);
+            let try_stop = out.stopped;
             let p = KWayPartition::new(coarsest, k, out.assignment);
             let score = (balance.total_violation(&p), p.cut());
             if best.as_ref().is_none_or(|(v, c, _)| score < (*v, *c)) {
                 best = Some((score.0, score.1, p.into_assignment()));
             }
+            if try_stop.is_stopped() {
+                stopped = try_stop;
+                break;
+            }
         }
+        ctx.seed = base_seed;
         let mut assignment = best.expect("at least one try").2;
 
         // Uncoarsen: project level by level and refine with k-way FM.
+        // Once stopped, projection continues but refinement is skipped.
         let mut total_passes = 0usize;
         for i in (0..=levels.len()).rev() {
             let graph: &Hypergraph = if i == 0 { h } else { &levels[i - 1].graph };
@@ -97,14 +146,13 @@ impl MlKWayPartitioner {
                 }
                 assignment = fine;
             }
+            if stopped.is_stopped() {
+                continue;
+            }
             let mut partition = KWayPartition::new(graph, k, assignment);
-            total_passes += engine.refine_traced_with(
-                &mut partition,
-                balance,
-                &mut rng,
-                &NullSink,
-                &mut workspace,
-            );
+            let (passes, refine_stop) = engine.refine_with(&mut partition, balance, &mut rng, ctx);
+            total_passes += passes;
+            stopped = refine_stop;
             assignment = partition.into_assignment();
         }
 
@@ -115,6 +163,7 @@ impl MlKWayPartitioner {
             lambda_minus_one: partition.lambda_minus_one(),
             part_weights: (0..k).map(|p| partition.part_weight(p)).collect(),
             passes: total_passes,
+            stopped,
             assignment: partition.into_assignment(),
         }
     }

@@ -5,7 +5,7 @@
 //! partitioner. Supported for `k` a power of two, where every split is a
 //! balanced bisection.
 
-use hypart_core::BalanceConstraint;
+use hypart_core::{BalanceConstraint, RunCtx, StopReason};
 use hypart_hypergraph::subgraph::induce;
 use hypart_hypergraph::{Hypergraph, PartId, VertexId};
 use hypart_ml::{MlConfig, MlPartitioner};
@@ -15,6 +15,9 @@ use crate::fm::KWayOutcome;
 /// Recursively bisects `h` into `k` parts (k a power of two) with the
 /// 2-way multilevel partitioner, using balance `fraction` at each split.
 /// Returns a [`KWayOutcome`] comparable with the direct k-way engine's.
+///
+/// Equivalent to [`recursive_bisection_with`] with a default [`RunCtx`]
+/// (no sink, no deadline).
 ///
 /// # Panics
 ///
@@ -26,25 +29,60 @@ pub fn recursive_bisection(
     ml_config: &MlConfig,
     seed: u64,
 ) -> KWayOutcome {
+    recursive_bisection_with(h, k, fraction, ml_config, &mut RunCtx::new(seed))
+}
+
+/// The canonical recursive-bisection entry point: splits under the
+/// context's sink, workspace, seed, and budget. On a budget stop the
+/// remaining regions are still assigned (each unsplit region collapses
+/// onto its base part), so the outcome is always a legal full-size
+/// k-way partition — possibly with empty high-index parts.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k` is not a power of two.
+pub fn recursive_bisection_with(
+    h: &Hypergraph,
+    k: usize,
+    fraction: f64,
+    ml_config: &MlConfig,
+    ctx: &mut RunCtx<'_>,
+) -> KWayOutcome {
     assert!(k >= 2, "k must be at least 2, got {k}");
     assert!(
         k.is_power_of_two(),
         "recursive bisection needs k = 2^m, got {k}"
     );
     let ml = MlPartitioner::new(ml_config.clone());
+    let base_seed = ctx.seed;
+    let mut probe = ctx.probe();
+    let mut stopped = StopReason::Completed;
 
     let mut assignment = vec![0u16; h.num_vertices()];
     // Work list: (cells of the region, base part index, parts to split into).
     let mut stack: Vec<(Vec<VertexId>, usize, usize)> = vec![(h.vertices().collect(), 0, k)];
-    let mut next_seed = seed;
+    let mut next_seed = base_seed;
+    let mut first_split = true;
 
     while let Some((cells, base, parts)) = stack.pop() {
-        if parts == 1 || cells.is_empty() {
+        if parts == 1 || cells.is_empty() || stopped.is_stopped() {
             for &v in &cells {
                 assignment[v.index()] = base as u16;
             }
             continue;
         }
+        // Check the budget between splits (the first split always runs so
+        // the outcome is a genuine bisection even with an expired budget).
+        if !first_split {
+            if let Some(reason) = probe.stop_now() {
+                stopped = reason;
+                for &v in &cells {
+                    assignment[v.index()] = base as u16;
+                }
+                continue;
+            }
+        }
+        first_split = false;
         let sub = induce(h, &cells).graph;
         // At each split the per-side tolerance must tighten so the final
         // k-way windows hold: use fraction / log2(k) per level, the
@@ -52,7 +90,11 @@ pub fn recursive_bisection(
         let levels = k.trailing_zeros() as f64;
         let per_level = (fraction / levels).max(0.005);
         let constraint = BalanceConstraint::with_fraction(sub.total_vertex_weight(), per_level);
-        let out = ml.run(&sub, &constraint, next_seed);
+        ctx.seed = next_seed;
+        let out = ml.run_with(&sub, &constraint, ctx);
+        if out.stopped.is_stopped() {
+            stopped = out.stopped;
+        }
         next_seed = next_seed.wrapping_add(0x9E37_79B9);
 
         let mut left = Vec::new();
@@ -66,6 +108,7 @@ pub fn recursive_bisection(
         stack.push((left, base, parts / 2));
         stack.push((right, base + parts / 2, parts / 2));
     }
+    ctx.seed = base_seed;
 
     let partition = crate::partition::KWayPartition::new(h, k, assignment);
     KWayOutcome {
@@ -74,6 +117,7 @@ pub fn recursive_bisection(
         lambda_minus_one: partition.lambda_minus_one(),
         part_weights: (0..k).map(|p| partition.part_weight(p)).collect(),
         passes: 0,
+        stopped,
         assignment: partition.into_assignment(),
     }
 }

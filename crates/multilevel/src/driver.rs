@@ -6,11 +6,17 @@
 //! [`multi_start`] reproduces that protocol: `nruns` independent seeded
 //! multilevel starts, then repeated V-cycles on the best until a cycle
 //! stops improving.
+//!
+//! For the paper's §3 quality–runtime methodology there is also
+//! [`multi_start_budgeted`]: instead of a fixed start count it keeps
+//! launching starts until the wall-clock budget of its [`RunCtx`] runs
+//! out, reporting the best among the fully completed starts — real
+//! deadlines instead of post-hoc trial truncation.
 
 use std::time::{Duration, Instant};
 
 use crate::partitioner::{MlOutcome, MlPartitioner};
-use hypart_core::{BalanceConstraint, FmWorkspace};
+use hypart_core::{BalanceConstraint, RunCtx, StopReason};
 use hypart_hypergraph::{Hypergraph, PartId};
 use hypart_trace::{MemorySink, NullSink, RunEvent, TraceSink};
 
@@ -21,6 +27,9 @@ pub struct StartRecord {
     pub seed: u64,
     /// Cut the start achieved.
     pub cut: u64,
+    /// Whether the start ran to convergence or was truncated by the
+    /// context's budget.
+    pub stopped: StopReason,
     /// Wall-clock time of the start.
     pub elapsed: Duration,
 }
@@ -38,6 +47,10 @@ pub struct MultiStartOutcome {
     pub starts: Vec<StartRecord>,
     /// Number of V-cycles applied to the best start.
     pub vcycles_applied: usize,
+    /// [`StopReason::Completed`] if every start and V-cycle ran to
+    /// convergence; otherwise why the sweep was cut short. A truncated
+    /// start never displaces a fully completed one as the reported best.
+    pub stopped: StopReason,
     /// Total wall-clock time including V-cycling.
     pub total_elapsed: Duration,
 }
@@ -47,6 +60,21 @@ impl MultiStartOutcome {
     pub fn best_start_cut(&self) -> u64 {
         self.starts.iter().map(|s| s.cut).min().unwrap_or(0)
     }
+}
+
+/// Whether `out` displaces `best` as the reported solution. Balanced
+/// beats unbalanced, then lower cut; a budget-truncated start never
+/// displaces a completed one (and a completed one always displaces a
+/// truncated placeholder), keeping the reported best a pure function of
+/// the set of seeds that completed.
+fn displaces(best: &MlOutcome, out: &MlOutcome) -> bool {
+    if out.stopped.is_stopped() {
+        return false;
+    }
+    if best.stopped.is_stopped() {
+        return true;
+    }
+    (!best.balanced && out.balanced) || (best.balanced == out.balanced && out.cut < best.cut)
 }
 
 /// Runs `nruns` independent multilevel starts (seeds `base_seed`,
@@ -64,14 +92,13 @@ pub fn multi_start(
     base_seed: u64,
     max_vcycles: usize,
 ) -> MultiStartOutcome {
-    multi_start_traced(
+    multi_start_with(
         partitioner,
         h,
         constraint,
         nruns,
-        base_seed,
         max_vcycles,
-        &NullSink,
+        &mut RunCtx::new(base_seed),
     )
 }
 
@@ -87,40 +114,84 @@ pub fn multi_start_traced<S: TraceSink + ?Sized>(
     max_vcycles: usize,
     sink: &S,
 ) -> MultiStartOutcome {
-    assert!(nruns >= 1, "multi_start needs at least one run");
-    let t0 = Instant::now();
-    // One workspace for the whole sweep: every start (and the V-cycle
-    // tail) refines with the same re-targeted gain-container arenas.
-    let mut workspace = FmWorkspace::new();
-    let mut starts = Vec::with_capacity(nruns);
-    let mut best: Option<MlOutcome> = None;
-    for i in 0..nruns {
-        let seed = base_seed.wrapping_add(i as u64);
-        let t = Instant::now();
-        let out = partitioner.run_traced_with(h, constraint, seed, sink, &mut workspace);
-        starts.push(StartRecord {
-            seed,
-            cut: out.cut,
-            elapsed: t.elapsed(),
-        });
-        let better = best.as_ref().is_none_or(|b| {
-            (!b.balanced && out.balanced) || (b.balanced == out.balanced && out.cut < b.cut)
-        });
-        if better {
-            best = Some(out);
-        }
-    }
-    let best = best.expect("nruns >= 1");
-    let (best, vcycles_applied) = vcycle_best(
+    multi_start_with(
         partitioner,
         h,
         constraint,
-        base_seed,
+        nruns,
         max_vcycles,
-        best,
-        sink,
-        &mut workspace,
-    );
+        &mut RunCtx::new(base_seed).with_sink(&sink),
+    )
+}
+
+/// The canonical multi-start entry point: `nruns` independent starts
+/// (seeds `ctx.seed`, `ctx.seed + 1`, …) and the V-cycle tail, all under
+/// the context's sink, workspace, and budget. One workspace serves the
+/// whole sweep. When the budget runs out, remaining starts and V-cycles
+/// are skipped and the best result so far is returned (the first start
+/// always runs, so the outcome is well-formed even with an expired
+/// deadline).
+///
+/// # Panics
+///
+/// Panics if `nruns == 0`.
+pub fn multi_start_with(
+    partitioner: &MlPartitioner,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    nruns: usize,
+    max_vcycles: usize,
+    ctx: &mut RunCtx<'_>,
+) -> MultiStartOutcome {
+    assert!(nruns >= 1, "multi_start needs at least one run");
+    let t0 = Instant::now();
+    let base_seed = ctx.seed;
+    let mut probe = ctx.probe();
+    let mut starts = Vec::with_capacity(nruns);
+    let mut best: Option<MlOutcome> = None;
+    let mut stopped = StopReason::Completed;
+    for i in 0..nruns {
+        if i > 0 {
+            if let Some(reason) = probe.stop_now() {
+                stopped = reason;
+                ctx.sink.emit(RunEvent::BudgetExhausted { reason });
+                break;
+            }
+        }
+        let seed = base_seed.wrapping_add(i as u64);
+        let t = Instant::now();
+        ctx.seed = seed;
+        let out = partitioner.run_with(h, constraint, ctx);
+        starts.push(StartRecord {
+            seed,
+            cut: out.cut,
+            stopped: out.stopped,
+            elapsed: t.elapsed(),
+        });
+        let start_stop = out.stopped;
+        if best.as_ref().is_none_or(|b| displaces(b, &out)) {
+            best = Some(out);
+        }
+        if start_stop.is_stopped() {
+            stopped = start_stop;
+            break;
+        }
+    }
+    ctx.seed = base_seed;
+    let best = best.expect("nruns >= 1");
+    let (best, vcycles_applied, stopped) = if stopped.is_stopped() {
+        (best, 0, stopped)
+    } else {
+        vcycle_best(
+            partitioner,
+            h,
+            constraint,
+            base_seed,
+            max_vcycles,
+            best,
+            ctx,
+        )
+    };
 
     MultiStartOutcome {
         assignment: best.assignment,
@@ -128,57 +199,155 @@ pub fn multi_start_traced<S: TraceSink + ?Sized>(
         balanced: best.balanced,
         starts,
         vcycles_applied,
+        stopped,
         total_elapsed: t0.elapsed(),
     }
 }
 
-/// V-cycles `best` until a cycle stops improving (at most `max_vcycles`),
-/// bracketing each cycle with `VcycleBegin`/`VcycleEnd` events. Shared
-/// tail of the sequential and parallel drivers — both must pick the same
-/// V-cycle seeds so their outcomes stay bitwise identical.
-#[allow(clippy::too_many_arguments)]
-fn vcycle_best<S: TraceSink + ?Sized>(
+/// Runs multilevel starts (seeds `base_seed`, `base_seed + 1`, …) until
+/// the wall-clock `budget` is exhausted, then returns the best among the
+/// fully completed starts — the Table 4/5-style "quality at time τ"
+/// protocol. No V-cycling is applied: the budget is by definition spent
+/// when the driver exits.
+///
+/// The driver brackets every start with [`RunEvent::StartBegin`] /
+/// [`RunEvent::StartEnd`] events (the latter carrying the start's cut and
+/// whether it completed), so best-so-far-vs-time reports can be
+/// reconstructed from the trace stream alone.
+pub fn multi_start_budgeted(
+    partitioner: &MlPartitioner,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    base_seed: u64,
+    budget: Duration,
+) -> MultiStartOutcome {
+    multi_start_budgeted_with(
+        partitioner,
+        h,
+        constraint,
+        &mut RunCtx::new(base_seed).with_budget(budget),
+    )
+}
+
+/// [`multi_start_budgeted`] under an existing context (sink, workspace,
+/// deadline, cancellation token). The first start always runs — even with
+/// an already-expired deadline the engines return a legal, merely
+/// unrefined solution — so the outcome is always well-formed.
+pub fn multi_start_budgeted_with(
+    partitioner: &MlPartitioner,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    ctx: &mut RunCtx<'_>,
+) -> MultiStartOutcome {
+    let t0 = Instant::now();
+    let base_seed = ctx.seed;
+    let mut probe = ctx.probe();
+    let mut starts = Vec::new();
+    let mut best: Option<MlOutcome> = None;
+    let mut stopped = StopReason::Deadline;
+    for i in 0u64.. {
+        if i > 0 {
+            if let Some(reason) = probe.stop_now() {
+                stopped = reason;
+                ctx.sink.emit(RunEvent::BudgetExhausted { reason });
+                break;
+            }
+        }
+        let seed = base_seed.wrapping_add(i);
+        ctx.sink.emit(RunEvent::StartBegin { index: i, seed });
+        let t = Instant::now();
+        ctx.seed = seed;
+        let out = partitioner.run_with(h, constraint, ctx);
+        ctx.sink.emit(RunEvent::StartEnd {
+            index: i,
+            seed,
+            cut: out.cut,
+            completed: !out.stopped.is_stopped(),
+        });
+        starts.push(StartRecord {
+            seed,
+            cut: out.cut,
+            stopped: out.stopped,
+            elapsed: t.elapsed(),
+        });
+        let start_stop = out.stopped;
+        if best.as_ref().is_none_or(|b| displaces(b, &out)) {
+            best = Some(out);
+        }
+        if start_stop.is_stopped() {
+            stopped = start_stop;
+            break;
+        }
+    }
+    ctx.seed = base_seed;
+    let best = best.expect("at least one start ran");
+
+    MultiStartOutcome {
+        assignment: best.assignment,
+        cut: best.cut,
+        balanced: best.balanced,
+        starts,
+        vcycles_applied: 0,
+        stopped,
+        total_elapsed: t0.elapsed(),
+    }
+}
+
+/// V-cycles `best` until a cycle stops improving (at most `max_vcycles`)
+/// or the context's budget runs out, bracketing each cycle with
+/// `VcycleBegin`/`VcycleEnd` events. Shared tail of the sequential and
+/// parallel drivers — both must pick the same V-cycle seeds so their
+/// outcomes stay bitwise identical.
+fn vcycle_best(
     partitioner: &MlPartitioner,
     h: &Hypergraph,
     constraint: &BalanceConstraint,
     base_seed: u64,
     max_vcycles: usize,
     mut best: MlOutcome,
-    sink: &S,
-    workspace: &mut FmWorkspace,
-) -> (MlOutcome, usize) {
+    ctx: &mut RunCtx<'_>,
+) -> (MlOutcome, usize, StopReason) {
+    let mut probe = ctx.probe();
     let mut vcycles_applied = 0usize;
+    let mut stopped = StopReason::Completed;
     for i in 0..max_vcycles {
-        if sink.is_enabled() {
-            sink.emit(RunEvent::VcycleBegin {
+        if let Some(reason) = probe.stop_now() {
+            stopped = reason;
+            ctx.sink.emit(RunEvent::BudgetExhausted { reason });
+            break;
+        }
+        if ctx.sink.is_enabled() {
+            ctx.sink.emit(RunEvent::VcycleBegin {
                 index: i,
                 cut: best.cut,
             });
         }
-        let cycled = partitioner.vcycle_traced_with(
-            h,
-            constraint,
-            &best.assignment,
-            base_seed
-                .wrapping_add(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(i as u64),
-            sink,
-            workspace,
-        );
+        ctx.seed = base_seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(i as u64);
+        let cycled = partitioner.vcycle_with(h, constraint, &best.assignment, ctx);
         vcycles_applied += 1;
-        if sink.is_enabled() {
-            sink.emit(RunEvent::VcycleEnd {
+        if ctx.sink.is_enabled() {
+            ctx.sink.emit(RunEvent::VcycleEnd {
                 index: i,
                 cut: cycled.cut,
             });
         }
-        if cycled.cut < best.cut {
+        let cycle_stop = cycled.stopped;
+        let improved = cycled.cut < best.cut;
+        if improved {
             best = cycled;
-        } else {
+        }
+        if cycle_stop.is_stopped() {
+            stopped = cycle_stop;
+            break;
+        }
+        if !improved {
             break;
         }
     }
-    (best, vcycles_applied)
+    ctx.seed = base_seed;
+    (best, vcycles_applied, stopped)
 }
 
 /// Parallel variant of [`multi_start`]: the independent starts run on up
@@ -202,15 +371,14 @@ pub fn multi_start_parallel(
     max_vcycles: usize,
     threads: usize,
 ) -> MultiStartOutcome {
-    multi_start_parallel_traced(
+    multi_start_parallel_with(
         partitioner,
         h,
         constraint,
         nruns,
-        base_seed,
         max_vcycles,
         threads,
-        &NullSink,
+        &mut RunCtx::new(base_seed),
     )
 }
 
@@ -230,9 +398,43 @@ pub fn multi_start_parallel_traced<S: TraceSink + ?Sized>(
     threads: usize,
     sink: &S,
 ) -> MultiStartOutcome {
+    multi_start_parallel_with(
+        partitioner,
+        h,
+        constraint,
+        nruns,
+        max_vcycles,
+        threads,
+        &mut RunCtx::new(base_seed).with_sink(&sink),
+    )
+}
+
+/// The canonical parallel multi-start entry point. Worker threads derive
+/// per-start child contexts from `ctx` — same deadline, same shared
+/// cancellation token, own buffer sink and workspace — so a deadline or a
+/// token flip stops every in-flight start cooperatively; each start still
+/// returns a well-formed (possibly truncated) result and every trace
+/// buffer is flushed in seed order.
+///
+/// # Panics
+///
+/// Panics if `nruns == 0`.
+pub fn multi_start_parallel_with(
+    partitioner: &MlPartitioner,
+    h: &Hypergraph,
+    constraint: &BalanceConstraint,
+    nruns: usize,
+    max_vcycles: usize,
+    threads: usize,
+    ctx: &mut RunCtx<'_>,
+) -> MultiStartOutcome {
     assert!(nruns >= 1, "multi_start needs at least one run");
     let t0 = Instant::now();
-    let traced = sink.is_enabled();
+    let base_seed = ctx.seed;
+    let traced = ctx.sink.is_enabled();
+    let deadline = ctx.deadline();
+    let token = ctx.cancel_token();
+    let check_moves = ctx.move_check_interval();
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {
@@ -252,7 +454,7 @@ pub fn multi_start_parallel_traced<S: TraceSink + ?Sized>(
             scope.spawn(|| {
                 // Workspaces are owned, not shared: one per worker thread,
                 // reused across every start that thread picks up.
-                let mut workspace = FmWorkspace::new();
+                let mut workspace = hypart_core::FmWorkspace::new();
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= nruns {
@@ -260,15 +462,22 @@ pub fn multi_start_parallel_traced<S: TraceSink + ?Sized>(
                     }
                     let seed = base_seed.wrapping_add(i as u64);
                     let buffer = MemorySink::new();
+                    let start_sink: &dyn TraceSink = if traced { &buffer } else { &NullSink };
+                    let mut child = RunCtx::new(seed)
+                        .with_cancel_token(token.clone())
+                        .with_move_check_interval(check_moves)
+                        .with_workspace(std::mem::take(&mut workspace))
+                        .with_sink(start_sink);
+                    if let Some(d) = deadline {
+                        child = child.with_deadline(d);
+                    }
                     let t = Instant::now();
-                    let out = if traced {
-                        partitioner.run_traced_with(h, constraint, seed, &buffer, &mut workspace)
-                    } else {
-                        partitioner.run_traced_with(h, constraint, seed, &NullSink, &mut workspace)
-                    };
+                    let out = partitioner.run_with(h, constraint, &mut child);
+                    workspace = std::mem::take(&mut child.workspace);
                     let record = StartRecord {
                         seed,
                         cut: out.cut,
+                        stopped: out.stopped,
                         elapsed: t.elapsed(),
                     };
                     *slot_cells[i].lock().expect("no poisoned slot") = Some((out, record, buffer));
@@ -279,34 +488,37 @@ pub fn multi_start_parallel_traced<S: TraceSink + ?Sized>(
 
     let mut starts = Vec::with_capacity(nruns);
     let mut best: Option<MlOutcome> = None;
+    let mut stopped = StopReason::Completed;
     for cell in slot_cells {
         let (out, record, buffer) = cell
             .into_inner()
             .expect("no poisoned slot")
             .expect("every slot filled");
         if traced {
-            buffer.flush_into(sink);
+            buffer.flush_into(ctx.sink);
+        }
+        if record.stopped.is_stopped() && !stopped.is_stopped() {
+            stopped = record.stopped;
         }
         starts.push(record);
-        let better = best.as_ref().is_none_or(|b| {
-            (!b.balanced && out.balanced) || (b.balanced == out.balanced && out.cut < b.cut)
-        });
-        if better {
+        if best.as_ref().is_none_or(|b| displaces(b, &out)) {
             best = Some(out);
         }
     }
     let best = best.expect("nruns >= 1");
-    let mut workspace = FmWorkspace::new();
-    let (best, vcycles_applied) = vcycle_best(
-        partitioner,
-        h,
-        constraint,
-        base_seed,
-        max_vcycles,
-        best,
-        sink,
-        &mut workspace,
-    );
+    let (best, vcycles_applied, stopped) = if stopped.is_stopped() {
+        (best, 0, stopped)
+    } else {
+        vcycle_best(
+            partitioner,
+            h,
+            constraint,
+            base_seed,
+            max_vcycles,
+            best,
+            ctx,
+        )
+    };
 
     MultiStartOutcome {
         assignment: best.assignment,
@@ -314,6 +526,7 @@ pub fn multi_start_parallel_traced<S: TraceSink + ?Sized>(
         balanced: best.balanced,
         starts,
         vcycles_applied,
+        stopped,
         total_elapsed: t0.elapsed(),
     }
 }
@@ -333,6 +546,7 @@ mod tests {
         let four = multi_start(&ml, &h, &c, 4, 100, 0);
         assert!(four.best_start_cut() <= one.best_start_cut());
         assert_eq!(four.starts.len(), 4);
+        assert_eq!(four.stopped, StopReason::Completed);
     }
 
     #[test]

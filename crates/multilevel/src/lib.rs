@@ -38,7 +38,8 @@ mod driver;
 mod partitioner;
 
 pub use driver::{
-    multi_start, multi_start_parallel, multi_start_parallel_traced, multi_start_traced,
+    multi_start, multi_start_budgeted, multi_start_budgeted_with, multi_start_parallel,
+    multi_start_parallel_traced, multi_start_parallel_with, multi_start_traced, multi_start_with,
     MultiStartOutcome, StartRecord,
 };
 pub use partitioner::{MlConfig, MlOutcome, MlPartitioner};

@@ -7,12 +7,21 @@ use rand::{Rng, SeedableRng};
 use crate::coarsen::{build_hierarchy, CoarsenConfig};
 use hypart_core::{
     generate_initial, BalanceConstraint, Bisection, FmConfig, FmPartitioner, FmWorkspace,
-    InitialSolution,
+    InitialSolution, RunCtx, StopReason,
 };
 use hypart_hypergraph::{Hypergraph, PartId};
-use hypart_trace::{NullSink, RunEvent, TraceSink};
+use hypart_trace::{RunEvent, TraceSink};
 
 /// Configuration of the multilevel partitioner.
+///
+/// Every field has a `with_*` builder. The ML rows of the paper's Table 1
+/// come from composing this wrapper with a flat engine config:
+///
+/// | knob | role | Table 1 connection |
+/// |------|------|--------------------|
+/// | [`refine`](Self::refine) | flat engine at every level | selects the ML LIFO / ML CLIP row family |
+/// | [`coarsen`](Self::coarsen) | clustering schedule | fixed across the grid (FirstChoice-style) |
+/// | [`initial_tries`](Self::initial_tries) | seeded starts on the coarsest graph | fixed across the grid |
 #[derive(Clone, Debug, PartialEq)]
 pub struct MlConfig {
     /// Flat engine used for refinement at every level — ML LIFO vs ML CLIP
@@ -54,6 +63,19 @@ impl MlConfig {
         self.refine = refine;
         self
     }
+
+    /// Replaces the coarsening parameters (builder-style).
+    pub fn with_coarsen(mut self, coarsen: CoarsenConfig) -> Self {
+        self.coarsen = coarsen;
+        self
+    }
+
+    /// Sets how many seeded initial partitions are tried on the coarsest
+    /// graph (builder-style; clamped to at least 1 at run time).
+    pub fn with_initial_tries(mut self, initial_tries: usize) -> Self {
+        self.initial_tries = initial_tries;
+        self
+    }
 }
 
 /// Result of one multilevel run.
@@ -72,6 +94,10 @@ pub struct MlOutcome {
     pub corked_passes: usize,
     /// Total refinement passes across all levels.
     pub total_passes: usize,
+    /// Why the run ended. On a deadline/cancellation stop, remaining
+    /// refinement is skipped but the solution is still projected to the
+    /// input graph, so the outcome is always a legal full-size partition.
+    pub stopped: StopReason,
 }
 
 /// A multilevel 2-way partitioner (hMetis-style V-cycle refinement is
@@ -92,12 +118,35 @@ impl MlPartitioner {
         &self.config
     }
 
+    /// The canonical run entry point: one multilevel start on `h` under
+    /// the context's sink, workspace, seed, and budget. On a budget stop
+    /// the remaining refinement stages are skipped but the solution is
+    /// still projected through every level, so the returned assignment is
+    /// always full-size and legal.
+    pub fn run_with(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        ctx: &mut RunCtx<'_>,
+    ) -> MlOutcome {
+        let mut rng = SmallRng::seed_from_u64(ctx.seed);
+        let levels = build_hierarchy(h, &self.config.coarsen, None, &mut rng);
+        emit_level_downs(&levels, ctx.sink);
+        let coarsest: &Hypergraph = levels.last().map_or(h, |l| &l.graph);
+
+        // Initial partitioning on the coarsest graph: several seeded
+        // greedy starts, each refined, best kept.
+        let initial = self.best_initial(coarsest, constraint, &mut rng, ctx);
+
+        self.uncoarsen(h, &levels, initial, constraint, &mut rng, ctx)
+    }
+
     /// Runs one multilevel start on `h` from `seed`.
     ///
-    /// Equivalent to [`run_traced`](MlPartitioner::run_traced) with a
-    /// `NullSink`.
+    /// Equivalent to [`run_with`](MlPartitioner::run_with) with a default
+    /// [`RunCtx`] (no sink, no deadline).
     pub fn run(&self, h: &Hypergraph, constraint: &BalanceConstraint, seed: u64) -> MlOutcome {
-        self.run_traced(h, constraint, seed, &NullSink)
+        self.run_with(h, constraint, &mut RunCtx::new(seed))
     }
 
     /// [`run`](MlPartitioner::run), narrating into `sink`: one
@@ -111,16 +160,15 @@ impl MlPartitioner {
         seed: u64,
         sink: &S,
     ) -> MlOutcome {
-        let mut workspace = FmWorkspace::new();
-        self.run_traced_with(h, constraint, seed, sink, &mut workspace)
+        self.run_with(h, constraint, &mut RunCtx::new(seed).with_sink(&sink))
     }
 
     /// [`run_traced`](MlPartitioner::run_traced) with an external
-    /// [`FmWorkspace`] shared by the refinement at every level (and every
-    /// initial try): gain containers are re-targeted in place instead of
-    /// reallocated per refinement. The multi-start driver passes one
-    /// workspace across all its starts. Results are identical to the
-    /// workspace-free entry points.
+    /// [`FmWorkspace`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `run_with` — the workspace now travels in the `RunCtx`"
+    )]
     pub fn run_traced_with<S: TraceSink + ?Sized>(
         &self,
         h: &Hypergraph,
@@ -129,67 +177,33 @@ impl MlPartitioner {
         sink: &S,
         workspace: &mut FmWorkspace,
     ) -> MlOutcome {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let levels = build_hierarchy(h, &self.config.coarsen, None, &mut rng);
-        emit_level_downs(&levels, sink);
-        let coarsest: &Hypergraph = levels.last().map_or(h, |l| &l.graph);
-
-        // Initial partitioning on the coarsest graph: several seeded
-        // greedy starts, each refined, best kept.
-        let initial = self.best_initial(coarsest, constraint, &mut rng, sink, workspace);
-
-        self.uncoarsen(h, &levels, initial, constraint, &mut rng, sink, workspace)
+        let mut ctx = RunCtx::new(seed)
+            .with_workspace(std::mem::take(workspace))
+            .with_sink(&sink);
+        let out = self.run_with(h, constraint, &mut ctx);
+        *workspace = ctx.workspace;
+        out
     }
 
-    /// Applies one V-cycle to an existing solution: restricted coarsening
-    /// that never clusters across the cut, then uncoarsening with
-    /// refinement at every level starting from the projected solution.
-    ///
-    /// Equivalent to [`vcycle_traced`](MlPartitioner::vcycle_traced) with
-    /// a `NullSink`.
-    pub fn vcycle(
+    /// The canonical V-cycle entry point: restricted coarsening that
+    /// never clusters across the cut, then uncoarsening with refinement
+    /// at every level starting from the projected solution — all under
+    /// the context's sink, workspace, seed, and budget.
+    pub fn vcycle_with(
         &self,
         h: &Hypergraph,
         constraint: &BalanceConstraint,
         assignment: &[PartId],
-        seed: u64,
-    ) -> MlOutcome {
-        self.vcycle_traced(h, constraint, assignment, seed, &NullSink)
-    }
-
-    /// [`vcycle`](MlPartitioner::vcycle) with event emission.
-    pub fn vcycle_traced<S: TraceSink + ?Sized>(
-        &self,
-        h: &Hypergraph,
-        constraint: &BalanceConstraint,
-        assignment: &[PartId],
-        seed: u64,
-        sink: &S,
-    ) -> MlOutcome {
-        let mut workspace = FmWorkspace::new();
-        self.vcycle_traced_with(h, constraint, assignment, seed, sink, &mut workspace)
-    }
-
-    /// [`vcycle_traced`](MlPartitioner::vcycle_traced) with an external
-    /// [`FmWorkspace`] (see
-    /// [`run_traced_with`](MlPartitioner::run_traced_with)).
-    pub fn vcycle_traced_with<S: TraceSink + ?Sized>(
-        &self,
-        h: &Hypergraph,
-        constraint: &BalanceConstraint,
-        assignment: &[PartId],
-        seed: u64,
-        sink: &S,
-        workspace: &mut FmWorkspace,
+        ctx: &mut RunCtx<'_>,
     ) -> MlOutcome {
         assert_eq!(
             assignment.len(),
             h.num_vertices(),
             "assignment length mismatch"
         );
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(ctx.seed);
         let levels = build_hierarchy(h, &self.config.coarsen, Some(assignment), &mut rng);
-        emit_level_downs(&levels, sink);
+        emit_level_downs(&levels, ctx.sink);
 
         // Project the current solution down the (restricted) hierarchy:
         // every cluster is on one side by construction.
@@ -202,24 +216,69 @@ impl MlPartitioner {
             coarse_assignment = next;
         }
 
-        self.uncoarsen(
+        self.uncoarsen(h, &levels, coarse_assignment, constraint, &mut rng, ctx)
+    }
+
+    /// Applies one V-cycle to an existing solution.
+    ///
+    /// Equivalent to [`vcycle_with`](MlPartitioner::vcycle_with) with a
+    /// default [`RunCtx`].
+    pub fn vcycle(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        assignment: &[PartId],
+        seed: u64,
+    ) -> MlOutcome {
+        self.vcycle_with(h, constraint, assignment, &mut RunCtx::new(seed))
+    }
+
+    /// [`vcycle`](MlPartitioner::vcycle) with event emission.
+    pub fn vcycle_traced<S: TraceSink + ?Sized>(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        assignment: &[PartId],
+        seed: u64,
+        sink: &S,
+    ) -> MlOutcome {
+        self.vcycle_with(
             h,
-            &levels,
-            coarse_assignment,
             constraint,
-            &mut rng,
-            sink,
-            workspace,
+            assignment,
+            &mut RunCtx::new(seed).with_sink(&sink),
         )
     }
 
-    fn best_initial<R: Rng, S: TraceSink + ?Sized>(
+    /// [`vcycle_traced`](MlPartitioner::vcycle_traced) with an external
+    /// [`FmWorkspace`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `vcycle_with` — the workspace now travels in the `RunCtx`"
+    )]
+    pub fn vcycle_traced_with<S: TraceSink + ?Sized>(
+        &self,
+        h: &Hypergraph,
+        constraint: &BalanceConstraint,
+        assignment: &[PartId],
+        seed: u64,
+        sink: &S,
+        workspace: &mut FmWorkspace,
+    ) -> MlOutcome {
+        let mut ctx = RunCtx::new(seed)
+            .with_workspace(std::mem::take(workspace))
+            .with_sink(&sink);
+        let out = self.vcycle_with(h, constraint, assignment, &mut ctx);
+        *workspace = ctx.workspace;
+        out
+    }
+
+    fn best_initial<R: Rng>(
         &self,
         coarsest: &Hypergraph,
         constraint: &BalanceConstraint,
         rng: &mut R,
-        sink: &S,
-        workspace: &mut FmWorkspace,
+        ctx: &mut RunCtx<'_>,
     ) -> Vec<PartId> {
         let engine = FmPartitioner::new(self.config.refine);
         let mut best: Option<(u64, u64, Vec<PartId>)> = None; // (violation, cut, parts)
@@ -232,40 +291,56 @@ impl MlPartitioner {
             let parts = generate_initial(coarsest, rule, rng);
             let mut bisection =
                 Bisection::new(coarsest, parts).expect("generated initial is valid");
-            engine.refine_traced_with(&mut bisection, constraint, rng, sink, workspace);
+            let stats = engine.refine_with(&mut bisection, constraint, rng, ctx);
             let score = (constraint.total_violation(&bisection), bisection.cut());
             if best.as_ref().is_none_or(|(v, c, _)| score < (*v, *c)) {
                 best = Some((score.0, score.1, bisection.into_assignment()));
+            }
+            // The first try always completes construction (even with an
+            // already-expired deadline the engine returns a valid, merely
+            // unrefined bisection); later tries are skipped once stopped.
+            if stats.stopped.is_stopped() {
+                break;
             }
         }
         best.expect("at least one initial try").2
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn uncoarsen<R: Rng, S: TraceSink + ?Sized>(
+    fn uncoarsen<R: Rng>(
         &self,
         h: &Hypergraph,
         levels: &[crate::coarsen::CoarseLevel],
         coarsest_assignment: Vec<PartId>,
         constraint: &BalanceConstraint,
         rng: &mut R,
-        sink: &S,
-        workspace: &mut FmWorkspace,
+        ctx: &mut RunCtx<'_>,
     ) -> MlOutcome {
         let engine = FmPartitioner::new(self.config.refine);
         let mut corked_passes = 0usize;
         let mut total_passes = 0usize;
         let mut assignment = coarsest_assignment;
+        let mut probe = ctx.probe();
+        let mut stopped = StopReason::Completed;
 
         // Refine at the coarsest level, then project and refine at each
-        // finer level down to the input graph.
+        // finer level down to the input graph. Once the budget is gone,
+        // refinement stops but the projection continues: a full-size
+        // solution is part of the graceful-degradation contract.
         for i in (0..=levels.len()).rev() {
             let graph: &Hypergraph = if i == 0 { h } else { &levels[i - 1].graph };
             if i < levels.len() {
                 assignment = levels[i].project(&assignment);
             }
-            if sink.is_enabled() {
-                sink.emit(RunEvent::LevelUp {
+            if stopped.is_stopped() {
+                continue;
+            }
+            if let Some(reason) = probe.stop_now() {
+                stopped = reason;
+                ctx.sink.emit(RunEvent::BudgetExhausted { reason });
+                continue;
+            }
+            if ctx.sink.is_enabled() {
+                ctx.sink.emit(RunEvent::LevelUp {
                     level: i,
                     vertices: graph.num_vertices(),
                     nets: graph.num_nets(),
@@ -273,9 +348,11 @@ impl MlPartitioner {
             }
             let mut bisection =
                 Bisection::new(graph, assignment).expect("projected assignment is valid");
-            let stats = engine.refine_traced_with(&mut bisection, constraint, rng, sink, workspace);
+            let stats = engine.refine_with(&mut bisection, constraint, rng, ctx);
             corked_passes += stats.corked_passes();
             total_passes += stats.num_passes();
+            // A stop inside the engine was already announced there.
+            stopped = stats.stopped;
             assignment = bisection.into_assignment();
         }
 
@@ -286,6 +363,7 @@ impl MlPartitioner {
             levels: levels.len(),
             corked_passes,
             total_passes,
+            stopped,
             assignment: bisection.into_assignment(),
         }
     }

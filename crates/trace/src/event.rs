@@ -9,6 +9,55 @@
 
 use crate::json::JsonValue;
 
+/// Why an engine handed control back to its caller.
+///
+/// Every outcome type carries one of these: [`Completed`](StopReason::Completed)
+/// is the normal convergence path, the other two are the cooperative early
+/// exits of a budgeted execution context. An early exit is *graceful
+/// degradation*: the engine rolls back to its best prefix and returns a
+/// well-formed best-so-far solution, never a torn partition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The engine ran to its natural convergence.
+    #[default]
+    Completed,
+    /// The wall-clock deadline of the execution context expired.
+    Deadline,
+    /// The context's cancellation token was flipped (typically from
+    /// another thread).
+    Cancelled,
+}
+
+impl StopReason {
+    /// `true` unless the run completed naturally.
+    pub fn is_stopped(self) -> bool {
+        self != StopReason::Completed
+    }
+
+    /// Stable snake_case name (the `"reason"` field of the JSONL schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::Deadline => "deadline",
+            StopReason::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a [`name`](StopReason::name) back.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name.
+    pub fn parse(s: &str) -> Result<StopReason, String> {
+        match s {
+            "completed" => Ok(StopReason::Completed),
+            "deadline" => Ok(StopReason::Deadline),
+            "cancelled" => Ok(StopReason::Cancelled),
+            other => Err(format!("unknown stop reason `{other}`")),
+        }
+    }
+}
+
 /// One observation from a partitioning engine.
 ///
 /// The variants cover the full anatomy of a run, from experiment harness
@@ -156,10 +205,42 @@ pub enum RunEvent {
         /// Cut produced by the cycle (kept only if it improves).
         cut: u64,
     },
+    /// The execution context's budget ran out (deadline expired or the
+    /// cancellation token flipped). Emitted exactly once by the engine
+    /// layer that observes the exhaustion, right before it returns its
+    /// best-so-far outcome; never emitted on the
+    /// [`Completed`](StopReason::Completed) path, so pre-budget golden
+    /// streams are unchanged.
+    BudgetExhausted {
+        /// Why the budget check fired ([`StopReason::Deadline`] or
+        /// [`StopReason::Cancelled`]).
+        reason: StopReason,
+    },
+    /// One independent start of a *budgeted* multi-start sweep begins.
+    /// Only the budgeted driver emits start brackets — the fixed-count
+    /// drivers predate them and keep their pinned streams.
+    StartBegin {
+        /// Zero-based start index.
+        index: u64,
+        /// Seed of the start.
+        seed: u64,
+    },
+    /// The budgeted start finished (completed or interrupted).
+    StartEnd {
+        /// Zero-based start index.
+        index: u64,
+        /// Seed of the start.
+        seed: u64,
+        /// Cut the start achieved.
+        cut: u64,
+        /// `true` if the start ran to natural convergence — only
+        /// completed starts compete for the reported best-so-far.
+        completed: bool,
+    },
 }
 
 /// Event kind names, in [`RunEvent::kind_index`] order.
-pub const EVENT_KINDS: [&str; 14] = [
+pub const EVENT_KINDS: [&str; 17] = [
     "trial_begin",
     "trial_end",
     "run_begin",
@@ -174,6 +255,9 @@ pub const EVENT_KINDS: [&str; 14] = [
     "level_up",
     "vcycle_begin",
     "vcycle_end",
+    "budget_exhausted",
+    "start_begin",
+    "start_end",
 ];
 
 impl RunEvent {
@@ -200,6 +284,9 @@ impl RunEvent {
             RunEvent::LevelUp { .. } => 11,
             RunEvent::VcycleBegin { .. } => 12,
             RunEvent::VcycleEnd { .. } => 13,
+            RunEvent::BudgetExhausted { .. } => 14,
+            RunEvent::StartBegin { .. } => 15,
+            RunEvent::StartEnd { .. } => 16,
         }
     }
 
@@ -310,6 +397,24 @@ impl RunEvent {
             RunEvent::VcycleEnd { index, cut } => {
                 JsonValue::object([ev, ("index", (*index).into()), ("cut", (*cut).into())])
             }
+            RunEvent::BudgetExhausted { reason } => {
+                JsonValue::object([ev, ("reason", JsonValue::string(reason.name()))])
+            }
+            RunEvent::StartBegin { index, seed } => {
+                JsonValue::object([ev, ("index", (*index).into()), ("seed", (*seed).into())])
+            }
+            RunEvent::StartEnd {
+                index,
+                seed,
+                cut,
+                completed,
+            } => JsonValue::object([
+                ev,
+                ("index", (*index).into()),
+                ("seed", (*seed).into()),
+                ("cut", (*cut).into()),
+                ("completed", (*completed).into()),
+            ]),
         }
     }
 
@@ -416,6 +521,19 @@ impl RunEvent {
                 index: us("index")?,
                 cut: u("cut")?,
             }),
+            "budget_exhausted" => Ok(RunEvent::BudgetExhausted {
+                reason: StopReason::parse(&s("reason")?)?,
+            }),
+            "start_begin" => Ok(RunEvent::StartBegin {
+                index: u("index")?,
+                seed: u("seed")?,
+            }),
+            "start_end" => Ok(RunEvent::StartEnd {
+                index: u("index")?,
+                seed: u("seed")?,
+                cut: u("cut")?,
+                completed: b("completed")?,
+            }),
             other => Err(format!("unknown event kind `{other}`")),
         }
     }
@@ -484,6 +602,16 @@ mod tests {
             },
             RunEvent::VcycleBegin { index: 0, cut: 310 },
             RunEvent::VcycleEnd { index: 0, cut: 305 },
+            RunEvent::BudgetExhausted {
+                reason: StopReason::Deadline,
+            },
+            RunEvent::StartBegin { index: 2, seed: 44 },
+            RunEvent::StartEnd {
+                index: 2,
+                seed: 44,
+                cut: 307,
+                completed: false,
+            },
         ]
     }
 

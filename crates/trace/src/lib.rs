@@ -51,7 +51,7 @@ mod event;
 pub mod json;
 mod sink;
 
-pub use event::{RunEvent, EVENT_KINDS};
+pub use event::{RunEvent, StopReason, EVENT_KINDS};
 pub use sink::{
     CounterSink, JsonlSink, MemorySink, NullSink, TeeSink, TraceSink, PASS_HISTOGRAM_BUCKETS,
 };

@@ -25,6 +25,16 @@ pub trait TraceSink {
     }
 }
 
+impl<S: TraceSink + ?Sized> TraceSink for &S {
+    fn emit(&self, event: RunEvent) {
+        (**self).emit(event);
+    }
+
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+}
+
 /// The zero-cost no-op sink: [`emit`](TraceSink::emit) is empty and
 /// [`is_enabled`](TraceSink::is_enabled) is `false`, so the hot move loop
 /// never constructs events and the whole call inlines away. The untraced

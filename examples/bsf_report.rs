@@ -7,7 +7,6 @@
 use hypart::benchgen::ispd98_like;
 use hypart::eval::bsf::BsfCurve;
 use hypart::eval::pareto::{frontier_report, PerfPoint};
-use hypart::eval::runner::{run_trials, FlatFmHeuristic, Heuristic, MlHeuristic};
 use hypart::eval::stats::{wilcoxon_rank_sum, Summary};
 use hypart::prelude::*;
 

@@ -11,7 +11,6 @@
 //! Run: `cargo run --release --example implicit_decisions`
 
 use hypart::benchgen::ispd98_like;
-use hypart::eval::runner::{run_trials, FlatFmHeuristic, Heuristic, MlHeuristic};
 use hypart::eval::table::Table;
 use hypart::prelude::*;
 

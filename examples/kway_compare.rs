@@ -7,7 +7,7 @@
 use std::time::Instant;
 
 use hypart::benchgen::ispd98_like;
-use hypart::kway::{KWayPartition, MlKWayConfig, MlKWayPartitioner};
+use hypart::kway::KWayPartition;
 use hypart::prelude::*;
 
 fn main() {

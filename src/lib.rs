@@ -60,13 +60,22 @@ pub use hypart_trace as trace;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use hypart_core::{
-        BalanceConstraint, Bisection, FmConfig, FmOutcome, FmPartitioner, InsertionPolicy,
-        SelectionRule, TieBreak, ZeroDeltaPolicy,
+        BalanceConstraint, Bisection, CancelToken, FmConfig, FmOutcome, FmPartitioner,
+        InsertionPolicy, RunCtx, SelectionRule, StopReason, TieBreak, ZeroDeltaPolicy,
     };
-    pub use hypart_eval::runner::{run_trials, FlatFmHeuristic, Heuristic, MlHeuristic};
+    pub use hypart_eval::runner::{
+        run_trials, run_trials_with, FlatFmHeuristic, Heuristic, MlHeuristic, MultiStartHeuristic,
+        Trial, TrialSet,
+    };
     pub use hypart_hypergraph::{Hypergraph, HypergraphBuilder, NetId, PartId, VertexId};
-    pub use hypart_kway::{recursive_bisection, KWayBalance, KWayConfig, KWayFmPartitioner};
-    pub use hypart_ml::{multi_start, MlConfig, MlPartitioner};
+    pub use hypart_kway::{
+        recursive_bisection, recursive_bisection_with, KWayBalance, KWayConfig, KWayFmPartitioner,
+        MlKWayConfig, MlKWayPartitioner,
+    };
+    pub use hypart_ml::{
+        multi_start, multi_start_budgeted, multi_start_budgeted_with, multi_start_parallel,
+        multi_start_with, MlConfig, MlPartitioner, MultiStartOutcome,
+    };
     pub use hypart_place::{hpwl, PlacerConfig, Rect, TopDownPlacer};
     pub use hypart_trace::{
         CounterSink, JsonlSink, MemorySink, NullSink, RunEvent, TeeSink, TraceSink,

@@ -1,0 +1,168 @@
+//! Execution-context (`RunCtx`) behavior across the stack: the legacy
+//! entry points must reproduce the canonical `*_with` streams bitwise,
+//! deadlines must stop a budgeted multi-start promptly with a legal
+//! best-so-far, and cancellation must interrupt a parallel multi-start
+//! from another thread.
+
+use std::time::{Duration, Instant};
+
+use hypart::benchgen::ispd98_like;
+use hypart::ml::multi_start_parallel_with;
+use hypart::prelude::*;
+
+fn jsonl_of(f: impl FnOnce(&JsonlSink<Vec<u8>>)) -> String {
+    let sink = JsonlSink::new(Vec::new());
+    f(&sink);
+    String::from_utf8(sink.finish().expect("in-memory write")).expect("utf-8")
+}
+
+/// The legacy wrappers — plain `run`/`run_traced` and the deprecated
+/// external-workspace shuttles — are thin delegations to the canonical
+/// `*_with` entry points, so their JSONL streams must stay bitwise
+/// identical to a hand-built `RunCtx` run.
+#[test]
+fn wrappers_reproduce_canonical_jsonl_streams() {
+    let h = ispd98_like(1, 0.02, 23);
+    let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+
+    // Flat FM: run_traced vs run_with.
+    let fm = FmPartitioner::new(FmConfig::clip());
+    let via_wrapper = jsonl_of(|sink| {
+        fm.run_traced(&h, &c, 7, sink);
+    });
+    let via_ctx = jsonl_of(|sink| {
+        fm.run_with(&h, &c, &mut RunCtx::new(7).with_sink(sink));
+    });
+    assert_eq!(via_wrapper, via_ctx, "flat FM stream drifted");
+
+    // Multilevel: deprecated workspace-shuttle wrapper vs run_with.
+    let ml = MlPartitioner::new(MlConfig::ml_lifo());
+    #[allow(deprecated)]
+    let via_shuttle = jsonl_of(|sink| {
+        let mut workspace = hypart::core::FmWorkspace::new();
+        ml.run_traced_with(&h, &c, 9, sink, &mut workspace);
+    });
+    let via_ctx = jsonl_of(|sink| {
+        ml.run_with(&h, &c, &mut RunCtx::new(9).with_sink(sink));
+    });
+    assert_eq!(via_shuttle, via_ctx, "multilevel stream drifted");
+
+    // Direct k-way: run_traced vs run_with.
+    let balance = KWayBalance::with_fraction(h.total_vertex_weight(), 4, 0.15);
+    let kway = KWayFmPartitioner::new(KWayConfig::default());
+    let via_wrapper = jsonl_of(|sink| {
+        kway.run_traced(&h, &balance, 5, sink);
+    });
+    let via_ctx = jsonl_of(|sink| {
+        kway.run_with(&h, &balance, &mut RunCtx::new(5).with_sink(sink));
+    });
+    assert_eq!(via_wrapper, via_ctx, "k-way stream drifted");
+
+    // An unbudgeted context adds no events: no BudgetExhausted,
+    // StartBegin, or StartEnd anywhere in the streams above.
+    for kind in ["budget_exhausted", "start_begin", "start_end"] {
+        assert!(
+            !via_ctx.contains(kind),
+            "unbudgeted run leaked a `{kind}` event"
+        );
+    }
+}
+
+/// A 50 ms budget on an ISPD-98-profile instance: the budgeted
+/// multi-start must come back within 2x the budget with
+/// `StopReason::Deadline`, a legal balanced best-so-far, and a reported
+/// cut equal to the best cut among the fully-completed starts in the
+/// trace stream.
+#[test]
+fn budgeted_multi_start_hits_deadline() {
+    let h = ispd98_like(1, 0.05, 11);
+    let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+    let ml = MlPartitioner::new(MlConfig::ml_lifo());
+
+    let budget = Duration::from_millis(50);
+    let sink = MemorySink::new();
+    let mut ctx = RunCtx::new(3).with_budget(budget).with_sink(&sink);
+    let t0 = Instant::now();
+    let out = hypart::ml::multi_start_budgeted_with(&ml, &h, &c, &mut ctx);
+    let elapsed = t0.elapsed();
+
+    assert!(
+        elapsed <= budget * 2,
+        "budgeted run overshot: {elapsed:?} for a {budget:?} budget"
+    );
+    assert_eq!(out.stopped, StopReason::Deadline);
+    assert!(out.balanced, "best-so-far must satisfy the balance window");
+
+    // The solution is a full-size legal bisection and the reported cut
+    // is real.
+    assert_eq!(out.assignment.len(), h.num_vertices());
+    let bis = Bisection::new(&h, out.assignment.clone()).expect("legal partition");
+    assert_eq!(bis.cut(), out.cut);
+
+    // The reported best must be the best among fully-completed starts —
+    // the determinism contract: truncated starts never displace it.
+    let events = sink.take();
+    let completed_cuts: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::StartEnd {
+                cut,
+                completed: true,
+                ..
+            } => Some(*cut),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !completed_cuts.is_empty(),
+        "expected at least one completed start within 50 ms"
+    );
+    assert_eq!(
+        out.cut,
+        *completed_cuts.iter().min().expect("non-empty"),
+        "reported best must equal the best fully-completed start"
+    );
+    assert!(
+        events.iter().any(
+            |e| matches!(e, RunEvent::BudgetExhausted { reason } if *reason == StopReason::Deadline)
+        ),
+        "the deadline stop must be announced in the trace"
+    );
+}
+
+/// Flipping the shared cancellation token from another thread interrupts
+/// a parallel multi-start: it returns promptly with
+/// `StopReason::Cancelled` and a well-formed best-so-far.
+#[test]
+fn cancellation_interrupts_parallel_multi_start() {
+    let h = ispd98_like(2, 0.06, 31);
+    let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+    let ml = MlPartitioner::new(MlConfig::ml_lifo());
+
+    let token = CancelToken::new();
+    let mut ctx = RunCtx::new(1).with_cancel_token(token.clone());
+    let out = std::thread::scope(|scope| {
+        let canceller = token.clone();
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            canceller.cancel();
+        });
+        // Far more starts than can finish in 30 ms on this instance.
+        multi_start_parallel_with(&ml, &h, &c, 64, 2, 2, &mut ctx)
+    });
+
+    assert_eq!(out.stopped, StopReason::Cancelled);
+    // Every slot still fills (each interrupted start returns its
+    // best-so-far quickly), but the flip must be visible in the records.
+    assert_eq!(out.starts.len(), 64);
+    assert!(
+        out.starts
+            .iter()
+            .any(|s| s.stopped == StopReason::Cancelled),
+        "at least one start must have observed the cancellation"
+    );
+    assert_eq!(out.vcycles_applied, 0, "V-cycling is skipped when stopped");
+    assert_eq!(out.assignment.len(), h.num_vertices());
+    let bis = Bisection::new(&h, out.assignment.clone()).expect("legal partition");
+    assert_eq!(bis.cut(), out.cut);
+}
