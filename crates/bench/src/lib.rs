@@ -501,6 +501,7 @@ fn corked_stats(
             heuristic: "CLIP".into(),
             instance: h.name().to_string(),
             trials,
+            failed_trials: 0,
         },
     )
 }

@@ -19,13 +19,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use hypart_core::{
-    objective, BalanceConstraint, Bisection, FmConfig, FmPartitioner, RunCtx, StopReason,
+    objective, AuditLevel, BalanceConstraint, Bisection, FmConfig, FmPartitioner, RunCtx,
+    StopReason,
 };
 use hypart_eval::bsf::BsfCurve;
 use hypart_eval::json::trial_set_to_json;
@@ -37,6 +39,43 @@ use hypart_kway::{recursive_bisection_with, KWayBalance, KWayConfig, KWayFmParti
 use hypart_ml::{multi_start_budgeted_with, multi_start_with, MlConfig, MlPartitioner};
 use hypart_place::{hpwl, PlacerConfig, Rect, RowLegalizer, TopDownPlacer};
 use hypart_trace::{CounterSink, JsonlSink, TeeSink};
+
+/// A failure from [`run`], classified for the process exit code.
+///
+/// The shell contract: `2` for usage errors (bad flags, unknown
+/// subcommands — raised by [`parse_args`]), `3` for input files that do
+/// not parse, `4` for runtime failures (I/O on outputs, trace-sink write
+/// failures).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line itself was malformed. Exit code 2.
+    Usage(String),
+    /// An input file was rejected by a parser. Exit code 3.
+    Parse(String),
+    /// The command failed while executing. Exit code 4.
+    Runtime(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Parse(_) => 3,
+            CliError::Runtime(_) => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Parse(m) | CliError::Runtime(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -64,6 +103,8 @@ pub enum Command {
         /// with `--engine hmetis` the driver keeps launching starts until
         /// the budget expires instead of running a fixed count.
         budget_ms: Option<u64>,
+        /// Invariant-audit level (`off`, `checkpoints`, `paranoid`).
+        audit: AuditLevel,
     },
     /// `eval <netlist> <partfile> [--tol F]`
     Eval {
@@ -165,6 +206,7 @@ USAGE:
   hypart partition <netlist> [--engine lifo|clip|ml-lifo|ml-clip|hmetis|kway]
                    [--k K] [--tol F] [--starts N] [--seed S] [--out FILE]
                    [--trace FILE.jsonl] [--budget-ms T]
+                   [--audit off|checkpoints|paranoid]
   hypart eval <netlist> <partfile> [--tol F]
   hypart stats <netlist>
   hypart place <netlist> [--width W] [--height H] [--rows R] [--seed S] [--out FILE]
@@ -251,6 +293,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 output: flag_value("--out").map(PathBuf::from),
                 trace: flag_value("--trace").map(PathBuf::from),
                 budget_ms: parse_opt_u64("--budget-ms")?,
+                audit: match flag_value("--audit") {
+                    None => AuditLevel::Off,
+                    Some(v) => AuditLevel::parse(v)?,
+                },
             })
         }
         "eval" => Ok(Command::Eval {
@@ -297,8 +343,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
 ///
 /// # Errors
 ///
-/// Propagates parse errors with the path prepended.
-pub fn load_netlist(path: &Path) -> Result<Hypergraph, String> {
+/// Returns [`CliError::Parse`] for content the parser rejects, and
+/// [`CliError::Runtime`] for I/O failures (missing file, bad
+/// permissions).
+pub fn load_netlist(path: &Path) -> Result<Hypergraph, CliError> {
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
     let result = if name.contains("net") && !name.ends_with(".hgr") {
         io::netd::read_path(path)
@@ -310,15 +358,27 @@ pub fn load_netlist(path: &Path) -> Result<Hypergraph, String> {
             let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("input");
             h.with_name(stem)
         })
-        .map_err(|e| format!("{}: {e}", path.display()))
+        .map_err(|e| classify_parse_error(path, e))
+}
+
+/// Maps a [`hypart_hypergraph::ParseError`] to the CLI failure class:
+/// I/O problems are runtime failures, everything else is a parse
+/// rejection of the input content.
+fn classify_parse_error(path: &Path, e: hypart_hypergraph::ParseError) -> CliError {
+    let message = format!("{}: {e}", path.display());
+    match e {
+        hypart_hypergraph::ParseError::Io(_) => CliError::Runtime(message),
+        _ => CliError::Parse(message),
+    }
 }
 
 /// Executes a parsed command, returning the report text to print.
 ///
 /// # Errors
 ///
-/// Returns a human-readable failure message.
-pub fn run(command: Command) -> Result<String, String> {
+/// Returns a [`CliError`] carrying a human-readable message and the
+/// process exit code class.
+pub fn run(command: Command) -> Result<String, CliError> {
     match command {
         Command::Stats { input } => {
             let h = load_netlist(&input)?;
@@ -376,14 +436,20 @@ pub fn run(command: Command) -> Result<String, String> {
                 &mut trial_ctx(seed),
             );
 
-            let mut table =
-                hypart_eval::table::Table::new(["engine", "min/avg cut", "avg sec", "balanced"]);
+            let mut table = hypart_eval::table::Table::new([
+                "engine",
+                "min/avg cut",
+                "avg sec",
+                "balanced",
+                "failed",
+            ]);
             for set in [&flat, &clip, &ml] {
                 table.add_row([
                     set.heuristic.clone(),
                     set.min_avg_cell(),
                     format!("{:.4}", set.avg_seconds()),
                     format!("{:.0}%", set.balanced_fraction() * 100.0),
+                    format!("{}", set.failed_trials),
                 ]);
             }
             report.table(&table);
@@ -407,13 +473,13 @@ pub fn run(command: Command) -> Result<String, String> {
 
             let out_path = output.unwrap_or_else(|| input.with_extension("report.md"));
             std::fs::write(&out_path, report.render())
-                .map_err(|e| format!("{}: {e}", out_path.display()))?;
+                .map_err(|e| CliError::Runtime(format!("{}: {e}", out_path.display())))?;
             let json_path = out_path.with_extension("json");
             let json = hypart_eval::json::JsonValue::array(
                 [&flat, &clip, &ml].into_iter().map(trial_set_to_json),
             );
             std::fs::write(&json_path, json.to_string())
-                .map_err(|e| format!("{}: {e}", json_path.display()))?;
+                .map_err(|e| CliError::Runtime(format!("{}: {e}", json_path.display())))?;
             Ok(format!(
                 "report  : {}
 records : {}
@@ -451,7 +517,8 @@ records : {}
             for (v, p) in placement.iter() {
                 let _ = writeln!(text, "{} {:.3} {:.3}", v.raw(), p.x, p.y);
             }
-            std::fs::write(&out_path, text).map_err(|e| format!("{}: {e}", out_path.display()))?;
+            std::fs::write(&out_path, text)
+                .map_err(|e| CliError::Runtime(format!("{}: {e}", out_path.display())))?;
             Ok(format!(
                 "placed {} cells in {elapsed:.2?}{legal_note}
 HPWL     : {:.0}
@@ -469,21 +536,20 @@ solution : {}
             out,
         } => {
             let h = if let Some(rest) = spec.strip_prefix("mcnc") {
-                let cells: usize = rest
-                    .parse()
-                    .map_err(|_| format!("bad mcnc spec `{spec}` (want mcnc<N>)"))?;
+                let cells: usize = rest.parse().map_err(|_| {
+                    CliError::Usage(format!("bad mcnc spec `{spec}` (want mcnc<N>)"))
+                })?;
                 hypart_benchgen::mcnc_like(cells, seed)
-            } else if let Some(p) = hypart_benchgen::Ispd98Profile::by_name(&spec) {
-                let index = hypart_benchgen::IBM_PROFILES
-                    .iter()
-                    .position(|q| q.name == p.name)
-                    .expect("profile exists")
-                    + 1;
-                hypart_benchgen::ispd98_like(index, scale, seed)
+            } else if let Some(index) = hypart_benchgen::IBM_PROFILES
+                .iter()
+                .position(|q| q.name == spec)
+            {
+                hypart_benchgen::ispd98_like(index + 1, scale, seed)
             } else {
-                return Err(format!("unknown instance spec `{spec}`"));
+                return Err(CliError::Usage(format!("unknown instance spec `{spec}`")));
             };
-            io::hgr::write_path(&h, &out).map_err(|e| format!("{}: {e}", out.display()))?;
+            io::hgr::write_path(&h, &out)
+                .map_err(|e| CliError::Runtime(format!("{}: {e}", out.display())))?;
             Ok(format!(
                 "wrote {} ({} cells, {} nets, {} pins)\n",
                 out.display(),
@@ -499,8 +565,9 @@ solution : {}
         } => {
             let h = load_netlist(&input)?;
             let parts = io::partfile::read_path(&part_file)
-                .map_err(|e| format!("{}: {e}", part_file.display()))?;
-            let bis = Bisection::new(&h, parts).map_err(|e| e.to_string())?;
+                .map_err(|e| classify_parse_error(&part_file, e))?;
+            let bis = Bisection::new(&h, parts)
+                .map_err(|e| CliError::Parse(format!("{}: {e}", part_file.display())))?;
             let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), tolerance);
             let mut out = String::new();
             let _ = writeln!(out, "instance : {}", h.name());
@@ -529,42 +596,51 @@ solution : {}
             output,
             trace,
             budget_ms,
+            audit,
         } => {
             let h = load_netlist(&input)?;
             let t0 = Instant::now();
             let make_ctx = || {
-                let ctx = RunCtx::new(seed);
+                let ctx = RunCtx::new(seed).with_audit(audit);
                 match budget_ms {
                     Some(ms) => ctx.with_budget(Duration::from_millis(ms)),
                     None => ctx,
                 }
             };
-            let (assignment, cut, balanced, stopped, trace_note) = match &trace {
+            let (outcome, trace_note) = match &trace {
                 Some(trace_path) => {
                     let file = std::fs::File::create(trace_path)
-                        .map_err(|e| format!("{}: {e}", trace_path.display()))?;
+                        .map_err(|e| CliError::Runtime(format!("{}: {e}", trace_path.display())))?;
                     let jsonl = JsonlSink::new(std::io::BufWriter::new(file));
                     let counters = CounterSink::new();
                     let tee = TeeSink::new(&jsonl, &counters);
                     let mut ctx = make_ctx().with_sink(&tee);
-                    let result = partition_with(&h, engine, k, tolerance, starts, &mut ctx);
+                    let outcome = partition_with(&h, engine, k, tolerance, starts, &mut ctx);
                     jsonl
                         .finish()
-                        .map_err(|e| format!("{}: {e}", trace_path.display()))?;
+                        .map_err(|e| CliError::Runtime(format!("{}: {e}", trace_path.display())))?;
                     let note = format!(
                         "trace    : {}\n\n{}",
                         trace_path.display(),
                         counters.summary()
                     );
-                    (result.0, result.1, result.2, result.3, note)
+                    (outcome, note)
                 }
                 None => {
                     let mut ctx = make_ctx();
-                    let (a, c, b, s) = partition_with(&h, engine, k, tolerance, starts, &mut ctx);
-                    (a, c, b, s, String::new())
+                    let outcome = partition_with(&h, engine, k, tolerance, starts, &mut ctx);
+                    (outcome, String::new())
                 }
             };
             let elapsed = t0.elapsed();
+            let PartitionRun {
+                assignment,
+                cut,
+                balanced,
+                stopped,
+                failed_starts,
+                audit_failure,
+            } = outcome;
 
             let out_path = output.unwrap_or_else(|| input.with_extension("part"));
             if k == 2 {
@@ -573,11 +649,11 @@ solution : {}
                     .map(|&p| if p == 0 { PartId::P0 } else { PartId::P1 })
                     .collect();
                 io::partfile::write_path(&parts, &out_path)
-                    .map_err(|e| format!("{}: {e}", out_path.display()))?;
+                    .map_err(|e| CliError::Runtime(format!("{}: {e}", out_path.display())))?;
             } else {
                 let text: String = assignment.iter().map(|p| format!("{p}\n")).collect();
                 std::fs::write(&out_path, text)
-                    .map_err(|e| format!("{}: {e}", out_path.display()))?;
+                    .map_err(|e| CliError::Runtime(format!("{}: {e}", out_path.display())))?;
             }
             let mut report = format!(
                 "instance : {} ({} cells, {} nets)\nengine   : {engine:?}, k = {k}, tol = {tolerance}, starts = {starts}\ncut      : {cut}\nbalanced : {balanced}\ntime     : {elapsed:.2?}\nsolution : {}\n",
@@ -593,8 +669,20 @@ solution : {}
                     stopped.name()
                 );
             }
+            if failed_starts > 0 {
+                let _ = writeln!(
+                    report,
+                    "failures : {failed_starts} start(s) panicked and were skipped; best of survivors reported"
+                );
+            }
             if !trace_note.is_empty() {
                 report.push_str(&trace_note);
+            }
+            if let Some(detail) = audit_failure {
+                return Err(CliError::Runtime(format!(
+                    "invariant audit failed: {detail}\n(partial results written to {})",
+                    out_path.display()
+                )));
             }
             Ok(report)
         }
@@ -608,6 +696,18 @@ fn engine_ml_config(engine: Engine) -> MlConfig {
     }
 }
 
+/// The result of one CLI partition invocation, with the robustness
+/// signals the report surfaces: how many starts panicked (and were
+/// skipped) and whether the invariant auditor flagged a violation.
+struct PartitionRun {
+    assignment: Vec<u16>,
+    cut: u64,
+    balanced: bool,
+    stopped: StopReason,
+    failed_starts: usize,
+    audit_failure: Option<String>,
+}
+
 /// Dispatches one partition invocation to the selected engine under the
 /// context's sink, seed, and budget.
 fn partition_with(
@@ -617,16 +717,10 @@ fn partition_with(
     tolerance: f64,
     starts: usize,
     ctx: &mut RunCtx<'_>,
-) -> (Vec<u16>, u64, bool, StopReason) {
+) -> PartitionRun {
     if k == 2 {
         let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), tolerance);
-        let (parts, cut, balanced, stopped) = run_two_way_with(h, &c, engine, starts, ctx);
-        (
-            parts.iter().map(|p| p.index() as u16).collect(),
-            cut,
-            balanced,
-            stopped,
-        )
+        run_two_way_with(h, &c, engine, starts, ctx)
     } else {
         let balance = KWayBalance::with_fraction(h.total_vertex_weight(), k, tolerance);
         let out = match engine {
@@ -636,7 +730,14 @@ fn partition_with(
             _ => recursive_bisection_with(h, k, tolerance, &engine_ml_config(engine), ctx),
         };
         let balanced = out.is_balanced(&balance);
-        (out.assignment, out.cut, balanced, out.stopped)
+        PartitionRun {
+            assignment: out.assignment,
+            cut: out.cut,
+            balanced,
+            stopped: out.stopped,
+            failed_starts: 0,
+            audit_failure: out.audit_failure.map(|e| e.to_string()),
+        }
     }
 }
 
@@ -646,7 +747,7 @@ fn run_two_way_with(
     engine: Engine,
     starts: usize,
     ctx: &mut RunCtx<'_>,
-) -> (Vec<PartId>, u64, bool, StopReason) {
+) -> PartitionRun {
     let base_seed = ctx.seed;
     match engine {
         Engine::Lifo | Engine::Clip => {
@@ -656,47 +757,61 @@ fn run_two_way_with(
                 FmConfig::clip()
             };
             let partitioner = FmPartitioner::new(fm);
-            let mut best: Option<hypart_core::FmOutcome> = None;
-            let mut stopped = StopReason::Completed;
-            for i in 0..starts.max(1) as u64 {
+            let mut best = partitioner.run_with(h, c, ctx);
+            let mut stopped = best.stopped;
+            let mut audit_failure = best.stats.audit_failure.clone();
+            for i in 1..starts.max(1) as u64 {
+                if stopped.is_stopped() {
+                    break;
+                }
                 ctx.seed = base_seed.wrapping_add(i);
                 let out = partitioner.run_with(h, c, ctx);
                 stopped = out.stopped;
-                if best
-                    .as_ref()
-                    .is_none_or(|b| (!out.balanced, out.cut) < (!b.balanced, b.cut))
-                {
-                    best = Some(out);
+                if audit_failure.is_none() {
+                    audit_failure = out.stats.audit_failure.clone();
                 }
-                if stopped.is_stopped() {
-                    break;
+                if (!out.balanced, out.cut) < (!best.balanced, best.cut) {
+                    best = out;
                 }
             }
             ctx.seed = base_seed;
-            let best = best.expect("at least one start");
-            (best.assignment, best.cut, best.balanced, stopped)
+            PartitionRun {
+                assignment: best.assignment.iter().map(|p| p.index() as u16).collect(),
+                cut: best.cut,
+                balanced: best.balanced,
+                stopped,
+                failed_starts: 0,
+                audit_failure: audit_failure.map(|e| e.to_string()),
+            }
         }
         Engine::MlLifo | Engine::MlClip => {
             let ml = MlPartitioner::new(engine_ml_config(engine));
-            let mut best: Option<hypart_ml::MlOutcome> = None;
-            let mut stopped = StopReason::Completed;
-            for i in 0..starts.max(1) as u64 {
-                ctx.seed = base_seed.wrapping_add(i);
-                let out = ml.run_with(h, c, ctx);
-                stopped = out.stopped;
-                if best
-                    .as_ref()
-                    .is_none_or(|b| (!out.balanced, out.cut) < (!b.balanced, b.cut))
-                {
-                    best = Some(out);
-                }
+            let mut best = ml.run_with(h, c, ctx);
+            let mut stopped = best.stopped;
+            let mut audit_failure = best.audit_failure.clone();
+            for i in 1..starts.max(1) as u64 {
                 if stopped.is_stopped() {
                     break;
                 }
+                ctx.seed = base_seed.wrapping_add(i);
+                let out = ml.run_with(h, c, ctx);
+                stopped = out.stopped;
+                if audit_failure.is_none() {
+                    audit_failure = out.audit_failure.clone();
+                }
+                if (!out.balanced, out.cut) < (!best.balanced, best.cut) {
+                    best = out;
+                }
             }
             ctx.seed = base_seed;
-            let best = best.expect("at least one start");
-            (best.assignment, best.cut, best.balanced, stopped)
+            PartitionRun {
+                assignment: best.assignment.iter().map(|p| p.index() as u16).collect(),
+                cut: best.cut,
+                balanced: best.balanced,
+                stopped,
+                failed_starts: 0,
+                audit_failure: audit_failure.map(|e| e.to_string()),
+            }
         }
         Engine::Hmetis | Engine::Kway => {
             // Kway with k == 2 degrades gracefully to the multistart driver.
@@ -708,12 +823,20 @@ fn run_two_way_with(
             } else {
                 multi_start_with(&ml, h, c, starts.max(1), 4, ctx)
             };
-            (out.assignment, out.cut, out.balanced, out.stopped)
+            PartitionRun {
+                assignment: out.assignment.iter().map(|p| p.index() as u16).collect(),
+                cut: out.cut,
+                balanced: out.balanced,
+                stopped: out.stopped,
+                failed_starts: out.failed_starts(),
+                audit_failure: out.audit_failure.map(|e| e.to_string()),
+            }
         }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -853,6 +976,7 @@ mod tests {
             output: Some(part.clone()),
             trace: None,
             budget_ms: None,
+            audit: AuditLevel::Checkpoints,
         })
         .unwrap();
         assert!(report.contains("cut"), "{report}");
@@ -890,6 +1014,7 @@ mod tests {
             output: None,
             trace: None,
             budget_ms: None,
+            audit: AuditLevel::Paranoid,
         })
         .unwrap();
         assert!(report.contains("k = 4"), "{report}");
@@ -978,6 +1103,7 @@ mod tests {
             input: PathBuf::from("/nonexistent/x.hgr"),
         })
         .unwrap_err();
-        assert!(err.contains("x.hgr"));
+        assert!(matches!(err, CliError::Runtime(_)), "{err:?}");
+        assert!(err.to_string().contains("x.hgr"));
     }
 }

@@ -1,4 +1,7 @@
 //! `hypart` command-line entry point: parse, run, print, exit.
+//!
+//! Exit codes: `0` success, `2` usage error, `3` input parse error,
+//! `4` runtime failure.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -6,11 +9,18 @@ fn main() {
         print!("{}", hypart_cli::USAGE);
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
-    match hypart_cli::parse_args(&args).and_then(hypart_cli::run) {
-        Ok(report) => print!("{report}"),
+    let command = match hypart_cli::parse_args(&args) {
+        Ok(command) => command,
         Err(message) => {
             eprintln!("error: {message}\n\n{}", hypart_cli::USAGE);
             std::process::exit(2);
+        }
+    };
+    match hypart_cli::run(command) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -117,10 +117,90 @@ fn kway_partition_writes_k_part_ids() {
 }
 
 #[test]
-fn missing_input_file_fails_cleanly() {
+fn missing_input_file_is_a_runtime_error_exit_4() {
     let out = hypart()
         .args(["stats", "/definitely/not/here.hgr"])
         .output()
         .expect("run");
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("here.hgr"));
+}
+
+#[test]
+fn corrupt_input_is_a_parse_error_exit_3_with_one_line_diagnostic() {
+    let dir = temp_dir("corrupt");
+    let hgr = dir.join("bad.hgr");
+    // Header promises 3 nets; the file holds only one.
+    std::fs::write(&hgr, "3 4\n1 2\n").expect("write");
+    let out = hypart().arg("stats").arg(&hgr).output().expect("run");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert_eq!(stderr.lines().count(), 1, "one-line diagnostic: {stderr}");
+    assert!(stderr.contains("promised 3 nets"), "{stderr}");
+    assert!(stderr.contains("line"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_corpus_files_all_exit_3() {
+    let corpus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corrupt");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&corpus).expect("corpus dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("hgr") {
+            continue;
+        }
+        let out = hypart().arg("stats").arg(&path).output().expect("run");
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "{}: {}",
+            path.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "corpus should hold several .hgr files");
+}
+
+#[test]
+fn audit_flag_is_accepted_and_clean_on_a_real_run() {
+    let dir = temp_dir("audit");
+    let hgr = dir.join("a.hgr");
+    hypart()
+        .args(["gen", "mcnc200", "--seed", "5", "--out"])
+        .arg(&hgr)
+        .output()
+        .expect("gen");
+    let out = hypart()
+        .arg("partition")
+        .arg(&hgr)
+        .args([
+            "--engine",
+            "hmetis",
+            "--starts",
+            "4",
+            "--audit",
+            "checkpoints",
+        ])
+        .output()
+        .expect("partition");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = hypart()
+        .arg("partition")
+        .arg(&hgr)
+        .args(["--audit", "sometimes"])
+        .output()
+        .expect("partition");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "bad audit level is a usage error"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 
 use hypart_trace::{NullSink, StopReason, TraceSink};
 
+use crate::audit::{AuditLevel, FaultPlan};
 use crate::workspace::FmWorkspace;
 
 /// Default number of moves between mid-pass deadline checks.
@@ -101,6 +102,8 @@ pub struct RunCtx<'s> {
     deadline: Option<Instant>,
     cancel: CancelToken,
     check_moves: usize,
+    audit: AuditLevel,
+    fault_plan: FaultPlan,
 }
 
 impl std::fmt::Debug for RunCtx<'_> {
@@ -110,6 +113,7 @@ impl std::fmt::Debug for RunCtx<'_> {
             .field("deadline", &self.deadline)
             .field("cancel", &self.cancel)
             .field("check_moves", &self.check_moves)
+            .field("audit", &self.audit)
             .field("sink_enabled", &self.sink.is_enabled())
             .finish_non_exhaustive()
     }
@@ -132,6 +136,8 @@ impl<'s> RunCtx<'s> {
             deadline: None,
             cancel: CancelToken::new(),
             check_moves: DEFAULT_MOVE_CHECK_INTERVAL,
+            audit: AuditLevel::Off,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -144,6 +150,8 @@ impl<'s> RunCtx<'s> {
             deadline: self.deadline,
             cancel: self.cancel,
             check_moves: self.check_moves,
+            audit: self.audit,
+            fault_plan: self.fault_plan,
         }
     }
 
@@ -190,6 +198,31 @@ impl<'s> RunCtx<'s> {
         self
     }
 
+    /// Sets how much independent invariant auditing runs (default:
+    /// [`AuditLevel::Off`], which costs and emits nothing).
+    #[must_use]
+    pub fn with_audit(mut self, level: AuditLevel) -> Self {
+        self.audit = level;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (test/bench-only).
+    /// A plan with an early deadline tightens this context's deadline
+    /// immediately.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        if let Some(budget) = plan.injected_deadline() {
+            let injected = Instant::now() + budget;
+            self.deadline = Some(match self.deadline {
+                Some(d) => d.min(injected),
+                None => injected,
+            });
+        }
+        self.fault_plan = plan;
+        self
+    }
+
     /// The absolute deadline, if one is set.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
@@ -205,6 +238,17 @@ impl<'s> RunCtx<'s> {
         self.check_moves
     }
 
+    /// The active audit level.
+    pub fn audit(&self) -> AuditLevel {
+        self.audit
+    }
+
+    /// The installed fault-injection plan (the empty plan by default).
+    #[doc(hidden)]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
     /// Snapshots the budget controls into an owned probe, so engines can
     /// poll the deadline while holding `&mut` borrows of the workspace.
     pub fn probe(&self) -> BudgetProbe {
@@ -218,10 +262,10 @@ impl<'s> RunCtx<'s> {
     }
 
     /// A derived context for one unit of parallel work: same deadline,
-    /// same (shared) cancellation token and check interval, but its own
-    /// sink, seed, and fresh workspace. Parallel drivers give each start
-    /// a child whose sink is a per-start buffer, preserving the
-    /// sequential trace stream.
+    /// same (shared) cancellation token, check interval, audit level,
+    /// and fault plan, but its own sink, seed, and fresh workspace.
+    /// Parallel drivers give each start a child whose sink is a
+    /// per-start buffer, preserving the sequential trace stream.
     pub fn child<'t>(&self, sink: &'t dyn TraceSink, seed: u64) -> RunCtx<'t> {
         RunCtx {
             sink,
@@ -230,6 +274,8 @@ impl<'s> RunCtx<'s> {
             deadline: self.deadline,
             cancel: self.cancel.clone(),
             check_moves: self.check_moves,
+            audit: self.audit,
+            fault_plan: self.fault_plan.clone(),
         }
     }
 }
@@ -342,6 +388,29 @@ mod tests {
         assert_eq!(probe.stop_every(), Some(StopReason::Deadline));
         // Latched from here on, even between check boundaries.
         assert_eq!(probe.stop_every(), Some(StopReason::Deadline));
+    }
+
+    #[test]
+    fn child_inherits_audit_and_fault_plan() {
+        let ctx = RunCtx::new(1)
+            .with_audit(AuditLevel::Paranoid)
+            .with_fault_plan(FaultPlan::panic_in_start(7));
+        assert_eq!(ctx.audit(), AuditLevel::Paranoid);
+        let child = ctx.child(&NullSink, 2);
+        assert_eq!(child.audit(), AuditLevel::Paranoid);
+        assert!(child.fault_plan().should_panic_start(7));
+        // with_sink keeps both as well.
+        let rebound = ctx.with_sink(&NullSink);
+        assert_eq!(rebound.audit(), AuditLevel::Paranoid);
+        assert!(rebound.fault_plan().should_panic_start(7));
+    }
+
+    #[test]
+    fn injected_early_deadline_tightens_budget() {
+        let ctx =
+            RunCtx::new(0).with_fault_plan(FaultPlan::early_deadline(Duration::from_millis(0)));
+        let mut probe = ctx.probe();
+        assert_eq!(probe.stop_now(), Some(StopReason::Deadline));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::audit::{AuditError, AuditLevel, PartitionAuditor, PARANOID_MOVE_AUDIT_MAX_VERTICES};
 use crate::balance::BalanceConstraint;
 use crate::bisection::Bisection;
 use crate::config::{FmConfig, IllegalHeadPolicy, SelectionRule, TieBreak, ZeroDeltaPolicy};
@@ -187,6 +188,7 @@ impl FmPartitioner {
         ctx: &mut RunCtx<'_>,
     ) -> FmStats {
         let mut probe = ctx.probe();
+        let audit = ctx.audit();
         let sink: &dyn TraceSink = ctx.sink;
         let workspace = &mut ctx.workspace;
         let graph = bisection.graph();
@@ -205,6 +207,8 @@ impl FmPartitioner {
             ws: workspace,
             last_moved_from: None,
             excluded_overweight: 0,
+            audit,
+            audit_failure: None,
         };
 
         let mut stats = FmStats {
@@ -225,6 +229,11 @@ impl FmPartitioner {
             let before = (constraint.total_violation(bisection), bisection.cut());
             let pass = state.run_pass(bisection, rng, sink, pass_index, &mut probe);
             stats.passes.push(pass);
+            // Pass-boundary checkpoint: independently recount cut, pin
+            // distribution, part weights, and fixed-vertex respect.
+            if state.audit.is_on() {
+                state.record_audit(PartitionAuditor::audit_bisection(bisection, None), sink);
+            }
             let after = (constraint.total_violation(bisection), bisection.cut());
             // A mid-pass stop latches in the probe; the truncated pass has
             // already rolled back to its best prefix, so just exit.
@@ -238,6 +247,15 @@ impl FmPartitioner {
                 reason: stats.stopped,
             });
         }
+        // Final checkpoint: when the engine claims a balanced solution,
+        // also assert the recomputed weights sit inside the window.
+        if state.audit.is_on() {
+            let window = constraint
+                .is_satisfied(bisection)
+                .then(|| (constraint.lower(), constraint.upper()));
+            state.record_audit(PartitionAuditor::audit_bisection(bisection, window), sink);
+        }
+        stats.audit_failure = state.audit_failure.take();
         stats.excluded_overweight = state.excluded_overweight;
         stats.final_cut = bisection.cut();
         sink.emit(RunEvent::RunEnd {
@@ -258,6 +276,8 @@ struct PassState<'c> {
     ws: &'c mut FmWorkspace,
     last_moved_from: Option<PartId>,
     excluded_overweight: usize,
+    audit: AuditLevel,
+    audit_failure: Option<AuditError>,
 }
 
 impl PassState<'_> {
@@ -270,6 +290,12 @@ impl PassState<'_> {
         probe: &mut BudgetProbe,
     ) -> PassStats {
         self.seed(bisection, rng);
+        // Paranoid seeding audit: every container key must agree with a
+        // freshly computed gain (classic FM) or the CLIP zero-seed.
+        if self.audit.is_paranoid() {
+            let check = self.audit_container_keys(bisection);
+            self.record_audit(check, sink);
+        }
         self.ws.moves.clear();
         self.last_moved_from = None;
 
@@ -327,6 +353,14 @@ impl PassState<'_> {
                     gain: cut_prev as i64 - bisection.cut() as i64,
                     cut: bisection.cut(),
                 });
+            }
+            // Paranoid per-move audit, bounded to small instances: a full
+            // from-scratch recount after every tentative move.
+            if self.audit.is_paranoid()
+                && bisection.graph().num_vertices() <= PARANOID_MOVE_AUDIT_MAX_VERTICES
+            {
+                let check = PartitionAuditor::audit_bisection(bisection, None);
+                self.record_audit(check, sink);
             }
 
             let candidate = PrefixScore {
@@ -392,6 +426,46 @@ impl PassState<'_> {
             corked,
             cut_trace,
         }
+    }
+
+    /// Emits an `InvariantViolation` event and records the first failure
+    /// when an audit check comes back with a discrepancy.
+    fn record_audit<S: TraceSink + ?Sized>(&mut self, result: Result<(), AuditError>, sink: &S) {
+        if let Err(e) = result {
+            sink.emit(RunEvent::InvariantViolation {
+                check: e.check().to_string(),
+                detail: e.to_string(),
+            });
+            if self.audit_failure.is_none() {
+                self.audit_failure = Some(e);
+            }
+        }
+    }
+
+    /// Verifies every freshly seeded container key against an independent
+    /// gain computation: classic FM keys are true FS−TE gains; CLIP seeds
+    /// every vertex in the zero bucket.
+    fn audit_container_keys(&self, bisection: &Bisection<'_>) -> Result<(), AuditError> {
+        for &v in &self.ws.eligible {
+            let side = bisection.side(v);
+            let container = &self.ws.pool[side.index()];
+            if !container.contains(v) {
+                continue;
+            }
+            let stored = container.key_of(v);
+            let expected = match self.config.selection {
+                SelectionRule::Classic => bisection.gain(v),
+                SelectionRule::Clip => 0,
+            };
+            if stored != expected {
+                return Err(AuditError::GainMismatch {
+                    vertex: v.index(),
+                    stored,
+                    recomputed: expected,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Seeds both gain containers for a fresh pass.
@@ -755,6 +829,41 @@ mod tests {
         let out = FmPartitioner::new(FmConfig::lifo()).run(&h, &c, 0);
         assert_eq!(out.cut, 0);
         assert!(out.assignment.is_empty());
+    }
+
+    #[test]
+    fn paranoid_audit_passes_clean_and_emits_nothing() {
+        use crate::audit::AuditLevel;
+        use hypart_trace::MemorySink;
+        let h = two_clusters(6, 3);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        for cfg in [FmConfig::lifo(), FmConfig::clip()] {
+            let sink = MemorySink::new();
+            let mut ctx = RunCtx::new(9)
+                .with_audit(AuditLevel::Paranoid)
+                .with_sink(&sink);
+            let out = FmPartitioner::new(cfg).run_with(&h, &c, &mut ctx);
+            assert!(
+                out.stats.audit_failure.is_none(),
+                "{:?}",
+                out.stats.audit_failure
+            );
+            assert!(
+                !sink
+                    .events()
+                    .iter()
+                    .any(|e| matches!(e, RunEvent::InvariantViolation { .. })),
+                "clean run must not emit violations"
+            );
+        }
+    }
+
+    #[test]
+    fn audit_off_is_the_default_and_adds_no_events() {
+        let h = two_clusters(5, 2);
+        let c = BalanceConstraint::with_slack(h.total_vertex_weight(), 1);
+        let out = FmPartitioner::new(FmConfig::lifo()).run(&h, &c, 3);
+        assert!(out.stats.audit_failure.is_none());
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod balance;
 mod bisection;
 pub mod brute;
@@ -59,6 +60,9 @@ pub mod objective;
 mod stats;
 mod workspace;
 
+pub use audit::{
+    AuditError, AuditLevel, FaultPlan, PartitionAuditor, PARANOID_MOVE_AUDIT_MAX_VERTICES,
+};
 pub use balance::BalanceConstraint;
 pub use bisection::{Bisection, BisectionError};
 pub use config::{

@@ -1,5 +1,6 @@
 //! Run and pass statistics, including the corking diagnostics of §2.3.
 
+use crate::audit::AuditError;
 use hypart_trace::StopReason;
 
 /// Statistics of a single FM pass.
@@ -63,6 +64,10 @@ pub struct FmStats {
     /// or a cooperative stop at the context's deadline / cancellation
     /// token, with the best-so-far solution kept.
     pub stopped: StopReason,
+    /// First invariant violation the [`crate::PartitionAuditor`] found,
+    /// if auditing was enabled and the run's bookkeeping disagreed with
+    /// the independent recomputation. Always `None` with auditing off.
+    pub audit_failure: Option<AuditError>,
 }
 
 impl FmStats {

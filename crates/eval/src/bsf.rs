@@ -181,6 +181,7 @@ mod tests {
                     elapsed: Duration::from_millis(100),
                 })
                 .collect(),
+            failed_trials: 0,
         }
     }
 

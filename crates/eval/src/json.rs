@@ -14,6 +14,7 @@ pub fn trial_set_to_json(set: &crate::runner::TrialSet) -> JsonValue {
     JsonValue::object([
         ("heuristic", JsonValue::string(set.heuristic.clone())),
         ("instance", JsonValue::string(set.instance.clone())),
+        ("failed_trials", JsonValue::from(set.failed_trials as u64)),
         (
             "trials",
             JsonValue::array(set.trials.iter().map(|t| {
@@ -54,6 +55,7 @@ mod tests {
                 stopped: hypart_core::StopReason::Completed,
                 elapsed: std::time::Duration::from_millis(250),
             }],
+            failed_trials: 0,
         };
         let json = trial_set_to_json(&set).to_string();
         assert!(json.contains(r#""heuristic":"H""#));

@@ -1,5 +1,12 @@
 //! Seeded multi-trial execution of partitioning heuristics.
+//!
+//! Both trial runners isolate panics at the trial boundary: a trial that
+//! panics is counted in [`TrialSet::failed_trials`], announced with a
+//! [`RunEvent::StartAborted`], and skipped — the surviving trials are
+//! unaffected, so one crashing configuration cannot take down a whole
+//! experiment sweep.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use hypart_core::{BalanceConstraint, FmConfig, FmPartitioner, RunCtx, StopReason};
@@ -263,8 +270,12 @@ pub struct TrialSet {
     pub heuristic: String,
     /// Instance name.
     pub instance: String,
-    /// Per-trial records, in seed order.
+    /// Per-trial records, in seed order. Panicked trials leave no record
+    /// here; they are only counted in
+    /// [`failed_trials`](Self::failed_trials).
     pub trials: Vec<Trial>,
+    /// Number of trials that panicked and were isolated.
+    pub failed_trials: usize,
 }
 
 impl TrialSet {
@@ -419,8 +430,10 @@ pub fn run_trials_with(
     ctx: &mut RunCtx<'_>,
 ) -> TrialSet {
     let base_seed = ctx.seed;
+    let fault = ctx.fault_plan().clone();
     let mut probe = ctx.probe();
     let mut trials = Vec::with_capacity(num_trials);
+    let mut failed_trials = 0usize;
     for i in 0..num_trials {
         if i > 0 {
             if let Some(reason) = probe.stop_now() {
@@ -429,7 +442,24 @@ pub fn run_trials_with(
             }
         }
         let seed = base_seed.wrapping_add(i as u64);
-        let trial = solve_one_with(heuristic, h, constraint, i, seed, ctx);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            fault.trip_start(i as u64);
+            solve_one_with(heuristic, h, constraint, i, seed, ctx)
+        }));
+        let trial = match attempt {
+            Ok(trial) => trial,
+            Err(_) => {
+                // The heuristic may have unwound mid-run: replace the
+                // shared workspace and press on with the next seed.
+                ctx.workspace = hypart_core::FmWorkspace::new();
+                ctx.sink.emit(RunEvent::StartAborted {
+                    index: i as u64,
+                    seed,
+                });
+                failed_trials += 1;
+                continue;
+            }
+        };
         let trial_stopped = trial.stopped;
         trials.push(trial);
         if trial_stopped.is_stopped() {
@@ -441,6 +471,7 @@ pub fn run_trials_with(
         heuristic: heuristic.name().to_string(),
         instance: h.name().to_string(),
         trials,
+        failed_trials,
     }
 }
 
@@ -519,6 +550,8 @@ pub fn run_trials_parallel_with(
 ) -> TrialSet {
     let traced = ctx.sink.is_enabled();
     let base_seed = ctx.seed;
+    let audit = ctx.audit();
+    let fault = ctx.fault_plan().clone();
     let deadline = ctx.deadline();
     let token = ctx.cancel_token();
     let check_moves = ctx.move_check_interval();
@@ -530,8 +563,12 @@ pub fn run_trials_parallel_with(
     .min(num_trials.max(1))
     .max(1);
 
+    // `None` never survives the scope below: every index gets `Some(Ok)`
+    // from a finished trial or `Some(Err)` from its panic boundary. Locks
+    // are recovered, never unwrapped.
+    type TrialSlot = std::sync::Mutex<Option<Result<(Trial, MemorySink), ()>>>;
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<(Trial, MemorySink)>>> = (0..num_trials)
+    let slots: Vec<TrialSlot> = (0..num_trials)
         .map(|_| std::sync::Mutex::new(None))
         .collect();
     std::thread::scope(|scope| {
@@ -543,32 +580,51 @@ pub fn run_trials_parallel_with(
                 }
                 let seed = base_seed.wrapping_add(i as u64);
                 let buffer = MemorySink::new();
-                let trial_sink: &dyn TraceSink = if traced { &buffer } else { &NullSink };
-                let mut trial_ctx = RunCtx::new(seed)
-                    .with_sink(trial_sink)
-                    .with_cancel_token(token.clone())
-                    .with_move_check_interval(check_moves);
-                if let Some(d) = deadline {
-                    trial_ctx = trial_ctx.with_deadline(d);
-                }
-                let trial = solve_one_with(heuristic, h, constraint, i, seed, &mut trial_ctx);
-                *slots[i].lock().expect("no poisoned slot") = Some((trial, buffer));
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    fault.trip_start(i as u64);
+                    let trial_sink: &dyn TraceSink = if traced { &buffer } else { &NullSink };
+                    let mut trial_ctx = RunCtx::new(seed)
+                        .with_sink(trial_sink)
+                        .with_cancel_token(token.clone())
+                        .with_audit(audit)
+                        .with_move_check_interval(check_moves);
+                    if let Some(d) = deadline {
+                        trial_ctx = trial_ctx.with_deadline(d);
+                    }
+                    solve_one_with(heuristic, h, constraint, i, seed, &mut trial_ctx)
+                }));
+                let slot = match attempt {
+                    Ok(trial) => Ok((trial, buffer)),
+                    Err(_) => Err(()),
+                };
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(slot);
             });
         }
     });
-    TrialSet {
-        heuristic: heuristic.name().to_string(),
-        instance: h.name().to_string(),
-        trials: slots
-            .into_iter()
-            .map(|cell| {
-                let (trial, buffer) = cell.into_inner().expect("no poison").expect("slot filled");
+    let mut trials = Vec::with_capacity(num_trials);
+    let mut failed_trials = 0usize;
+    for (i, cell) in slots.into_iter().enumerate() {
+        match cell.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(Ok((trial, buffer))) => {
                 if traced {
                     buffer.flush_into(ctx.sink);
                 }
-                trial
-            })
-            .collect(),
+                trials.push(trial);
+            }
+            Some(Err(())) | None => {
+                ctx.sink.emit(RunEvent::StartAborted {
+                    index: i as u64,
+                    seed: base_seed.wrapping_add(i as u64),
+                });
+                failed_trials += 1;
+            }
+        }
+    }
+    TrialSet {
+        heuristic: heuristic.name().to_string(),
+        instance: h.name().to_string(),
+        trials,
+        failed_trials,
     }
 }
 
@@ -685,6 +741,35 @@ mod tests {
     }
 
     #[test]
+    fn panicked_trial_is_isolated_in_both_runners() {
+        use hypart_core::FaultPlan;
+        let (h, c) = setup();
+        let heur = FlatFmHeuristic::new("LIFO", FmConfig::lifo());
+        let clean = run_trials(&heur, &h, &c, 6, 3);
+
+        let mut seq_ctx = RunCtx::new(3).with_fault_plan(FaultPlan::panic_in_start(2));
+        let seq = run_trials_with(&heur, &h, &c, 6, &mut seq_ctx);
+        assert_eq!(seq.failed_trials, 1);
+        assert_eq!(seq.len(), 5);
+
+        let mut par_ctx = RunCtx::new(3).with_fault_plan(FaultPlan::panic_in_start(2));
+        let par = run_trials_parallel_with(&heur, &h, &c, 6, 2, &mut par_ctx);
+        assert_eq!(par.failed_trials, 1);
+        // Survivors are bitwise the fault-free trials minus #2.
+        let expect: Vec<u64> = clean
+            .trials
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 2)
+            .map(|(_, t)| t.cut)
+            .collect();
+        let seq_cuts: Vec<u64> = seq.trials.iter().map(|t| t.cut).collect();
+        let par_cuts: Vec<u64> = par.trials.iter().map(|t| t.cut).collect();
+        assert_eq!(seq_cuts, expect);
+        assert_eq!(par_cuts, expect);
+    }
+
+    #[test]
     fn min_avg_cell_formats_like_the_paper() {
         let set = TrialSet {
             heuristic: "x".into(),
@@ -705,6 +790,7 @@ mod tests {
                     elapsed: Duration::ZERO,
                 },
             ],
+            failed_trials: 0,
         };
         assert_eq!(set.min_avg_cell(), "333/639");
     }
@@ -715,6 +801,7 @@ mod tests {
             heuristic: "x".into(),
             instance: "y".into(),
             trials: vec![],
+            failed_trials: 0,
         };
         assert!(set.is_empty());
         assert_eq!(set.avg_cut(), 0.0);

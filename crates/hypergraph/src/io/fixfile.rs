@@ -103,6 +103,7 @@ pub fn apply(h: &Hypergraph, fixes: &[Option<PartId>]) -> Result<Hypergraph, Par
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::{HypergraphBuilder, VertexId};

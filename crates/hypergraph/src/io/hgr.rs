@@ -17,6 +17,15 @@ use std::path::Path;
 use crate::error::ParseError;
 use crate::{Hypergraph, HypergraphBuilder, VertexId};
 
+/// Upper bound accepted for the header's declared net/vertex counts.
+///
+/// The declared counts size pre-allocations before any pin data is read,
+/// so an adversarial header like `99999999999999 99999999999999` must be
+/// rejected up front rather than aborting the process on an impossible
+/// allocation. The largest published VLSI benchmarks are orders of
+/// magnitude below this bound.
+pub const MAX_DECLARED_COUNT: usize = 1 << 28;
+
 /// Which weights an `.hgr` file carries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum HgrFormat {
@@ -85,6 +94,12 @@ pub fn read<R: std::io::Read>(reader: R) -> Result<Hypergraph, ParseError> {
         match lines.next() {
             Some((i, line)) => {
                 let line = line?;
+                if i == 0 && line.starts_with('\u{feff}') {
+                    return Err(ParseError::syntax(
+                        1,
+                        "file begins with a UTF-8 byte-order mark; re-save without a BOM",
+                    ));
+                }
                 let t = line.trim();
                 if t.is_empty() || t.starts_with('%') {
                     continue;
@@ -113,6 +128,16 @@ pub fn read<R: std::io::Read>(reader: R) -> Result<Hypergraph, ParseError> {
             "trailing tokens after header",
         ));
     }
+    for (count, what) in [(num_nets, "net count"), (num_vertices, "vertex count")] {
+        if count > MAX_DECLARED_COUNT {
+            return Err(ParseError::syntax(
+                header_line_no,
+                format!(
+                    "declared {what} {count} exceeds the supported maximum {MAX_DECLARED_COUNT}"
+                ),
+            ));
+        }
+    }
 
     let mut builder = HypergraphBuilder::with_capacity(num_vertices, num_nets);
     // Vertex weights are read after the nets; add unit placeholders now and
@@ -122,9 +147,12 @@ pub fn read<R: std::io::Read>(reader: R) -> Result<Hypergraph, ParseError> {
     let mut nets: Vec<(Vec<VertexId>, u32)> = Vec::with_capacity(num_nets);
     let mut nets_read = 0usize;
     let mut vertex_weights: Vec<u64> = Vec::new();
+    let mut total_weight = 0u64;
+    let mut last_line = header_line_no;
 
     for (i, line) in lines {
         let line_no = i + 1;
+        last_line = line_no;
         let line = line?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
@@ -159,6 +187,9 @@ pub fn read<R: std::io::Read>(reader: R) -> Result<Hypergraph, ParseError> {
             let w: u64 = t.parse().map_err(|_| {
                 ParseError::syntax(line_no, format!("vertex weight `{t}` is not an integer"))
             })?;
+            total_weight = total_weight
+                .checked_add(w)
+                .ok_or_else(|| ParseError::syntax(line_no, "total vertex weight overflows u64"))?;
             vertex_weights.push(w);
         } else {
             return Err(ParseError::syntax(line_no, "unexpected trailing content"));
@@ -167,13 +198,13 @@ pub fn read<R: std::io::Read>(reader: R) -> Result<Hypergraph, ParseError> {
 
     if nets_read != num_nets {
         return Err(ParseError::syntax(
-            0,
+            last_line,
             format!("header promised {num_nets} nets but file contains {nets_read}"),
         ));
     }
     if fmt.has_vertex_weights() && vertex_weights.len() != num_vertices {
         return Err(ParseError::syntax(
-            0,
+            last_line,
             format!(
                 "header promised {} vertex weights but file contains {}",
                 num_vertices,
@@ -270,6 +301,7 @@ fn parse_field<T: std::str::FromStr>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::HypergraphBuilder;

@@ -12,6 +12,13 @@
 //!
 //! All readers work on any [`std::io::BufRead`]; all writers on any
 //! [`std::io::Write`]; path-based convenience wrappers are provided.
+//!
+//! Parsers here face arbitrary user files, so panicking extractors are
+//! denied outright: every malformed input must surface as a typed
+//! [`crate::error::ParseError`] naming the offending line. Test modules
+//! opt back in via an explicit allow.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod fixfile;
 pub mod hgr;

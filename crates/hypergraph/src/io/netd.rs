@@ -65,8 +65,10 @@ pub fn read<R: std::io::Read>(reader: R) -> Result<Hypergraph, ParseError> {
             }
         };
 
+    let mut last_line = 0usize;
     for (i, line) in reader.lines().enumerate() {
         let line_no = i + 1;
+        last_line = line_no;
         let line = line?;
         let t = line.trim();
         if t.is_empty() {
@@ -155,20 +157,20 @@ pub fn read<R: std::io::Read>(reader: R) -> Result<Hypergraph, ParseError> {
     let (nv, ne, np) = header.ok_or_else(|| ParseError::syntax(1, "missing `netD` header"))?;
     if names.len() != nv {
         return Err(ParseError::syntax(
-            0,
+            last_line,
             format!("header promised {nv} cells, file names {}", names.len()),
         ));
     }
     if nets.len() != ne {
         return Err(ParseError::syntax(
-            0,
+            last_line,
             format!("header promised {ne} nets, file contains {}", nets.len()),
         ));
     }
     let pin_count: usize = nets.iter().map(Vec::len).sum();
     if pin_count != np {
         return Err(ParseError::syntax(
-            0,
+            last_line,
             format!("header promised {np} pins, file contains {pin_count}"),
         ));
     }
@@ -264,6 +266,7 @@ fn parse_usize(tok: Option<&str>, line: usize, what: &str) -> Result<usize, Pars
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::HypergraphBuilder;

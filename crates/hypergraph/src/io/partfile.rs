@@ -65,6 +65,7 @@ pub fn write_path(parts: &[PartId], path: impl AsRef<Path>) -> std::io::Result<(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

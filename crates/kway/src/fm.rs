@@ -14,7 +14,10 @@ use rand::{Rng, SeedableRng};
 use crate::balance::KWayBalance;
 use crate::partition::KWayPartition;
 use hypart_core::gain::GainContainer;
-use hypart_core::{BudgetProbe, FmWorkspace, InsertionPolicy, RunCtx, StopReason, CORKED_FRACTION};
+use hypart_core::{
+    AuditError, AuditLevel, BudgetProbe, FmWorkspace, InsertionPolicy, PartitionAuditor, RunCtx,
+    StopReason, CORKED_FRACTION, PARANOID_MOVE_AUDIT_MAX_VERTICES,
+};
 use hypart_hypergraph::{Hypergraph, VertexId};
 use hypart_trace::{RunEvent, TraceSink};
 
@@ -92,6 +95,10 @@ pub struct KWayOutcome {
     /// Why refinement ended ([`StopReason::Completed`] unless the
     /// context's budget ran out or its token was cancelled).
     pub stopped: StopReason,
+    /// First invariant violation the [`PartitionAuditor`] found, if
+    /// auditing was enabled on the context. Always `None` with auditing
+    /// off.
+    pub audit_failure: Option<AuditError>,
 }
 
 impl KWayOutcome {
@@ -135,7 +142,8 @@ impl KWayFmPartitioner {
         let mut rng = SmallRng::seed_from_u64(ctx.seed);
         let assignment = initial_kway(h, k, &mut rng);
         let mut partition = KWayPartition::new(h, k, assignment);
-        let (passes, stopped) = self.refine_with(&mut partition, balance, &mut rng, ctx);
+        let (passes, stopped, audit_failure) =
+            self.refine_audited(&mut partition, balance, &mut rng, ctx);
         KWayOutcome {
             num_parts: k,
             cut: partition.cut(),
@@ -143,6 +151,7 @@ impl KWayFmPartitioner {
             part_weights: (0..k).map(|p| partition.part_weight(p)).collect(),
             passes,
             stopped,
+            audit_failure,
             assignment: partition.into_assignment(),
         }
     }
@@ -265,7 +274,22 @@ impl KWayFmPartitioner {
         rng: &mut R,
         ctx: &mut RunCtx<'_>,
     ) -> (usize, StopReason) {
+        let (passes, stopped, _) = self.refine_audited(partition, balance, rng, ctx);
+        (passes, stopped)
+    }
+
+    /// [`refine_with`](KWayFmPartitioner::refine_with), additionally
+    /// returning the first invariant violation the auditor found (always
+    /// `None` with auditing off).
+    fn refine_audited<R: Rng>(
+        &self,
+        partition: &mut KWayPartition<'_>,
+        balance: &KWayBalance,
+        rng: &mut R,
+        ctx: &mut RunCtx<'_>,
+    ) -> (usize, StopReason, Option<AuditError>) {
         let mut probe = ctx.probe();
+        let audit = ctx.audit();
         let sink: &dyn TraceSink = ctx.sink;
         let workspace = &mut ctx.workspace;
         let k = partition.num_parts();
@@ -278,18 +302,40 @@ impl KWayFmPartitioner {
                 cut: partition.cut(),
             });
         }
+        let mut audit_failure: Option<AuditError> = None;
         let mut passes = 0;
         for pass in 0..self.config.max_passes {
             if probe.stop_now().is_some() {
                 break;
             }
             let before = (balance.total_violation(partition), partition.cut());
-            self.run_pass(partition, balance, containers, rng, sink, pass, &mut probe);
+            self.run_pass(
+                partition,
+                balance,
+                containers,
+                rng,
+                sink,
+                pass,
+                &mut probe,
+                audit,
+                &mut audit_failure,
+            );
             passes += 1;
+            if audit.is_on() {
+                record_kway_audit(partition, None, &mut audit_failure, sink);
+            }
             let after = (balance.total_violation(partition), partition.cut());
             if probe.reason().is_stopped() || after >= before {
                 break;
             }
+        }
+        // Final checkpoint: when the engine is about to claim a balanced
+        // solution, re-verify the window too.
+        if audit.is_on() {
+            let window = balance
+                .is_satisfied(partition)
+                .then(|| (balance.lower(), balance.upper()));
+            record_kway_audit(partition, window, &mut audit_failure, sink);
         }
         let stopped = probe.reason();
         if stopped.is_stopped() {
@@ -301,7 +347,7 @@ impl KWayFmPartitioner {
                 passes,
             });
         }
-        (passes, stopped)
+        (passes, stopped, audit_failure)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -314,6 +360,8 @@ impl KWayFmPartitioner {
         sink: &S,
         pass: usize,
         probe: &mut BudgetProbe,
+        audit: AuditLevel,
+        audit_failure: &mut Option<AuditError>,
     ) {
         let k = partition.num_parts();
         let graph = partition.graph();
@@ -381,6 +429,11 @@ impl KWayFmPartitioner {
                     gain: cut_prev as i64 - partition.cut() as i64,
                     cut: partition.cut(),
                 });
+            }
+            if audit.is_paranoid()
+                && partition.graph().num_vertices() <= PARANOID_MOVE_AUDIT_MAX_VERTICES
+            {
+                record_kway_audit(partition, None, audit_failure, sink);
             }
             let score = (balance.total_violation(partition), partition.cut());
             if score < best_score {
@@ -545,6 +598,36 @@ impl KWayFmPartitioner {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Audits `partition` from scratch with the [`PartitionAuditor`],
+/// emitting an `InvariantViolation` event and recording the first error.
+/// Shared by the direct k-way engine and the recursive-bisection wrapper.
+pub(crate) fn record_kway_audit<S: TraceSink + ?Sized>(
+    partition: &KWayPartition<'_>,
+    window: Option<(u64, u64)>,
+    failure: &mut Option<AuditError>,
+    sink: &S,
+) {
+    let k = partition.num_parts();
+    let weights: Vec<u64> = (0..k).map(|p| partition.part_weight(p)).collect();
+    let result = PartitionAuditor::audit_parts(
+        partition.graph(),
+        k,
+        |v| partition.part_of(v),
+        partition.cut(),
+        &weights,
+        window,
+    );
+    if let Err(e) = result {
+        sink.emit(RunEvent::InvariantViolation {
+            check: e.check().to_string(),
+            detail: e.to_string(),
+        });
+        if failure.is_none() {
+            *failure = Some(e);
         }
     }
 }

@@ -8,9 +8,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::balance::KWayBalance;
-use crate::fm::{KWayConfig, KWayFmPartitioner, KWayOutcome};
+use crate::fm::{record_kway_audit, KWayConfig, KWayFmPartitioner, KWayOutcome};
 use crate::partition::KWayPartition;
-use hypart_core::{RunCtx, StopReason};
+use hypart_core::{AuditError, RunCtx, StopReason};
 use hypart_hypergraph::Hypergraph;
 use hypart_ml::coarsen::{build_hierarchy, CoarsenConfig};
 
@@ -117,10 +117,14 @@ impl MlKWayPartitioner {
         // an expired deadline; later tries are skipped once stopped.
         let mut best: Option<(u64, u64, Vec<u16>)> = None;
         let mut stopped = StopReason::Completed;
+        let mut audit_failure: Option<AuditError> = None;
         for t in 0..self.config.initial_tries.max(1) {
             ctx.seed = rng.gen::<u64>() ^ t as u64;
             let out = engine.run_with(coarsest, balance, ctx);
             let try_stop = out.stopped;
+            if audit_failure.is_none() {
+                audit_failure = out.audit_failure.clone();
+            }
             let p = KWayPartition::new(coarsest, k, out.assignment);
             let score = (balance.total_violation(&p), p.cut());
             if best.as_ref().is_none_or(|(v, c, _)| score < (*v, *c)) {
@@ -157,6 +161,14 @@ impl MlKWayPartitioner {
         }
 
         let partition = KWayPartition::new(h, k, assignment);
+        // Final whole-run checkpoint on the input graph (per-level engine
+        // audits are skipped entirely when the budget expires early).
+        if ctx.audit().is_on() {
+            let window = balance
+                .is_satisfied(&partition)
+                .then(|| (balance.lower(), balance.upper()));
+            record_kway_audit(&partition, window, &mut audit_failure, ctx.sink);
+        }
         KWayOutcome {
             num_parts: k,
             cut: partition.cut(),
@@ -164,6 +176,7 @@ impl MlKWayPartitioner {
             part_weights: (0..k).map(|p| partition.part_weight(p)).collect(),
             passes: total_passes,
             stopped,
+            audit_failure,
             assignment: partition.into_assignment(),
         }
     }

@@ -5,12 +5,13 @@
 //! partitioner. Supported for `k` a power of two, where every split is a
 //! balanced bisection.
 
-use hypart_core::{BalanceConstraint, RunCtx, StopReason};
+use hypart_core::{AuditError, BalanceConstraint, RunCtx, StopReason};
 use hypart_hypergraph::subgraph::induce;
 use hypart_hypergraph::{Hypergraph, PartId, VertexId};
 use hypart_ml::{MlConfig, MlPartitioner};
 
-use crate::fm::KWayOutcome;
+use crate::balance::KWayBalance;
+use crate::fm::{record_kway_audit, KWayOutcome};
 
 /// Recursively bisects `h` into `k` parts (k a power of two) with the
 /// 2-way multilevel partitioner, using balance `fraction` at each split.
@@ -63,6 +64,7 @@ pub fn recursive_bisection_with(
     let mut stack: Vec<(Vec<VertexId>, usize, usize)> = vec![(h.vertices().collect(), 0, k)];
     let mut next_seed = base_seed;
     let mut first_split = true;
+    let mut audit_failure: Option<AuditError> = None;
 
     while let Some((cells, base, parts)) = stack.pop() {
         if parts == 1 || cells.is_empty() || stopped.is_stopped() {
@@ -95,6 +97,9 @@ pub fn recursive_bisection_with(
         if out.stopped.is_stopped() {
             stopped = out.stopped;
         }
+        if audit_failure.is_none() {
+            audit_failure = out.audit_failure.clone();
+        }
         next_seed = next_seed.wrapping_add(0x9E37_79B9);
 
         let mut left = Vec::new();
@@ -111,6 +116,16 @@ pub fn recursive_bisection_with(
     ctx.seed = base_seed;
 
     let partition = crate::partition::KWayPartition::new(h, k, assignment);
+    // Final whole-partition checkpoint: the recursion's bookkeeping lives
+    // in per-region subgraphs, so re-verify the assembled k-way result on
+    // the input graph from scratch.
+    if ctx.audit().is_on() {
+        let balance = KWayBalance::with_fraction(h.total_vertex_weight(), k, fraction);
+        let window = balance
+            .is_satisfied(&partition)
+            .then(|| (balance.lower(), balance.upper()));
+        record_kway_audit(&partition, window, &mut audit_failure, ctx.sink);
+    }
     KWayOutcome {
         num_parts: k,
         cut: partition.cut(),
@@ -118,6 +133,7 @@ pub fn recursive_bisection_with(
         part_weights: (0..k).map(|p| partition.part_weight(p)).collect(),
         passes: 0,
         stopped,
+        audit_failure,
         assignment: partition.into_assignment(),
     }
 }

@@ -12,11 +12,20 @@
 //! launching starts until the wall-clock budget of its [`RunCtx`] runs
 //! out, reporting the best among the fully completed starts — real
 //! deadlines instead of post-hoc trial truncation.
+//!
+//! Every start — sequential or parallel — runs inside a panic boundary:
+//! a start that panics is isolated, recorded as
+//! [`StartOutcome::Panicked`] and announced with
+//! [`RunEvent::StartAborted`], and the sweep returns the best of the
+//! surviving starts. The reported best stays a pure function of the set
+//! of seeds that completed, so a crash in start *i* never perturbs what
+//! the other starts report.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use crate::partitioner::{MlOutcome, MlPartitioner};
-use hypart_core::{BalanceConstraint, RunCtx, StopReason};
+use hypart_core::{AuditError, BalanceConstraint, FmWorkspace, RunCtx, StopReason};
 use hypart_hypergraph::{Hypergraph, PartId};
 use hypart_trace::{MemorySink, NullSink, RunEvent, TraceSink};
 
@@ -32,6 +41,74 @@ pub struct StartRecord {
     pub stopped: StopReason,
     /// Wall-clock time of the start.
     pub elapsed: Duration,
+}
+
+/// Disposition of one start of a multi-start sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StartOutcome {
+    /// The start ran to natural convergence.
+    Completed,
+    /// The start was truncated by the context's budget. Its (legal,
+    /// partially refined) result still participates as a placeholder but
+    /// never displaces a completed start.
+    Truncated(StopReason),
+    /// The start panicked. The panic was caught at the start boundary,
+    /// recorded here, announced with [`RunEvent::StartAborted`] — and the
+    /// start contributes nothing to the reported best.
+    Panicked {
+        /// Zero-based index of the start in seed order.
+        start: usize,
+        /// Best-effort text of the panic payload.
+        payload: String,
+    },
+}
+
+/// Per-start dispositions of a multi-start sweep, in seed order. One
+/// entry per *attempted* start: a sequential sweep that runs out of
+/// budget records only the starts it launched.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MultiStartStats {
+    /// One disposition per attempted start, in seed order.
+    pub outcomes: Vec<StartOutcome>,
+}
+
+impl MultiStartStats {
+    /// Number of starts that ran to convergence.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, StartOutcome::Completed))
+            .count()
+    }
+
+    /// Number of starts truncated by the budget.
+    pub fn truncated(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, StartOutcome::Truncated(_)))
+            .count()
+    }
+
+    /// Number of starts that panicked and were isolated.
+    pub fn panicked(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, StartOutcome::Panicked { .. }))
+            .count()
+    }
+
+    fn push(&mut self, stopped: StopReason) {
+        self.outcomes.push(if stopped.is_stopped() {
+            StartOutcome::Truncated(stopped)
+        } else {
+            StartOutcome::Completed
+        });
+    }
+
+    fn push_panicked(&mut self, start: usize, payload: String) {
+        self.outcomes
+            .push(StartOutcome::Panicked { start, payload });
+    }
 }
 
 /// Result of a multi-start + V-cycle run.
@@ -53,6 +130,13 @@ pub struct MultiStartOutcome {
     pub stopped: StopReason,
     /// Total wall-clock time including V-cycling.
     pub total_elapsed: Duration,
+    /// Per-start dispositions in seed order, including panicked starts
+    /// (which leave no [`StartRecord`] in [`starts`](Self::starts)).
+    pub stats: MultiStartStats,
+    /// First invariant violation found across all starts (seed order)
+    /// and V-cycles, when auditing is enabled on the context. Always
+    /// `None` with auditing off.
+    pub audit_failure: Option<AuditError>,
 }
 
 impl MultiStartOutcome {
@@ -60,6 +144,38 @@ impl MultiStartOutcome {
     pub fn best_start_cut(&self) -> u64 {
         self.starts.iter().map(|s| s.cut).min().unwrap_or(0)
     }
+
+    /// Number of starts that panicked and were isolated.
+    pub fn failed_starts(&self) -> usize {
+        self.stats.panicked()
+    }
+}
+
+/// Renders a caught panic payload as best-effort text for reporting.
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Unwraps the best surviving start, or — when every start panicked —
+/// panics with a diagnostic naming the first recorded payload.
+fn best_or_all_panicked(best: Option<MlOutcome>, stats: &MultiStartStats) -> MlOutcome {
+    best.unwrap_or_else(|| {
+        let payload = stats
+            .outcomes
+            .iter()
+            .find_map(|o| match o {
+                StartOutcome::Panicked { payload, .. } => Some(payload.as_str()),
+                _ => None,
+            })
+            .unwrap_or("unknown");
+        panic!("every start panicked; first payload: {payload}");
+    })
 }
 
 /// Whether `out` displaces `best` as the reported solution. Balanced
@@ -146,8 +262,11 @@ pub fn multi_start_with(
     assert!(nruns >= 1, "multi_start needs at least one run");
     let t0 = Instant::now();
     let base_seed = ctx.seed;
+    let fault = ctx.fault_plan().clone();
     let mut probe = ctx.probe();
     let mut starts = Vec::with_capacity(nruns);
+    let mut stats = MultiStartStats::default();
+    let mut audit_failure: Option<AuditError> = None;
     let mut best: Option<MlOutcome> = None;
     let mut stopped = StopReason::Completed;
     for i in 0..nruns {
@@ -161,7 +280,29 @@ pub fn multi_start_with(
         let seed = base_seed.wrapping_add(i as u64);
         let t = Instant::now();
         ctx.seed = seed;
-        let out = partitioner.run_with(h, constraint, ctx);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            fault.trip_start(i as u64);
+            partitioner.run_with(h, constraint, ctx)
+        }));
+        let out = match attempt {
+            Ok(out) => out,
+            Err(payload) => {
+                // The engine may have unwound mid-pass: its workspace
+                // buffers are in an unknown state, so replace them and
+                // carry on with the surviving seeds.
+                ctx.workspace = FmWorkspace::new();
+                ctx.sink.emit(RunEvent::StartAborted {
+                    index: i as u64,
+                    seed,
+                });
+                stats.push_panicked(i, payload_string(payload));
+                continue;
+            }
+        };
+        stats.push(out.stopped);
+        if audit_failure.is_none() {
+            audit_failure = out.audit_failure.clone();
+        }
         starts.push(StartRecord {
             seed,
             cut: out.cut,
@@ -178,7 +319,7 @@ pub fn multi_start_with(
         }
     }
     ctx.seed = base_seed;
-    let best = best.expect("nruns >= 1");
+    let best = best_or_all_panicked(best, &stats);
     let (best, vcycles_applied, stopped) = if stopped.is_stopped() {
         (best, 0, stopped)
     } else {
@@ -190,6 +331,7 @@ pub fn multi_start_with(
             max_vcycles,
             best,
             ctx,
+            &mut audit_failure,
         )
     };
 
@@ -201,6 +343,8 @@ pub fn multi_start_with(
         vcycles_applied,
         stopped,
         total_elapsed: t0.elapsed(),
+        stats,
+        audit_failure,
     }
 }
 
@@ -241,8 +385,11 @@ pub fn multi_start_budgeted_with(
 ) -> MultiStartOutcome {
     let t0 = Instant::now();
     let base_seed = ctx.seed;
+    let fault = ctx.fault_plan().clone();
     let mut probe = ctx.probe();
     let mut starts = Vec::new();
+    let mut stats = MultiStartStats::default();
+    let mut audit_failure: Option<AuditError> = None;
     let mut best: Option<MlOutcome> = None;
     let mut stopped = StopReason::Deadline;
     for i in 0u64.. {
@@ -257,13 +404,29 @@ pub fn multi_start_budgeted_with(
         ctx.sink.emit(RunEvent::StartBegin { index: i, seed });
         let t = Instant::now();
         ctx.seed = seed;
-        let out = partitioner.run_with(h, constraint, ctx);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            fault.trip_start(i);
+            partitioner.run_with(h, constraint, ctx)
+        }));
+        let out = match attempt {
+            Ok(out) => out,
+            Err(payload) => {
+                ctx.workspace = FmWorkspace::new();
+                ctx.sink.emit(RunEvent::StartAborted { index: i, seed });
+                stats.push_panicked(i as usize, payload_string(payload));
+                continue;
+            }
+        };
         ctx.sink.emit(RunEvent::StartEnd {
             index: i,
             seed,
             cut: out.cut,
             completed: !out.stopped.is_stopped(),
         });
+        stats.push(out.stopped);
+        if audit_failure.is_none() {
+            audit_failure = out.audit_failure.clone();
+        }
         starts.push(StartRecord {
             seed,
             cut: out.cut,
@@ -280,7 +443,7 @@ pub fn multi_start_budgeted_with(
         }
     }
     ctx.seed = base_seed;
-    let best = best.expect("at least one start ran");
+    let best = best_or_all_panicked(best, &stats);
 
     MultiStartOutcome {
         assignment: best.assignment,
@@ -290,6 +453,8 @@ pub fn multi_start_budgeted_with(
         vcycles_applied: 0,
         stopped,
         total_elapsed: t0.elapsed(),
+        stats,
+        audit_failure,
     }
 }
 
@@ -298,6 +463,7 @@ pub fn multi_start_budgeted_with(
 /// `VcycleBegin`/`VcycleEnd` events. Shared tail of the sequential and
 /// parallel drivers — both must pick the same V-cycle seeds so their
 /// outcomes stay bitwise identical.
+#[allow(clippy::too_many_arguments)]
 fn vcycle_best(
     partitioner: &MlPartitioner,
     h: &Hypergraph,
@@ -306,6 +472,7 @@ fn vcycle_best(
     max_vcycles: usize,
     mut best: MlOutcome,
     ctx: &mut RunCtx<'_>,
+    audit_failure: &mut Option<AuditError>,
 ) -> (MlOutcome, usize, StopReason) {
     let mut probe = ctx.probe();
     let mut vcycles_applied = 0usize;
@@ -327,6 +494,9 @@ fn vcycle_best(
             .wrapping_add(i as u64);
         let cycled = partitioner.vcycle_with(h, constraint, &best.assignment, ctx);
         vcycles_applied += 1;
+        if audit_failure.is_none() {
+            *audit_failure = cycled.audit_failure.clone();
+        }
         if ctx.sink.is_enabled() {
             ctx.sink.emit(RunEvent::VcycleEnd {
                 index: i,
@@ -435,6 +605,8 @@ pub fn multi_start_parallel_with(
     let deadline = ctx.deadline();
     let token = ctx.cancel_token();
     let check_moves = ctx.move_check_interval();
+    let audit = ctx.audit();
+    let fault = ctx.fault_plan().clone();
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {
@@ -443,10 +615,14 @@ pub fn multi_start_parallel_with(
     .min(nruns)
     .max(1);
 
+    // One slot per start: `Ok` carries the result + buffered trace, `Err`
+    // carries the rendered payload of a panic the worker caught. Locks are
+    // recovered (never unwrapped) so a poisoned slot cannot cascade.
+    type Slot = Option<Result<(MlOutcome, StartRecord, MemorySink), String>>;
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<(MlOutcome, StartRecord, MemorySink)>> = Vec::new();
+    let mut slots: Vec<Slot> = Vec::new();
     slots.resize_with(nruns, || None);
-    let slot_cells: Vec<std::sync::Mutex<Option<(MlOutcome, StartRecord, MemorySink)>>> =
+    let slot_cells: Vec<std::sync::Mutex<Slot>> =
         slots.into_iter().map(std::sync::Mutex::new).collect();
 
     std::thread::scope(|scope| {
@@ -454,7 +630,7 @@ pub fn multi_start_parallel_with(
             scope.spawn(|| {
                 // Workspaces are owned, not shared: one per worker thread,
                 // reused across every start that thread picks up.
-                let mut workspace = hypart_core::FmWorkspace::new();
+                let mut workspace = FmWorkspace::new();
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= nruns {
@@ -462,50 +638,95 @@ pub fn multi_start_parallel_with(
                     }
                     let seed = base_seed.wrapping_add(i as u64);
                     let buffer = MemorySink::new();
-                    let start_sink: &dyn TraceSink = if traced { &buffer } else { &NullSink };
-                    let mut child = RunCtx::new(seed)
-                        .with_cancel_token(token.clone())
-                        .with_move_check_interval(check_moves)
-                        .with_workspace(std::mem::take(&mut workspace))
-                        .with_sink(start_sink);
-                    if let Some(d) = deadline {
-                        child = child.with_deadline(d);
-                    }
-                    let t = Instant::now();
-                    let out = partitioner.run_with(h, constraint, &mut child);
-                    workspace = std::mem::take(&mut child.workspace);
-                    let record = StartRecord {
-                        seed,
-                        cut: out.cut,
-                        stopped: out.stopped,
-                        elapsed: t.elapsed(),
+                    let ws = std::mem::take(&mut workspace);
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        fault.trip_start(i as u64);
+                        let start_sink: &dyn TraceSink = if traced { &buffer } else { &NullSink };
+                        let mut child = RunCtx::new(seed)
+                            .with_cancel_token(token.clone())
+                            .with_move_check_interval(check_moves)
+                            .with_audit(audit)
+                            .with_workspace(ws)
+                            .with_sink(start_sink);
+                        if let Some(d) = deadline {
+                            child = child.with_deadline(d);
+                        }
+                        let t = Instant::now();
+                        let out = partitioner.run_with(h, constraint, &mut child);
+                        (out, t.elapsed(), std::mem::take(&mut child.workspace))
+                    }));
+                    let slot = match attempt {
+                        Ok((out, elapsed, ws)) => {
+                            workspace = ws;
+                            let record = StartRecord {
+                                seed,
+                                cut: out.cut,
+                                stopped: out.stopped,
+                                elapsed,
+                            };
+                            Ok((out, record, buffer))
+                        }
+                        Err(payload) => {
+                            // The workspace unwound with the start; the
+                            // partial trace buffer is discarded so the
+                            // flushed stream stays a pure function of the
+                            // completed seeds.
+                            workspace = FmWorkspace::new();
+                            Err(payload_string(payload))
+                        }
                     };
-                    *slot_cells[i].lock().expect("no poisoned slot") = Some((out, record, buffer));
+                    *slot_cells[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(slot);
                 }
             });
         }
     });
 
     let mut starts = Vec::with_capacity(nruns);
+    let mut stats = MultiStartStats::default();
+    let mut audit_failure: Option<AuditError> = None;
     let mut best: Option<MlOutcome> = None;
     let mut stopped = StopReason::Completed;
-    for cell in slot_cells {
-        let (out, record, buffer) = cell
-            .into_inner()
-            .expect("no poisoned slot")
-            .expect("every slot filled");
-        if traced {
-            buffer.flush_into(ctx.sink);
-        }
-        if record.stopped.is_stopped() && !stopped.is_stopped() {
-            stopped = record.stopped;
-        }
-        starts.push(record);
-        if best.as_ref().is_none_or(|b| displaces(b, &out)) {
-            best = Some(out);
+    for (i, cell) in slot_cells.into_iter().enumerate() {
+        let slot = cell.into_inner().unwrap_or_else(|e| e.into_inner());
+        match slot {
+            Some(Ok((out, record, buffer))) => {
+                if traced {
+                    buffer.flush_into(ctx.sink);
+                }
+                if record.stopped.is_stopped() && !stopped.is_stopped() {
+                    stopped = record.stopped;
+                }
+                stats.push(record.stopped);
+                if audit_failure.is_none() {
+                    audit_failure = out.audit_failure.clone();
+                }
+                starts.push(record);
+                if best.as_ref().is_none_or(|b| displaces(b, &out)) {
+                    best = Some(out);
+                }
+            }
+            Some(Err(payload)) => {
+                let seed = base_seed.wrapping_add(i as u64);
+                ctx.sink.emit(RunEvent::StartAborted {
+                    index: i as u64,
+                    seed,
+                });
+                stats.push_panicked(i, payload);
+            }
+            None => {
+                // Unreachable with the in-worker panic boundary, but a
+                // worker that dies before reporting must still count as a
+                // lost start rather than abort the sweep.
+                let seed = base_seed.wrapping_add(i as u64);
+                ctx.sink.emit(RunEvent::StartAborted {
+                    index: i as u64,
+                    seed,
+                });
+                stats.push_panicked(i, "worker thread died before reporting".to_string());
+            }
         }
     }
-    let best = best.expect("nruns >= 1");
+    let best = best_or_all_panicked(best, &stats);
     let (best, vcycles_applied, stopped) = if stopped.is_stopped() {
         (best, 0, stopped)
     } else {
@@ -517,6 +738,7 @@ pub fn multi_start_parallel_with(
             max_vcycles,
             best,
             ctx,
+            &mut audit_failure,
         )
     };
 
@@ -528,6 +750,8 @@ pub fn multi_start_parallel_with(
         vcycles_applied,
         stopped,
         total_elapsed: t0.elapsed(),
+        stats,
+        audit_failure,
     }
 }
 
@@ -679,5 +903,72 @@ mod tests {
         let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
         let ml = MlPartitioner::new(MlConfig::ml_lifo());
         let _ = multi_start(&ml, &h, &c, 0, 0, 0);
+    }
+
+    #[test]
+    fn panicked_parallel_start_is_isolated() {
+        use hypart_core::FaultPlan;
+        let h = mcnc_like(300, 8);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_lifo());
+
+        // Fault-free reference sweep: 16 starts, no V-cycling.
+        let clean = multi_start_parallel(&ml, &h, &c, 16, 5, 0, 4);
+        assert_eq!(clean.stats.panicked(), 0);
+        assert_eq!(clean.stats.outcomes.len(), 16);
+
+        // Same sweep with an injected panic in start 3.
+        let sink = MemorySink::new();
+        let mut ctx = RunCtx::new(5)
+            .with_sink(&sink)
+            .with_fault_plan(FaultPlan::panic_in_start(3));
+        let out = multi_start_parallel_with(&ml, &h, &c, 16, 0, 4, &mut ctx);
+
+        // The run completes with exactly one isolated start...
+        assert_eq!(out.starts.len(), 15);
+        assert_eq!(out.stats.outcomes.len(), 16);
+        assert_eq!(out.stats.panicked(), 1);
+        assert_eq!(out.failed_starts(), 1);
+        assert!(matches!(
+            &out.stats.outcomes[3],
+            StartOutcome::Panicked { start: 3, payload } if payload.contains("injected fault")
+        ));
+        // ...announced by exactly one StartAborted event at its seed.
+        let aborted: Vec<RunEvent> = sink
+            .take()
+            .into_iter()
+            .filter(|e| matches!(e, RunEvent::StartAborted { .. }))
+            .collect();
+        assert_eq!(aborted, vec![RunEvent::StartAborted { index: 3, seed: 8 }]);
+        // The 15 survivors are bitwise the fault-free starts minus #3:
+        // isolation never perturbs the other seeds.
+        let expect: Vec<u64> = clean
+            .starts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 3)
+            .map(|(_, s)| s.cut)
+            .collect();
+        let got: Vec<u64> = out.starts.iter().map(|s| s.cut).collect();
+        assert_eq!(got, expect);
+        assert_eq!(out.cut, expect.iter().copied().min().unwrap());
+
+        // The sequential driver isolates the same fault identically.
+        let mut seq_ctx = RunCtx::new(5).with_fault_plan(FaultPlan::panic_in_start(3));
+        let seq = multi_start_with(&ml, &h, &c, 16, 0, &mut seq_ctx);
+        assert_eq!(seq.cut, out.cut);
+        assert_eq!(seq.assignment, out.assignment);
+        assert_eq!(seq.stats.panicked(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "every start panicked")]
+    fn all_panicked_starts_give_a_clear_diagnostic() {
+        use hypart_core::FaultPlan;
+        let h = mcnc_like(100, 1);
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::ml_lifo());
+        let mut ctx = RunCtx::new(0).with_fault_plan(FaultPlan::panic_in_start(0));
+        let _ = multi_start_with(&ml, &h, &c, 1, 0, &mut ctx);
     }
 }

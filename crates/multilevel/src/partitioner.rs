@@ -6,8 +6,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::coarsen::{build_hierarchy, CoarsenConfig};
 use hypart_core::{
-    generate_initial, BalanceConstraint, Bisection, FmConfig, FmPartitioner, FmWorkspace,
-    InitialSolution, RunCtx, StopReason,
+    generate_initial, AuditError, BalanceConstraint, Bisection, FmConfig, FmPartitioner,
+    FmWorkspace, InitialSolution, PartitionAuditor, RunCtx, StopReason,
 };
 use hypart_hypergraph::{Hypergraph, PartId};
 use hypart_trace::{RunEvent, TraceSink};
@@ -98,6 +98,10 @@ pub struct MlOutcome {
     /// refinement is skipped but the solution is still projected to the
     /// input graph, so the outcome is always a legal full-size partition.
     pub stopped: StopReason,
+    /// First invariant violation found by the [`PartitionAuditor`] at any
+    /// level, when auditing is enabled on the context. Always `None` with
+    /// auditing off.
+    pub audit_failure: Option<AuditError>,
 }
 
 /// A multilevel 2-way partitioner (hMetis-style V-cycle refinement is
@@ -136,9 +140,18 @@ impl MlPartitioner {
 
         // Initial partitioning on the coarsest graph: several seeded
         // greedy starts, each refined, best kept.
-        let initial = self.best_initial(coarsest, constraint, &mut rng, ctx);
+        let mut audit_failure = None;
+        let initial = self.best_initial(coarsest, constraint, &mut rng, ctx, &mut audit_failure);
 
-        self.uncoarsen(h, &levels, initial, constraint, &mut rng, ctx)
+        self.uncoarsen(
+            h,
+            &levels,
+            initial,
+            constraint,
+            &mut rng,
+            ctx,
+            audit_failure,
+        )
     }
 
     /// Runs one multilevel start on `h` from `seed`.
@@ -216,7 +229,15 @@ impl MlPartitioner {
             coarse_assignment = next;
         }
 
-        self.uncoarsen(h, &levels, coarse_assignment, constraint, &mut rng, ctx)
+        self.uncoarsen(
+            h,
+            &levels,
+            coarse_assignment,
+            constraint,
+            &mut rng,
+            ctx,
+            None,
+        )
     }
 
     /// Applies one V-cycle to an existing solution.
@@ -279,6 +300,7 @@ impl MlPartitioner {
         constraint: &BalanceConstraint,
         rng: &mut R,
         ctx: &mut RunCtx<'_>,
+        audit_failure: &mut Option<AuditError>,
     ) -> Vec<PartId> {
         let engine = FmPartitioner::new(self.config.refine);
         let mut best: Option<(u64, u64, Vec<PartId>)> = None; // (violation, cut, parts)
@@ -292,6 +314,9 @@ impl MlPartitioner {
             let mut bisection =
                 Bisection::new(coarsest, parts).expect("generated initial is valid");
             let stats = engine.refine_with(&mut bisection, constraint, rng, ctx);
+            if audit_failure.is_none() {
+                *audit_failure = stats.audit_failure.clone();
+            }
             let score = (constraint.total_violation(&bisection), bisection.cut());
             if best.as_ref().is_none_or(|(v, c, _)| score < (*v, *c)) {
                 best = Some((score.0, score.1, bisection.into_assignment()));
@@ -306,6 +331,7 @@ impl MlPartitioner {
         best.expect("at least one initial try").2
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn uncoarsen<R: Rng>(
         &self,
         h: &Hypergraph,
@@ -314,6 +340,7 @@ impl MlPartitioner {
         constraint: &BalanceConstraint,
         rng: &mut R,
         ctx: &mut RunCtx<'_>,
+        mut audit_failure: Option<AuditError>,
     ) -> MlOutcome {
         let engine = FmPartitioner::new(self.config.refine);
         let mut corked_passes = 0usize;
@@ -351,19 +378,39 @@ impl MlPartitioner {
             let stats = engine.refine_with(&mut bisection, constraint, rng, ctx);
             corked_passes += stats.corked_passes();
             total_passes += stats.num_passes();
+            if audit_failure.is_none() {
+                audit_failure = stats.audit_failure.clone();
+            }
             // A stop inside the engine was already announced there.
             stopped = stats.stopped;
             assignment = bisection.into_assignment();
         }
 
         let bisection = Bisection::new(h, assignment).expect("assignment is valid");
+        let balanced = constraint.is_satisfied(&bisection);
+        // Final whole-run checkpoint: re-verify the claimed solution on the
+        // input graph from scratch, independent of per-level engine audits
+        // (which are skipped entirely when the budget expires early).
+        if ctx.audit().is_on() {
+            let window = balanced.then(|| (constraint.lower(), constraint.upper()));
+            if let Err(e) = PartitionAuditor::audit_bisection(&bisection, window) {
+                ctx.sink.emit(RunEvent::InvariantViolation {
+                    check: e.check().to_string(),
+                    detail: e.to_string(),
+                });
+                if audit_failure.is_none() {
+                    audit_failure = Some(e);
+                }
+            }
+        }
         MlOutcome {
             cut: bisection.cut(),
-            balanced: constraint.is_satisfied(&bisection),
+            balanced,
             levels: levels.len(),
             corked_passes,
             total_passes,
             stopped,
+            audit_failure,
             assignment: bisection.into_assignment(),
         }
     }

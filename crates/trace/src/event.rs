@@ -237,10 +237,29 @@ pub enum RunEvent {
         /// completed starts compete for the reported best-so-far.
         completed: bool,
     },
+    /// The partition auditor found a discrepancy between the engine's
+    /// incremental bookkeeping and an independent from-scratch
+    /// recomputation. Never emitted with auditing off (the default), so
+    /// pre-audit golden streams are unchanged.
+    InvariantViolation {
+        /// Name of the failed check (`"cut"`, `"balance"`, `"fixed"`,
+        /// `"gain"`).
+        check: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A multi-start worker panicked; its start was isolated and
+    /// discarded, and the sweep continued with the surviving starts.
+    StartAborted {
+        /// Zero-based start index of the panicked start.
+        index: u64,
+        /// Seed of the panicked start.
+        seed: u64,
+    },
 }
 
 /// Event kind names, in [`RunEvent::kind_index`] order.
-pub const EVENT_KINDS: [&str; 17] = [
+pub const EVENT_KINDS: [&str; 19] = [
     "trial_begin",
     "trial_end",
     "run_begin",
@@ -258,6 +277,8 @@ pub const EVENT_KINDS: [&str; 17] = [
     "budget_exhausted",
     "start_begin",
     "start_end",
+    "invariant_violation",
+    "start_aborted",
 ];
 
 impl RunEvent {
@@ -287,6 +308,8 @@ impl RunEvent {
             RunEvent::BudgetExhausted { .. } => 14,
             RunEvent::StartBegin { .. } => 15,
             RunEvent::StartEnd { .. } => 16,
+            RunEvent::InvariantViolation { .. } => 17,
+            RunEvent::StartAborted { .. } => 18,
         }
     }
 
@@ -415,6 +438,14 @@ impl RunEvent {
                 ("cut", (*cut).into()),
                 ("completed", (*completed).into()),
             ]),
+            RunEvent::InvariantViolation { check, detail } => JsonValue::object([
+                ev,
+                ("check", JsonValue::string(check.clone())),
+                ("detail", JsonValue::string(detail.clone())),
+            ]),
+            RunEvent::StartAborted { index, seed } => {
+                JsonValue::object([ev, ("index", (*index).into()), ("seed", (*seed).into())])
+            }
         }
     }
 
@@ -534,6 +565,14 @@ impl RunEvent {
                 cut: u("cut")?,
                 completed: b("completed")?,
             }),
+            "invariant_violation" => Ok(RunEvent::InvariantViolation {
+                check: s("check")?,
+                detail: s("detail")?,
+            }),
+            "start_aborted" => Ok(RunEvent::StartAborted {
+                index: u("index")?,
+                seed: u("seed")?,
+            }),
             other => Err(format!("unknown event kind `{other}`")),
         }
     }
@@ -612,6 +651,11 @@ mod tests {
                 cut: 307,
                 completed: false,
             },
+            RunEvent::InvariantViolation {
+                check: "cut".into(),
+                detail: "reported 300, recomputed 301".into(),
+            },
+            RunEvent::StartAborted { index: 3, seed: 45 },
         ]
     }
 

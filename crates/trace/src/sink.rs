@@ -52,6 +52,24 @@ impl TraceSink for NullSink {
     }
 }
 
+/// A [`Write`] implementation whose every write fails — fault-injection
+/// support for exercising the sink error paths (`JsonlSink`'s sticky
+/// failure flag, the CLI's end-of-run trace check) without touching the
+/// filesystem. Test/bench support, not part of the stable API.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FailingWriter;
+
+impl Write for FailingWriter {
+    fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+        Err(std::io::Error::other("injected fault: sink write failed"))
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Err(std::io::Error::other("injected fault: sink flush failed"))
+    }
+}
+
 /// Thread-safe in-memory accumulation, for tests and programmatic
 /// consumers.
 #[derive(Debug, Default)]
@@ -67,17 +85,20 @@ impl MemorySink {
 
     /// A snapshot of the accumulated events, in emission order.
     pub fn events(&self) -> Vec<RunEvent> {
-        self.events.lock().expect("sink not poisoned").clone()
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Drains the accumulated events, leaving the sink empty.
     pub fn take(&self) -> Vec<RunEvent> {
-        std::mem::take(&mut *self.events.lock().expect("sink not poisoned"))
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Number of accumulated events.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("sink not poisoned").len()
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// `true` if no events were recorded.
@@ -99,7 +120,10 @@ impl MemorySink {
 
 impl TraceSink for MemorySink {
     fn emit(&self, event: RunEvent) {
-        self.events.lock().expect("sink not poisoned").push(event);
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
     }
 }
 
@@ -131,7 +155,7 @@ impl<W: Write> JsonlSink<W> {
     ///
     /// Any write or flush failure.
     pub fn finish(self) -> std::io::Result<W> {
-        let mut writer = self.writer.into_inner().expect("sink not poisoned");
+        let mut writer = self.writer.into_inner().unwrap_or_else(|e| e.into_inner());
         if self.failed.load(Ordering::Relaxed) {
             return Err(std::io::Error::other("a trace write failed"));
         }
@@ -145,7 +169,7 @@ impl<W: Write> TraceSink for JsonlSink<W> {
         if self.failed.load(Ordering::Relaxed) {
             return;
         }
-        let mut writer = self.writer.lock().expect("sink not poisoned");
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         if writeln!(writer, "{}", event.to_json()).is_err() {
             self.failed.store(true, Ordering::Relaxed);
         }
@@ -188,14 +212,14 @@ impl CounterSink {
     /// Count of one event kind (index into [`EVENT_KINDS`] via
     /// [`RunEvent::kind_index`]).
     pub fn count_of(&self, kind_index: usize) -> u64 {
-        self.state.lock().expect("sink not poisoned").counts[kind_index]
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).counts[kind_index]
     }
 
     /// Total events consumed.
     pub fn total(&self) -> u64 {
         self.state
             .lock()
-            .expect("sink not poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .counts
             .iter()
             .sum()
@@ -205,7 +229,7 @@ impl CounterSink {
     /// ratios, and the pass-duration histogram.
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
-        let state = self.state.lock().expect("sink not poisoned");
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::from("trace summary\n");
         for (kind, &n) in EVENT_KINDS.iter().zip(state.counts.iter()) {
             if n > 0 {
@@ -252,7 +276,7 @@ impl CounterSink {
 
 impl TraceSink for CounterSink {
     fn emit(&self, event: RunEvent) {
-        let mut state = self.state.lock().expect("sink not poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.counts[event.kind_index()] += 1;
         match event {
             RunEvent::PassBegin { .. } => state.pass_started = Some(Instant::now()),
@@ -374,19 +398,11 @@ mod tests {
 
     #[test]
     fn jsonl_sink_reports_write_failures() {
-        struct Failing;
-        impl Write for Failing {
-            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
-                Err(std::io::Error::other("nope"))
-            }
-            fn flush(&mut self) -> std::io::Result<()> {
-                Ok(())
-            }
-        }
-        let sink = JsonlSink::new(Failing);
+        let sink = JsonlSink::new(FailingWriter);
         sink.emit(RunEvent::RunBegin { cut: 1 });
         sink.emit(RunEvent::RunEnd { cut: 1, passes: 0 });
-        assert!(sink.finish().is_err());
+        let err = sink.finish().unwrap_err();
+        assert!(err.to_string().contains("trace write failed"));
     }
 
     #[test]
