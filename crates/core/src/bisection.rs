@@ -264,6 +264,7 @@ impl<'h> Bisection<'h> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use hypart_hypergraph::HypergraphBuilder;

@@ -83,7 +83,10 @@ pub fn optimal_bisection(
                 PartId::P0
             };
         }
-        let bisection = Bisection::new(h, assignment.clone()).expect("assignment is valid");
+        let bisection = match Bisection::new(h, assignment.clone()) {
+            Ok(b) => b,
+            Err(e) => unreachable!("enumerated assignment is valid: {e}"),
+        };
         if !constraint.is_satisfied(&bisection) {
             continue;
         }
@@ -104,6 +107,7 @@ pub fn optimal_bisection(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::{FmConfig, FmPartitioner};

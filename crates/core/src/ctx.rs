@@ -11,7 +11,8 @@
 //! * a shared atomic **cancellation token** ([`CancelToken`]) flippable
 //!   from another thread,
 //! * the **trace sink** receiving [`RunEvent`](hypart_trace::RunEvent)s,
-//! * the reusable [`FmWorkspace`] scratch arenas,
+//! * the reusable [`FmWorkspace`] refinement scratch arenas and the
+//!   [`CoarsenWorkspace`](crate::CoarsenWorkspace) coarsening arenas,
 //! * the RNG **seed**.
 //!
 //! Engines take `&mut RunCtx` in their canonical `*_with` entry points;
@@ -37,6 +38,7 @@ use std::time::{Duration, Instant};
 use hypart_trace::{NullSink, StopReason, TraceSink};
 
 use crate::audit::{AuditLevel, FaultPlan};
+use crate::coarsen_ws::CoarsenWorkspace;
 use crate::workspace::FmWorkspace;
 
 /// Default number of moves between mid-pass deadline checks.
@@ -95,8 +97,11 @@ impl CancelToken {
 pub struct RunCtx<'s> {
     /// Receiver of the run's [`RunEvent`](hypart_trace::RunEvent) stream.
     pub sink: &'s dyn TraceSink,
-    /// Reusable scratch arenas, re-targeted by each engine invocation.
+    /// Reusable refinement scratch arenas, re-targeted by each engine
+    /// invocation.
     pub workspace: FmWorkspace,
+    /// Reusable coarsening scratch arenas, re-pointed at each level.
+    pub coarsen: CoarsenWorkspace,
     /// Base RNG seed for the run.
     pub seed: u64,
     deadline: Option<Instant>,
@@ -132,6 +137,7 @@ impl<'s> RunCtx<'s> {
         RunCtx {
             sink: &NULL_SINK,
             workspace: FmWorkspace::new(),
+            coarsen: CoarsenWorkspace::new(),
             seed,
             deadline: None,
             cancel: CancelToken::new(),
@@ -146,6 +152,7 @@ impl<'s> RunCtx<'s> {
         RunCtx {
             sink,
             workspace: self.workspace,
+            coarsen: self.coarsen,
             seed: self.seed,
             deadline: self.deadline,
             cancel: self.cancel,
@@ -191,10 +198,19 @@ impl<'s> RunCtx<'s> {
         self
     }
 
-    /// Replaces the workspace (e.g. to reuse arenas across contexts).
+    /// Replaces the refinement workspace (e.g. to reuse arenas across
+    /// contexts).
     #[must_use]
     pub fn with_workspace(mut self, workspace: FmWorkspace) -> Self {
         self.workspace = workspace;
+        self
+    }
+
+    /// Replaces the coarsening workspace (e.g. to reuse arenas across
+    /// contexts).
+    #[must_use]
+    pub fn with_coarsen_workspace(mut self, coarsen: CoarsenWorkspace) -> Self {
+        self.coarsen = coarsen;
         self
     }
 
@@ -270,6 +286,7 @@ impl<'s> RunCtx<'s> {
         RunCtx {
             sink,
             workspace: FmWorkspace::new(),
+            coarsen: CoarsenWorkspace::new(),
             seed,
             deadline: self.deadline,
             cancel: self.cancel.clone(),

@@ -73,8 +73,10 @@ impl FmPartitioner {
     ) -> FmOutcome {
         let mut rng = SmallRng::seed_from_u64(ctx.seed);
         let assignment = generate_initial(h, self.config.initial, &mut rng);
-        let mut bisection =
-            Bisection::new(h, assignment).expect("generated initial solution is always valid");
+        let mut bisection = match Bisection::new(h, assignment) {
+            Ok(b) => b,
+            Err(e) => unreachable!("generated initial solution is always valid: {e}"),
+        };
         let stats = self.refine_with(&mut bisection, constraint, &mut rng, ctx);
         FmOutcome {
             cut: bisection.cut(),
@@ -665,6 +667,7 @@ impl PrefixScore {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::config::{InitialSolution, InsertionPolicy, PassBestRule, TieBreak};

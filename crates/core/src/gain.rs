@@ -340,6 +340,7 @@ impl GainContainer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;

@@ -97,6 +97,7 @@ fn greedy_lighter_side<R: Rng>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use hypart_hypergraph::HypergraphBuilder;

@@ -46,11 +46,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod audit;
 mod balance;
 mod bisection;
 pub mod brute;
+mod coarsen_ws;
 mod config;
 mod ctx;
 mod engine;
@@ -65,6 +67,7 @@ pub use audit::{
 };
 pub use balance::BalanceConstraint;
 pub use bisection::{Bisection, BisectionError};
+pub use coarsen_ws::{CandInfo, CoarseNet, CoarsenWorkspace, SparseScores};
 pub use config::{
     FmConfig, IllegalHeadPolicy, InitialSolution, InsertionPolicy, PassBestRule, SelectionRule,
     TieBreak, ZeroDeltaPolicy,

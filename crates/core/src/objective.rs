@@ -71,6 +71,7 @@ pub fn uncut_nets(bisection: &Bisection<'_>) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use hypart_hypergraph::{Hypergraph, HypergraphBuilder, PartId};

@@ -452,6 +452,7 @@ pub fn run_trials_with(
                 // The heuristic may have unwound mid-run: replace the
                 // shared workspace and press on with the next seed.
                 ctx.workspace = hypart_core::FmWorkspace::new();
+                ctx.coarsen = hypart_core::CoarsenWorkspace::new();
                 ctx.sink.emit(RunEvent::StartAborted {
                     index: i as u64,
                     seed,

@@ -1,7 +1,7 @@
 //! Incremental construction of [`Hypergraph`] instances.
 
 use crate::error::BuildError;
-use crate::graph::Hypergraph;
+use crate::graph::{CsrScratch, Hypergraph};
 use crate::ids::{NetId, PartId, VertexId};
 
 /// Builder for [`Hypergraph`].
@@ -28,7 +28,7 @@ use crate::ids::{NetId, PartId, VertexId};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct HypergraphBuilder {
     name: String,
     vertex_weights: Vec<u64>,
@@ -39,12 +39,24 @@ pub struct HypergraphBuilder {
     scratch: Vec<VertexId>,
 }
 
+impl Default for HypergraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl HypergraphBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
         Self {
+            name: String::new(),
+            vertex_weights: Vec::new(),
+            net_weights: Vec::new(),
+            // CSR invariant: offsets always lead with the 0 sentinel.
             net_pin_offsets: vec![0],
-            ..Self::default()
+            net_pin_list: Vec::new(),
+            fixed: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -63,6 +75,23 @@ impl HypergraphBuilder {
     pub fn name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
+    }
+
+    /// Sets the instance name in place (for builders held by reference,
+    /// e.g. one recycled across coarsening levels).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Reserves capacity for `vertices` additional vertices and `nets`
+    /// additional nets carrying `pins` pins in total. Callers that know
+    /// the exact coarse sizes (the multilevel coarsener does) avoid every
+    /// growth reallocation of the CSR arrays.
+    pub fn reserve(&mut self, vertices: usize, nets: usize, pins: usize) {
+        self.vertex_weights.reserve(vertices);
+        self.net_weights.reserve(nets);
+        self.net_pin_offsets.reserve(nets);
+        self.net_pin_list.reserve(pins);
     }
 
     /// Number of vertices added so far.
@@ -132,6 +161,52 @@ impl HypergraphBuilder {
         Ok(NetId::from_index(net_index))
     }
 
+    /// Adds a net whose pins are already strictly sorted (therefore
+    /// duplicate-free), skipping [`add_net`](Self::add_net)'s per-pin
+    /// duplicate scan. The hot path of the multilevel coarsener emits
+    /// exactly such slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::EmptyNet`] if `pins` is empty,
+    /// [`BuildError::UnknownVertex`] if any pin is out of range, and
+    /// [`BuildError::TooManyPins`] if the total pin count would overflow
+    /// the `u32` CSR offsets.
+    pub fn add_net_sorted_unique(
+        &mut self,
+        pins: &[VertexId],
+        weight: u32,
+    ) -> Result<NetId, BuildError> {
+        let net_index = self.net_weights.len();
+        debug_assert!(
+            pins.windows(2).all(|w| w[0] < w[1]),
+            "add_net_sorted_unique requires strictly sorted pins"
+        );
+        if pins.is_empty() {
+            return Err(BuildError::EmptyNet { net: net_index });
+        }
+        // Strictly sorted pins: the last one is the largest.
+        if let Some(&last) = pins.last() {
+            if last.index() >= self.vertex_weights.len() {
+                return Err(BuildError::UnknownVertex {
+                    net: net_index,
+                    vertex: last.raw(),
+                    num_vertices: self.vertex_weights.len(),
+                });
+            }
+        }
+        let new_len = self
+            .net_pin_list
+            .len()
+            .checked_add(pins.len())
+            .filter(|&l| u32::try_from(l).is_ok())
+            .ok_or(BuildError::TooManyPins)?;
+        self.net_pin_list.extend_from_slice(pins);
+        self.net_pin_offsets.push(new_len as u32);
+        self.net_weights.push(weight);
+        Ok(NetId::from_index(net_index))
+    }
+
     /// Marks vertex `v` as fixed in partition `part`. The check that `v`
     /// exists is deferred to [`build`](Self::build) so pads can be fixed
     /// before or after net insertion in any order.
@@ -146,9 +221,23 @@ impl HypergraphBuilder {
     /// Returns [`BuildError::FixUnknownVertex`] if a fixed-vertex assignment
     /// references a vertex that was never added.
     pub fn build(self) -> Result<Hypergraph, BuildError> {
+        let mut builder = self;
+        builder.build_in(&mut CsrScratch::default())
+    }
+
+    /// [`build`](Self::build) with the inverse-CSR counting pass run in
+    /// recycled `scratch`, leaving the builder empty and reusable. The
+    /// CSR arrays themselves move into the returned [`Hypergraph`] (it
+    /// owns them for its lifetime); only the `O(|V|)` counting/cursor
+    /// scratch is recyclable, and `scratch` keeps it across builds.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`build`](Self::build).
+    pub fn build_in(&mut self, scratch: &mut CsrScratch) -> Result<Hypergraph, BuildError> {
         let num_vertices = self.vertex_weights.len();
         let mut fixed = vec![None; num_vertices];
-        for (raw, part) in self.fixed {
+        for &(raw, part) in &self.fixed {
             if raw as usize >= num_vertices {
                 return Err(BuildError::FixUnknownVertex {
                     vertex: raw,
@@ -157,13 +246,20 @@ impl HypergraphBuilder {
             }
             fixed[raw as usize] = Some(part);
         }
-        Ok(Hypergraph::from_parts(
-            self.name,
-            self.net_pin_offsets,
-            self.net_pin_list,
-            self.vertex_weights,
-            self.net_weights,
+        self.fixed.clear();
+        let name = std::mem::take(&mut self.name);
+        let net_pin_offsets = std::mem::replace(&mut self.net_pin_offsets, vec![0]);
+        let net_pin_list = std::mem::take(&mut self.net_pin_list);
+        let vertex_weights = std::mem::take(&mut self.vertex_weights);
+        let net_weights = std::mem::take(&mut self.net_weights);
+        Ok(Hypergraph::from_parts_in(
+            name,
+            net_pin_offsets,
+            net_pin_list,
+            vertex_weights,
+            net_weights,
             fixed,
+            scratch,
         ))
     }
 }
@@ -228,6 +324,60 @@ mod tests {
         assert_eq!(b.num_vertices(), 5);
         let h = b.build().unwrap();
         assert_eq!(h.total_vertex_weight(), 35);
+    }
+
+    #[test]
+    fn sorted_unique_fast_path_matches_add_net() {
+        let mut a = HypergraphBuilder::new();
+        let mut b = HypergraphBuilder::new();
+        for builder in [&mut a, &mut b] {
+            builder.add_vertices(5, 2);
+        }
+        let pins = [VertexId::new(0), VertexId::new(2), VertexId::new(4)];
+        a.add_net(pins, 3).unwrap();
+        b.add_net_sorted_unique(&pins, 3).unwrap();
+        let (ha, hb) = (a.build().unwrap(), b.build().unwrap());
+        assert_eq!(ha.net_pins(NetId::new(0)), hb.net_pins(NetId::new(0)));
+        assert_eq!(ha.net_weight(NetId::new(0)), hb.net_weight(NetId::new(0)));
+        hb.validate().unwrap();
+    }
+
+    #[test]
+    fn sorted_unique_rejects_empty_and_out_of_range() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(1);
+        assert_eq!(
+            b.add_net_sorted_unique(&[], 1).unwrap_err(),
+            BuildError::EmptyNet { net: 0 }
+        );
+        let err = b
+            .add_net_sorted_unique(&[VertexId::new(0), VertexId::new(7)], 1)
+            .unwrap_err();
+        assert!(matches!(err, BuildError::UnknownVertex { vertex: 7, .. }));
+    }
+
+    #[test]
+    fn build_in_recycles_and_resets() {
+        let mut scratch = CsrScratch::new();
+        let mut b = HypergraphBuilder::new();
+        // Two successive builds through the same builder + scratch.
+        for round in 0..2u64 {
+            let v0 = b.add_vertex(round + 1);
+            let v1 = b.add_vertex(round + 2);
+            b.add_net([v0, v1], 1).unwrap();
+            b.fix_vertex(v0, PartId::P1);
+            b.set_name(format!("round{round}"));
+            let h = b.build_in(&mut scratch).unwrap();
+            assert_eq!(h.name(), format!("round{round}"));
+            assert_eq!(h.num_vertices(), 2);
+            assert_eq!(h.num_nets(), 1);
+            assert_eq!(h.total_vertex_weight(), 2 * round + 3);
+            assert_eq!(h.fixed_part(VertexId::new(0)), Some(PartId::P1));
+            h.validate().unwrap();
+            // The builder is empty and reusable after build_in.
+            assert_eq!(b.num_vertices(), 0);
+            assert_eq!(b.num_nets(), 0);
+        }
     }
 
     #[test]

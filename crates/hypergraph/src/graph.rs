@@ -31,32 +31,73 @@ pub struct Hypergraph {
     num_fixed: usize,
 }
 
+/// Reusable scratch for the inverse-CSR counting pass of hypergraph
+/// construction.
+///
+/// [`crate::HypergraphBuilder::build_in`] runs its vertex-degree counting
+/// and scatter cursors inside this arena instead of allocating two
+/// `O(|V|)` vectors per build. The arenas grow on demand and are kept, so
+/// a caller that builds many hypergraphs in sequence (the multilevel
+/// coarsener builds one per level per start) pays the allocation once.
+#[derive(Clone, Debug, Default)]
+pub struct CsrScratch {
+    /// Vertex degrees, then re-used as scatter cursors.
+    degree: Vec<u32>,
+    /// Scatter cursors (next free inverse-CSR slot per vertex).
+    cursor: Vec<u32>,
+}
+
+impl CsrScratch {
+    /// Creates an empty scratch; arenas grow on first use.
+    pub fn new() -> Self {
+        CsrScratch::default()
+    }
+}
+
 impl Hypergraph {
-    pub(crate) fn from_parts(
+    /// Assembles a hypergraph from raw CSR parts, running the inverse-CSR
+    /// counting pass in recycled `scratch`. The offset accumulator is
+    /// `u32`: the builder rejects pin counts beyond `u32::MAX` with
+    /// [`crate::BuildError::TooManyPins`] before reaching this point, and
+    /// the debug assertion below guards any future internal caller that
+    /// might skip that check (an unchecked overflow here would silently
+    /// corrupt the CSR).
+    pub(crate) fn from_parts_in(
         name: String,
         net_pin_offsets: Vec<u32>,
         net_pin_list: Vec<VertexId>,
         vertex_weights: Vec<u64>,
         net_weights: Vec<u32>,
         fixed: Vec<Option<PartId>>,
+        scratch: &mut CsrScratch,
     ) -> Self {
         let num_vertices = vertex_weights.len();
         debug_assert_eq!(net_pin_offsets.len(), net_weights.len() + 1);
         debug_assert_eq!(fixed.len(), num_vertices);
+        debug_assert!(
+            u32::try_from(net_pin_list.len()).is_ok(),
+            "pin count {} overflows the u32 CSR offsets — builders must \
+             reject this with BuildError::TooManyPins",
+            net_pin_list.len()
+        );
 
         // Build the inverse (vertex -> nets) CSR with a counting pass.
-        let mut degree = vec![0u32; num_vertices];
+        let degree = &mut scratch.degree;
+        degree.clear();
+        degree.resize(num_vertices, 0);
         for &v in &net_pin_list {
             degree[v.index()] += 1;
         }
         let mut vertex_net_offsets = Vec::with_capacity(num_vertices + 1);
         let mut acc = 0u32;
         vertex_net_offsets.push(0);
-        for &d in &degree {
+        for &d in degree.iter() {
             acc += d;
             vertex_net_offsets.push(acc);
         }
-        let mut cursor: Vec<u32> = vertex_net_offsets[..num_vertices].to_vec();
+        let cursor = &mut scratch.cursor;
+        cursor.clear();
+        cursor.extend_from_slice(&vertex_net_offsets[..num_vertices]);
         let mut vertex_net_list = vec![NetId::new(0); net_pin_list.len()];
         for e in 0..net_weights.len() {
             let start = net_pin_offsets[e] as usize;

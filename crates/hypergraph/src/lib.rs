@@ -50,5 +50,5 @@ pub mod subgraph;
 
 pub use builder::HypergraphBuilder;
 pub use error::{BuildError, ParseError};
-pub use graph::Hypergraph;
+pub use graph::{CsrScratch, Hypergraph};
 pub use ids::{NetId, PartId, VertexId};

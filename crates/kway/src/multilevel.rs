@@ -12,7 +12,8 @@ use crate::fm::{record_kway_audit, KWayConfig, KWayFmPartitioner, KWayOutcome};
 use crate::partition::KWayPartition;
 use hypart_core::{AuditError, RunCtx, StopReason};
 use hypart_hypergraph::Hypergraph;
-use hypart_ml::coarsen::{build_hierarchy, CoarsenConfig};
+use hypart_ml::coarsen::{build_hierarchy_with, CoarsenConfig};
+use hypart_trace::RunEvent;
 
 /// Configuration of the multilevel k-way partitioner.
 ///
@@ -108,7 +109,17 @@ impl MlKWayPartitioner {
         let mut rng = SmallRng::seed_from_u64(base_seed);
         let engine = KWayFmPartitioner::new(self.config.refine);
 
-        let levels = build_hierarchy(h, &self.config.coarsen, None, &mut rng);
+        let levels =
+            build_hierarchy_with(h, &self.config.coarsen, None, &mut rng, &mut ctx.coarsen);
+        if ctx.sink.is_enabled() {
+            for (i, level) in levels.iter().enumerate() {
+                ctx.sink.emit(RunEvent::LevelDown {
+                    level: i + 1,
+                    vertices: level.graph.num_vertices(),
+                    nets: level.graph.num_nets(),
+                });
+            }
+        }
         let coarsest: &Hypergraph = levels.last().map_or(h, |l| &l.graph);
 
         // Initial partitioning: several full engine runs on the coarsest
@@ -152,6 +163,13 @@ impl MlKWayPartitioner {
             }
             if stopped.is_stopped() {
                 continue;
+            }
+            if ctx.sink.is_enabled() {
+                ctx.sink.emit(RunEvent::LevelUp {
+                    level: i,
+                    vertices: graph.num_vertices(),
+                    nets: graph.num_nets(),
+                });
             }
             let mut partition = KWayPartition::new(graph, k, assignment);
             let (passes, refine_stop) = engine.refine_with(&mut partition, balance, &mut rng, ctx);

@@ -11,12 +11,28 @@
 //! same partition; the cluster inherits the fixed side. Restricted
 //! coarsening (for V-cycles) additionally forbids clustering across the
 //! current partition boundary.
-
-use std::collections::HashMap;
+//!
+//! # Hot path
+//!
+//! Coarsening runs once per level of every start of every V-cycle, so the
+//! `*_with` entry points are allocation-free across calls: all scratch
+//! lives in a [`CoarsenWorkspace`] (carried on
+//! [`RunCtx`](hypart_core::RunCtx) next to the FM workspace).
+//! Per-vertex connectivity accumulates into a dense epoch-stamped score
+//! array with O(touched) reset instead of a `HashMap`, and identical
+//! coarse nets are merged by sorting 64-bit fingerprints of their pin
+//! slices (collisions verified by slice comparison) instead of hashing
+//! owned `Vec` keys. Both rewrites are *behaviorally invisible*: candidate
+//! selection tie-breaks on the raw candidate key, which makes the choice
+//! independent of accumulation-container iteration order, and fingerprint
+//! grouping preserves the first-occurrence emission order of the merged
+//! nets — the executable specification is retained as
+//! [`coarsen_once_reference`] and twin-tested against the optimized path.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use hypart_core::{CandInfo, CoarseNet, CoarsenWorkspace};
 use hypart_hypergraph::{Hypergraph, HypergraphBuilder, NetId, PartId, VertexId};
 
 /// Matching scheme used by [`coarsen_once`].
@@ -84,17 +100,52 @@ impl CoarseLevel {
     }
 }
 
+/// Candidate keys: bit 31 tags an unmatched vertex (cluster-to-be); clear
+/// bit 31 to recover the vertex id. Untagged keys are formed cluster ids.
+const TAG: u32 = 1 << 31;
+const UNMATCHED: u32 = u32::MAX;
+
+/// FNV-1a over the raw pin words. Used only to *group* candidate
+/// identical nets — equal-fingerprint groups are verified by pin-slice
+/// comparison, so a collision costs a comparison, never correctness.
+#[inline]
+fn fingerprint(pins: &[VertexId]) -> u64 {
+    let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
+    for &p in pins {
+        fp ^= u64::from(p.raw());
+        fp = fp.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fp
+}
+
 /// Performs one coarsening step on `h`. Returns `None` if the result would
 /// not shrink below `config.shrink_threshold` of the input size (coarsening
 /// has stalled) or if `h` is already at or below `config.stop_size`.
 ///
 /// `restrict`: when `Some(assignment)`, vertices may only cluster with
 /// vertices on the same side (restricted coarsening for V-cycles).
+///
+/// Equivalent to [`coarsen_once_with`] with a fresh workspace.
 pub fn coarsen_once<R: Rng>(
     h: &Hypergraph,
     config: &CoarsenConfig,
     restrict: Option<&[PartId]>,
     rng: &mut R,
+) -> Option<CoarseLevel> {
+    coarsen_once_with(h, config, restrict, rng, &mut CoarsenWorkspace::new())
+}
+
+/// [`coarsen_once`] with all scratch drawn from `ws` — the hot-path entry
+/// point, allocation-free across levels apart from the returned
+/// [`CoarseLevel`] itself. Results are bitwise identical to
+/// [`coarsen_once`] (and to [`coarsen_once_reference`]); the workspace
+/// only removes allocation and reset cost.
+pub fn coarsen_once_with<R: Rng>(
+    h: &Hypergraph,
+    config: &CoarsenConfig,
+    restrict: Option<&[PartId]>,
+    rng: &mut R,
+    ws: &mut CoarsenWorkspace,
 ) -> Option<CoarseLevel> {
     let n = h.num_vertices();
     if n <= config.stop_size {
@@ -108,7 +159,395 @@ pub fn coarsen_once<R: Rng>(
         .max(h.max_vertex_weight())
         .max(1);
 
-    const UNMATCHED: u32 = u32::MAX;
+    ws.begin_level(n);
+    let CoarsenWorkspace {
+        cluster_of,
+        slot_of,
+        net_score,
+        vert_info,
+        cluster_info,
+        order,
+        conn,
+        pin_arena,
+        nets,
+        sort_idx,
+        rep,
+        builder,
+        csr,
+        ..
+    } = ws;
+    let mut num_clusters = 0u32;
+
+    order.clear();
+    order.extend(h.vertices());
+    order.shuffle(rng);
+
+    // Per-net matching scores, computed once per level instead of once
+    // per (vertex, net) visit; `-1.0` marks nets excluded from matching
+    // (legitimate scores are >= 0.0, including 0.0 for weight-0 nets).
+    net_score.reserve(h.num_nets());
+    for e in h.nets() {
+        let size = h.net_size(e);
+        net_score.push(if size < 2 || size > config.max_net_size_for_matching {
+            -1.0
+        } else {
+            f64::from(h.net_weight(e)) / (size - 1) as f64
+        });
+    }
+
+    // Packed per-vertex admissibility records: the candidate scan reads
+    // one 16-byte record per candidate instead of three scattered arrays.
+    // The side field is only consulted under restriction.
+    vert_info.reserve(n);
+    for v in h.vertices() {
+        vert_info.push(CandInfo {
+            weight: h.vertex_weight(v),
+            fixed: h.fixed_part(v),
+            side: restrict.map_or(PartId::P0, |r| r[v.index()]),
+        });
+    }
+
+    // Connectivity accumulates into dense slots: formed cluster `c` maps
+    // to slot `c`, unmatched vertex `u` to slot `n + u`. The slot encoding
+    // round-trips to the candidate *key* (cluster id, or vertex id with
+    // the tag bit), so selection below is identical to the reference.
+    //
+    // The inner pin loop is branch-free: every pin accumulates into
+    // `slot_of[pin]`, including `v` itself (its own slot) and, under
+    // heavy-edge, already-matched vertices (the dead slot `2n`). Both are
+    // filtered out in the far smaller candidate scan below, so the scores
+    // of real candidates — and their accumulation order — are exactly
+    // those of the reference.
+    let dead = 2 * n as u32;
+    let matched_slot = |c: u32| match config.scheme {
+        // FirstChoice may join an existing cluster: pins keep scoring it.
+        CoarsenScheme::FirstChoice => c,
+        // HeavyEdge only merges two unmatched vertices: matched pins
+        // score the dead slot.
+        CoarsenScheme::HeavyEdge => dead,
+    };
+    let restricted = restrict.is_some();
+    for &v in order.iter() {
+        if cluster_of[v.index()] != UNMATCHED {
+            continue;
+        }
+        let v_info = vert_info[v.index()];
+        let v_weight = v_info.weight;
+        let self_slot = (n + v.index()) as u32;
+        conn.begin(2 * n + 1);
+        for &e in h.vertex_nets(v) {
+            let score = net_score[e.index()];
+            if score < 0.0 {
+                continue;
+            }
+            for &u in h.net_pins(e) {
+                conn.add(slot_of[u.index()] as usize, score);
+            }
+        }
+
+        // Pick the admissible candidate with the highest connectivity.
+        // The deterministic tie-break on the raw key makes the winner
+        // independent of the order candidates are enumerated in, which is
+        // what licenses swapping the HashMap for the dense accumulator.
+        let mut best: Option<(u32, f64)> = None;
+        for &slot in conn.touched() {
+            if slot == self_slot || slot == dead {
+                continue;
+            }
+            let slot = slot as usize;
+            let score = conn.get_touched(slot);
+            let key = if slot >= n {
+                (slot - n) as u32 | TAG
+            } else {
+                slot as u32
+            };
+            // Rank before admissibility: a candidate that does not beat
+            // the current (admissible) best can be dropped without ever
+            // loading its record, and the surviving maximum is the same
+            // either way. Most candidates lose, so the scan touches far
+            // fewer cache lines.
+            let better = match best {
+                None => true,
+                Some((bk, bs)) => score > bs || (score == bs && key < bk),
+            };
+            if !better {
+                continue;
+            }
+            let target = if slot >= n {
+                vert_info[slot - n]
+            } else {
+                cluster_info[slot]
+            };
+            if v_weight + target.weight > cap {
+                continue;
+            }
+            if let (Some(a), Some(b)) = (v_info.fixed, target.fixed) {
+                if a != b {
+                    continue;
+                }
+            }
+            if restricted && v_info.side != target.side {
+                continue;
+            }
+            best = Some((key, score));
+        }
+
+        match best {
+            Some((key, _)) if key & TAG != 0 => {
+                // Merge v with the unmatched vertex u into a new cluster.
+                let u = VertexId::new(key & !TAG);
+                let c = num_clusters;
+                num_clusters += 1;
+                cluster_of[v.index()] = c;
+                cluster_of[u.index()] = c;
+                slot_of[v.index()] = matched_slot(c);
+                slot_of[u.index()] = matched_slot(c);
+                let u_info = vert_info[u.index()];
+                cluster_info.push(CandInfo {
+                    weight: v_weight + u_info.weight,
+                    fixed: v_info.fixed.or(u_info.fixed),
+                    side: v_info.side,
+                });
+            }
+            Some((key, _)) => {
+                // Join v to the existing cluster `key`.
+                cluster_of[v.index()] = key;
+                slot_of[v.index()] = matched_slot(key);
+                let c = &mut cluster_info[key as usize];
+                c.weight += v_weight;
+                if c.fixed.is_none() {
+                    c.fixed = v_info.fixed;
+                }
+            }
+            None => {
+                // v stays a singleton cluster.
+                let c = num_clusters;
+                num_clusters += 1;
+                cluster_of[v.index()] = c;
+                slot_of[v.index()] = matched_slot(c);
+                cluster_info.push(CandInfo {
+                    weight: v_weight,
+                    fixed: v_info.fixed,
+                    side: v_info.side,
+                });
+            }
+        }
+    }
+
+    let coarse_n = num_clusters as usize;
+    if (coarse_n as f64) > config.shrink_threshold * n as f64 {
+        return None;
+    }
+
+    // Stage coarse nets in the pin arena: map pins to clusters, sort +
+    // dedupe each slice in place, drop single-pin nets, fingerprint the
+    // survivors.
+    pin_arena.reserve(h.num_pins());
+    for e in h.nets() {
+        let start = pin_arena.len();
+        for &fv in h.net_pins(e) {
+            pin_arena.push(VertexId::new(cluster_of[fv.index()]));
+        }
+        let slice = &mut pin_arena[start..];
+        // Coarse pin slices are overwhelmingly tiny; tiny sorting networks
+        // skip the general sort's dispatch overhead.
+        match slice.len() {
+            0 | 1 => {}
+            2 => {
+                if slice[0] > slice[1] {
+                    slice.swap(0, 1);
+                }
+            }
+            3 => {
+                if slice[0] > slice[1] {
+                    slice.swap(0, 1);
+                }
+                if slice[1] > slice[2] {
+                    slice.swap(1, 2);
+                }
+                if slice[0] > slice[1] {
+                    slice.swap(0, 1);
+                }
+            }
+            _ => slice.sort_unstable(),
+        }
+        let mut unique = 0usize;
+        for i in 0..slice.len() {
+            if unique == 0 || slice[i] != slice[unique - 1] {
+                slice[unique] = slice[i];
+                unique += 1;
+            }
+        }
+        if unique < 2 {
+            pin_arena.truncate(start);
+            continue;
+        }
+        pin_arena.truncate(start + unique);
+        nets.push(CoarseNet {
+            start: start as u32,
+            len: unique as u32,
+            weight: h.net_weight(e),
+            fp: fingerprint(&pin_arena[start..]),
+        });
+    }
+
+    // Merge identical nets: group by fingerprint (sorting indices keyed by
+    // (fp, index) keeps groups in first-occurrence order), verify each
+    // group member against the representatives found so far — so a
+    // fingerprint collision degrades to an extra slice comparison — then
+    // fold duplicate weights into the representative in fine-net order,
+    // exactly like the reference's first-occurrence accumulation.
+    sort_idx.extend(0..nets.len() as u32);
+    sort_idx.sort_unstable_by_key(|&i| (nets[i as usize].fp, i));
+    rep.extend(0..nets.len() as u32);
+    let mut g = 0usize;
+    while g < sort_idx.len() {
+        let fp = nets[sort_idx[g] as usize].fp;
+        let mut gend = g + 1;
+        while gend < sort_idx.len() && nets[sort_idx[gend] as usize].fp == fp {
+            gend += 1;
+        }
+        for a in (g + 1)..gend {
+            let ia = sort_idx[a] as usize;
+            for &earlier in &sort_idx[g..a] {
+                let ib = earlier as usize;
+                if rep[ib] as usize != ib {
+                    continue; // only compare against representatives
+                }
+                if pin_arena[nets[ia].range()] == pin_arena[nets[ib].range()] {
+                    rep[ia] = ib as u32;
+                    break;
+                }
+            }
+        }
+        g = gend;
+    }
+    let (mut unique_nets, mut unique_pins) = (0usize, 0usize);
+    for (i, net) in nets.iter().enumerate() {
+        if rep[i] as usize == i {
+            unique_nets += 1;
+            unique_pins += net.len as usize;
+        }
+    }
+    for i in 0..nets.len() {
+        let r = rep[i] as usize;
+        if r != i {
+            let w = nets[i].weight;
+            nets[r].weight += w;
+        }
+    }
+
+    // Assemble the coarse hypergraph through the recycled builder; exact
+    // reservation avoids every CSR growth reallocation.
+    builder.reserve(coarse_n, unique_nets, unique_pins);
+    for info in cluster_info.iter() {
+        builder.add_vertex(info.weight);
+    }
+    for (c, info) in cluster_info.iter().enumerate() {
+        if let Some(p) = info.fixed {
+            builder.fix_vertex(VertexId::from_index(c), p);
+        }
+    }
+    for (i, net) in nets.iter().enumerate() {
+        if rep[i] as usize == i {
+            if let Err(e) = builder.add_net_sorted_unique(&pin_arena[net.range()], net.weight) {
+                unreachable!("coarse pins are valid: {e}");
+            }
+        }
+    }
+    builder.set_name(format!("{}|c{}", h.name(), coarse_n));
+    let graph = match builder.build_in(csr) {
+        Ok(g) => g,
+        Err(e) => unreachable!("coarse hypergraph is valid: {e}"),
+    };
+    Some(CoarseLevel {
+        graph,
+        map: cluster_of.iter().map(|&c| VertexId::new(c)).collect(),
+    })
+}
+
+/// Builds a full coarsening hierarchy: `levels[0]` coarsens the input,
+/// `levels[i]` coarsens `levels[i-1].graph`, until `stop_size` or a stall.
+///
+/// Equivalent to [`build_hierarchy_with`] with a fresh workspace.
+pub fn build_hierarchy<R: Rng>(
+    h: &Hypergraph,
+    config: &CoarsenConfig,
+    restrict: Option<&[PartId]>,
+    rng: &mut R,
+) -> Vec<CoarseLevel> {
+    build_hierarchy_with(h, config, restrict, rng, &mut CoarsenWorkspace::new())
+}
+
+/// [`build_hierarchy`] with all scratch drawn from `ws`, including the
+/// double-buffered restriction projection of V-cycle hierarchies.
+pub fn build_hierarchy_with<R: Rng>(
+    h: &Hypergraph,
+    config: &CoarsenConfig,
+    restrict: Option<&[PartId]>,
+    rng: &mut R,
+    ws: &mut CoarsenWorkspace,
+) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let restricted = restrict.is_some();
+    ws.restrict.clear();
+    if let Some(r) = restrict {
+        ws.restrict.extend_from_slice(r);
+    }
+    loop {
+        let current = levels.last().map_or(h, |l| &l.graph);
+        // The restriction buffer is lent out of the workspace for the
+        // duration of the call (the workspace is borrowed whole).
+        let r_buf = std::mem::take(&mut ws.restrict);
+        let level = coarsen_once_with(current, config, restricted.then_some(&r_buf[..]), rng, ws);
+        let Some(level) = level else {
+            ws.restrict = r_buf;
+            break;
+        };
+        if restricted {
+            // Project the restriction to the coarse level: every fine
+            // vertex of a cluster is on the same side by construction.
+            let mut next = std::mem::take(&mut ws.restrict_next);
+            next.clear();
+            next.resize(level.graph.num_vertices(), PartId::P0);
+            for (fine, coarse) in level.map.iter().enumerate() {
+                next[coarse.index()] = r_buf[fine];
+            }
+            ws.restrict = next;
+            ws.restrict_next = r_buf;
+        } else {
+            ws.restrict = r_buf;
+        }
+        levels.push(level);
+    }
+    levels
+}
+
+/// The original `HashMap`-based coarsening step, retained verbatim as the
+/// executable specification of [`coarsen_once_with`]: the twin-model tests
+/// assert both produce identical [`CoarseLevel`]s on random hypergraphs.
+/// Not part of the supported API.
+#[doc(hidden)]
+pub fn coarsen_once_reference<R: Rng>(
+    h: &Hypergraph,
+    config: &CoarsenConfig,
+    restrict: Option<&[PartId]>,
+    rng: &mut R,
+) -> Option<CoarseLevel> {
+    use std::collections::HashMap;
+
+    let n = h.num_vertices();
+    if n <= config.stop_size {
+        return None;
+    }
+    if let Some(r) = restrict {
+        assert_eq!(r.len(), n, "restriction assignment length mismatch");
+    }
+    let avg_weight = h.total_vertex_weight() as f64 / n as f64;
+    let cap = ((avg_weight * config.cluster_cap_multiple) as u64)
+        .max(h.max_vertex_weight())
+        .max(1);
+
     let mut cluster_of = vec![UNMATCHED; n];
     let mut cluster_weight: Vec<u64> = Vec::new();
     let mut cluster_fixed: Vec<Option<PartId>> = Vec::new();
@@ -140,13 +579,9 @@ pub fn coarsen_once<R: Rng>(
                     continue;
                 }
                 let target = match (config.scheme, cluster_of[u.index()]) {
-                    // FirstChoice may join u's existing cluster.
                     (CoarsenScheme::FirstChoice, c) if c != UNMATCHED => c,
-                    // HeavyEdge only merges two unmatched vertices.
                     (CoarsenScheme::HeavyEdge, c) if c != UNMATCHED => continue,
-                    // Unmatched vertex u: encode as cluster-to-be keyed by
-                    // the vertex id offset past the cluster id space.
-                    _ => u.raw() | (1 << 31),
+                    _ => u.raw() | TAG,
                 };
                 *conn.entry(target).or_insert(0.0) += score;
             }
@@ -156,8 +591,8 @@ pub fn coarsen_once<R: Rng>(
         // (deterministic tie-break on the raw key for reproducibility).
         let mut best: Option<(u32, f64)> = None;
         for (&key, &score) in conn.iter() {
-            let (target_weight, target_fixed, target_side) = if key & (1 << 31) != 0 {
-                let u = VertexId::new(key & !(1 << 31));
+            let (target_weight, target_fixed, target_side) = if key & TAG != 0 {
+                let u = VertexId::new(key & !TAG);
                 (
                     h.vertex_weight(u),
                     h.fixed_part(u),
@@ -167,7 +602,7 @@ pub fn coarsen_once<R: Rng>(
                 (
                     cluster_weight[key as usize],
                     cluster_fixed[key as usize],
-                    cluster_side[key as usize].map(Some).unwrap_or(None),
+                    cluster_side[key as usize],
                 )
             };
             if v_weight + target_weight > cap {
@@ -191,9 +626,8 @@ pub fn coarsen_once<R: Rng>(
         }
 
         match best {
-            Some((key, _)) if key & (1 << 31) != 0 => {
-                // Merge v with the unmatched vertex u into a new cluster.
-                let u = VertexId::new(key & !(1 << 31));
+            Some((key, _)) if key & TAG != 0 => {
+                let u = VertexId::new(key & !TAG);
                 let c = num_clusters;
                 num_clusters += 1;
                 cluster_of[v.index()] = c;
@@ -203,7 +637,6 @@ pub fn coarsen_once<R: Rng>(
                 cluster_side.push(v_side);
             }
             Some((key, _)) => {
-                // Join v to the existing cluster `key`.
                 cluster_of[v.index()] = key;
                 cluster_weight[key as usize] += v_weight;
                 if cluster_fixed[key as usize].is_none() {
@@ -211,7 +644,6 @@ pub fn coarsen_once<R: Rng>(
                 }
             }
             None => {
-                // v stays a singleton cluster.
                 let c = num_clusters;
                 num_clusters += 1;
                 cluster_of[v.index()] = c;
@@ -262,23 +694,25 @@ pub fn coarsen_once<R: Rng>(
         }
     }
     for (pins, weight) in merged {
-        builder
-            .add_net(pins.into_iter().map(VertexId::new), weight)
-            .expect("coarse pins are valid");
+        if let Err(e) = builder.add_net(pins.into_iter().map(VertexId::new), weight) {
+            unreachable!("coarse pins are valid: {e}");
+        }
     }
-    let graph = builder
-        .name(format!("{}|c{}", h.name(), coarse_n))
-        .build()
-        .expect("coarse hypergraph is valid");
+    let graph = match builder.name(format!("{}|c{}", h.name(), coarse_n)).build() {
+        Ok(g) => g,
+        Err(e) => unreachable!("coarse hypergraph is valid: {e}"),
+    };
     Some(CoarseLevel {
         graph,
         map: cluster_of.into_iter().map(VertexId::new).collect(),
     })
 }
 
-/// Builds a full coarsening hierarchy: `levels[0]` coarsens the input,
-/// `levels[i]` coarsens `levels[i-1].graph`, until `stop_size` or a stall.
-pub fn build_hierarchy<R: Rng>(
+/// The original hierarchy loop over [`coarsen_once_reference`], for
+/// twin-testing whole hierarchies (including restricted projection).
+/// Not part of the supported API.
+#[doc(hidden)]
+pub fn build_hierarchy_reference<R: Rng>(
     h: &Hypergraph,
     config: &CoarsenConfig,
     restrict: Option<&[PartId]>,
@@ -288,12 +722,12 @@ pub fn build_hierarchy<R: Rng>(
     let mut projected_restrict: Option<Vec<PartId>> = restrict.map(<[PartId]>::to_vec);
     loop {
         let current = levels.last().map_or(h, |l| &l.graph);
-        let Some(level) = coarsen_once(current, config, projected_restrict.as_deref(), rng) else {
+        let Some(level) =
+            coarsen_once_reference(current, config, projected_restrict.as_deref(), rng)
+        else {
             break;
         };
         if let Some(r) = &projected_restrict {
-            // Project the restriction to the coarse level: every fine vertex
-            // of a cluster is on the same side by construction.
             let mut coarse_r = vec![PartId::P0; level.graph.num_vertices()];
             for (fine, coarse) in level.map.iter().enumerate() {
                 coarse_r[coarse.index()] = r[fine];
@@ -306,6 +740,7 @@ pub fn build_hierarchy<R: Rng>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use hypart_benchgen::toys::{grid, two_clusters};
@@ -450,6 +885,80 @@ mod tests {
             let mut pins: Vec<u32> = g.net_pins(e).iter().map(|v| v.raw()).collect();
             pins.sort_unstable();
             assert!(seen.insert(pins), "duplicate coarse net");
+        }
+    }
+
+    /// Direct admissibility test for the combined restricted + fixed
+    /// matching rules: a chain with fixed endpoints on opposite sides,
+    /// restricted down the middle. No cluster may cross the cut or mix
+    /// fixed sides, and clusters containing a fixed vertex must inherit
+    /// its side — across many visit orders.
+    #[test]
+    fn restricted_and_fixed_matching_is_admissible() {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..8).map(|_| b.add_vertex(1)).collect();
+        for i in 0..7 {
+            b.add_net([v[i], v[i + 1]], 1).unwrap();
+        }
+        b.fix_vertex(v[0], PartId::P0);
+        b.fix_vertex(v[1], PartId::P0);
+        b.fix_vertex(v[7], PartId::P1);
+        let h = b.build().unwrap();
+        let sides: Vec<PartId> = (0..8)
+            .map(|i| if i < 4 { PartId::P0 } else { PartId::P1 })
+            .collect();
+        let cfg = CoarsenConfig {
+            stop_size: 2,
+            cluster_cap_multiple: 100.0,
+            ..CoarsenConfig::default()
+        };
+        let mut ws = CoarsenWorkspace::new();
+        for seed in 0..20u64 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let level = coarsen_once_with(&h, &cfg, Some(&sides), &mut r, &mut ws).unwrap();
+            let g = &level.graph;
+            let mut side: Vec<Option<PartId>> = vec![None; g.num_vertices()];
+            let mut fix: Vec<Option<PartId>> = vec![None; g.num_vertices()];
+            for (fine, coarse) in level.map.iter().enumerate() {
+                let c = coarse.index();
+                match side[c] {
+                    None => side[c] = Some(sides[fine]),
+                    Some(s) => assert_eq!(s, sides[fine], "cluster crosses the cut"),
+                }
+                if let Some(p) = h.fixed_part(VertexId::from_index(fine)) {
+                    match fix[c] {
+                        None => fix[c] = Some(p),
+                        Some(q) => assert_eq!(p, q, "cluster mixes fixed sides"),
+                    }
+                }
+            }
+            // The coarse graph inherits exactly the member fixed sides.
+            for c in g.vertices() {
+                assert_eq!(g.fixed_part(c), fix[c.index()], "inherited side wrong");
+            }
+            // Weight is conserved level to level.
+            assert_eq!(g.total_vertex_weight(), h.total_vertex_weight());
+        }
+    }
+
+    /// Reusing one workspace across levels and calls must be invisible:
+    /// the same seed through a dirty workspace reproduces the fresh-
+    /// workspace result bit for bit.
+    #[test]
+    fn workspace_reuse_is_behaviorally_invisible() {
+        let h = ispd98_like(1, 0.03, 4);
+        let mut ws = CoarsenWorkspace::new();
+        // Dirty the workspace on an unrelated instance first.
+        let other = mcnc_like(700, 3);
+        let _ = coarsen_once_with(&other, &CoarsenConfig::default(), None, &mut rng(), &mut ws);
+        let fresh = coarsen_once(&h, &CoarsenConfig::default(), None, &mut rng()).unwrap();
+        let reused =
+            coarsen_once_with(&h, &CoarsenConfig::default(), None, &mut rng(), &mut ws).unwrap();
+        assert_eq!(fresh.map, reused.map);
+        assert_eq!(fresh.graph.num_nets(), reused.graph.num_nets());
+        for e in fresh.graph.nets() {
+            assert_eq!(fresh.graph.net_pins(e), reused.graph.net_pins(e));
+            assert_eq!(fresh.graph.net_weight(e), reused.graph.net_weight(e));
         }
     }
 }

@@ -25,7 +25,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use crate::partitioner::{MlOutcome, MlPartitioner};
-use hypart_core::{AuditError, BalanceConstraint, FmWorkspace, RunCtx, StopReason};
+use hypart_core::{
+    AuditError, BalanceConstraint, CoarsenWorkspace, FmWorkspace, RunCtx, StopReason,
+};
 use hypart_hypergraph::{Hypergraph, PartId};
 use hypart_trace::{MemorySink, NullSink, RunEvent, TraceSink};
 
@@ -291,6 +293,7 @@ pub fn multi_start_with(
                 // buffers are in an unknown state, so replace them and
                 // carry on with the surviving seeds.
                 ctx.workspace = FmWorkspace::new();
+                ctx.coarsen = CoarsenWorkspace::new();
                 ctx.sink.emit(RunEvent::StartAborted {
                     index: i as u64,
                     seed,
@@ -412,6 +415,7 @@ pub fn multi_start_budgeted_with(
             Ok(out) => out,
             Err(payload) => {
                 ctx.workspace = FmWorkspace::new();
+                ctx.coarsen = CoarsenWorkspace::new();
                 ctx.sink.emit(RunEvent::StartAborted { index: i, seed });
                 stats.push_panicked(i as usize, payload_string(payload));
                 continue;
@@ -631,6 +635,7 @@ pub fn multi_start_parallel_with(
                 // Workspaces are owned, not shared: one per worker thread,
                 // reused across every start that thread picks up.
                 let mut workspace = FmWorkspace::new();
+                let mut coarsen_ws = CoarsenWorkspace::new();
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= nruns {
@@ -639,6 +644,7 @@ pub fn multi_start_parallel_with(
                     let seed = base_seed.wrapping_add(i as u64);
                     let buffer = MemorySink::new();
                     let ws = std::mem::take(&mut workspace);
+                    let cws = std::mem::take(&mut coarsen_ws);
                     let attempt = catch_unwind(AssertUnwindSafe(|| {
                         fault.trip_start(i as u64);
                         let start_sink: &dyn TraceSink = if traced { &buffer } else { &NullSink };
@@ -647,17 +653,24 @@ pub fn multi_start_parallel_with(
                             .with_move_check_interval(check_moves)
                             .with_audit(audit)
                             .with_workspace(ws)
+                            .with_coarsen_workspace(cws)
                             .with_sink(start_sink);
                         if let Some(d) = deadline {
                             child = child.with_deadline(d);
                         }
                         let t = Instant::now();
                         let out = partitioner.run_with(h, constraint, &mut child);
-                        (out, t.elapsed(), std::mem::take(&mut child.workspace))
+                        (
+                            out,
+                            t.elapsed(),
+                            std::mem::take(&mut child.workspace),
+                            std::mem::take(&mut child.coarsen),
+                        )
                     }));
                     let slot = match attempt {
-                        Ok((out, elapsed, ws)) => {
+                        Ok((out, elapsed, ws, cws)) => {
                             workspace = ws;
+                            coarsen_ws = cws;
                             let record = StartRecord {
                                 seed,
                                 cut: out.cut,
@@ -667,11 +680,12 @@ pub fn multi_start_parallel_with(
                             Ok((out, record, buffer))
                         }
                         Err(payload) => {
-                            // The workspace unwound with the start; the
+                            // The workspaces unwound with the start; the
                             // partial trace buffer is discarded so the
                             // flushed stream stays a pure function of the
                             // completed seeds.
                             workspace = FmWorkspace::new();
+                            coarsen_ws = CoarsenWorkspace::new();
                             Err(payload_string(payload))
                         }
                     };
@@ -756,6 +770,7 @@ pub fn multi_start_parallel_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::partitioner::MlConfig;

@@ -4,7 +4,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::coarsen::{build_hierarchy, CoarsenConfig};
+use crate::coarsen::{build_hierarchy_with, CoarsenConfig};
 use hypart_core::{
     generate_initial, AuditError, BalanceConstraint, Bisection, FmConfig, FmPartitioner,
     FmWorkspace, InitialSolution, PartitionAuditor, RunCtx, StopReason,
@@ -134,7 +134,8 @@ impl MlPartitioner {
         ctx: &mut RunCtx<'_>,
     ) -> MlOutcome {
         let mut rng = SmallRng::seed_from_u64(ctx.seed);
-        let levels = build_hierarchy(h, &self.config.coarsen, None, &mut rng);
+        let levels =
+            build_hierarchy_with(h, &self.config.coarsen, None, &mut rng, &mut ctx.coarsen);
         emit_level_downs(&levels, ctx.sink);
         let coarsest: &Hypergraph = levels.last().map_or(h, |l| &l.graph);
 
@@ -215,7 +216,13 @@ impl MlPartitioner {
             "assignment length mismatch"
         );
         let mut rng = SmallRng::seed_from_u64(ctx.seed);
-        let levels = build_hierarchy(h, &self.config.coarsen, Some(assignment), &mut rng);
+        let levels = build_hierarchy_with(
+            h,
+            &self.config.coarsen,
+            Some(assignment),
+            &mut rng,
+            &mut ctx.coarsen,
+        );
         emit_level_downs(&levels, ctx.sink);
 
         // Project the current solution down the (restricted) hierarchy:
@@ -311,8 +318,10 @@ impl MlPartitioner {
                 InitialSolution::RandomBalanced
             };
             let parts = generate_initial(coarsest, rule, rng);
-            let mut bisection =
-                Bisection::new(coarsest, parts).expect("generated initial is valid");
+            let mut bisection = match Bisection::new(coarsest, parts) {
+                Ok(b) => b,
+                Err(e) => unreachable!("generated initial is valid: {e}"),
+            };
             let stats = engine.refine_with(&mut bisection, constraint, rng, ctx);
             if audit_failure.is_none() {
                 *audit_failure = stats.audit_failure.clone();
@@ -328,7 +337,10 @@ impl MlPartitioner {
                 break;
             }
         }
-        best.expect("at least one initial try").2
+        match best {
+            Some((_, _, assignment)) => assignment,
+            None => unreachable!("the first initial try always completes"),
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -373,8 +385,10 @@ impl MlPartitioner {
                     nets: graph.num_nets(),
                 });
             }
-            let mut bisection =
-                Bisection::new(graph, assignment).expect("projected assignment is valid");
+            let mut bisection = match Bisection::new(graph, assignment) {
+                Ok(b) => b,
+                Err(e) => unreachable!("projected assignment is valid: {e}"),
+            };
             let stats = engine.refine_with(&mut bisection, constraint, rng, ctx);
             corked_passes += stats.corked_passes();
             total_passes += stats.num_passes();
@@ -386,7 +400,10 @@ impl MlPartitioner {
             assignment = bisection.into_assignment();
         }
 
-        let bisection = Bisection::new(h, assignment).expect("assignment is valid");
+        let bisection = match Bisection::new(h, assignment) {
+            Ok(b) => b,
+            Err(e) => unreachable!("refined assignment is valid: {e}"),
+        };
         let balanced = constraint.is_satisfied(&bisection);
         // Final whole-run checkpoint: re-verify the claimed solution on the
         // input graph from scratch, independent of per-level engine audits

@@ -94,12 +94,77 @@ fn engine_traces() -> Vec<(&'static str, String)> {
         KWayFmPartitioner::new(KWayConfig::default()).run_traced(&h, &balance, 5, sink);
     });
 
+    // Deep multilevel: an instance large enough that the multi-start run
+    // descends through at least three coarsening levels (asserted by
+    // `deep_ml_trace_has_three_coarsening_levels`), plus a V-cycle so the
+    // restricted-coarsening path is pinned too. This is the oracle for
+    // the coarsening hot-path rewrite: dense-scratch matching and
+    // fingerprint net dedup must be behaviorally invisible level by level.
+    let hd = ispd98_like(1, 0.1, 29);
+    let cd = BalanceConstraint::with_fraction(hd.total_vertex_weight(), 0.10);
+    let deep_coarsen = hypart::ml::coarsen::CoarsenConfig {
+        stop_size: 30,
+        ..Default::default()
+    };
+    let ml_deep = trace_of(&|sink| {
+        hypart::ml::multi_start_traced(
+            &MlPartitioner::new(MlConfig::ml_lifo().with_coarsen(deep_coarsen)),
+            &hd,
+            &cd,
+            1,
+            3,
+            1,
+            sink,
+        );
+    });
+
+    // Multilevel k-way on the same deep instance: coarsening feeds the
+    // direct k-way engine at every level.
+    let kd = KWayBalance::with_fraction(hd.total_vertex_weight(), 4, 0.15);
+    let mlkway = trace_of(&|sink| {
+        let mut ctx = RunCtx::new(7).with_sink(sink);
+        MlKWayPartitioner::new(MlKWayConfig::default().with_coarsen(deep_coarsen))
+            .run_with(&hd, &kd, &mut ctx);
+    });
+
     vec![
         ("trace_fm_ispd98.jsonl", flat),
         ("trace_clip_ispd98.jsonl", clip),
         ("trace_ml_ispd98.jsonl", ml),
         ("trace_kway_ispd98.jsonl", kway),
+        ("trace_ml_deep.jsonl", ml_deep),
+        ("trace_mlkway_deep.jsonl", mlkway),
     ]
+}
+
+/// The deep-ML golden really exercises a multi-level hierarchy: its trace
+/// must announce at least three `LevelDown` events (and the ML-k-way one
+/// as well), otherwise the golden would silently stop covering the
+/// coarsening recursion it exists to pin.
+#[test]
+fn deep_ml_trace_has_three_coarsening_levels() {
+    for file in ["trace_ml_deep.jsonl", "trace_mlkway_deep.jsonl"] {
+        let (_, text) = engine_traces()
+            .into_iter()
+            .find(|(f, _)| *f == file)
+            .expect("deep trace present");
+        let max_level = text
+            .lines()
+            .map(|line| {
+                let value = JsonValue::parse(line).expect("golden line parses");
+                RunEvent::from_json(&value).expect("golden line is an event")
+            })
+            .filter_map(|e| match e {
+                RunEvent::LevelDown { level, .. } => Some(level),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_level >= 3,
+            "{file}: expected >=3 coarsening levels, got {max_level}"
+        );
+    }
 }
 
 #[test]
