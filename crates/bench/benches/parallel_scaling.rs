@@ -1,0 +1,121 @@
+//! Scaling of the shared-memory parallel multilevel engine.
+//!
+//! Three axes, all on the same seeded instance so every sample runs the
+//! identical work:
+//!
+//! * `hierarchy` — the parallel coarsener ([`build_hierarchy_par_with`])
+//!   at 1/2/4/8 lanes vs the serial builder, deterministic and relaxed;
+//! * `full_run` — one complete `MlPartitioner` start (coarsen +
+//!   portfolio + round refinement) at the same lane counts vs the
+//!   serial legacy engine (`threads == 0`);
+//! * `refine_rounds` — the synchronized-round refiner alone at several
+//!   shard counts.
+//!
+//! Numbers are recorded in `BENCH_parallel.json` at the repository
+//! root. Physical parallelism comes from the rayon pool
+//! (`RAYON_NUM_THREADS`); on a single-core host the lane counts only
+//! measure the decomposition overhead, which is the honest number this
+//! container can produce.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypart_benchgen::ispd98_like;
+use hypart_core::{
+    ensure_lanes, generate_initial, refine_rounds_parallel, BalanceConstraint, Bisection,
+    CoarsenWorkspace, InitialSolution, RunCtx,
+};
+use hypart_ml::coarsen::{build_hierarchy_with, CoarsenConfig};
+use hypart_ml::{build_hierarchy_par_with, MlConfig, MlPartitioner};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Fixed seed: every sample runs the identical sequence.
+const SEED: u64 = 11;
+
+/// Lane counts swept by every group.
+const LANES: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let h = ispd98_like(2, 0.25, 7);
+    let cfg = CoarsenConfig::default();
+    let mut group = c.benchmark_group("parallel_hierarchy");
+    {
+        let mut ws = CoarsenWorkspace::new();
+        group.bench_function("serial", |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(SEED);
+                build_hierarchy_with(&h, &cfg, None, &mut rng, &mut ws)
+            })
+        });
+    }
+    for lanes in LANES {
+        for (mode, deterministic) in [("det", true), ("relaxed", false)] {
+            let mut ws = CoarsenWorkspace::new();
+            let mut lane_pool = Vec::new();
+            ensure_lanes(&mut lane_pool, lanes);
+            group.bench_function(format!("{mode}_lanes{lanes}"), |b| {
+                b.iter(|| {
+                    let mut rng = SmallRng::seed_from_u64(SEED);
+                    let mut probe = RunCtx::new(0).probe();
+                    build_hierarchy_par_with(
+                        &h,
+                        &cfg,
+                        None,
+                        &mut rng,
+                        &mut ws,
+                        &mut lane_pool,
+                        deterministic,
+                        &mut probe,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let h = ispd98_like(2, 0.25, 7);
+    let constraint = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+    let mut group = c.benchmark_group("parallel_full_run");
+    group.bench_function("serial", |b| {
+        let ml = MlPartitioner::new(MlConfig::default());
+        b.iter(|| ml.run(&h, &constraint, SEED))
+    });
+    for lanes in LANES {
+        let ml = MlPartitioner::new(MlConfig::default().with_threads(lanes));
+        group.bench_function(format!("det_lanes{lanes}"), |b| {
+            b.iter(|| ml.run(&h, &constraint, SEED))
+        });
+    }
+    group.finish();
+}
+
+fn bench_refine_rounds(c: &mut Criterion) {
+    let h = ispd98_like(2, 0.25, 7);
+    let constraint = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.10);
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let start = generate_initial(&h, InitialSolution::RandomBalanced, &mut rng);
+    let mut group = c.benchmark_group("parallel_refine_rounds");
+    for shards in LANES {
+        let mut lanes = Vec::new();
+        ensure_lanes(&mut lanes, shards);
+        group.bench_function(format!("shards{shards}"), |b| {
+            b.iter(|| {
+                let mut bisection = match Bisection::new(&h, start.clone()) {
+                    Ok(b) => b,
+                    Err(e) => unreachable!("generated start is valid: {e}"),
+                };
+                let ctx = RunCtx::new(SEED);
+                refine_rounds_parallel(&mut bisection, &constraint, &mut lanes, &ctx)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hierarchy, bench_full_run, bench_refine_rounds
+}
+criterion_main!(benches);

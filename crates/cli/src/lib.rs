@@ -105,6 +105,13 @@ pub enum Command {
         budget_ms: Option<u64>,
         /// Invariant-audit level (`off`, `checkpoints`, `paranoid`).
         audit: AuditLevel,
+        /// Lane count of the shared-memory parallel ML engine. `None`
+        /// (flag omitted) keeps the serial engine; `Some(0)` resolves to
+        /// the rayon pool width at run time.
+        threads: Option<usize>,
+        /// Determinism contract of the parallel engine (`true` unless
+        /// `--deterministic false`).
+        deterministic: bool,
     },
     /// `eval <netlist> <partfile> [--tol F]`
     Eval {
@@ -207,6 +214,11 @@ USAGE:
                    [--k K] [--tol F] [--starts N] [--seed S] [--out FILE]
                    [--trace FILE.jsonl] [--budget-ms T]
                    [--audit off|checkpoints|paranoid]
+                   [--threads N] [--deterministic true|false]
+
+`--threads N` runs the ML engines with N parallel lanes (0 = one lane per
+hardware thread); omit the flag for the serial engine. With the default
+`--deterministic true` results and traces are identical for every N.
   hypart eval <netlist> <partfile> [--tol F]
   hypart stats <netlist>
   hypart place <netlist> [--width W] [--height H] [--rows R] [--seed S] [--out FILE]
@@ -296,6 +308,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 audit: match flag_value("--audit") {
                     None => AuditLevel::Off,
                     Some(v) => AuditLevel::parse(v)?,
+                },
+                threads: parse_opt_u64("--threads")?.map(|t| t as usize),
+                deterministic: match flag_value("--deterministic") {
+                    None => true,
+                    Some("true") | Some("on") | Some("1") => true,
+                    Some("false") | Some("off") | Some("0") => false,
+                    Some(other) => {
+                        return Err(format!(
+                            "--deterministic takes true or false, got `{other}`"
+                        ))
+                    }
                 },
             })
         }
@@ -597,9 +620,17 @@ solution : {}
             trace,
             budget_ms,
             audit,
+            threads,
+            deterministic,
         } => {
             let h = load_netlist(&input)?;
             let t0 = Instant::now();
+            // `--threads 0` = one lane per hardware thread; omitted = serial.
+            let threads = match threads {
+                Some(0) => rayon::current_num_threads().max(1),
+                Some(t) => t,
+                None => 0,
+            };
             let make_ctx = || {
                 let ctx = RunCtx::new(seed).with_audit(audit);
                 match budget_ms {
@@ -615,7 +646,16 @@ solution : {}
                     let counters = CounterSink::new();
                     let tee = TeeSink::new(&jsonl, &counters);
                     let mut ctx = make_ctx().with_sink(&tee);
-                    let outcome = partition_with(&h, engine, k, tolerance, starts, &mut ctx);
+                    let outcome = partition_with(
+                        &h,
+                        engine,
+                        k,
+                        tolerance,
+                        starts,
+                        threads,
+                        deterministic,
+                        &mut ctx,
+                    );
                     jsonl
                         .finish()
                         .map_err(|e| CliError::Runtime(format!("{}: {e}", trace_path.display())))?;
@@ -628,7 +668,16 @@ solution : {}
                 }
                 None => {
                     let mut ctx = make_ctx();
-                    let outcome = partition_with(&h, engine, k, tolerance, starts, &mut ctx);
+                    let outcome = partition_with(
+                        &h,
+                        engine,
+                        k,
+                        tolerance,
+                        starts,
+                        threads,
+                        deterministic,
+                        &mut ctx,
+                    );
                     (outcome, String::new())
                 }
             };
@@ -689,11 +738,13 @@ solution : {}
     }
 }
 
-fn engine_ml_config(engine: Engine) -> MlConfig {
+fn engine_ml_config(engine: Engine, threads: usize, deterministic: bool) -> MlConfig {
     match engine {
         Engine::MlClip => MlConfig::ml_clip(),
         _ => MlConfig::ml_lifo(),
     }
+    .with_threads(threads)
+    .with_deterministic(deterministic)
 }
 
 /// The result of one CLI partition invocation, with the robustness
@@ -709,25 +760,35 @@ struct PartitionRun {
 }
 
 /// Dispatches one partition invocation to the selected engine under the
-/// context's sink, seed, and budget.
+/// context's sink, seed, and budget. `threads == 0` keeps every engine
+/// serial; `threads >= 1` runs the ML engines with that many lanes.
+#[allow(clippy::too_many_arguments)]
 fn partition_with(
     h: &Hypergraph,
     engine: Engine,
     k: usize,
     tolerance: f64,
     starts: usize,
+    threads: usize,
+    deterministic: bool,
     ctx: &mut RunCtx<'_>,
 ) -> PartitionRun {
     if k == 2 {
         let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), tolerance);
-        run_two_way_with(h, &c, engine, starts, ctx)
+        run_two_way_with(h, &c, engine, starts, threads, deterministic, ctx)
     } else {
         let balance = KWayBalance::with_fraction(h.total_vertex_weight(), k, tolerance);
         let out = match engine {
             Engine::Kway => {
                 KWayFmPartitioner::new(KWayConfig::default()).run_with(h, &balance, ctx)
             }
-            _ => recursive_bisection_with(h, k, tolerance, &engine_ml_config(engine), ctx),
+            _ => recursive_bisection_with(
+                h,
+                k,
+                tolerance,
+                &engine_ml_config(engine, threads, deterministic),
+                ctx,
+            ),
         };
         let balanced = out.is_balanced(&balance);
         PartitionRun {
@@ -741,11 +802,14 @@ fn partition_with(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_two_way_with(
     h: &Hypergraph,
     c: &BalanceConstraint,
     engine: Engine,
     starts: usize,
+    threads: usize,
+    deterministic: bool,
     ctx: &mut RunCtx<'_>,
 ) -> PartitionRun {
     let base_seed = ctx.seed;
@@ -785,7 +849,7 @@ fn run_two_way_with(
             }
         }
         Engine::MlLifo | Engine::MlClip => {
-            let ml = MlPartitioner::new(engine_ml_config(engine));
+            let ml = MlPartitioner::new(engine_ml_config(engine, threads, deterministic));
             let mut best = ml.run_with(h, c, ctx);
             let mut stopped = best.stopped;
             let mut audit_failure = best.audit_failure.clone();
@@ -815,7 +879,11 @@ fn run_two_way_with(
         }
         Engine::Hmetis | Engine::Kway => {
             // Kway with k == 2 degrades gracefully to the multistart driver.
-            let ml = MlPartitioner::new(MlConfig::default());
+            let ml = MlPartitioner::new(
+                MlConfig::default()
+                    .with_threads(threads)
+                    .with_deterministic(deterministic),
+            );
             // With a budget the driver launches starts until the deadline
             // instead of a fixed count.
             let out = if ctx.deadline().is_some() {
@@ -905,6 +973,86 @@ mod tests {
     }
 
     #[test]
+    fn parse_partition_threads_and_determinism() {
+        let cmd = parse_args(&args(&[
+            "partition",
+            "x.hgr",
+            "--threads",
+            "4",
+            "--deterministic",
+            "false",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Partition {
+                threads,
+                deterministic,
+                ..
+            } => {
+                assert_eq!(threads, Some(4));
+                assert!(!deterministic);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: flag omitted means serial + deterministic.
+        match parse_args(&args(&["partition", "x.hgr"])).unwrap() {
+            Command::Partition {
+                threads,
+                deterministic,
+                ..
+            } => {
+                assert_eq!(threads, None);
+                assert!(deterministic);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&args(&["partition", "x.hgr", "--deterministic", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn parallel_partition_via_cli_matches_serial() {
+        let dir = std::env::temp_dir().join("hypart_cli_par");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hgr = dir.join("p.hgr");
+        run(Command::Gen {
+            spec: "mcnc300".into(),
+            scale: 0.1,
+            seed: 3,
+            out: hgr.clone(),
+        })
+        .unwrap();
+        let run_at = |threads: Option<usize>| {
+            run(Command::Partition {
+                input: hgr.clone(),
+                engine: Engine::MlLifo,
+                k: 2,
+                tolerance: 0.1,
+                starts: 1,
+                seed: 9,
+                output: None,
+                trace: None,
+                budget_ms: None,
+                audit: AuditLevel::Paranoid,
+                threads,
+                deterministic: true,
+            })
+            .unwrap()
+        };
+        // The report embeds the wall time; strip it before comparing.
+        let essence = |report: String| {
+            report
+                .lines()
+                .filter(|l| !l.starts_with("time"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let a = essence(run_at(Some(1)));
+        let b = essence(run_at(Some(4)));
+        assert_eq!(a, b, "deterministic runs must not depend on lane count");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn parse_rejects_bad_engine_and_k() {
         assert!(parse_args(&args(&["partition", "x.hgr", "--engine", "magic"])).is_err());
         assert!(parse_args(&args(&["partition", "x.hgr", "--k", "1"])).is_err());
@@ -977,6 +1125,8 @@ mod tests {
             trace: None,
             budget_ms: None,
             audit: AuditLevel::Checkpoints,
+            threads: None,
+            deterministic: true,
         })
         .unwrap();
         assert!(report.contains("cut"), "{report}");
@@ -1015,6 +1165,8 @@ mod tests {
             trace: None,
             budget_ms: None,
             audit: AuditLevel::Paranoid,
+            threads: None,
+            deterministic: true,
         })
         .unwrap();
         assert!(report.contains("k = 4"), "{report}");

@@ -428,6 +428,7 @@ pub struct FaultPlan {
     panic_in_start: Option<u64>,
     fail_sink_writes: bool,
     early_deadline: Option<Duration>,
+    panic_in_shard: Option<(u64, u64)>,
 }
 
 impl FaultPlan {
@@ -458,6 +459,17 @@ impl FaultPlan {
     pub fn early_deadline(budget: Duration) -> Self {
         FaultPlan {
             early_deadline: Some(budget),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Injects a panic into shard `shard` of round `round` of every
+    /// parallel refinement run. The round must isolate the shard,
+    /// announce it with a `ShardAborted` trace event, and continue with
+    /// the surviving shards' proposals.
+    pub fn panic_in_shard(round: u64, shard: u64) -> Self {
+        FaultPlan {
+            panic_in_shard: Some((round, shard)),
             ..FaultPlan::default()
         }
     }
@@ -504,6 +516,25 @@ impl FaultPlan {
     pub fn trip_start(&self, index: u64) {
         if self.should_panic_start(index) {
             panic!("injected fault: panic in start {index}");
+        }
+    }
+
+    /// `true` if this plan panics shard `shard` of round `round`.
+    pub fn should_panic_shard(&self, round: u64, shard: u64) -> bool {
+        self.panic_in_shard == Some((round, shard))
+    }
+
+    /// The (round, shard) pair this plan panics, if any.
+    pub fn panicked_shard(&self) -> Option<(u64, u64)> {
+        self.panic_in_shard
+    }
+
+    /// Panics with a recognizable payload if this plan targets shard
+    /// `shard` of round `round`. Parallel refinement calls this inside
+    /// its per-shard `catch_unwind` region.
+    pub fn trip_shard(&self, round: u64, shard: u64) {
+        if self.should_panic_shard(round, shard) {
+            panic!("injected fault: panic in shard {shard} of round {round}");
         }
     }
 }
@@ -646,5 +677,24 @@ mod tests {
     #[should_panic(expected = "injected fault")]
     fn trip_start_panics_on_target() {
         FaultPlan::panic_in_start(5).trip_start(5);
+    }
+
+    #[test]
+    fn shard_fault_is_typed_and_targeted() {
+        let plan = FaultPlan::panic_in_shard(1, 2);
+        assert!(plan.should_panic_shard(1, 2));
+        assert!(!plan.should_panic_shard(1, 1));
+        assert!(!plan.should_panic_shard(0, 2));
+        assert_eq!(plan.panicked_shard(), Some((1, 2)));
+        assert_eq!(FaultPlan::none().panicked_shard(), None);
+        // A shard fault never masquerades as a start fault.
+        assert!(!plan.should_panic_start(2));
+        plan.trip_shard(0, 0); // off-target: no panic
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: panic in shard 2 of round 1")]
+    fn trip_shard_panics_on_target() {
+        FaultPlan::panic_in_shard(1, 2).trip_shard(1, 2);
     }
 }

@@ -39,6 +39,7 @@ use hypart_trace::{NullSink, StopReason, TraceSink};
 
 use crate::audit::{AuditLevel, FaultPlan};
 use crate::coarsen_ws::CoarsenWorkspace;
+use crate::par::ParLane;
 use crate::workspace::FmWorkspace;
 
 /// Default number of moves between mid-pass deadline checks.
@@ -102,6 +103,9 @@ pub struct RunCtx<'s> {
     pub workspace: FmWorkspace,
     /// Reusable coarsening scratch arenas, re-pointed at each level.
     pub coarsen: CoarsenWorkspace,
+    /// Per-lane scratch of the shared-memory parallel engine (empty and
+    /// unused on the serial paths; grown on first parallel run).
+    pub lanes: Vec<ParLane>,
     /// Base RNG seed for the run.
     pub seed: u64,
     deadline: Option<Instant>,
@@ -138,6 +142,7 @@ impl<'s> RunCtx<'s> {
             sink: &NULL_SINK,
             workspace: FmWorkspace::new(),
             coarsen: CoarsenWorkspace::new(),
+            lanes: Vec::new(),
             seed,
             deadline: None,
             cancel: CancelToken::new(),
@@ -153,6 +158,7 @@ impl<'s> RunCtx<'s> {
             sink,
             workspace: self.workspace,
             coarsen: self.coarsen,
+            lanes: self.lanes,
             seed: self.seed,
             deadline: self.deadline,
             cancel: self.cancel,
@@ -287,6 +293,7 @@ impl<'s> RunCtx<'s> {
             sink,
             workspace: FmWorkspace::new(),
             coarsen: CoarsenWorkspace::new(),
+            lanes: Vec::new(),
             seed,
             deadline: self.deadline,
             cancel: self.cancel.clone(),

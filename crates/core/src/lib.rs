@@ -59,6 +59,8 @@ mod engine;
 pub mod gain;
 mod initial;
 pub mod objective;
+mod par;
+mod par_refine;
 mod stats;
 mod workspace;
 
@@ -67,7 +69,7 @@ pub use audit::{
 };
 pub use balance::BalanceConstraint;
 pub use bisection::{Bisection, BisectionError};
-pub use coarsen_ws::{CandInfo, CoarseNet, CoarsenWorkspace, SparseScores};
+pub use coarsen_ws::{CandInfo, CoarseNet, CoarsenWorkspace, MatchProposal, SparseScores};
 pub use config::{
     FmConfig, IllegalHeadPolicy, InitialSolution, InsertionPolicy, PassBestRule, SelectionRule,
     TieBreak, ZeroDeltaPolicy,
@@ -76,5 +78,7 @@ pub use ctx::{BudgetProbe, CancelToken, RunCtx, DEFAULT_MOVE_CHECK_INTERVAL};
 pub use engine::{FmOutcome, FmPartitioner};
 pub use hypart_trace::StopReason;
 pub use initial::generate_initial;
+pub use par::{derive_seed, ensure_lanes, resolve_threads, MoveProposal, ParLane};
+pub use par_refine::{refine_rounds_parallel, ParRefineOutcome, PAR_REFINE_MAX_ROUNDS};
 pub use stats::{FmStats, PassStats, CORKED_FRACTION};
 pub use workspace::FmWorkspace;

@@ -1,0 +1,119 @@
+//! Per-lane scratch state for the shared-memory parallel engine.
+//!
+//! The parallel multilevel engine splits work into *lanes*: one lane per
+//! configured thread, each owning the scratch arenas its jobs need
+//! ([`FmWorkspace`] for refinement tries, a
+//! [`SparseScores`] accumulator for matching proposals, a proposal
+//! buffer for refinement rounds). Lanes live on
+//! [`RunCtx`](crate::RunCtx) next to the serial workspaces, so arena
+//! reuse across levels, starts, and V-cycles works exactly as it does
+//! serially — and, as with the serial workspaces, reuse never changes
+//! results.
+//!
+//! Lanes are plain owned data. The engine lends each spawned job mutable
+//! access to exactly one lane (disjoint `&mut` splits of the lane
+//! vector), so no lane is ever shared between threads.
+
+use crate::coarsen_ws::SparseScores;
+use crate::workspace::FmWorkspace;
+
+/// One candidate move proposed by a refinement shard: move `vertex` to
+/// the opposite side for a gain of `gain` *as seen in the frozen
+/// pre-round snapshot* (the serial commit re-derives the live gain).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MoveProposal {
+    /// Raw index of the vertex to move.
+    pub vertex: u32,
+    /// Snapshot gain (cut decrease) of moving the vertex.
+    pub gain: i64,
+}
+
+/// The scratch state owned by one parallel lane.
+#[derive(Debug, Default)]
+pub struct ParLane {
+    /// Refinement workspace for initial-portfolio tries run on this lane.
+    pub fm: FmWorkspace,
+    /// Connectivity accumulator for matching proposals computed on this
+    /// lane.
+    pub conn: SparseScores,
+    /// Move proposals of the refinement shard this lane last scanned.
+    pub moves: Vec<MoveProposal>,
+    /// Whether this lane's shard panicked in the current round (set
+    /// inside the shard's `catch_unwind` region, read by the serial
+    /// commit).
+    pub aborted: bool,
+}
+
+impl ParLane {
+    /// Creates an empty lane; arenas grow on first use.
+    pub fn new() -> Self {
+        ParLane::default()
+    }
+}
+
+/// Grows `lanes` to at least `count` lanes (never shrinks, so arenas
+/// built up by a wider earlier run are kept).
+pub fn ensure_lanes(lanes: &mut Vec<ParLane>, count: usize) {
+    while lanes.len() < count {
+        lanes.push(ParLane::new());
+    }
+}
+
+/// Resolves a configured thread count: `0` means "ask the runtime"
+/// ([`rayon::current_num_threads`], which honours `RAYON_NUM_THREADS`),
+/// anything else is taken literally. Always at least 1.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        rayon::current_num_threads().max(1)
+    } else {
+        threads
+    }
+}
+
+/// Derives a decorrelated per-unit seed from a base seed and a unit
+/// index (SplitMix64 finalizer over the golden-ratio-striped index).
+///
+/// Used for per-try seeds of the parallel initial portfolio: each try's
+/// seed is a pure function of `(base, index)`, independent of which lane
+/// runs it — a prerequisite for thread-count-invariant results.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_lanes_grows_and_never_shrinks() {
+        let mut lanes = Vec::new();
+        ensure_lanes(&mut lanes, 4);
+        assert_eq!(lanes.len(), 4);
+        lanes[2].moves.push(MoveProposal { vertex: 1, gain: 3 });
+        ensure_lanes(&mut lanes, 2);
+        assert_eq!(lanes.len(), 4);
+        assert_eq!(lanes[2].moves.len(), 1);
+        ensure_lanes(&mut lanes, 6);
+        assert_eq!(lanes.len(), 6);
+    }
+
+    #[test]
+    fn resolve_threads_passes_explicit_counts_through() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(8), 8);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_index_sensitive() {
+        assert_eq!(derive_seed(42, 3), derive_seed(42, 3));
+        assert_ne!(derive_seed(42, 3), derive_seed(42, 4));
+        assert_ne!(derive_seed(42, 3), derive_seed(43, 3));
+        // Index 0 still decorrelates from the raw base.
+        assert_ne!(derive_seed(7, 0), 7);
+    }
+}

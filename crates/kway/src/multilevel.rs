@@ -12,6 +12,7 @@ use crate::fm::{record_kway_audit, KWayConfig, KWayFmPartitioner, KWayOutcome};
 use crate::partition::KWayPartition;
 use hypart_core::{AuditError, RunCtx, StopReason};
 use hypart_hypergraph::Hypergraph;
+use hypart_ml::build_hierarchy_par_with;
 use hypart_ml::coarsen::{build_hierarchy_with, CoarsenConfig};
 use hypart_trace::RunEvent;
 
@@ -33,6 +34,15 @@ pub struct MlKWayConfig {
     pub coarsen: CoarsenConfig,
     /// Seeded initial k-way partitions tried on the coarsest graph.
     pub initial_tries: usize,
+    /// Number of parallel lanes for hierarchy construction. `0` (the
+    /// default) builds the hierarchy serially; `>= 1` uses the parallel
+    /// coarsener with that many lanes (mirrors
+    /// [`MlConfig::threads`](hypart_ml::MlConfig::threads)).
+    pub threads: usize,
+    /// Determinism contract of the parallel hierarchy build: when `true`
+    /// (the default) the hierarchy — and therefore the whole run — is
+    /// identical for every lane and thread count.
+    pub deterministic: bool,
 }
 
 impl Default for MlKWayConfig {
@@ -41,6 +51,8 @@ impl Default for MlKWayConfig {
             refine: KWayConfig::default(),
             coarsen: CoarsenConfig::default(),
             initial_tries: 8,
+            threads: 0,
+            deterministic: true,
         }
     }
 }
@@ -62,6 +74,20 @@ impl MlKWayConfig {
     /// coarsest graph (builder-style; clamped to at least 1 at run time).
     pub fn with_initial_tries(mut self, initial_tries: usize) -> Self {
         self.initial_tries = initial_tries;
+        self
+    }
+
+    /// Sets the lane count of the parallel hierarchy build
+    /// (builder-style); `0` keeps the serial build.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the determinism contract of the parallel hierarchy build
+    /// (builder-style).
+    pub fn with_deterministic(mut self, deterministic: bool) -> Self {
+        self.deterministic = deterministic;
         self
     }
 }
@@ -109,8 +135,25 @@ impl MlKWayPartitioner {
         let mut rng = SmallRng::seed_from_u64(base_seed);
         let engine = KWayFmPartitioner::new(self.config.refine);
 
-        let levels =
-            build_hierarchy_with(h, &self.config.coarsen, None, &mut rng, &mut ctx.coarsen);
+        let levels = if self.config.threads > 0 {
+            hypart_core::ensure_lanes(&mut ctx.lanes, self.config.threads);
+            let mut lanes = std::mem::take(&mut ctx.lanes);
+            let mut probe = ctx.probe();
+            let levels = build_hierarchy_par_with(
+                h,
+                &self.config.coarsen,
+                None,
+                &mut rng,
+                &mut ctx.coarsen,
+                &mut lanes,
+                self.config.deterministic,
+                &mut probe,
+            );
+            ctx.lanes = lanes;
+            levels
+        } else {
+            build_hierarchy_with(h, &self.config.coarsen, None, &mut rng, &mut ctx.coarsen)
+        };
         if ctx.sink.is_enabled() {
             for (i, level) in levels.iter().enumerate() {
                 ctx.sink.emit(RunEvent::LevelDown {

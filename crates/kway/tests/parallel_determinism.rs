@@ -1,0 +1,66 @@
+//! Thread-count-invariance of the multilevel k-way engine's parallel
+//! hierarchy build: with `MlKWayConfig::deterministic` (the default),
+//! the JSONL trace and the solution are bitwise identical for every
+//! lane count — the k-way leg of the determinism contract tested for
+//! the 2-way engine in `hypart-ml`'s `parallel_determinism` suite.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use hypart_benchgen::ispd98_like;
+use hypart_core::{AuditLevel, RunCtx};
+use hypart_kway::{KWayBalance, KWayPartition, MlKWayConfig, MlKWayPartitioner};
+use hypart_trace::JsonlSink;
+
+#[test]
+fn kway_traces_bitwise_identical_across_lane_counts() {
+    let h = ispd98_like(1, 0.08, 0xD1CE);
+    let balance = KWayBalance::with_fraction(h.total_vertex_weight(), 4, 0.15);
+    let run = |threads: usize| {
+        let sink = JsonlSink::new(Vec::new());
+        let mut ctx = RunCtx::new(42).with_sink(&sink);
+        let out = MlKWayPartitioner::new(MlKWayConfig::default().with_threads(threads))
+            .run_with(&h, &balance, &mut ctx);
+        (sink.finish().expect("in-memory sink"), out)
+    };
+    let (reference_bytes, reference_out) = run(1);
+    assert!(!reference_bytes.is_empty());
+    for threads in [2usize, 4, 8] {
+        let (bytes, out) = run(threads);
+        assert_eq!(
+            bytes, reference_bytes,
+            "JSONL trace at {threads} lanes differs from the 1-lane trace"
+        );
+        assert_eq!(out.assignment, reference_out.assignment, "{threads} lanes");
+        assert_eq!(out.cut, reference_out.cut, "{threads} lanes");
+    }
+}
+
+#[test]
+fn kway_parallel_build_matches_serial_build() {
+    // threads == 0 (the serial legacy build) and threads >= 1 (the
+    // deterministic parallel build) must agree exactly: the parallel
+    // coarsener is a drop-in for the serial one.
+    let h = ispd98_like(2, 0.06, 0xFACE);
+    let balance = KWayBalance::with_fraction(h.total_vertex_weight(), 3, 0.20);
+    let serial = MlKWayPartitioner::new(MlKWayConfig::default()).run(&h, &balance, 7);
+    let parallel =
+        MlKWayPartitioner::new(MlKWayConfig::default().with_threads(4)).run(&h, &balance, 7);
+    assert_eq!(serial.assignment, parallel.assignment);
+    assert_eq!(serial.cut, parallel.cut);
+}
+
+#[test]
+fn kway_relaxed_mode_is_audit_clean() {
+    let h = ispd98_like(1, 0.08, 0xD1CE);
+    let balance = KWayBalance::with_fraction(h.total_vertex_weight(), 4, 0.15);
+    let mut ctx = RunCtx::new(3).with_audit(AuditLevel::Paranoid);
+    let out = MlKWayPartitioner::new(
+        MlKWayConfig::default()
+            .with_threads(4)
+            .with_deterministic(false),
+    )
+    .run_with(&h, &balance, &mut ctx);
+    assert!(out.audit_failure.is_none(), "{:?}", out.audit_failure);
+    let p = KWayPartition::new(&h, 4, out.assignment);
+    assert_eq!(p.recompute_cut(), out.cut);
+}

@@ -102,14 +102,14 @@ impl CoarseLevel {
 
 /// Candidate keys: bit 31 tags an unmatched vertex (cluster-to-be); clear
 /// bit 31 to recover the vertex id. Untagged keys are formed cluster ids.
-const TAG: u32 = 1 << 31;
-const UNMATCHED: u32 = u32::MAX;
+pub(crate) const TAG: u32 = 1 << 31;
+pub(crate) const UNMATCHED: u32 = u32::MAX;
 
 /// FNV-1a over the raw pin words. Used only to *group* candidate
 /// identical nets — equal-fingerprint groups are verified by pin-slice
 /// comparison, so a collision costs a comparison, never correctness.
 #[inline]
-fn fingerprint(pins: &[VertexId]) -> u64 {
+pub(crate) fn fingerprint(pins: &[VertexId]) -> u64 {
     let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
     for &p in pins {
         fp ^= u64::from(p.raw());
@@ -118,279 +118,231 @@ fn fingerprint(pins: &[VertexId]) -> u64 {
     fp
 }
 
-/// Performs one coarsening step on `h`. Returns `None` if the result would
-/// not shrink below `config.shrink_threshold` of the input size (coarsening
-/// has stalled) or if `h` is already at or below `config.stop_size`.
-///
-/// `restrict`: when `Some(assignment)`, vertices may only cluster with
-/// vertices on the same side (restricted coarsening for V-cycles).
-///
-/// Equivalent to [`coarsen_once_with`] with a fresh workspace.
-pub fn coarsen_once<R: Rng>(
-    h: &Hypergraph,
-    config: &CoarsenConfig,
-    restrict: Option<&[PartId]>,
-    rng: &mut R,
-) -> Option<CoarseLevel> {
-    coarsen_once_with(h, config, restrict, rng, &mut CoarsenWorkspace::new())
+/// The cluster-weight cap of one coarsening level.
+#[inline]
+pub(crate) fn cluster_cap(h: &Hypergraph, config: &CoarsenConfig) -> u64 {
+    let avg_weight = h.total_vertex_weight() as f64 / h.num_vertices() as f64;
+    ((avg_weight * config.cluster_cap_multiple) as u64)
+        .max(h.max_vertex_weight())
+        .max(1)
 }
 
-/// [`coarsen_once`] with all scratch drawn from `ws` — the hot-path entry
-/// point, allocation-free across levels apart from the returned
-/// [`CoarseLevel`] itself. Results are bitwise identical to
-/// [`coarsen_once`] (and to [`coarsen_once_reference`]); the workspace
-/// only removes allocation and reset cost.
-pub fn coarsen_once_with<R: Rng>(
-    h: &Hypergraph,
-    config: &CoarsenConfig,
-    restrict: Option<&[PartId]>,
-    rng: &mut R,
-    ws: &mut CoarsenWorkspace,
-) -> Option<CoarseLevel> {
-    let n = h.num_vertices();
-    if n <= config.stop_size {
-        return None;
-    }
-    if let Some(r) = restrict {
-        assert_eq!(r.len(), n, "restriction assignment length mismatch");
-    }
-    let avg_weight = h.total_vertex_weight() as f64 / n as f64;
-    let cap = ((avg_weight * config.cluster_cap_multiple) as u64)
-        .max(h.max_vertex_weight())
-        .max(1);
-
-    ws.begin_level(n);
-    let CoarsenWorkspace {
-        cluster_of,
-        slot_of,
-        net_score,
-        vert_info,
-        cluster_info,
-        order,
-        conn,
-        pin_arena,
-        nets,
-        sort_idx,
-        rep,
-        builder,
-        csr,
-        ..
-    } = ws;
-    let mut num_clusters = 0u32;
-
-    order.clear();
-    order.extend(h.vertices());
-    order.shuffle(rng);
-
-    // Per-net matching scores, computed once per level instead of once
-    // per (vertex, net) visit; `-1.0` marks nets excluded from matching
-    // (legitimate scores are >= 0.0, including 0.0 for weight-0 nets).
-    net_score.reserve(h.num_nets());
-    for e in h.nets() {
-        let size = h.net_size(e);
-        net_score.push(if size < 2 || size > config.max_net_size_for_matching {
-            -1.0
-        } else {
-            f64::from(h.net_weight(e)) / (size - 1) as f64
-        });
-    }
-
-    // Packed per-vertex admissibility records: the candidate scan reads
-    // one 16-byte record per candidate instead of three scattered arrays.
-    // The side field is only consulted under restriction.
-    vert_info.reserve(n);
-    for v in h.vertices() {
-        vert_info.push(CandInfo {
-            weight: h.vertex_weight(v),
-            fixed: h.fixed_part(v),
-            side: restrict.map_or(PartId::P0, |r| r[v.index()]),
-        });
-    }
-
-    // Connectivity accumulates into dense slots: formed cluster `c` maps
-    // to slot `c`, unmatched vertex `u` to slot `n + u`. The slot encoding
-    // round-trips to the candidate *key* (cluster id, or vertex id with
-    // the tag bit), so selection below is identical to the reference.
-    //
-    // The inner pin loop is branch-free: every pin accumulates into
-    // `slot_of[pin]`, including `v` itself (its own slot) and, under
-    // heavy-edge, already-matched vertices (the dead slot `2n`). Both are
-    // filtered out in the far smaller candidate scan below, so the scores
-    // of real candidates — and their accumulation order — are exactly
-    // those of the reference.
-    let dead = 2 * n as u32;
-    let matched_slot = |c: u32| match config.scheme {
-        // FirstChoice may join an existing cluster: pins keep scoring it.
+/// The connectivity slot matched vertices accumulate into from now on:
+/// the cluster slot under FirstChoice (pins keep scoring the cluster),
+/// the dead slot under HeavyEdge (matched vertices leave the market).
+#[inline]
+pub(crate) fn matched_slot(scheme: CoarsenScheme, dead: u32, c: u32) -> u32 {
+    match scheme {
         CoarsenScheme::FirstChoice => c,
-        // HeavyEdge only merges two unmatched vertices: matched pins
-        // score the dead slot.
         CoarsenScheme::HeavyEdge => dead,
-    };
-    let restricted = restrict.is_some();
-    for &v in order.iter() {
-        if cluster_of[v.index()] != UNMATCHED {
+    }
+}
+
+/// Accumulates `v`'s connectivity into `conn` over its scoring nets.
+/// The inner pin loop is branch-free: every pin accumulates into
+/// `slot_of[pin]`, including `v` itself (its own slot) and, under
+/// heavy-edge, already-matched vertices (the dead slot) — both filtered
+/// out in the far smaller candidate scan.
+#[inline]
+pub(crate) fn accumulate_conn(
+    h: &Hypergraph,
+    v: VertexId,
+    slot_of: &[u32],
+    net_score: &[f64],
+    conn: &mut hypart_core::SparseScores,
+    n: usize,
+) {
+    conn.begin(2 * n + 1);
+    for &e in h.vertex_nets(v) {
+        let score = net_score[e.index()];
+        if score < 0.0 {
             continue;
         }
-        let v_info = vert_info[v.index()];
-        let v_weight = v_info.weight;
-        let self_slot = (n + v.index()) as u32;
-        conn.begin(2 * n + 1);
-        for &e in h.vertex_nets(v) {
-            let score = net_score[e.index()];
-            if score < 0.0 {
-                continue;
-            }
-            for &u in h.net_pins(e) {
-                conn.add(slot_of[u.index()] as usize, score);
-            }
-        }
-
-        // Pick the admissible candidate with the highest connectivity.
-        // The deterministic tie-break on the raw key makes the winner
-        // independent of the order candidates are enumerated in, which is
-        // what licenses swapping the HashMap for the dense accumulator.
-        let mut best: Option<(u32, f64)> = None;
-        for &slot in conn.touched() {
-            if slot == self_slot || slot == dead {
-                continue;
-            }
-            let slot = slot as usize;
-            let score = conn.get_touched(slot);
-            let key = if slot >= n {
-                (slot - n) as u32 | TAG
-            } else {
-                slot as u32
-            };
-            // Rank before admissibility: a candidate that does not beat
-            // the current (admissible) best can be dropped without ever
-            // loading its record, and the surviving maximum is the same
-            // either way. Most candidates lose, so the scan touches far
-            // fewer cache lines.
-            let better = match best {
-                None => true,
-                Some((bk, bs)) => score > bs || (score == bs && key < bk),
-            };
-            if !better {
-                continue;
-            }
-            let target = if slot >= n {
-                vert_info[slot - n]
-            } else {
-                cluster_info[slot]
-            };
-            if v_weight + target.weight > cap {
-                continue;
-            }
-            if let (Some(a), Some(b)) = (v_info.fixed, target.fixed) {
-                if a != b {
-                    continue;
-                }
-            }
-            if restricted && v_info.side != target.side {
-                continue;
-            }
-            best = Some((key, score));
-        }
-
-        match best {
-            Some((key, _)) if key & TAG != 0 => {
-                // Merge v with the unmatched vertex u into a new cluster.
-                let u = VertexId::new(key & !TAG);
-                let c = num_clusters;
-                num_clusters += 1;
-                cluster_of[v.index()] = c;
-                cluster_of[u.index()] = c;
-                slot_of[v.index()] = matched_slot(c);
-                slot_of[u.index()] = matched_slot(c);
-                let u_info = vert_info[u.index()];
-                cluster_info.push(CandInfo {
-                    weight: v_weight + u_info.weight,
-                    fixed: v_info.fixed.or(u_info.fixed),
-                    side: v_info.side,
-                });
-            }
-            Some((key, _)) => {
-                // Join v to the existing cluster `key`.
-                cluster_of[v.index()] = key;
-                slot_of[v.index()] = matched_slot(key);
-                let c = &mut cluster_info[key as usize];
-                c.weight += v_weight;
-                if c.fixed.is_none() {
-                    c.fixed = v_info.fixed;
-                }
-            }
-            None => {
-                // v stays a singleton cluster.
-                let c = num_clusters;
-                num_clusters += 1;
-                cluster_of[v.index()] = c;
-                slot_of[v.index()] = matched_slot(c);
-                cluster_info.push(CandInfo {
-                    weight: v_weight,
-                    fixed: v_info.fixed,
-                    side: v_info.side,
-                });
-            }
+        for &u in h.net_pins(e) {
+            conn.add(slot_of[u.index()] as usize, score);
         }
     }
+}
 
-    let coarse_n = num_clusters as usize;
-    if (coarse_n as f64) > config.shrink_threshold * n as f64 {
-        return None;
-    }
-
-    // Stage coarse nets in the pin arena: map pins to clusters, sort +
-    // dedupe each slice in place, drop single-pin nets, fingerprint the
-    // survivors.
-    pin_arena.reserve(h.num_pins());
-    for e in h.nets() {
-        let start = pin_arena.len();
-        for &fv in h.net_pins(e) {
-            pin_arena.push(VertexId::new(cluster_of[fv.index()]));
-        }
-        let slice = &mut pin_arena[start..];
-        // Coarse pin slices are overwhelmingly tiny; tiny sorting networks
-        // skip the general sort's dispatch overhead.
-        match slice.len() {
-            0 | 1 => {}
-            2 => {
-                if slice[0] > slice[1] {
-                    slice.swap(0, 1);
-                }
-            }
-            3 => {
-                if slice[0] > slice[1] {
-                    slice.swap(0, 1);
-                }
-                if slice[1] > slice[2] {
-                    slice.swap(1, 2);
-                }
-                if slice[0] > slice[1] {
-                    slice.swap(0, 1);
-                }
-            }
-            _ => slice.sort_unstable(),
-        }
-        let mut unique = 0usize;
-        for i in 0..slice.len() {
-            if unique == 0 || slice[i] != slice[unique - 1] {
-                slice[unique] = slice[i];
-                unique += 1;
-            }
-        }
-        if unique < 2 {
-            pin_arena.truncate(start);
+/// Scans the accumulated candidates of `v` and returns the admissible
+/// candidate with the highest connectivity (ties broken on the raw key,
+/// which makes the winner independent of enumeration order).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_best(
+    conn: &hypart_core::SparseScores,
+    v: VertexId,
+    v_info: CandInfo,
+    vert_info: &[CandInfo],
+    cluster_info: &[CandInfo],
+    n: usize,
+    dead: u32,
+    cap: u64,
+    restricted: bool,
+) -> Option<(u32, f64)> {
+    let v_weight = v_info.weight;
+    let self_slot = (n + v.index()) as u32;
+    let mut best: Option<(u32, f64)> = None;
+    for &slot in conn.touched() {
+        if slot == self_slot || slot == dead {
             continue;
         }
-        pin_arena.truncate(start + unique);
-        nets.push(CoarseNet {
-            start: start as u32,
-            len: unique as u32,
-            weight: h.net_weight(e),
-            fp: fingerprint(&pin_arena[start..]),
-        });
+        let slot = slot as usize;
+        let score = conn.get_touched(slot);
+        let key = if slot >= n {
+            (slot - n) as u32 | TAG
+        } else {
+            slot as u32
+        };
+        // Rank before admissibility: a candidate that does not beat
+        // the current (admissible) best can be dropped without ever
+        // loading its record, and the surviving maximum is the same
+        // either way. Most candidates lose, so the scan touches far
+        // fewer cache lines.
+        let better = match best {
+            None => true,
+            Some((bk, bs)) => score > bs || (score == bs && key < bk),
+        };
+        if !better {
+            continue;
+        }
+        let target = if slot >= n {
+            vert_info[slot - n]
+        } else {
+            cluster_info[slot]
+        };
+        if v_weight + target.weight > cap {
+            continue;
+        }
+        if let (Some(a), Some(b)) = (v_info.fixed, target.fixed) {
+            if a != b {
+                continue;
+            }
+        }
+        if restricted && v_info.side != target.side {
+            continue;
+        }
+        best = Some((key, score));
     }
+    best
+}
 
+/// Applies a matching decision for `v`: merge with an unmatched partner
+/// (tagged key), join an existing cluster (untagged key), or stay a
+/// singleton (`None`). Returns the pair partner when one was consumed.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_decision(
+    scheme: CoarsenScheme,
+    dead: u32,
+    v: VertexId,
+    v_info: CandInfo,
+    best: Option<(u32, f64)>,
+    cluster_of: &mut [u32],
+    slot_of: &mut [u32],
+    vert_info: &[CandInfo],
+    cluster_info: &mut Vec<CandInfo>,
+    num_clusters: &mut u32,
+) -> Option<VertexId> {
+    let v_weight = v_info.weight;
+    match best {
+        Some((key, _)) if key & TAG != 0 => {
+            // Merge v with the unmatched vertex u into a new cluster.
+            let u = VertexId::new(key & !TAG);
+            let c = *num_clusters;
+            *num_clusters += 1;
+            cluster_of[v.index()] = c;
+            cluster_of[u.index()] = c;
+            slot_of[v.index()] = matched_slot(scheme, dead, c);
+            slot_of[u.index()] = matched_slot(scheme, dead, c);
+            let u_info = vert_info[u.index()];
+            cluster_info.push(CandInfo {
+                weight: v_weight + u_info.weight,
+                fixed: v_info.fixed.or(u_info.fixed),
+                side: v_info.side,
+            });
+            Some(u)
+        }
+        Some((key, _)) => {
+            // Join v to the existing cluster `key`.
+            cluster_of[v.index()] = key;
+            slot_of[v.index()] = matched_slot(scheme, dead, key);
+            let c = &mut cluster_info[key as usize];
+            c.weight += v_weight;
+            if c.fixed.is_none() {
+                c.fixed = v_info.fixed;
+            }
+            None
+        }
+        None => {
+            // v stays a singleton cluster.
+            let c = *num_clusters;
+            *num_clusters += 1;
+            cluster_of[v.index()] = c;
+            slot_of[v.index()] = matched_slot(scheme, dead, c);
+            cluster_info.push(CandInfo {
+                weight: v_weight,
+                fixed: v_info.fixed,
+                side: v_info.side,
+            });
+            None
+        }
+    }
+}
+
+/// Sorts a staged coarse pin slice and dedups it in place, returning the
+/// unique count. Coarse pin slices are overwhelmingly tiny; tiny sorting
+/// networks skip the general sort's dispatch overhead.
+#[inline]
+pub(crate) fn sort_dedup_pins(slice: &mut [VertexId]) -> usize {
+    match slice.len() {
+        0 | 1 => {}
+        2 => {
+            if slice[0] > slice[1] {
+                slice.swap(0, 1);
+            }
+        }
+        3 => {
+            if slice[0] > slice[1] {
+                slice.swap(0, 1);
+            }
+            if slice[1] > slice[2] {
+                slice.swap(1, 2);
+            }
+            if slice[0] > slice[1] {
+                slice.swap(0, 1);
+            }
+        }
+        _ => slice.sort_unstable(),
+    }
+    let mut unique = 0usize;
+    for i in 0..slice.len() {
+        if unique == 0 || slice[i] != slice[unique - 1] {
+            slice[unique] = slice[i];
+            unique += 1;
+        }
+    }
+    unique
+}
+
+/// Merges identical staged coarse nets and assembles the coarse
+/// hypergraph through the recycled builder. Consumes the staging state
+/// produced by either the serial (compact) or the parallel (offset-
+/// addressed) staging pass: only each net's `range()` slice and the
+/// fine-net ordering of `nets` matter, so both produce identical graphs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_and_build(
+    h: &Hypergraph,
+    coarse_n: usize,
+    pin_arena: &[VertexId],
+    nets: &mut [CoarseNet],
+    sort_idx: &mut Vec<u32>,
+    rep: &mut Vec<u32>,
+    cluster_info: &[CandInfo],
+    cluster_of: &[u32],
+    builder: &mut HypergraphBuilder,
+    csr: &mut hypart_hypergraph::CsrScratch,
+) -> CoarseLevel {
     // Merge identical nets: group by fingerprint (sorting indices keyed by
     // (fp, index) keeps groups in first-occurrence order), verify each
     // group member against the representatives found so far — so a
@@ -460,10 +412,179 @@ pub fn coarsen_once_with<R: Rng>(
         Ok(g) => g,
         Err(e) => unreachable!("coarse hypergraph is valid: {e}"),
     };
-    Some(CoarseLevel {
+    CoarseLevel {
         graph,
         map: cluster_of.iter().map(|&c| VertexId::new(c)).collect(),
-    })
+    }
+}
+
+/// Performs one coarsening step on `h`. Returns `None` if the result would
+/// not shrink below `config.shrink_threshold` of the input size (coarsening
+/// has stalled) or if `h` is already at or below `config.stop_size`.
+///
+/// `restrict`: when `Some(assignment)`, vertices may only cluster with
+/// vertices on the same side (restricted coarsening for V-cycles).
+///
+/// Equivalent to [`coarsen_once_with`] with a fresh workspace.
+pub fn coarsen_once<R: Rng>(
+    h: &Hypergraph,
+    config: &CoarsenConfig,
+    restrict: Option<&[PartId]>,
+    rng: &mut R,
+) -> Option<CoarseLevel> {
+    coarsen_once_with(h, config, restrict, rng, &mut CoarsenWorkspace::new())
+}
+
+/// [`coarsen_once`] with all scratch drawn from `ws` — the hot-path entry
+/// point, allocation-free across levels apart from the returned
+/// [`CoarseLevel`] itself. Results are bitwise identical to
+/// [`coarsen_once`] (and to [`coarsen_once_reference`]); the workspace
+/// only removes allocation and reset cost.
+pub fn coarsen_once_with<R: Rng>(
+    h: &Hypergraph,
+    config: &CoarsenConfig,
+    restrict: Option<&[PartId]>,
+    rng: &mut R,
+    ws: &mut CoarsenWorkspace,
+) -> Option<CoarseLevel> {
+    let n = h.num_vertices();
+    if n <= config.stop_size {
+        return None;
+    }
+    if let Some(r) = restrict {
+        assert_eq!(r.len(), n, "restriction assignment length mismatch");
+    }
+    let cap = cluster_cap(h, config);
+
+    ws.begin_level(n);
+    let CoarsenWorkspace {
+        cluster_of,
+        slot_of,
+        net_score,
+        vert_info,
+        cluster_info,
+        order,
+        conn,
+        pin_arena,
+        nets,
+        sort_idx,
+        rep,
+        builder,
+        csr,
+        ..
+    } = ws;
+    let mut num_clusters = 0u32;
+
+    order.clear();
+    order.extend(h.vertices());
+    order.shuffle(rng);
+
+    // Per-net matching scores, computed once per level instead of once
+    // per (vertex, net) visit; `-1.0` marks nets excluded from matching
+    // (legitimate scores are >= 0.0, including 0.0 for weight-0 nets).
+    net_score.reserve(h.num_nets());
+    for e in h.nets() {
+        let size = h.net_size(e);
+        net_score.push(if size < 2 || size > config.max_net_size_for_matching {
+            -1.0
+        } else {
+            f64::from(h.net_weight(e)) / (size - 1) as f64
+        });
+    }
+
+    // Packed per-vertex admissibility records: the candidate scan reads
+    // one 16-byte record per candidate instead of three scattered arrays.
+    // The side field is only consulted under restriction.
+    vert_info.reserve(n);
+    for v in h.vertices() {
+        vert_info.push(CandInfo {
+            weight: h.vertex_weight(v),
+            fixed: h.fixed_part(v),
+            side: restrict.map_or(PartId::P0, |r| r[v.index()]),
+        });
+    }
+
+    // Connectivity accumulates into dense slots: formed cluster `c` maps
+    // to slot `c`, unmatched vertex `u` to slot `n + u`. The slot encoding
+    // round-trips to the candidate *key* (cluster id, or vertex id with
+    // the tag bit), so selection below is identical to the reference.
+    //
+    // The deterministic tie-break on the raw key makes the winner
+    // independent of the order candidates are enumerated in, which is
+    // what licenses swapping the HashMap for the dense accumulator.
+    let dead = 2 * n as u32;
+    let restricted = restrict.is_some();
+    for &v in order.iter() {
+        if cluster_of[v.index()] != UNMATCHED {
+            continue;
+        }
+        let v_info = vert_info[v.index()];
+        accumulate_conn(h, v, slot_of, net_score, conn, n);
+        let best = scan_best(
+            conn,
+            v,
+            v_info,
+            vert_info,
+            cluster_info,
+            n,
+            dead,
+            cap,
+            restricted,
+        );
+        apply_decision(
+            config.scheme,
+            dead,
+            v,
+            v_info,
+            best,
+            cluster_of,
+            slot_of,
+            vert_info,
+            cluster_info,
+            &mut num_clusters,
+        );
+    }
+
+    let coarse_n = num_clusters as usize;
+    if (coarse_n as f64) > config.shrink_threshold * n as f64 {
+        return None;
+    }
+
+    // Stage coarse nets in the pin arena: map pins to clusters, sort +
+    // dedupe each slice in place, drop single-pin nets, fingerprint the
+    // survivors.
+    pin_arena.reserve(h.num_pins());
+    for e in h.nets() {
+        let start = pin_arena.len();
+        for &fv in h.net_pins(e) {
+            pin_arena.push(VertexId::new(cluster_of[fv.index()]));
+        }
+        let unique = sort_dedup_pins(&mut pin_arena[start..]);
+        if unique < 2 {
+            pin_arena.truncate(start);
+            continue;
+        }
+        pin_arena.truncate(start + unique);
+        nets.push(CoarseNet {
+            start: start as u32,
+            len: unique as u32,
+            weight: h.net_weight(e),
+            fp: fingerprint(&pin_arena[start..]),
+        });
+    }
+
+    Some(merge_and_build(
+        h,
+        coarse_n,
+        pin_arena,
+        nets,
+        sort_idx,
+        rep,
+        cluster_info,
+        cluster_of,
+        builder,
+        csr,
+    ))
 }
 
 /// Builds a full coarsening hierarchy: `levels[0]` coarsens the input,

@@ -36,6 +36,8 @@
 
 pub mod coarsen;
 mod driver;
+pub mod par_coarsen;
+mod parallel;
 mod partitioner;
 
 pub use driver::{
@@ -43,4 +45,9 @@ pub use driver::{
     multi_start_parallel_traced, multi_start_parallel_with, multi_start_traced, multi_start_with,
     MultiStartOutcome, StartRecord,
 };
+pub use par_coarsen::{
+    build_hierarchy_par_with, coarsen_once_par_with, PAR_COARSEN_MIN_VERTICES, PAR_MATCH_WINDOW,
+    PAR_STAGE_MIN_NETS,
+};
+pub use parallel::PAR_REFINE_MIN_VERTICES;
 pub use partitioner::{MlConfig, MlOutcome, MlPartitioner};

@@ -32,6 +32,20 @@ pub struct MlConfig {
     /// Number of seeded initial partitions tried on the coarsest graph
     /// (best kept).
     pub initial_tries: usize,
+    /// Number of parallel lanes of the shared-memory engine. `0` (the
+    /// default) selects the serial legacy engine; `>= 1` selects the
+    /// parallel engine with that many logical lanes (the physical worker
+    /// count comes from the rayon pool). In deterministic mode results
+    /// are identical for every lane count, so this is purely a
+    /// decomposition knob there.
+    pub threads: usize,
+    /// Whether the parallel engine must be bitwise deterministic: a pure
+    /// function of `(graph, config, seed)`, independent of the lane count
+    /// and the physical thread count (the default). When `false`,
+    /// speculation windows scale with the lane count and results may vary
+    /// with it — but stay race-free, legal, and audit-clean. Ignored by
+    /// the serial engine (`threads == 0`), which is always deterministic.
+    pub deterministic: bool,
 }
 
 impl Default for MlConfig {
@@ -40,6 +54,8 @@ impl Default for MlConfig {
             refine: FmConfig::lifo(),
             coarsen: CoarsenConfig::default(),
             initial_tries: 10,
+            threads: 0,
+            deterministic: true,
         }
     }
 }
@@ -74,6 +90,20 @@ impl MlConfig {
     /// graph (builder-style; clamped to at least 1 at run time).
     pub fn with_initial_tries(mut self, initial_tries: usize) -> Self {
         self.initial_tries = initial_tries;
+        self
+    }
+
+    /// Sets the lane count of the parallel engine (builder-style); `0`
+    /// keeps the serial legacy engine.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the determinism contract of the parallel engine
+    /// (builder-style).
+    pub fn with_deterministic(mut self, deterministic: bool) -> Self {
+        self.deterministic = deterministic;
         self
     }
 }
@@ -133,6 +163,9 @@ impl MlPartitioner {
         constraint: &BalanceConstraint,
         ctx: &mut RunCtx<'_>,
     ) -> MlOutcome {
+        if self.config.threads > 0 {
+            return self.run_parallel_with(h, constraint, ctx);
+        }
         let mut rng = SmallRng::seed_from_u64(ctx.seed);
         let levels =
             build_hierarchy_with(h, &self.config.coarsen, None, &mut rng, &mut ctx.coarsen);
@@ -215,6 +248,9 @@ impl MlPartitioner {
             h.num_vertices(),
             "assignment length mismatch"
         );
+        if self.config.threads > 0 {
+            return self.vcycle_parallel_with(h, constraint, assignment, ctx);
+        }
         let mut rng = SmallRng::seed_from_u64(ctx.seed);
         let levels = build_hierarchy_with(
             h,
@@ -437,7 +473,10 @@ impl MlPartitioner {
 ///
 /// Level `0` is the input graph (never announced going down — the caller
 /// is already there); coarse level `i + 1` holds `levels[i].graph`.
-fn emit_level_downs<S: TraceSink + ?Sized>(levels: &[crate::coarsen::CoarseLevel], sink: &S) {
+pub(crate) fn emit_level_downs<S: TraceSink + ?Sized>(
+    levels: &[crate::coarsen::CoarseLevel],
+    sink: &S,
+) {
     if !sink.is_enabled() {
         return;
     }

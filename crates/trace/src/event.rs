@@ -256,10 +256,20 @@ pub enum RunEvent {
         /// Seed of the panicked start.
         seed: u64,
     },
+    /// A shard of a parallel refinement round panicked; its proposals were
+    /// discarded and the round continued with the surviving shards
+    /// (best-of-survivors degradation, mirroring
+    /// [`StartAborted`](RunEvent::StartAborted) at round granularity).
+    ShardAborted {
+        /// Zero-based round index within the parallel refinement run.
+        round: u64,
+        /// Zero-based shard index of the panicked shard.
+        shard: u64,
+    },
 }
 
 /// Event kind names, in [`RunEvent::kind_index`] order.
-pub const EVENT_KINDS: [&str; 19] = [
+pub const EVENT_KINDS: [&str; 20] = [
     "trial_begin",
     "trial_end",
     "run_begin",
@@ -279,6 +289,7 @@ pub const EVENT_KINDS: [&str; 19] = [
     "start_end",
     "invariant_violation",
     "start_aborted",
+    "shard_aborted",
 ];
 
 impl RunEvent {
@@ -310,6 +321,7 @@ impl RunEvent {
             RunEvent::StartEnd { .. } => 16,
             RunEvent::InvariantViolation { .. } => 17,
             RunEvent::StartAborted { .. } => 18,
+            RunEvent::ShardAborted { .. } => 19,
         }
     }
 
@@ -446,6 +458,9 @@ impl RunEvent {
             RunEvent::StartAborted { index, seed } => {
                 JsonValue::object([ev, ("index", (*index).into()), ("seed", (*seed).into())])
             }
+            RunEvent::ShardAborted { round, shard } => {
+                JsonValue::object([ev, ("round", (*round).into()), ("shard", (*shard).into())])
+            }
         }
     }
 
@@ -573,6 +588,10 @@ impl RunEvent {
                 index: u("index")?,
                 seed: u("seed")?,
             }),
+            "shard_aborted" => Ok(RunEvent::ShardAborted {
+                round: u("round")?,
+                shard: u("shard")?,
+            }),
             other => Err(format!("unknown event kind `{other}`")),
         }
     }
@@ -656,6 +675,7 @@ mod tests {
                 detail: "reported 300, recomputed 301".into(),
             },
             RunEvent::StartAborted { index: 3, seed: 45 },
+            RunEvent::ShardAborted { round: 2, shard: 1 },
         ]
     }
 

@@ -1,0 +1,372 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this crate implements a
+//! deterministic subset of the upstream API on top of `std::thread`:
+//!
+//! - [`scope`] / [`Scope::spawn`]: structured task parallelism with a
+//!   barrier at scope exit. Jobs may spawn further jobs; panics inside a
+//!   job propagate out of [`scope`] after all other jobs have drained
+//!   (never a deadlock, never a poisoned queue).
+//! - [`join`]: two-way fork-join built on [`scope`].
+//! - [`current_num_threads`]: the width [`scope`] will use, resolved from
+//!   (in priority order) an installed [`ThreadPool`], the
+//!   `RAYON_NUM_THREADS` environment variable, then
+//!   `std::thread::available_parallelism()`.
+//! - [`ThreadPoolBuilder`] / [`ThreadPool::install`]: pin the width for a
+//!   closure, mirroring upstream's pool-local override semantics.
+//!
+//! Unlike upstream there is no global worker pool and no work stealing:
+//! each [`scope`] call spawns `current_num_threads()` OS threads for its
+//! duration and feeds them from a single FIFO queue. That is slower than
+//! real rayon for fine-grained tasks but has identical observable
+//! semantics for the coarse-grained shard/window jobs this workspace
+//! submits, and it keeps the dependency surface at zero.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+thread_local! {
+    /// Width pinned by an enclosing [`ThreadPool::install`] call, if any.
+    static INSTALLED_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Returns the number of worker threads the next [`scope`] call on this
+/// thread will use.
+///
+/// Resolution order: an enclosing [`ThreadPool::install`] override, the
+/// `RAYON_NUM_THREADS` environment variable (ignored when unparsable or
+/// zero), then `std::thread::available_parallelism()`; always at least 1.
+pub fn current_num_threads() -> usize {
+    if let Some(w) = INSTALLED_WIDTH.with(Cell::get) {
+        return w.max(1);
+    }
+    if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The stand-in builder
+/// cannot actually fail; the type exists for upstream signature parity.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with a pinned width.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (auto-resolved) width.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Pins the pool width; `0` means "resolve automatically".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in the stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// A handle that pins [`current_num_threads`] to a fixed width for the
+/// duration of an [`install`](ThreadPool::install) call.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+/// Restores the previous installed width even if the closure panics.
+struct WidthGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for WidthGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        INSTALLED_WIDTH.with(|c| c.set(prev));
+    }
+}
+
+impl ThreadPool {
+    /// The pinned width of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `op` with [`current_num_threads`] pinned to this pool's width
+    /// on the calling thread. The previous width is restored on exit,
+    /// including on panic.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = INSTALLED_WIDTH.with(|c| c.replace(Some(self.width)));
+        let _guard = WidthGuard { prev };
+        op()
+    }
+}
+
+type Job<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+struct ScopeState<'scope> {
+    queue: VecDeque<Job<'scope>>,
+    /// Jobs queued or currently executing. A job's own spawns are counted
+    /// before the job itself completes, so `pending == 0` is a true
+    /// quiescence signal.
+    pending: usize,
+    owner_done: bool,
+}
+
+/// A structured-parallelism scope: tasks spawned on it are guaranteed to
+/// have completed (or panicked) by the time [`scope`] returns.
+pub struct Scope<'scope> {
+    state: Mutex<ScopeState<'scope>>,
+    work: Condvar,
+}
+
+fn relock<'a, 'scope>(
+    guard: Result<
+        std::sync::MutexGuard<'a, ScopeState<'scope>>,
+        PoisonError<std::sync::MutexGuard<'a, ScopeState<'scope>>>,
+    >,
+) -> std::sync::MutexGuard<'a, ScopeState<'scope>> {
+    // A job panic unwinds through `resume_unwind` after the lock is
+    // released, so poisoning can only come from a panic inside this
+    // module's own (panic-free) critical sections; recover regardless.
+    guard.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `body` to run on one of the scope's worker threads. The body
+    /// receives the scope itself and may spawn further jobs.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        {
+            let mut st = relock(self.state.lock());
+            st.queue.push_back(Box::new(body));
+            st.pending += 1;
+        }
+        self.work.notify_one();
+    }
+
+    /// Runs one job outside the lock, then decrements `pending`. A
+    /// panicking job still decrements before re-raising, so sibling
+    /// workers and the barrier never hang.
+    fn run_job(&self, job: Job<'scope>) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| job(self)));
+        let quiescent = {
+            let mut st = relock(self.state.lock());
+            st.pending -= 1;
+            st.pending == 0
+        };
+        if quiescent {
+            self.work.notify_all();
+        }
+        if let Err(payload) = outcome {
+            resume_unwind(payload);
+        }
+    }
+
+    fn worker(&self) {
+        let mut st = relock(self.state.lock());
+        loop {
+            if let Some(job) = st.queue.pop_front() {
+                drop(st);
+                self.run_job(job);
+                st = relock(self.state.lock());
+            } else if st.owner_done && st.pending == 0 {
+                break;
+            } else {
+                st = relock(self.work.wait(st));
+            }
+        }
+        drop(st);
+        // Wake siblings so they can observe the exit condition too.
+        self.work.notify_all();
+    }
+}
+
+/// Creates a scope, spawns `current_num_threads()` workers for it, runs
+/// `op`, and blocks until every job spawned on the scope has finished.
+///
+/// If any job panics, the panic is re-raised from this call after all
+/// remaining jobs have drained.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let width = current_num_threads().max(1);
+    let sc = Scope {
+        state: Mutex::new(ScopeState {
+            queue: VecDeque::new(),
+            pending: 0,
+            owner_done: false,
+        }),
+        work: Condvar::new(),
+    };
+    std::thread::scope(|ts| {
+        for _ in 0..width {
+            ts.spawn(|| sc.worker());
+        }
+        let result = op(&sc);
+        {
+            let mut st = relock(sc.state.lock());
+            st.owner_done = true;
+        }
+        sc.work.notify_all();
+        result
+    })
+}
+
+/// Runs `a` on the calling thread and `b` on a scope worker, returning
+/// both results. Panics from either closure propagate.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|_| rb = Some(b()));
+        a()
+    });
+    match rb {
+        Some(v) => (ra, v),
+        // Unreachable: scope() only returns after the spawned job ran to
+        // completion, and a panic in `b` propagates out of scope() above.
+        None => unreachable!("scope barrier guarantees b completed"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_every_job() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_scope_returns() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|inner| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    inner.spawn(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn panic_in_job_propagates_without_hanging() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("boom"));
+                for _ in 0..4 {
+                    s.spawn(|_| {});
+                }
+            });
+        }));
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn install_pins_width_and_restores_it() {
+        let outside = current_num_threads();
+        let pool = match ThreadPoolBuilder::new().num_threads(3).build() {
+            Ok(p) => p,
+            Err(e) => panic!("builder failed: {e}"),
+        };
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn install_restores_width_on_panic() {
+        let outside = current_num_threads();
+        let pool = match ThreadPoolBuilder::new().num_threads(5).build() {
+            Ok(p) => p,
+            Err(e) => panic!("builder failed: {e}"),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"));
+        }));
+        assert!(outcome.is_err());
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".len());
+        assert_eq!((a, b), (4, 2));
+    }
+
+    #[test]
+    fn scope_width_follows_install() {
+        let pool = match ThreadPoolBuilder::new().num_threads(2).build() {
+            Ok(p) => p,
+            Err(e) => panic!("builder failed: {e}"),
+        };
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..10 {
+                    s.spawn(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+}
