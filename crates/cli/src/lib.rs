@@ -12,7 +12,10 @@
 //!   coordinates file (with optional row legalization);
 //! * `report <netlist>` — markdown comparison report (tables, BSF plots,
 //!   Wilcoxon test) plus raw JSON trial records;
-//! * `gen <ibmN|mcncN>` — generate a synthetic benchmark to a file.
+//! * `gen <ibmN|mcncN>` — generate a synthetic benchmark to a file;
+//! * `serve` — long-running partitioning daemon over a length-prefixed
+//!   JSONL socket protocol (see the `hypart-server` crate), with
+//!   instance and coarsening-hierarchy caches.
 //!
 //! The library half exists so the argument parser and command runners are
 //! unit-testable; `main.rs` is a thin shim.
@@ -170,6 +173,24 @@ pub enum Command {
         /// Output path (`.hgr`).
         out: PathBuf,
     },
+    /// `serve [--addr A] [--workers N] [--queue N] [--instance-cache N]
+    /// [--hierarchy-cache N] [--threads N]`
+    Serve {
+        /// Listen address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// Worker threads executing jobs.
+        workers: usize,
+        /// Bounded queue capacity; submissions past it are shed with a
+        /// typed `overloaded` rejection.
+        queue: usize,
+        /// Instance-cache capacity (parsed CSR instances, FIFO).
+        instance_cache: usize,
+        /// Hierarchy-cache capacity (coarsening hierarchies keyed by
+        /// `(digest, coarsen config, seed)`, FIFO).
+        hierarchy_cache: usize,
+        /// Lane count of the parallel ML engine per job (0 = serial).
+        threads: usize,
+    },
 }
 
 /// Available partitioning engines.
@@ -224,6 +245,12 @@ hardware thread); omit the flag for the serial engine. With the default
   hypart place <netlist> [--width W] [--height H] [--rows R] [--seed S] [--out FILE]
   hypart report <netlist> [--trials N] [--tol F] [--seed S] [--out FILE] [--budget-ms T]
   hypart gen <ibm01..ibm18|mcncN> [--scale S] [--seed K] --out FILE
+  hypart serve [--addr HOST:PORT] [--workers N] [--queue N]
+               [--instance-cache N] [--hierarchy-cache N] [--threads N]
+
+`serve` runs the partitioning daemon (length-prefixed JSONL frames over
+TCP; see crates/server). It blocks until a client sends `shutdown`.
+`hypart-loadgen --self-host` exercises it end to end.
 
 Netlists are read as hMETIS .hgr, or as simplified ISPD98 netD when the
 file extension contains `net`.
@@ -358,6 +385,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             seed: parse_flag("--seed", 1.0)? as u64,
             out: flag_value("--out").ok_or("gen: missing --out FILE")?.into(),
         }),
+        "serve" => {
+            let workers = parse_flag("--workers", 2.0)? as usize;
+            if workers == 0 {
+                return Err("--workers must be at least 1".into());
+            }
+            let queue = parse_flag("--queue", 64.0)? as usize;
+            if queue == 0 {
+                return Err("--queue must be at least 1".into());
+            }
+            Ok(Command::Serve {
+                addr: flag_value("--addr").unwrap_or("127.0.0.1:7077").to_string(),
+                workers,
+                queue,
+                instance_cache: parse_flag("--instance-cache", 16.0)? as usize,
+                hierarchy_cache: parse_flag("--hierarchy-cache", 32.0)? as usize,
+                threads: parse_flag("--threads", 0.0)? as usize,
+            })
+        }
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -579,6 +624,40 @@ solution : {}
                 h.num_vertices(),
                 h.num_nets(),
                 h.num_pins()
+            ))
+        }
+        Command::Serve {
+            addr,
+            workers,
+            queue,
+            instance_cache,
+            hierarchy_cache,
+            threads,
+        } => {
+            let config = hypart_server::ServerConfig {
+                addr,
+                workers,
+                queue_capacity: queue,
+                instance_cache_capacity: instance_cache,
+                hierarchy_cache_capacity: hierarchy_cache,
+                ml: MlConfig::default().with_threads(threads),
+                ..hypart_server::ServerConfig::default()
+            };
+            let server = hypart_server::Server::start(config)
+                .map_err(|e| CliError::Runtime(format!("serve: {e}")))?;
+            // Announce before blocking — clients need the address while
+            // the daemon runs, not in the post-shutdown report.
+            println!("hypart daemon listening on {}", server.local_addr());
+            println!("send a `shutdown` frame (or hypart-loadgen) to stop");
+            let stats = server.wait();
+            Ok(format!(
+                "daemon stopped\nsubmitted : {}\ncompleted : {}\nshed      : {}\nerrors    : {}\ncache     : {} instance hits, {} hierarchy hits\n",
+                stats.submitted,
+                stats.completed,
+                stats.rejected_overload,
+                stats.errors,
+                stats.instance_hits,
+                stats.hierarchy_hits,
             ))
         }
         Command::Eval {
@@ -1247,6 +1326,74 @@ mod tests {
         let json = std::fs::read_to_string(dir.join("r.report.json")).unwrap();
         assert!(json.contains("\"heuristic\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        match parse_args(&args(&["serve"])).unwrap() {
+            Command::Serve {
+                addr,
+                workers,
+                queue,
+                instance_cache,
+                hierarchy_cache,
+                threads,
+            } => {
+                assert_eq!(addr, "127.0.0.1:7077");
+                assert_eq!(workers, 2);
+                assert_eq!(queue, 64);
+                assert_eq!(instance_cache, 16);
+                assert_eq!(hierarchy_cache, 32);
+                assert_eq!(threads, 0);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_args(&args(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "8",
+            "--queue",
+            "256",
+        ]))
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                workers,
+                queue,
+                ..
+            } => {
+                assert_eq!(addr, "0.0.0.0:9000");
+                assert_eq!(workers, 8);
+                assert_eq!(queue, 256);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&args(&["serve", "--workers", "0"])).is_err());
+        assert!(parse_args(&args(&["serve", "--queue", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_runs_until_remote_shutdown() {
+        // Port 0: the daemon prints the real address to stdout, which a
+        // unit test cannot capture — so drive the same code path the
+        // command uses, then shut it down over the wire.
+        let config = hypart_server::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..hypart_server::ServerConfig::default()
+        };
+        let server = hypart_server::Server::start(config).unwrap();
+        let addr = server.local_addr();
+        let stopper = std::thread::spawn(move || {
+            let mut client = hypart_server::Client::connect(addr).unwrap();
+            client.shutdown().unwrap();
+        });
+        let stats = server.wait();
+        stopper.join().unwrap();
+        assert_eq!(stats.submitted, 0, "no jobs were sent before shutdown");
     }
 
     #[test]

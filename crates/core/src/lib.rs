@@ -57,6 +57,7 @@ mod config;
 mod ctx;
 mod engine;
 pub mod gain;
+mod hierarchy;
 mod initial;
 pub mod objective;
 mod par;
@@ -76,6 +77,7 @@ pub use config::{
 };
 pub use ctx::{BudgetProbe, CancelToken, RunCtx, DEFAULT_MOVE_CHECK_INTERVAL};
 pub use engine::{FmOutcome, FmPartitioner};
+pub use hierarchy::{CoarseLevel, Hierarchy, SharedHierarchy};
 pub use hypart_trace::StopReason;
 pub use initial::generate_initial;
 pub use par::{derive_seed, ensure_lanes, resolve_threads, MoveProposal, ParLane};

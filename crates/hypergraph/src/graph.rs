@@ -232,6 +232,83 @@ impl Hypergraph {
         self.num_fixed
     }
 
+    /// A 128-bit content digest of the hypergraph, for use as an
+    /// instance-cache key: two hypergraphs have the same digest exactly
+    /// when they describe the same partitioning problem.
+    ///
+    /// The digest covers what the partitioners can observe — vertex
+    /// count, per-vertex weights and fixed sides (in vertex-id order,
+    /// since pins refer to vertex ids), and the multiset of nets, where a
+    /// net is its weight plus its *set* of pins. It is deliberately
+    /// invariant under the two representation choices that carry no
+    /// semantic content: the order nets were added in, and the order of
+    /// pins within a net (both combine commutatively). Any change to a
+    /// pin, a weight, a fixed side, or the net multiset changes the
+    /// digest (modulo 128-bit collisions). The instance
+    /// [`name`](Hypergraph::name) is metadata and excluded.
+    pub fn content_digest(&self) -> u128 {
+        // SplitMix64 finalizer: the per-element mixer. Elements must be
+        // well mixed *before* the commutative sum/xor combines so that
+        // nearby raw values cannot cancel.
+        #[inline]
+        fn mix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        #[inline]
+        fn fnv(h: u64, x: u64) -> u64 {
+            (h ^ x).wrapping_mul(0x0000_0100_0000_01b3)
+        }
+
+        // Ordered lane: vertex identity is positional, so vertex content
+        // hashes in id order.
+        let mut ordered: u64 = 0xcbf2_9ce4_8422_2325;
+        ordered = fnv(ordered, self.num_vertices() as u64);
+        for v in 0..self.num_vertices() {
+            ordered = fnv(ordered, mix(self.vertex_weights[v]));
+            let side = match self.fixed[v] {
+                None => 0u64,
+                Some(PartId::P0) => 1,
+                Some(PartId::P1) => 2,
+            };
+            ordered = fnv(ordered, mix(side));
+        }
+
+        // Unordered lane: each net hashes to one well-mixed word (its
+        // pins combined commutatively), and the nets combine
+        // commutatively in turn — sum and xor accumulators are each
+        // order-invariant, and together they make multiset collisions
+        // require simultaneous cancellation in both.
+        let mut net_sum: u64 = 0;
+        let mut net_xor: u64 = 0;
+        for e in 0..self.num_nets() {
+            let start = self.net_pin_offsets[e] as usize;
+            let end = self.net_pin_offsets[e + 1] as usize;
+            let pins = &self.net_pin_list[start..end];
+            let mut pin_sum: u64 = 0;
+            let mut pin_xor: u64 = 0;
+            for &p in pins {
+                let ph = mix(u64::from(p.raw()) ^ 0x517c_c1b7_2722_0a95);
+                pin_sum = pin_sum.wrapping_add(ph);
+                pin_xor ^= ph;
+            }
+            let mut nh = 0xcbf2_9ce4_8422_2325u64;
+            nh = fnv(nh, u64::from(self.net_weights[e]));
+            nh = fnv(nh, pins.len() as u64);
+            nh = fnv(nh, pin_sum);
+            nh = fnv(nh, pin_xor);
+            let nh = mix(nh);
+            net_sum = net_sum.wrapping_add(nh);
+            net_xor ^= nh;
+        }
+
+        let hi = mix(ordered ^ net_sum.wrapping_add(self.num_nets() as u64));
+        let lo = mix(ordered.wrapping_add(net_xor) ^ mix(self.num_pins() as u64));
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
     /// `true` if all vertices have weight 1 (the classic "unit-area" mode the
     /// paper warns against using exclusively).
     pub fn is_unit_area(&self) -> bool {

@@ -1,0 +1,200 @@
+//! Property tests of [`Hypergraph::content_digest`].
+//!
+//! The digest keys the service's instance and hierarchy caches, so its
+//! contract is load-bearing in both directions:
+//!
+//! * **invariance** — two builds with the same *content* must collide:
+//!   net declaration order and pin order within a net are presentation,
+//!   not content (the `.hgr` format fixes neither), and the instance
+//!   name is metadata;
+//! * **sensitivity** — any change to actual content (a vertex weight, a
+//!   net weight, a pin, a fixed side, an extra net) must change the
+//!   digest, else the cache would serve a wrong instance.
+//!
+//! Sensitivity is probabilistic (the digest is 128 bits wide), so the
+//! tests assert inequality on generated instances — a failure is a real
+//! mixing bug, not bad luck.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+
+use hypart_hypergraph::{Hypergraph, HypergraphBuilder, PartId, VertexId};
+
+/// A generated instance description we can rebuild in permuted forms:
+/// vertex weights, fixed sides, and nets as (pins, weight).
+#[derive(Debug, Clone)]
+struct Spec {
+    weights: Vec<u64>,
+    fixed: Vec<Option<PartId>>,
+    nets: Vec<(Vec<usize>, u32)>,
+}
+
+impl Spec {
+    /// Builds the hypergraph with nets in `net_order` and each net's
+    /// pins optionally reversed — same content, different presentation.
+    fn build(&self, net_order: &[usize], reverse_pins: bool) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let vs: Vec<VertexId> = self.weights.iter().map(|&w| b.add_vertex(w)).collect();
+        for (v, side) in self.fixed.iter().enumerate() {
+            if let Some(side) = side {
+                b.fix_vertex(vs[v], *side);
+            }
+        }
+        for &n in net_order {
+            let (pins, w) = &self.nets[n];
+            let mut ids: Vec<VertexId> = pins.iter().map(|&p| vs[p]).collect();
+            if reverse_pins {
+                ids.reverse();
+            }
+            b.add_net(ids, *w).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn digest(&self, net_order: &[usize], reverse_pins: bool) -> u128 {
+        self.build(net_order, reverse_pins).content_digest()
+    }
+
+    fn identity_order(&self) -> Vec<usize> {
+        (0..self.nets.len()).collect()
+    }
+}
+
+const MAX_N: usize = 24;
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (
+        3usize..MAX_N,
+        proptest::collection::vec(1u64..16, MAX_N..MAX_N + 1),
+        proptest::collection::vec(0u8..6, MAX_N..MAX_N + 1),
+        proptest::collection::vec(
+            (proptest::collection::vec(any::<u32>(), 2..5), 0u32..5),
+            2..24,
+        ),
+    )
+        .prop_map(|(n, weights, fixed, raw_nets)| {
+            let weights: Vec<u64> = weights.into_iter().take(n).collect();
+            let fixed: Vec<Option<PartId>> = fixed
+                .into_iter()
+                .take(n)
+                .map(|f| match f {
+                    0 => Some(PartId::P0),
+                    1 => Some(PartId::P1),
+                    _ => None,
+                })
+                .collect();
+            // Deduplicate pins per net (the builder collapses duplicates
+            // anyway; keeping the spec canonical makes pin-mutations in
+            // the sensitivity tests honest).
+            let nets: Vec<(Vec<usize>, u32)> = raw_nets
+                .into_iter()
+                .map(|(pins, w)| {
+                    let mut pins: Vec<usize> = pins.into_iter().map(|p| p as usize % n).collect();
+                    pins.sort_unstable();
+                    pins.dedup();
+                    (pins, w)
+                })
+                .collect();
+            Spec {
+                weights,
+                fixed,
+                nets,
+            }
+        })
+}
+
+proptest! {
+    /// Net declaration order is presentation: any rotation of the net
+    /// list digests identically, as does reversing every net's pins.
+    #[test]
+    fn digest_invariant_under_net_and_pin_reordering(s in spec(), rot in 1usize..8) {
+        let identity = s.identity_order();
+        let reference = s.digest(&identity, false);
+
+        let mut rotated = identity.clone();
+        let len = rotated.len().max(1);
+        rotated.rotate_left(rot % len);
+        prop_assert_eq!(s.digest(&rotated, false), reference);
+
+        let mut reversed = identity.clone();
+        reversed.reverse();
+        prop_assert_eq!(s.digest(&reversed, false), reference);
+
+        prop_assert_eq!(s.digest(&identity, true), reference);
+        prop_assert_eq!(s.digest(&reversed, true), reference);
+    }
+
+    /// The instance name is metadata, not content.
+    #[test]
+    fn digest_ignores_the_name(s in spec()) {
+        let named = {
+            let mut b = HypergraphBuilder::new();
+            let vs: Vec<VertexId> = s.weights.iter().map(|&w| b.add_vertex(w)).collect();
+            for (v, side) in s.fixed.iter().enumerate() {
+                if let Some(side) = side {
+                    b.fix_vertex(vs[v], *side);
+                }
+            }
+            for (pins, w) in &s.nets {
+                b.add_net(pins.iter().map(|&p| vs[p]), *w).unwrap();
+            }
+            b.name("renamed-instance").build().unwrap()
+        };
+        prop_assert_eq!(named.content_digest(), s.digest(&s.identity_order(), false));
+    }
+
+    /// Every content mutation moves the digest: vertex weight, net
+    /// weight, a dropped pin, a flipped fixed side, an appended net.
+    #[test]
+    fn digest_is_sensitive_to_content_changes(s in spec(), which in any::<u32>()) {
+        let identity = s.identity_order();
+        let reference = s.digest(&identity, false);
+
+        let mut bumped = s.clone();
+        let v = which as usize % bumped.weights.len();
+        bumped.weights[v] += 1;
+        prop_assert_ne!(bumped.digest(&identity, false), reference);
+
+        let mut reweighted = s.clone();
+        let n = which as usize % reweighted.nets.len();
+        reweighted.nets[n].1 += 1;
+        prop_assert_ne!(reweighted.digest(&identity, false), reference);
+
+        let mut flipped = s.clone();
+        let v = (which as usize).wrapping_mul(7) % flipped.fixed.len();
+        flipped.fixed[v] = match flipped.fixed[v] {
+            Some(PartId::P0) => Some(PartId::P1),
+            Some(PartId::P1) => None,
+            None => Some(PartId::P0),
+        };
+        prop_assert_ne!(flipped.digest(&identity, false), reference);
+
+        let mut grown = s.clone();
+        grown.nets.push((vec![0, 1, 2], 1));
+        let grown_order: Vec<usize> = (0..grown.nets.len()).collect();
+        prop_assert_ne!(grown.digest(&grown_order, false), reference);
+
+        let mut shrunk = s.clone();
+        if let Some(net) = shrunk.nets.iter_mut().find(|(pins, _)| pins.len() > 2) {
+            net.0.pop();
+            prop_assert_ne!(shrunk.digest(&identity, false), reference);
+        }
+    }
+}
+
+/// A digest survives an `.hgr` round trip: serialization is one of the
+/// permutation-free presentations of the same content.
+#[test]
+fn digest_survives_hgr_round_trip() {
+    let mut b = HypergraphBuilder::new();
+    let vs: Vec<VertexId> = (0..9).map(|i| b.add_vertex(1 + (i % 3) as u64)).collect();
+    for w in vs.windows(3) {
+        b.add_net([w[0], w[1], w[2]], 2).unwrap();
+    }
+    let h = b.build().unwrap();
+    let mut text = Vec::new();
+    hypart_hypergraph::io::hgr::write(&h, &mut text).unwrap();
+    let back = hypart_hypergraph::io::hgr::read(text.as_slice()).unwrap();
+    assert_eq!(back.content_digest(), h.content_digest());
+}

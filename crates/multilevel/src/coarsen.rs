@@ -80,25 +80,7 @@ impl Default for CoarsenConfig {
     }
 }
 
-/// One coarsening level: the coarse hypergraph plus the fine→coarse vertex
-/// map.
-#[derive(Clone, Debug)]
-pub struct CoarseLevel {
-    /// The coarse hypergraph.
-    pub graph: Hypergraph,
-    /// `map[fine_vertex] = coarse_vertex`.
-    pub map: Vec<VertexId>,
-}
-
-impl CoarseLevel {
-    /// Projects a coarse assignment back to the fine level.
-    pub fn project(&self, coarse_assignment: &[PartId]) -> Vec<PartId> {
-        self.map
-            .iter()
-            .map(|cv| coarse_assignment[cv.index()])
-            .collect()
-    }
-}
+pub use hypart_core::CoarseLevel;
 
 /// Candidate keys: bit 31 tags an unmatched vertex (cluster-to-be); clear
 /// bit 31 to recover the vertex id. Untagged keys are formed cluster ids.

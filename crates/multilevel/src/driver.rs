@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use crate::partitioner::{MlOutcome, MlPartitioner};
 use hypart_core::{
-    AuditError, BalanceConstraint, CoarsenWorkspace, FmWorkspace, RunCtx, StopReason,
+    AuditError, BalanceConstraint, CoarsenWorkspace, FmWorkspace, Hierarchy, RunCtx, StopReason,
 };
 use hypart_hypergraph::{Hypergraph, PartId};
 use hypart_trace::{MemorySink, NullSink, RunEvent, TraceSink};
@@ -380,15 +380,70 @@ pub fn multi_start_budgeted(
 /// deadline, cancellation token). The first start always runs — even with
 /// an already-expired deadline the engines return a legal, merely
 /// unrefined solution — so the outcome is always well-formed.
+///
+/// # Bracket pairing contract
+///
+/// Every emitted [`RunEvent::StartBegin`] is closed by exactly one
+/// [`RunEvent::StartEnd`] (the start finished, possibly truncated) or
+/// [`RunEvent::StartAborted`] (the start panicked and was isolated). The
+/// launch gate consults the budget probe *immediately* before opening a
+/// bracket, so a deadline that has already expired can never open a
+/// `StartBegin` it cannot close — the sweep emits
+/// [`RunEvent::BudgetExhausted`] and stops instead. No start events
+/// follow `BudgetExhausted`. The only exemption from the gate is the
+/// mandatory first start, and its bracket, too, is always closed: with an
+/// expired deadline it runs construction-only and closes with
+/// `StartEnd { completed: false, .. }`.
 pub fn multi_start_budgeted_with(
     partitioner: &MlPartitioner,
     h: &Hypergraph,
     constraint: &BalanceConstraint,
     ctx: &mut RunCtx<'_>,
 ) -> MultiStartOutcome {
+    let fault = ctx.fault_plan().clone();
+    budgeted_sweep(ctx, |i, ctx| {
+        fault.trip_start(i);
+        partitioner.run_with(h, constraint, ctx)
+    })
+}
+
+/// [`multi_start_budgeted_with`] on a pre-built coarsening hierarchy:
+/// every start reuses `hierarchy` via
+/// [`run_from_hierarchy_with`](MlPartitioner::run_from_hierarchy_with),
+/// so the per-start cost is initial partitioning + refinement only. This
+/// is the sweep a hierarchy-cache hit runs in the partitioning service.
+///
+/// The launch gating, bracket pairing, and best-of-completed selection
+/// are byte-for-byte those of [`multi_start_budgeted_with`] (one shared
+/// sweep loop), and each start remains a pure function of its seed — so
+/// two sweeps over the same hierarchy, budget permitting the same start
+/// count, emit identical traces.
+pub fn multi_start_budgeted_from_hierarchy_with(
+    partitioner: &MlPartitioner,
+    h: &Hypergraph,
+    hierarchy: &Hierarchy,
+    constraint: &BalanceConstraint,
+    ctx: &mut RunCtx<'_>,
+) -> MultiStartOutcome {
+    let fault = ctx.fault_plan().clone();
+    budgeted_sweep(ctx, |i, ctx| {
+        fault.trip_start(i);
+        partitioner.run_from_hierarchy_with(h, hierarchy, constraint, ctx)
+    })
+}
+
+/// The shared budgeted sweep loop: seeds `ctx.seed + i`, launch-gates on
+/// the budget probe, brackets every launched start with
+/// `StartBegin`/`StartEnd` (or `StartAborted` on a caught panic), and
+/// returns the best among the fully completed starts. `run_start(i, ctx)`
+/// runs start `i` with `ctx.seed` already set to the start's seed; it is
+/// called inside the panic boundary.
+fn budgeted_sweep<'s, F>(ctx: &mut RunCtx<'s>, mut run_start: F) -> MultiStartOutcome
+where
+    F: FnMut(u64, &mut RunCtx<'s>) -> MlOutcome,
+{
     let t0 = Instant::now();
     let base_seed = ctx.seed;
-    let fault = ctx.fault_plan().clone();
     let mut probe = ctx.probe();
     let mut starts = Vec::new();
     let mut stats = MultiStartStats::default();
@@ -396,6 +451,11 @@ pub fn multi_start_budgeted_with(
     let mut best: Option<MlOutcome> = None;
     let mut stopped = StopReason::Deadline;
     for i in 0u64.. {
+        // Launch gate: a `StartBegin` bracket may only open when the
+        // probe does not already report expiry, so an exhausted budget
+        // can never produce a dangling bracket. The mandatory first
+        // start is exempt (the sweep must return a well-formed
+        // solution), but its bracket is still closed by `StartEnd`.
         if i > 0 {
             if let Some(reason) = probe.stop_now() {
                 stopped = reason;
@@ -407,10 +467,7 @@ pub fn multi_start_budgeted_with(
         ctx.sink.emit(RunEvent::StartBegin { index: i, seed });
         let t = Instant::now();
         ctx.seed = seed;
-        let attempt = catch_unwind(AssertUnwindSafe(|| {
-            fault.trip_start(i);
-            partitioner.run_with(h, constraint, ctx)
-        }));
+        let attempt = catch_unwind(AssertUnwindSafe(|| run_start(i, ctx)));
         let out = match attempt {
             Ok(out) => out,
             Err(payload) => {

@@ -41,10 +41,12 @@ mod parallel;
 mod partitioner;
 
 pub use driver::{
-    multi_start, multi_start_budgeted, multi_start_budgeted_with, multi_start_parallel,
-    multi_start_parallel_traced, multi_start_parallel_with, multi_start_traced, multi_start_with,
-    MultiStartOutcome, StartRecord,
+    multi_start, multi_start_budgeted, multi_start_budgeted_from_hierarchy_with,
+    multi_start_budgeted_with, multi_start_parallel, multi_start_parallel_traced,
+    multi_start_parallel_with, multi_start_traced, multi_start_with, MultiStartOutcome,
+    StartRecord,
 };
+pub use hypart_core::{Hierarchy, SharedHierarchy};
 pub use par_coarsen::{
     build_hierarchy_par_with, coarsen_once_par_with, PAR_COARSEN_MIN_VERTICES, PAR_MATCH_WINDOW,
     PAR_STAGE_MIN_NETS,

@@ -175,6 +175,23 @@ impl MlPartitioner {
 /// survivors. Only if *every* try panics is try 0 re-run without the
 /// panic boundary, so the underlying fault surfaces instead of being
 /// silently swallowed.
+///
+/// # Seed schedule: intentional divergence from the serial engine
+///
+/// The serial engine's initial portfolio draws every try from **one**
+/// shared `SmallRng` stream seeded with `ctx.seed` (and already advanced
+/// by hierarchy construction), so try *t*'s randomness depends on how
+/// much entropy tries `0..t` consumed. That schedule is inherently
+/// sequential — it cannot be decomposed across lanes without replaying
+/// the predecessors. The parallel engine therefore gives try *t* its own
+/// pure seed `derive_seed(ctx.seed, t)` (SplitMix64), which is what makes
+/// the portfolio lane-count-invariant: any lane can run any try and
+/// produce the identical result. The two engines consequently produce
+/// **different** (each internally deterministic) results for the same
+/// `(instance, config, seed)` — including at `threads: 1`, which selects
+/// the parallel engine's schedule with one lane, *not* the serial
+/// engine's schedule. `threads: 0` is the serial schedule. This contract
+/// is pinned by `tests/seed_schedule.rs`.
 fn parallel_initial(
     config: &MlConfig,
     coarsest: &Hypergraph,

@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 use crate::coarsen::{build_hierarchy_with, CoarsenConfig};
 use hypart_core::{
     generate_initial, AuditError, BalanceConstraint, Bisection, FmConfig, FmPartitioner,
-    FmWorkspace, InitialSolution, PartitionAuditor, RunCtx, StopReason,
+    FmWorkspace, Hierarchy, InitialSolution, PartitionAuditor, RunCtx, StopReason,
 };
 use hypart_hypergraph::{Hypergraph, PartId};
 use hypart_trace::{RunEvent, TraceSink};
@@ -38,6 +38,15 @@ pub struct MlConfig {
     /// count comes from the rayon pool). In deterministic mode results
     /// are identical for every lane count, so this is purely a
     /// decomposition knob there.
+    ///
+    /// Note that `threads: 1` is **not** the serial engine: the serial
+    /// engine draws all initial tries from one shared RNG stream, while
+    /// the parallel engine gives try *t* the pure per-try seed
+    /// `derive_seed(seed, t)` — the very property that makes its results
+    /// lane-count-invariant. The two are distinct deterministic seed
+    /// schedules (each bitwise reproducible in itself); the divergence is
+    /// documented on `parallel_initial` and pinned by
+    /// `tests/seed_schedule.rs`.
     pub threads: usize,
     /// Whether the parallel engine must be bitwise deterministic: a pure
     /// function of `(graph, config, seed)`, independent of the lane count
@@ -230,6 +239,87 @@ impl MlPartitioner {
         let out = self.run_with(h, constraint, &mut ctx);
         *workspace = ctx.workspace;
         out
+    }
+
+    /// Builds and freezes the unrestricted coarsening hierarchy for `h`,
+    /// without partitioning — the build half of the split
+    /// coarsen-then-partition pipeline used by the partitioning service's
+    /// hierarchy cache.
+    ///
+    /// The hierarchy is a pure function of
+    /// `(h, self.config().coarsen, ctx.seed)`: the clustering RNG is a
+    /// fresh `SmallRng` seeded with `ctx.seed`, exactly as in
+    /// [`run_with`](MlPartitioner::run_with), so a cache keyed on
+    /// `(instance digest, coarsening config, seed)` reproduces the same
+    /// levels bitwise. No trace events are emitted here; the consuming
+    /// [`run_from_hierarchy_with`](MlPartitioner::run_from_hierarchy_with)
+    /// announces the levels so that cached and freshly built hierarchies
+    /// produce identical traces.
+    pub fn coarsen_hierarchy_with(&self, h: &Hypergraph, ctx: &mut RunCtx<'_>) -> Hierarchy {
+        let mut rng = SmallRng::seed_from_u64(ctx.seed);
+        let levels =
+            build_hierarchy_with(h, &self.config.coarsen, None, &mut rng, &mut ctx.coarsen);
+        Hierarchy::new(levels)
+    }
+
+    /// One multilevel start on `h` reusing an already-built
+    /// `hierarchy` (see
+    /// [`coarsen_hierarchy_with`](MlPartitioner::coarsen_hierarchy_with)):
+    /// initial partitioning on the coarsest graph, then uncoarsening with
+    /// refinement at every level — everything *except* the hierarchy
+    /// build, which is precisely the work a hierarchy-cache hit skips.
+    ///
+    /// # Determinism contract
+    ///
+    /// The run is a pure function of
+    /// `(h, hierarchy, self.config(), ctx.seed)`: initial partitioning
+    /// and refinement draw from a fresh `SmallRng` seeded with
+    /// `ctx.seed`, *independent* of the RNG that built the hierarchy.
+    /// Consequently a cache-hit run and a fresh
+    /// `coarsen_hierarchy_with` + `run_from_hierarchy_with` pair with the
+    /// same seeds are bitwise identical (same trace, same assignment).
+    /// This intentionally diverges from the single-call
+    /// [`run_with`](MlPartitioner::run_with), whose initial partitioning
+    /// *continues* the hierarchy-build RNG stream; the two entry points
+    /// are distinct deterministic schedules, each stable in itself.
+    ///
+    /// The split pipeline always runs the serial engine: per-job
+    /// parallelism in the service comes from running many jobs
+    /// concurrently, not from lanes inside one job, so
+    /// [`threads`](MlConfig::threads) is ignored here.
+    ///
+    /// # Panics
+    ///
+    /// If `hierarchy` was not built for a hypergraph with
+    /// `h.num_vertices()` vertices.
+    pub fn run_from_hierarchy_with(
+        &self,
+        h: &Hypergraph,
+        hierarchy: &Hierarchy,
+        constraint: &BalanceConstraint,
+        ctx: &mut RunCtx<'_>,
+    ) -> MlOutcome {
+        if let Some(first) = hierarchy.levels().first() {
+            assert_eq!(
+                first.map.len(),
+                h.num_vertices(),
+                "hierarchy was built for a different hypergraph"
+            );
+        }
+        let mut rng = SmallRng::seed_from_u64(ctx.seed);
+        emit_level_downs(hierarchy.levels(), ctx.sink);
+        let coarsest: &Hypergraph = hierarchy.coarsest().unwrap_or(h);
+        let mut audit_failure = None;
+        let initial = self.best_initial(coarsest, constraint, &mut rng, ctx, &mut audit_failure);
+        self.uncoarsen(
+            h,
+            hierarchy.levels(),
+            initial,
+            constraint,
+            &mut rng,
+            ctx,
+            audit_failure,
+        )
     }
 
     /// The canonical V-cycle entry point: restricted coarsening that

@@ -1,0 +1,277 @@
+//! Load generator for the partitioning daemon.
+//!
+//! Drives a mixed workload — 2-way jobs (budgeted and not, traced and
+//! not), k-way jobs, evals, and digest re-queries that exercise both
+//! caches — from several client threads, then prints a one-screen
+//! summary of outcomes and daemon counters.
+//!
+//! ```text
+//! hypart-loadgen --self-host --jobs 200 --clients 4
+//! hypart-loadgen --addr 127.0.0.1:7117 --jobs 1000 --cells 800
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::process::ExitCode;
+
+use hypart_server::protocol::{EvalRequest, InstanceRef, PartitionRequest, Request};
+use hypart_server::{Client, JobOutcome, Server, ServerConfig};
+
+struct Options {
+    addr: Option<String>,
+    self_host: bool,
+    jobs: usize,
+    clients: usize,
+    cells: usize,
+    budget_ms: u64,
+    seed: u64,
+    shutdown: bool,
+}
+
+impl Options {
+    fn parse() -> Result<Options, String> {
+        let mut opts = Options {
+            addr: None,
+            self_host: false,
+            jobs: 200,
+            clients: 4,
+            cells: 300,
+            budget_ms: 20,
+            seed: 1,
+            shutdown: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+            match arg.as_str() {
+                "--addr" => opts.addr = Some(value("--addr")?),
+                "--self-host" => opts.self_host = true,
+                "--jobs" => opts.jobs = parse_num(&value("--jobs")?)?,
+                "--clients" => opts.clients = parse_num(&value("--clients")?)?,
+                "--cells" => opts.cells = parse_num(&value("--cells")?)?,
+                "--budget-ms" => opts.budget_ms = parse_num(&value("--budget-ms")?)? as u64,
+                "--seed" => opts.seed = parse_num(&value("--seed")?)? as u64,
+                "--shutdown" => opts.shutdown = true,
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+            }
+        }
+        if opts.addr.is_none() && !opts.self_host {
+            return Err(format!("give --addr or --self-host\n{USAGE}"));
+        }
+        Ok(opts)
+    }
+}
+
+const USAGE: &str = "usage: hypart-loadgen (--addr HOST:PORT | --self-host) \
+[--jobs N] [--clients N] [--cells N] [--budget-ms MS] [--seed S] [--shutdown]
+
+--shutdown sends the remote shutdown op after the workload, stopping an
+external daemon (a --self-host daemon is always stopped).";
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+#[derive(Default)]
+struct Tally {
+    finished: usize,
+    rejected: usize,
+    failed: usize,
+    cache_reuses: usize,
+    total_cut: u64,
+    events: usize,
+}
+
+fn main() -> ExitCode {
+    let opts = match Options::parse() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let hosted = if opts.self_host {
+        Some(
+            Server::start(ServerConfig::default())
+                .map_err(|e| format!("self-host bind failed: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let addr = match (&hosted, &opts.addr) {
+        (Some(handle), _) => handle.local_addr().to_string(),
+        (None, Some(addr)) => addr.clone(),
+        (None, None) => return Err("no address".to_string()),
+    };
+
+    // One instance shared by every job, serialized once: the whole point
+    // of the daemon is amortizing this.
+    let instance = hypart_benchgen::mcnc_like(opts.cells, opts.seed);
+    let mut hgr_text = Vec::new();
+    hypart_hypergraph::io::hgr::write(&instance, &mut hgr_text)
+        .map_err(|e| format!("serializing instance: {e}"))?;
+    let hgr_text = String::from_utf8(hgr_text).map_err(|e| format!("non-utf8 hgr: {e}"))?;
+
+    let clients = opts.clients.max(1);
+    let per_client = opts.jobs.div_ceil(clients);
+    let start = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let addr = addr.clone();
+        let hgr_text = hgr_text.clone();
+        let budget_ms = opts.budget_ms;
+        let base_seed = opts.seed;
+        handles.push(std::thread::spawn(move || {
+            client_worker(&addr, &hgr_text, c as u64, per_client, budget_ms, base_seed)
+        }));
+    }
+    let mut tally = Tally::default();
+    for handle in handles {
+        let part = handle
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+        tally.finished += part.finished;
+        tally.rejected += part.rejected;
+        tally.failed += part.failed;
+        tally.cache_reuses += part.cache_reuses;
+        tally.total_cut += part.total_cut;
+        tally.events += part.events;
+    }
+    let elapsed = start.elapsed();
+
+    let mut reporter =
+        Client::connect(&addr).map_err(|e| format!("stats connection failed: {e}"))?;
+    let stats = reporter
+        .stats()
+        .map_err(|e| format!("stats op failed: {e}"))?;
+
+    println!(
+        "jobs:        {} finished, {} rejected, {} failed",
+        tally.finished, tally.rejected, tally.failed
+    );
+    println!("traces:      {} events streamed", tally.events);
+    println!(
+        "cache:       {} hierarchy reuses seen by clients",
+        tally.cache_reuses
+    );
+    println!(
+        "daemon:      submitted {} completed {} shed {} errors {}",
+        stats.submitted, stats.completed, stats.rejected_overload, stats.errors
+    );
+    println!(
+        "instances:   {} hits / {} misses; hierarchies: {} hits / {} misses",
+        stats.instance_hits, stats.instance_misses, stats.hierarchy_hits, stats.hierarchy_misses
+    );
+    println!(
+        "throughput:  {:.0} jobs/s over {:.2?}",
+        tally.finished as f64 / elapsed.as_secs_f64().max(1e-9),
+        elapsed
+    );
+
+    if opts.shutdown {
+        reporter
+            .shutdown()
+            .map_err(|e| format!("shutdown op failed: {e}"))?;
+        println!("daemon told to shut down");
+    }
+    if let Some(handle) = hosted {
+        handle.shutdown();
+    }
+    Ok(())
+}
+
+fn client_worker(
+    addr: &str,
+    hgr_text: &str,
+    client_index: u64,
+    jobs: usize,
+    budget_ms: u64,
+    base_seed: u64,
+) -> Result<Tally, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+    let mut tally = Tally::default();
+
+    // Upload once, then re-query by digest.
+    let mut first = PartitionRequest::new(1, InstanceRef::Inline(hgr_text.to_string()), base_seed);
+    first.include_assignment = true;
+    client
+        .send(&Request::Partition(first))
+        .map_err(|e| format!("send failed: {e}"))?;
+    let (digest, assignment) = match client
+        .wait_outcome(1)
+        .map_err(|e| format!("first job failed: {e}"))?
+    {
+        JobOutcome::Finished { result, .. } => {
+            tally.finished += 1;
+            tally.total_cut += result.cut;
+            (result.digest, result.assignment.unwrap_or_default())
+        }
+        JobOutcome::Rejected { .. } => return Err("upload job was shed".to_string()),
+        JobOutcome::Failed { code, detail } => return Err(format!("upload job: {code}: {detail}")),
+    };
+
+    for i in 0..jobs as u64 {
+        let id = 2 + i;
+        let seed = base_seed.wrapping_add(client_index * 1000 + i);
+        // Mixed workload: mostly 2-way (some budgeted, some traced, the
+        // traced ones hammering the hierarchy cache by reusing one
+        // seed), some 4-way, some evals.
+        let request = match i % 5 {
+            0 => {
+                let mut r = PartitionRequest::new(id, InstanceRef::Digest(digest), seed);
+                r.budget_ms = Some(budget_ms);
+                Request::Partition(r)
+            }
+            1 => {
+                let mut r = PartitionRequest::new(id, InstanceRef::Digest(digest), base_seed);
+                r.trace = true;
+                Request::Partition(r)
+            }
+            2 => {
+                let mut r = PartitionRequest::new(id, InstanceRef::Digest(digest), seed);
+                r.k = 4;
+                Request::Partition(r)
+            }
+            3 if !assignment.is_empty() => Request::Eval(EvalRequest {
+                id,
+                instance: InstanceRef::Digest(digest),
+                assignment: assignment.clone(),
+                k: 2,
+                fraction: 0.1,
+            }),
+            _ => Request::Partition(PartitionRequest::new(id, InstanceRef::Digest(digest), seed)),
+        };
+        client
+            .send(&request)
+            .map_err(|e| format!("send failed: {e}"))?;
+        match client
+            .wait_outcome(id)
+            .map_err(|e| format!("job {id} failed: {e}"))?
+        {
+            JobOutcome::Finished { result, events } => {
+                tally.finished += 1;
+                tally.total_cut += result.cut;
+                tally.events += events.len();
+                if result.hierarchy_reused {
+                    tally.cache_reuses += 1;
+                }
+            }
+            JobOutcome::Rejected { .. } => tally.rejected += 1,
+            JobOutcome::Failed { .. } => tally.failed += 1,
+        }
+    }
+    Ok(tally)
+}

@@ -1,0 +1,276 @@
+//! A blocking client for the partitioning daemon.
+//!
+//! One connection carries any number of concurrent jobs; the daemon
+//! interleaves their `event`/`result` frames freely, so the client
+//! demultiplexes by job id: frames for jobs other than the one being
+//! waited on are buffered and handed out when their turn comes.
+
+use std::collections::HashMap;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use hypart_trace::RunEvent;
+
+use crate::protocol::{
+    read_frame, write_frame, FrameError, JobResult, Request, Response, StatsSnapshot,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// Default client-side read timeout: long enough for any queued job in
+/// the test suite, short enough that a hung daemon fails tests instead
+/// of wedging them.
+const READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Framing or JSON decoding failure.
+    Frame(FrameError),
+    /// The daemon sent something the protocol does not allow here
+    /// (including connection-scoped error frames carrying no job id).
+    Protocol(String),
+    /// The connection closed while a reply was still owed.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "client framing error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Disconnected => write!(f, "daemon closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// How one job ended, as seen from the client.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// The job ran and reported a result; `events` holds the streamed
+    /// trace (empty unless the request set `trace: true`).
+    Finished {
+        /// The result payload.
+        result: JobResult,
+        /// Streamed trace events, in engine order.
+        events: Vec<RunEvent>,
+    },
+    /// Overload shedding: the job never ran.
+    Rejected {
+        /// Queue depth the daemon observed when shedding.
+        queue_depth: usize,
+        /// The shedding threshold.
+        queue_capacity: usize,
+    },
+    /// A typed job-scoped error (`unknown_instance`, `parse`,
+    /// `stream_poisoned`, …).
+    Failed {
+        /// Machine-readable error code.
+        code: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+#[derive(Default)]
+struct PendingJob {
+    events: Vec<RunEvent>,
+    terminal: Option<JobOutcome>,
+}
+
+/// A blocking connection to the daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: TcpStream,
+    max_frame_bytes: usize,
+    pending: HashMap<u64, PendingJob>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection/setup failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = writer.try_clone()?;
+        reader.set_read_timeout(Some(READ_TIMEOUT))?;
+        Ok(Client {
+            writer,
+            reader,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            pending: HashMap::new(),
+        })
+    }
+
+    /// Sends one request frame without waiting for anything.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &request.to_json())?;
+        Ok(())
+    }
+
+    /// Reads the next response frame raw, bypassing the demultiplexer.
+    ///
+    /// # Errors
+    ///
+    /// I/O, framing, or a clean close ([`ClientError::Disconnected`]).
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        let frame =
+            read_frame(&mut self.reader, self.max_frame_bytes)?.ok_or(ClientError::Disconnected)?;
+        Response::from_json(&frame).map_err(ClientError::Protocol)
+    }
+
+    /// Blocks until job `id` reaches a terminal state, buffering frames
+    /// of other jobs along the way.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or protocol violations; job-level failures are
+    /// data ([`JobOutcome::Failed`] / [`JobOutcome::Rejected`]), not
+    /// errors.
+    pub fn wait_outcome(&mut self, id: u64) -> Result<JobOutcome, ClientError> {
+        loop {
+            if let Some(slot) = self.pending.get_mut(&id) {
+                if let Some(terminal) = slot.terminal.take() {
+                    let outcome = match terminal {
+                        JobOutcome::Finished { result, .. } => JobOutcome::Finished {
+                            result,
+                            events: std::mem::take(&mut slot.events),
+                        },
+                        other => other,
+                    };
+                    self.pending.remove(&id);
+                    return Ok(outcome);
+                }
+            }
+            let response = self.read_response()?;
+            self.absorb(response)?;
+        }
+    }
+
+    /// Requests a counter snapshot and blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or protocol violations.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        self.send(&Request::Stats)?;
+        loop {
+            match self.read_response()? {
+                Response::Stats(snapshot) => return Ok(snapshot),
+                other => self.absorb(other)?,
+            }
+        }
+    }
+
+    /// Cancels job `id`. Returns `true` when the daemon acknowledged
+    /// the cancellation, `false` when it no longer knew the job (already
+    /// finished, or never admitted).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or protocol violations.
+    pub fn cancel(&mut self, id: u64) -> Result<bool, ClientError> {
+        self.send(&Request::Cancel { id })?;
+        loop {
+            match self.read_response()? {
+                Response::Ok { id: acked } if acked == id => return Ok(true),
+                Response::Error {
+                    id: Some(error_id),
+                    code,
+                    ..
+                } if error_id == id && code == "unknown_job" => return Ok(false),
+                other => self.absorb(other)?,
+            }
+        }
+    }
+
+    /// Asks the daemon to shut down and blocks for the farewell.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or protocol violations.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        loop {
+            match self.read_response()? {
+                Response::Bye => return Ok(()),
+                other => self.absorb(other)?,
+            }
+        }
+    }
+
+    /// Files a response into the per-job buffers.
+    fn absorb(&mut self, response: Response) -> Result<(), ClientError> {
+        match response {
+            // Admission acks carry no payload the client needs; results
+            // can even overtake them when a worker is faster than the
+            // reader thread's next write slot.
+            Response::Accepted { .. } => Ok(()),
+            Response::Event { id, event } => {
+                self.pending.entry(id).or_default().events.push(event);
+                Ok(())
+            }
+            Response::Result { id, result } => {
+                let slot = self.pending.entry(id).or_default();
+                slot.terminal = Some(JobOutcome::Finished {
+                    result,
+                    events: Vec::new(),
+                });
+                Ok(())
+            }
+            Response::Rejected {
+                id,
+                queue_depth,
+                queue_capacity,
+            } => {
+                self.pending.entry(id).or_default().terminal = Some(JobOutcome::Rejected {
+                    queue_depth,
+                    queue_capacity,
+                });
+                Ok(())
+            }
+            Response::Error {
+                id: Some(id),
+                code,
+                detail,
+            } => {
+                self.pending.entry(id).or_default().terminal =
+                    Some(JobOutcome::Failed { code, detail });
+                Ok(())
+            }
+            Response::Error {
+                id: None,
+                code,
+                detail,
+            } => Err(ClientError::Protocol(format!(
+                "connection-scoped error {code}: {detail}"
+            ))),
+            Response::Ok { .. } => Ok(()),
+            Response::Stats(_) | Response::Bye => Err(ClientError::Protocol(
+                "unsolicited stats/bye frame".to_string(),
+            )),
+        }
+    }
+}

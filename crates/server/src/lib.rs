@@ -1,0 +1,49 @@
+//! Partitioning as a service.
+//!
+//! The DAC-99 methodology this repo reproduces frames heuristic
+//! evaluation as *many runs under explicit budgets*: cost-at-time-τ
+//! distributions, multi-start sweeps, same-instance re-queries under
+//! different balance tolerances. That traffic shape — heavy query volume
+//! over few netlists — is exactly what a long-running daemon amortizes:
+//! parse once, coarsen once, answer many.
+//!
+//! This crate provides that daemon and its client:
+//!
+//! * [`protocol`] — length-prefixed JSON frames over TCP; requests carry
+//!   an `"op"`, responses a `"reply"`, and job-scoped frames echo the
+//!   client-chosen id so concurrent jobs multiplex on one connection;
+//! * [`queue`] — a bounded MPMC work queue that sheds overload instead
+//!   of buffering it (typed `rejected` responses carrying queue depth);
+//! * [`cache`] — the digest-keyed instance cache and the
+//!   `(digest, coarsening config, seed)`-keyed hierarchy cache;
+//! * [`Server`] / [`ServerHandle`] — the daemon itself: an accept loop,
+//!   one reader thread per connection, and a fixed worker pool that
+//!   reuses engine workspaces across jobs;
+//! * [`Client`] — a blocking client that demultiplexes interleaved
+//!   responses per job id.
+//!
+//! # Determinism contract
+//!
+//! Each job is a deterministic function of
+//! `(instance content, k, fraction, seed)` — *not* of which worker runs
+//! it, how busy the daemon is, or whether any cache hit. A hierarchy
+//! cache hit replays bitwise the same trace a cold run would produce,
+//! prefixed with one `hierarchy_reused` event (the hierarchy is a pure
+//! function of the cache key; see
+//! [`MlPartitioner::coarsen_hierarchy_with`](hypart_ml::MlPartitioner::coarsen_hierarchy_with)).
+//! Budgeted jobs stop deterministically in *shape* (bracketed
+//! `start_begin`/`start_end` pairs, `budget_exhausted` terminator) while
+//! the number of starts naturally varies with wall clock.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod cache;
+mod client;
+pub mod protocol;
+pub mod queue;
+mod server;
+
+pub use client::{Client, ClientError, JobOutcome};
+pub use server::{Server, ServerConfig, ServerHandle};

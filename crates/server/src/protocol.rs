@@ -1,0 +1,907 @@
+//! Wire protocol of the partitioning service.
+//!
+//! Frames are length-prefixed JSON: a big-endian `u32` byte length
+//! followed by exactly that many bytes of UTF-8 JSON (one value per
+//! frame — "JSONL over a socket", with the length prefix standing in for
+//! the newline so payloads may contain any text). Requests carry an
+//! `"op"` discriminator, responses a `"reply"` discriminator; job-scoped
+//! messages echo the client-chosen `"id"` so responses of concurrent
+//! jobs can interleave on one connection and be demultiplexed by the
+//! client.
+//!
+//! All numbers travel as JSON numbers (f64), which round-trip integers
+//! up to 2^53; the 128-bit instance digest therefore travels as a
+//! 32-digit lowercase hex *string*.
+
+use std::io::{Read, Write};
+
+use hypart_trace::json::JsonValue;
+use hypart_trace::{RunEvent, StopReason};
+
+/// Default cap on a single frame's payload size (64 MiB — inline `.hgr`
+/// instances of millions of pins fit; a corrupt length prefix does not
+/// allocate unboundedly).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A framing or decoding failure while reading one frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket read failed (including timeouts).
+    Io(std::io::Error),
+    /// The length prefix exceeds the configured cap.
+    TooLarge {
+        /// Declared payload length.
+        declared: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// The payload was not valid JSON.
+    BadJson(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds cap of {max}")
+            }
+            FrameError::BadJson(e) => write!(f, "frame payload is not valid JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// `true` if the error is a read timeout (idle poll tick), not a real
+/// failure. Both kinds appear depending on platform.
+pub fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Writes one frame: big-endian `u32` length, then the serialized JSON.
+///
+/// # Errors
+///
+/// Propagates the underlying write failure; a value serializing to more
+/// than `u32::MAX` bytes is rejected without writing.
+pub fn write_frame<W: Write>(writer: &mut W, value: &JsonValue) -> std::io::Result<()> {
+    let text = value.to_string();
+    let bytes = text.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| std::io::Error::other("frame payload exceeds u32 length prefix"))?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(bytes)?;
+    writer.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean end-of-stream at a frame
+/// boundary (the peer closed the connection between frames).
+///
+/// A read timeout *before the first byte of a frame* surfaces as
+/// `FrameError::Io` with a timeout kind (see [`is_timeout`]) so idle
+/// pollers can keep waiting; once a frame has started, reads are retried
+/// across timeouts so a slow writer cannot desynchronize the stream.
+///
+/// # Errors
+///
+/// I/O failures, an oversized length prefix, or an unparsable payload.
+pub fn read_frame<R: Read>(
+    reader: &mut R,
+    max_bytes: usize,
+) -> Result<Option<JsonValue>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    // First byte: the only place where EOF is clean and timeouts surface.
+    let mut first = [0u8; 1];
+    loop {
+        match reader.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    len_buf[0] = first[0];
+    read_exact_retry(reader, &mut len_buf[1..])?;
+    let declared = u32::from_be_bytes(len_buf) as usize;
+    if declared > max_bytes {
+        return Err(FrameError::TooLarge {
+            declared,
+            max: max_bytes,
+        });
+    }
+    let mut payload = vec![0u8; declared];
+    read_exact_retry(reader, &mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|e| FrameError::BadJson(format!("payload is not UTF-8: {e}")))?;
+    JsonValue::parse(&text)
+        .map(Some)
+        .map_err(FrameError::BadJson)
+}
+
+/// `read_exact` that rides out read timeouts mid-frame (the reader loop
+/// uses short timeouts only to poll the shutdown flag between frames).
+fn read_exact_retry<R: Read>(reader: &mut R, mut buf: &mut [u8]) -> Result<(), FrameError> {
+    while !buf.is_empty() {
+        match reader.read(buf) {
+            Ok(0) => {
+                return Err(FrameError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )))
+            }
+            Ok(n) => buf = &mut buf[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted || is_timeout(&e) => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Renders a 128-bit instance digest as the wire format (32 lowercase
+/// hex digits).
+pub fn digest_to_hex(digest: u128) -> String {
+    format!("{digest:032x}")
+}
+
+/// Parses the wire digest format back.
+///
+/// # Errors
+///
+/// Anything but 1–32 hex digits.
+pub fn digest_from_hex(s: &str) -> Result<u128, String> {
+    if s.is_empty() || s.len() > 32 {
+        return Err(format!("digest must be 1-32 hex digits, got {:?}", s.len()));
+    }
+    u128::from_str_radix(s, 16).map_err(|e| format!("bad digest {s:?}: {e}"))
+}
+
+/// How a job names its hypergraph instance.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstanceRef {
+    /// The full instance inline, as `.hgr` text. The server parses it,
+    /// registers the CSR in the instance cache under its content digest,
+    /// and returns the digest with the result.
+    Inline(String),
+    /// A content digest of an instance some earlier request already
+    /// uploaded. Skips parsing entirely; unknown digests are rejected
+    /// with a typed `unknown_instance` error.
+    Digest(u128),
+}
+
+/// A partition job request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionRequest {
+    /// Client-chosen job id, echoed on every response for this job.
+    pub id: u64,
+    /// The instance to partition.
+    pub instance: InstanceRef,
+    /// Number of parts (2, or a larger power of two via recursive
+    /// bisection).
+    pub k: usize,
+    /// Balance tolerance fraction (e.g. `0.1` = each side within ±10 %).
+    pub fraction: f64,
+    /// Seed; jobs are deterministic functions of
+    /// `(instance, k, fraction, seed, budget?)` modulo wall-clock start
+    /// counts under a budget.
+    pub seed: u64,
+    /// Wall-clock budget in milliseconds, mapped to the `RunCtx`
+    /// deadline; `None` runs a single unbudgeted start.
+    pub budget_ms: Option<u64>,
+    /// Stream `RunEvent` frames for this job back to the client.
+    pub trace: bool,
+    /// Reuse (and populate) the coarsening-hierarchy cache keyed by
+    /// `(digest, coarsening config, seed)`. Only 2-way jobs consult it.
+    pub use_hierarchy_cache: bool,
+    /// Include the full assignment vector in the result frame.
+    pub include_assignment: bool,
+}
+
+impl PartitionRequest {
+    /// A 2-way request with the common defaults (no budget, no trace,
+    /// hierarchy cache on, no assignment payload).
+    pub fn new(id: u64, instance: InstanceRef, seed: u64) -> Self {
+        PartitionRequest {
+            id,
+            instance,
+            k: 2,
+            fraction: 0.1,
+            seed,
+            budget_ms: None,
+            trace: false,
+            use_hierarchy_cache: true,
+            include_assignment: false,
+        }
+    }
+
+    /// Serializes to the wire object (`"op": "partition"`).
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("op", JsonValue::string("partition")),
+            ("id", (self.id).into()),
+            ("k", (self.k).into()),
+            ("fraction", self.fraction.into()),
+            ("seed", (self.seed).into()),
+            ("trace", self.trace.into()),
+            ("use_hierarchy_cache", self.use_hierarchy_cache.into()),
+            ("include_assignment", self.include_assignment.into()),
+        ];
+        match &self.instance {
+            InstanceRef::Inline(text) => pairs.push(("hgr", JsonValue::string(text.clone()))),
+            InstanceRef::Digest(d) => pairs.push(("digest", JsonValue::string(digest_to_hex(*d)))),
+        }
+        if let Some(ms) = self.budget_ms {
+            pairs.push(("budget_ms", ms.into()));
+        }
+        JsonValue::object(pairs)
+    }
+}
+
+/// An eval job request: score an existing assignment on an instance
+/// (cut, balance, per-part weights) without running any engine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalRequest {
+    /// Client-chosen job id.
+    pub id: u64,
+    /// The instance to evaluate on.
+    pub instance: InstanceRef,
+    /// Part index per vertex.
+    pub assignment: Vec<u16>,
+    /// Number of parts the assignment uses.
+    pub k: usize,
+    /// Balance tolerance fraction.
+    pub fraction: f64,
+}
+
+impl EvalRequest {
+    /// Serializes to the wire object (`"op": "eval"`).
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("op", JsonValue::string("eval")),
+            ("id", (self.id).into()),
+            ("k", (self.k).into()),
+            ("fraction", self.fraction.into()),
+            (
+                "assignment",
+                JsonValue::array(self.assignment.iter().map(|&p| usize::from(p).into())),
+            ),
+        ];
+        match &self.instance {
+            InstanceRef::Inline(text) => pairs.push(("hgr", JsonValue::string(text.clone()))),
+            InstanceRef::Digest(d) => pairs.push(("digest", JsonValue::string(digest_to_hex(*d)))),
+        }
+        JsonValue::object(pairs)
+    }
+}
+
+/// Any request the daemon accepts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Partition an instance.
+    Partition(PartitionRequest),
+    /// Evaluate an assignment.
+    Eval(EvalRequest),
+    /// Cancel a job previously submitted *on this connection*.
+    Cancel {
+        /// Job id to cancel.
+        id: u64,
+    },
+    /// Snapshot the server's counters.
+    Stats,
+    /// Gracefully shut the daemon down.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes to the wire object.
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            Request::Partition(r) => r.to_json(),
+            Request::Eval(r) => r.to_json(),
+            Request::Cancel { id } => {
+                JsonValue::object([("op", JsonValue::string("cancel")), ("id", (*id).into())])
+            }
+            Request::Stats => JsonValue::object([("op", JsonValue::string("stats"))]),
+            Request::Shutdown => JsonValue::object([("op", JsonValue::string("shutdown"))]),
+        }
+    }
+
+    /// Parses a request frame.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the missing or ill-typed field.
+    pub fn from_json(v: &JsonValue) -> Result<Request, String> {
+        let op = v
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field `op`")?;
+        let id = |required: bool| -> Result<u64, String> {
+            match v.get("id").and_then(JsonValue::as_u64) {
+                Some(id) => Ok(id),
+                None if required => Err(format!("{op}: missing u64 field `id`")),
+                None => Ok(0),
+            }
+        };
+        let instance = || -> Result<InstanceRef, String> {
+            match (
+                v.get("hgr").and_then(JsonValue::as_str),
+                v.get("digest").and_then(JsonValue::as_str),
+            ) {
+                (Some(text), None) => Ok(InstanceRef::Inline(text.to_string())),
+                (None, Some(hex)) => Ok(InstanceRef::Digest(digest_from_hex(hex)?)),
+                (Some(_), Some(_)) => Err(format!("{op}: give `hgr` or `digest`, not both")),
+                (None, None) => Err(format!("{op}: missing `hgr` or `digest`")),
+            }
+        };
+        let fraction = || -> Result<f64, String> {
+            match v.get("fraction") {
+                None => Ok(0.1),
+                Some(x) => x
+                    .as_f64()
+                    .filter(|f| f.is_finite() && (0.0..=1.0).contains(f))
+                    .ok_or_else(|| format!("{op}: `fraction` must be a number in [0, 1]")),
+            }
+        };
+        let k = || -> Result<usize, String> {
+            match v.get("k") {
+                None => Ok(2),
+                Some(x) => x
+                    .as_u64()
+                    .map(|k| k as usize)
+                    .filter(|&k| k >= 2 && k.is_power_of_two() && k <= 1 << 12)
+                    .ok_or_else(|| format!("{op}: `k` must be a power of two in [2, 4096]")),
+            }
+        };
+        match op {
+            "partition" => Ok(Request::Partition(PartitionRequest {
+                id: id(true)?,
+                instance: instance()?,
+                k: k()?,
+                fraction: fraction()?,
+                seed: v.get("seed").and_then(JsonValue::as_u64).unwrap_or(0),
+                budget_ms: match v.get("budget_ms") {
+                    None => None,
+                    Some(x) => Some(
+                        x.as_u64()
+                            .ok_or("partition: `budget_ms` must be a u64".to_string())?,
+                    ),
+                },
+                trace: v.get("trace").and_then(JsonValue::as_bool).unwrap_or(false),
+                use_hierarchy_cache: v
+                    .get("use_hierarchy_cache")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(true),
+                include_assignment: v
+                    .get("include_assignment")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false),
+            })),
+            "eval" => {
+                let assignment = match v.get("assignment") {
+                    Some(JsonValue::Array(items)) => items
+                        .iter()
+                        .map(|x| {
+                            x.as_u64()
+                                .filter(|&p| p <= u64::from(u16::MAX))
+                                .map(|p| p as u16)
+                                .ok_or("eval: `assignment` entries must be u16".to_string())
+                        })
+                        .collect::<Result<Vec<u16>, String>>()?,
+                    _ => return Err("eval: missing array field `assignment`".to_string()),
+                };
+                Ok(Request::Eval(EvalRequest {
+                    id: id(true)?,
+                    instance: instance()?,
+                    assignment,
+                    k: k()?,
+                    fraction: fraction()?,
+                }))
+            }
+            "cancel" => Ok(Request::Cancel { id: id(true)? }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// The result payload of a finished job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// Weighted cut of the reported solution.
+    pub cut: u64,
+    /// Whether the solution satisfies the balance constraint.
+    pub balanced: bool,
+    /// Why the job ended (`completed`, `deadline`, `cancelled`).
+    pub stopped: StopReason,
+    /// `true` when the run's audit checkpoints found no invariant
+    /// violation (jobs always run with auditing enabled).
+    pub audit_clean: bool,
+    /// `true` when the job reused a cached coarsening hierarchy (also
+    /// observable as a leading `hierarchy_reused` trace event).
+    pub hierarchy_reused: bool,
+    /// Number of coarsening levels used (0 for eval jobs).
+    pub levels: usize,
+    /// Number of starts launched (budgeted sweeps launch several; plain
+    /// jobs launch 1; eval jobs 0).
+    pub starts: usize,
+    /// Content digest of the instance, so follow-up requests can submit
+    /// by digest instead of re-uploading.
+    pub digest: u128,
+    /// The assignment, when the request asked for it.
+    pub assignment: Option<Vec<u16>>,
+}
+
+impl JobResult {
+    fn to_json(&self, id: u64) -> JsonValue {
+        let mut pairs = vec![
+            ("reply", JsonValue::string("result")),
+            ("id", id.into()),
+            ("cut", self.cut.into()),
+            ("balanced", self.balanced.into()),
+            ("stopped", JsonValue::string(self.stopped.name())),
+            ("audit_clean", self.audit_clean.into()),
+            ("hierarchy_reused", self.hierarchy_reused.into()),
+            ("levels", self.levels.into()),
+            ("starts", self.starts.into()),
+            ("digest", JsonValue::string(digest_to_hex(self.digest))),
+        ];
+        if let Some(assignment) = &self.assignment {
+            pairs.push((
+                "assignment",
+                JsonValue::array(assignment.iter().map(|&p| usize::from(p).into())),
+            ));
+        }
+        JsonValue::object(pairs)
+    }
+
+    fn from_json(v: &JsonValue) -> Result<JobResult, String> {
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("result: missing u64 `{key}`"))
+        };
+        let b = |key: &str| -> Result<bool, String> {
+            v.get(key)
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| format!("result: missing bool `{key}`"))
+        };
+        Ok(JobResult {
+            cut: u("cut")?,
+            balanced: b("balanced")?,
+            stopped: StopReason::parse(
+                v.get("stopped")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("result: missing string `stopped`")?,
+            )?,
+            audit_clean: b("audit_clean")?,
+            hierarchy_reused: b("hierarchy_reused")?,
+            levels: u("levels")? as usize,
+            starts: u("starts")? as usize,
+            digest: digest_from_hex(
+                v.get("digest")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("result: missing string `digest`")?,
+            )?,
+            assignment: match v.get("assignment") {
+                None => None,
+                Some(JsonValue::Array(items)) => Some(
+                    items
+                        .iter()
+                        .map(|x| {
+                            x.as_u64()
+                                .filter(|&p| p <= u64::from(u16::MAX))
+                                .map(|p| p as u16)
+                                .ok_or("result: `assignment` entries must be u16".to_string())
+                        })
+                        .collect::<Result<Vec<u16>, String>>()?,
+                ),
+                Some(_) => return Err("result: `assignment` must be an array".to_string()),
+            },
+        })
+    }
+}
+
+/// A snapshot of the daemon's counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Jobs accepted onto the queue.
+    pub submitted: u64,
+    /// Jobs that finished and reported a result.
+    pub completed: u64,
+    /// Submissions shed with an `overloaded` rejection.
+    pub rejected_overload: u64,
+    /// Jobs whose trace/result stream failed mid-run (poisoned
+    /// connection writer); the job was cancelled and counted here
+    /// instead of streaming a silently truncated trace.
+    pub stream_aborted: u64,
+    /// Parse/validation errors answered with typed error frames.
+    pub errors: u64,
+    /// Instance-cache hits (CSR reuse).
+    pub instance_hits: u64,
+    /// Instance-cache misses (fresh parse registered).
+    pub instance_misses: u64,
+    /// Hierarchy-cache hits (coarsening skipped).
+    pub hierarchy_hits: u64,
+    /// Hierarchy-cache misses (hierarchy built and registered).
+    pub hierarchy_misses: u64,
+    /// Current queue depth.
+    pub queue_depth: usize,
+    /// Queue capacity (shedding threshold).
+    pub queue_capacity: usize,
+}
+
+impl StatsSnapshot {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("reply", JsonValue::string("stats")),
+            ("submitted", self.submitted.into()),
+            ("completed", self.completed.into()),
+            ("rejected_overload", self.rejected_overload.into()),
+            ("stream_aborted", self.stream_aborted.into()),
+            ("errors", self.errors.into()),
+            ("instance_hits", self.instance_hits.into()),
+            ("instance_misses", self.instance_misses.into()),
+            ("hierarchy_hits", self.hierarchy_hits.into()),
+            ("hierarchy_misses", self.hierarchy_misses.into()),
+            ("queue_depth", self.queue_depth.into()),
+            ("queue_capacity", self.queue_capacity.into()),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<StatsSnapshot, String> {
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("stats: missing u64 `{key}`"))
+        };
+        Ok(StatsSnapshot {
+            submitted: u("submitted")?,
+            completed: u("completed")?,
+            rejected_overload: u("rejected_overload")?,
+            stream_aborted: u("stream_aborted")?,
+            errors: u("errors")?,
+            instance_hits: u("instance_hits")?,
+            instance_misses: u("instance_misses")?,
+            hierarchy_hits: u("hierarchy_hits")?,
+            hierarchy_misses: u("hierarchy_misses")?,
+            queue_depth: u("queue_depth")? as usize,
+            queue_capacity: u("queue_capacity")? as usize,
+        })
+    }
+}
+
+/// Any response frame the daemon emits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The job was admitted to the work queue.
+    Accepted {
+        /// Echoed job id.
+        id: u64,
+    },
+    /// Overload shedding: the bounded queue is full, the job was NOT
+    /// admitted — the 429 of this protocol, carrying the observed depth
+    /// so clients can back off proportionally.
+    Rejected {
+        /// Echoed job id.
+        id: u64,
+        /// Queue depth at rejection time.
+        queue_depth: usize,
+        /// Queue capacity (depth == capacity when shedding).
+        queue_capacity: usize,
+    },
+    /// One streamed trace event of a running job (only with
+    /// `trace: true`).
+    Event {
+        /// Echoed job id.
+        id: u64,
+        /// The engine event.
+        event: RunEvent,
+    },
+    /// The job finished.
+    Result {
+        /// Echoed job id.
+        id: u64,
+        /// Result payload.
+        result: JobResult,
+    },
+    /// A typed failure: request parse errors, unknown digests, unknown
+    /// cancel targets, instance parse failures.
+    Error {
+        /// Echoed job id, when the failing frame carried one.
+        id: Option<u64>,
+        /// Stable machine-readable code (`bad_request`, `parse`,
+        /// `unknown_instance`, `unknown_job`, `overloaded`,
+        /// `stream_poisoned`).
+        code: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Acknowledgement of a non-job op (cancel).
+    Ok {
+        /// Echoed job id.
+        id: u64,
+    },
+    /// Counter snapshot.
+    Stats(StatsSnapshot),
+    /// Farewell to a `shutdown` request; the daemon stops accepting
+    /// work after sending it.
+    Bye,
+}
+
+impl Response {
+    /// Serializes to the wire object.
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            Response::Accepted { id } => JsonValue::object([
+                ("reply", JsonValue::string("accepted")),
+                ("id", (*id).into()),
+            ]),
+            Response::Rejected {
+                id,
+                queue_depth,
+                queue_capacity,
+            } => JsonValue::object([
+                ("reply", JsonValue::string("rejected")),
+                ("id", (*id).into()),
+                ("code", JsonValue::string("overloaded")),
+                ("queue_depth", (*queue_depth).into()),
+                ("queue_capacity", (*queue_capacity).into()),
+            ]),
+            Response::Event { id, event } => JsonValue::object([
+                ("reply", JsonValue::string("event")),
+                ("id", (*id).into()),
+                ("event", event.to_json()),
+            ]),
+            Response::Result { id, result } => result.to_json(*id),
+            Response::Error { id, code, detail } => {
+                let mut pairs = vec![
+                    ("reply", JsonValue::string("error")),
+                    ("code", JsonValue::string(code.clone())),
+                    ("detail", JsonValue::string(detail.clone())),
+                ];
+                if let Some(id) = id {
+                    pairs.push(("id", (*id).into()));
+                }
+                JsonValue::object(pairs)
+            }
+            Response::Ok { id } => {
+                JsonValue::object([("reply", JsonValue::string("ok")), ("id", (*id).into())])
+            }
+            Response::Stats(s) => s.to_json(),
+            Response::Bye => JsonValue::object([("reply", JsonValue::string("bye"))]),
+        }
+    }
+
+    /// Parses a response frame.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the missing or ill-typed field.
+    pub fn from_json(v: &JsonValue) -> Result<Response, String> {
+        let reply = v
+            .get("reply")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field `reply`")?;
+        let id = || -> Result<u64, String> {
+            v.get("id")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("{reply}: missing u64 field `id`"))
+        };
+        match reply {
+            "accepted" => Ok(Response::Accepted { id: id()? }),
+            "rejected" => Ok(Response::Rejected {
+                id: id()?,
+                queue_depth: v
+                    .get("queue_depth")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("rejected: missing u64 `queue_depth`")?
+                    as usize,
+                queue_capacity: v
+                    .get("queue_capacity")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("rejected: missing u64 `queue_capacity`")?
+                    as usize,
+            }),
+            "event" => Ok(Response::Event {
+                id: id()?,
+                event: RunEvent::from_json(v.get("event").ok_or("event: missing object `event`")?)?,
+            }),
+            "result" => Ok(Response::Result {
+                id: id()?,
+                result: JobResult::from_json(v)?,
+            }),
+            "error" => Ok(Response::Error {
+                id: v.get("id").and_then(JsonValue::as_u64),
+                code: v
+                    .get("code")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("error: missing string `code`")?
+                    .to_string(),
+                detail: v
+                    .get("detail")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("error: missing string `detail`")?
+                    .to_string(),
+            }),
+            "ok" => Ok(Response::Ok { id: id()? }),
+            "stats" => Ok(Response::Stats(StatsSnapshot::from_json(v)?)),
+            "bye" => Ok(Response::Bye),
+            other => Err(format!("unknown reply {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let value = JsonValue::object([("x", 7u64.into()), ("s", JsonValue::string("héllo"))]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &value).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let back = read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, value);
+        // Clean EOF after the frame.
+        assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        match read_frame(&mut cursor, 1024) {
+            Err(FrameError::TooLarge { declared, max }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_clean_eof() {
+        let value = JsonValue::object([("x", 7u64.into())]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &value).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn digest_hex_roundtrip() {
+        for d in [0u128, 1, u128::MAX, 0xdead_beef_cafe] {
+            assert_eq!(digest_from_hex(&digest_to_hex(d)).unwrap(), d);
+        }
+        assert!(digest_from_hex("").is_err());
+        assert!(digest_from_hex("xyz").is_err());
+        assert!(digest_from_hex(&"f".repeat(33)).is_err());
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Partition(PartitionRequest {
+                id: 9,
+                instance: InstanceRef::Digest(0xabc),
+                k: 4,
+                fraction: 0.25,
+                seed: 17,
+                budget_ms: Some(50),
+                trace: true,
+                use_hierarchy_cache: false,
+                include_assignment: true,
+            }),
+            Request::Partition(PartitionRequest::new(
+                1,
+                InstanceRef::Inline("2 3\n1 2\n2 3\n".to_string()),
+                42,
+            )),
+            Request::Eval(EvalRequest {
+                id: 3,
+                instance: InstanceRef::Digest(5),
+                assignment: vec![0, 1, 1],
+                k: 2,
+                fraction: 0.5,
+            }),
+            Request::Cancel { id: 12 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let back = Request::from_json(&req.to_json()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn request_validation_rejects_bad_fields() {
+        for text in [
+            r#"{"op":"partition","id":1,"hgr":"x","k":3}"#,
+            r#"{"op":"partition","id":1,"hgr":"x","fraction":1.5}"#,
+            r#"{"op":"partition","id":1}"#,
+            r#"{"op":"partition","hgr":"x"}"#,
+            r#"{"op":"eval","id":1,"hgr":"x"}"#,
+            r#"{"op":"nope"}"#,
+            r#"{"id":1}"#,
+        ] {
+            let v = JsonValue::parse(text).unwrap();
+            assert!(Request::from_json(&v).is_err(), "accepted: {text}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resps = [
+            Response::Accepted { id: 1 },
+            Response::Rejected {
+                id: 2,
+                queue_depth: 8,
+                queue_capacity: 8,
+            },
+            Response::Event {
+                id: 3,
+                event: RunEvent::HierarchyReused { levels: 4 },
+            },
+            Response::Result {
+                id: 4,
+                result: JobResult {
+                    cut: 11,
+                    balanced: true,
+                    stopped: StopReason::Deadline,
+                    audit_clean: true,
+                    hierarchy_reused: true,
+                    levels: 3,
+                    starts: 5,
+                    digest: 0xfeed,
+                    assignment: Some(vec![0, 1, 0]),
+                },
+            },
+            Response::Error {
+                id: Some(5),
+                code: "unknown_instance".to_string(),
+                detail: "no such digest".to_string(),
+            },
+            Response::Error {
+                id: None,
+                code: "bad_request".to_string(),
+                detail: "missing op".to_string(),
+            },
+            Response::Ok { id: 6 },
+            Response::Stats(StatsSnapshot {
+                submitted: 10,
+                completed: 9,
+                rejected_overload: 1,
+                queue_capacity: 8,
+                ..StatsSnapshot::default()
+            }),
+            Response::Bye,
+        ];
+        for resp in resps {
+            let back = Response::from_json(&resp.to_json()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+}

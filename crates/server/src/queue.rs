@@ -1,0 +1,167 @@
+//! A bounded MPMC work queue with explicit overload shedding.
+//!
+//! Submissions never block and never grow the queue past its capacity:
+//! [`BoundedQueue::try_push`] either admits the job or returns it with
+//! the observed depth, which the daemon turns into a typed 429-style
+//! rejection. Workers block on [`BoundedQueue::pop`] and drain remaining
+//! jobs after [`BoundedQueue::close`], so a graceful shutdown finishes
+//! admitted work without accepting more.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Rejection payload of a full queue: the item is handed back so the
+/// caller can answer the submitter.
+#[derive(Debug)]
+pub struct QueueFull<T> {
+    /// The rejected item.
+    pub item: T,
+    /// Queue depth at rejection time (== capacity).
+    pub depth: usize,
+}
+
+/// The bounded queue. All methods take `&self`; share via `Arc`.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` queued items
+    /// (capacity is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The shedding threshold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (racy by nature; for stats and rejection payloads).
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// Admits `item` unless the queue is full or closed; never blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] carrying the item back, with the observed depth. A
+    /// closed queue rejects with depth `usize::MAX` as a sentinel (the
+    /// daemon is shutting down; the caller answers accordingly).
+    pub fn try_push(&self, item: T) -> Result<usize, QueueFull<T>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(QueueFull {
+                item,
+                depth: usize::MAX,
+            });
+        }
+        if state.items.len() >= self.capacity {
+            let depth = state.items.len();
+            return Err(QueueFull { item, depth });
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available (FIFO) or the queue is closed
+    /// *and* drained, returning `None` only in the latter case — pending
+    /// work admitted before [`close`](BoundedQueue::close) is always
+    /// delivered.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: subsequent pushes are rejected, blocked workers
+    /// wake, and `pop` returns `None` once the backlog drains.
+    pub fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_at_capacity_and_returns_depth() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        let full = q.try_push(3).unwrap_err();
+        assert_eq!(full.item, 3);
+        assert_eq!(full.depth, 2);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_backlog_then_returns_none() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert!(q.try_push(3).is_err());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cross_thread_fifo() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(x) = q.pop() {
+                    got.push(x);
+                }
+                got
+            })
+        };
+        for i in 0..50 {
+            while q.try_push(i).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..50).collect::<Vec<i32>>());
+    }
+}

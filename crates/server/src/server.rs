@@ -1,0 +1,859 @@
+//! The daemon: accept loop, per-connection reader threads, and a fixed
+//! worker pool over the bounded job queue.
+//!
+//! # Thread layout and shutdown
+//!
+//! * **1 accept thread**, blocked in `TcpListener::accept`. Shutdown
+//!   unblocks it with a throwaway self-connection.
+//! * **1 reader thread per live connection**, blocked in `read_frame`
+//!   with a 100 ms read timeout so it can poll the shutdown flag between
+//!   frames (mid-frame timeouts are ridden out, so a slow writer cannot
+//!   desynchronize the stream).
+//! * **N worker threads**, blocked in [`BoundedQueue::pop`]. The queue's
+//!   close-then-drain semantics mean admitted jobs still finish during a
+//!   graceful shutdown; `pop` returning `None` is the workers' exit
+//!   signal.
+//!
+//! [`ServerHandle::shutdown`] (or a remote `shutdown` op) flips one
+//! flag, closes the queue, cancels in-flight job tokens, pokes the
+//! accept loop, and joins *every* thread — the daemon owns all of its
+//! threads, so a clean shutdown leaks none (the soak test asserts this
+//! against `/proc/self/status`).
+//!
+//! # Stream poisoning
+//!
+//! Results and trace events go through one [`ConnWriter`] per
+//! connection. The first failed write poisons the writer (mirroring
+//! [`JsonlSink::is_poisoned`](hypart_trace::JsonlSink::is_poisoned));
+//! the sink of any job streaming to it then cancels that job's token so
+//! the engine stops early, and the worker reports the job as
+//! `stream_aborted` instead of pretending a silently truncated trace
+//! was delivered.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hypart_core::{AuditLevel, BalanceConstraint, CancelToken, RunCtx};
+use hypart_hypergraph::{io::hgr, Hypergraph, PartId};
+use hypart_kway::{recursive_bisection_with, KWayBalance};
+use hypart_ml::{multi_start_budgeted_from_hierarchy_with, MlConfig, MlPartitioner};
+use hypart_trace::{RunEvent, StopReason, TraceSink};
+
+use crate::cache::{HierarchyCache, HierarchyKey, InstanceCache};
+use crate::protocol::{
+    is_timeout, read_frame, write_frame, EvalRequest, FrameError, InstanceRef, JobResult,
+    PartitionRequest, Request, Response, StatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
+};
+use crate::queue::BoundedQueue;
+
+/// How often idle reader threads wake to poll the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Daemon configuration. `Default` binds an ephemeral localhost port
+/// with a small worker pool, suitable for tests and the CLI alike.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port; read the
+    /// actual one from [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs (clamped to at least 1).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed with a
+    /// typed `rejected` response.
+    pub queue_capacity: usize,
+    /// Per-frame payload cap.
+    pub max_frame_bytes: usize,
+    /// Instances retained in the digest-keyed cache (FIFO).
+    pub instance_cache_capacity: usize,
+    /// Coarsening hierarchies retained (FIFO).
+    pub hierarchy_cache_capacity: usize,
+    /// Engine configuration shared by all partition jobs. Part of the
+    /// hierarchy-cache key, so reconfiguring the daemon never serves a
+    /// stale hierarchy.
+    pub ml: MlConfig,
+    /// Artificial per-job delay before execution, for deterministically
+    /// filling the queue in overload tests.
+    #[doc(hidden)]
+    pub worker_delay_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            instance_cache_capacity: 16,
+            hierarchy_cache_capacity: 32,
+            ml: MlConfig::default(),
+            worker_delay_ms: 0,
+        }
+    }
+}
+
+/// Monotonic daemon counters (the `stats` op snapshot, minus the cache
+/// counters which live on the caches themselves).
+#[derive(Debug, Default)]
+struct Stats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_overload: AtomicU64,
+    stream_aborted: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// One admitted unit of work.
+struct Job {
+    conn_id: u64,
+    id: u64,
+    writer: Arc<ConnWriter>,
+    token: CancelToken,
+    kind: JobKind,
+}
+
+enum JobKind {
+    Partition(PartitionRequest, Arc<Hypergraph>, u128),
+    Eval(EvalRequest, Arc<Hypergraph>, u128),
+}
+
+/// The serialized write half of one connection, shared by its reader
+/// thread and every worker streaming that connection's jobs. The first
+/// failed write poisons it; later sends are dropped without blocking.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    poisoned: AtomicBool,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> Self {
+        ConnWriter {
+            stream: Mutex::new(stream),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Sends one response frame; `false` once the writer is poisoned.
+    fn send(&self, response: &Response) -> bool {
+        if self.poisoned.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        match write_frame(&mut *stream, &response.to_json()) {
+            Ok(()) => true,
+            Err(_) => {
+                self.poisoned.store(true, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+}
+
+/// The trace sink of one running job: forwards engine events as `event`
+/// frames. A poisoned writer cancels the job's token, so the engine
+/// stops at its next budget check instead of computing for a client
+/// that can no longer hear the answer.
+struct StreamSink {
+    writer: Arc<ConnWriter>,
+    id: u64,
+    token: CancelToken,
+    enabled: bool,
+}
+
+impl TraceSink for StreamSink {
+    fn emit(&self, event: RunEvent) {
+        if !self.enabled {
+            return;
+        }
+        if !self.writer.send(&Response::Event { id: self.id, event }) {
+            self.token.cancel();
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    queue: BoundedQueue<Job>,
+    instances: InstanceCache,
+    hierarchies: HierarchyCache,
+    stats: Stats,
+    shutdown: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// Cancellation tokens of admitted-but-unfinished jobs, keyed by
+    /// `(connection, job id)` so `cancel` cannot reach across
+    /// connections.
+    cancels: Mutex<HashMap<(u64, u64), CancelToken>>,
+    /// Reader threads of connections seen so far (joined at shutdown;
+    /// finished readers are cheap no-op joins).
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.stats.submitted.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            rejected_overload: self.stats.rejected_overload.load(Ordering::Relaxed),
+            stream_aborted: self.stats.stream_aborted.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            instance_hits: self.instances.hits(),
+            instance_misses: self.instances.misses(),
+            hierarchy_hits: self.hierarchies.hits(),
+            hierarchy_misses: self.hierarchies.misses(),
+            queue_depth: self.queue.depth(),
+            queue_capacity: self.queue.capacity(),
+        }
+    }
+
+    /// Flips the shutdown flag, stops admissions, cancels in-flight
+    /// jobs, and wakes everyone who might be blocked. Idempotent.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.queue.close();
+        let cancels = self.cancels.lock().unwrap_or_else(|e| e.into_inner());
+        for token in cancels.values() {
+            token.cancel();
+        }
+        drop(cancels);
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        drop(done);
+        self.done_cv.notify_all();
+    }
+}
+
+/// Constructor namespace for the daemon.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the accept loop and worker pool, and returns a
+    /// handle controlling the daemon's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            instances: InstanceCache::new(config.instance_cache_capacity),
+            hierarchies: HierarchyCache::new(config.hierarchy_cache_capacity),
+            config,
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            cancels: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hypart-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        let mut worker_threads = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let shared = Arc::clone(&shared);
+            worker_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("hypart-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            accept: Some(accept),
+            workers: worker_threads,
+        })
+    }
+}
+
+/// Control handle of a running daemon. Dropping it shuts the daemon
+/// down and joins every thread.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time snapshot of the daemon counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Gracefully shuts down: stops admitting, cancels in-flight jobs
+    /// (they finish with `stopped: cancelled` results), drains the
+    /// queue, and joins every thread the daemon spawned.
+    pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    /// Blocks until a remote `shutdown` op arrives, then joins all
+    /// threads and returns the final counter snapshot. The
+    /// `hypart serve` foreground mode.
+    pub fn wait(mut self) -> StatsSnapshot {
+        let mut done = self.shared.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self
+                .shared
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(done);
+        self.finish();
+        self.shared.snapshot()
+    }
+
+    fn finish(&mut self) {
+        self.shared.begin_shutdown();
+        // Unblock the accept loop with a throwaway connection; it checks
+        // the flag right after `accept` returns.
+        drop(TcpStream::connect(self.local_addr));
+        if let Some(accept) = self.accept.take() {
+            drop(accept.join());
+        }
+        for worker in self.workers.drain(..) {
+            drop(worker.join());
+        }
+        let readers = std::mem::take(
+            &mut *self
+                .shared
+                .conn_threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for reader in readers {
+            drop(reader.join());
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || !self.workers.is_empty() {
+            self.finish();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut next_conn_id = 0u64;
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            // Transient accept failure (e.g. fd pressure): back off
+            // briefly instead of spinning.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        let shared_conn = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("hypart-conn-{conn_id}"))
+            .spawn(move || reader_loop(stream, conn_id, &shared_conn));
+        if let Ok(handle) = spawned {
+            shared
+                .conn_threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(handle);
+        }
+    }
+}
+
+/// Reads frames from one connection until EOF, error, or shutdown.
+fn reader_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
+    drop(stream.set_read_timeout(Some(READ_POLL)));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(ConnWriter::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    let mut client_gone = true;
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            // Daemon-initiated exit: the client may still be reading
+            // results of in-flight jobs, so leave its tokens alone
+            // (begin_shutdown already cancelled them).
+            client_gone = false;
+            break;
+        }
+        match read_frame(&mut reader, shared.config.max_frame_bytes) {
+            Ok(Some(frame)) => handle_frame(&frame, conn_id, &writer, shared),
+            Ok(None) => break,
+            Err(FrameError::Io(e)) if is_timeout(&e) => continue,
+            Err(FrameError::BadJson(detail)) => {
+                // The frame was fully consumed; the stream is still in
+                // sync, so answer and keep serving.
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                writer.send(&Response::Error {
+                    id: None,
+                    code: "parse".to_string(),
+                    detail,
+                });
+            }
+            Err(FrameError::TooLarge { declared, max }) => {
+                // The payload was not consumed; the stream is
+                // desynchronized beyond repair. Answer and hang up.
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                writer.send(&Response::Error {
+                    id: None,
+                    code: "bad_request".to_string(),
+                    detail: format!("frame of {declared} bytes exceeds cap of {max}"),
+                });
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        }
+    }
+    if client_gone {
+        // Nobody is listening any more: cancel this connection's
+        // in-flight jobs so workers stop computing for a dead peer.
+        let mut cancels = shared.cancels.lock().unwrap_or_else(|e| e.into_inner());
+        cancels.retain(|&(conn, _), token| {
+            if conn == conn_id {
+                token.cancel();
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+fn handle_frame(
+    frame: &hypart_trace::json::JsonValue,
+    conn_id: u64,
+    writer: &Arc<ConnWriter>,
+    shared: &Arc<Shared>,
+) {
+    let request = match Request::from_json(frame) {
+        Ok(request) => request,
+        Err(detail) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            writer.send(&Response::Error {
+                id: frame.get("id").and_then(|v| v.as_u64()),
+                code: "bad_request".to_string(),
+                detail,
+            });
+            return;
+        }
+    };
+    match request {
+        Request::Stats => {
+            writer.send(&Response::Stats(shared.snapshot()));
+        }
+        Request::Shutdown => {
+            writer.send(&Response::Bye);
+            shared.begin_shutdown();
+        }
+        Request::Cancel { id } => {
+            let cancels = shared.cancels.lock().unwrap_or_else(|e| e.into_inner());
+            match cancels.get(&(conn_id, id)) {
+                Some(token) => {
+                    token.cancel();
+                    drop(cancels);
+                    writer.send(&Response::Ok { id });
+                }
+                None => {
+                    drop(cancels);
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    writer.send(&Response::Error {
+                        id: Some(id),
+                        code: "unknown_job".to_string(),
+                        detail: "no in-flight job with this id on this connection".to_string(),
+                    });
+                }
+            }
+        }
+        Request::Partition(req) => {
+            let Some((h, digest)) = resolve_instance(&req.instance, req.id, writer, shared) else {
+                return;
+            };
+            let id = req.id;
+            submit(
+                Job {
+                    conn_id,
+                    id,
+                    writer: Arc::clone(writer),
+                    token: CancelToken::new(),
+                    kind: JobKind::Partition(req, h, digest),
+                },
+                shared,
+            );
+        }
+        Request::Eval(req) => {
+            let Some((h, digest)) = resolve_instance(&req.instance, req.id, writer, shared) else {
+                return;
+            };
+            if req.assignment.len() != h.num_vertices() {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                writer.send(&Response::Error {
+                    id: Some(req.id),
+                    code: "bad_request".to_string(),
+                    detail: format!(
+                        "assignment has {} entries, instance has {} vertices",
+                        req.assignment.len(),
+                        h.num_vertices()
+                    ),
+                });
+                return;
+            }
+            if let Some(&p) = req.assignment.iter().find(|&&p| usize::from(p) >= req.k) {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                writer.send(&Response::Error {
+                    id: Some(req.id),
+                    code: "bad_request".to_string(),
+                    detail: format!("assignment uses part {p} but k = {}", req.k),
+                });
+                return;
+            }
+            let id = req.id;
+            submit(
+                Job {
+                    conn_id,
+                    id,
+                    writer: Arc::clone(writer),
+                    token: CancelToken::new(),
+                    kind: JobKind::Eval(req, h, digest),
+                },
+                shared,
+            );
+        }
+    }
+}
+
+/// Turns an [`InstanceRef`] into a shared CSR + digest, answering the
+/// client with a typed error on failure.
+fn resolve_instance(
+    instance: &InstanceRef,
+    id: u64,
+    writer: &Arc<ConnWriter>,
+    shared: &Arc<Shared>,
+) -> Option<(Arc<Hypergraph>, u128)> {
+    match instance {
+        InstanceRef::Digest(digest) => match shared.instances.get(*digest) {
+            Some(h) => Some((h, *digest)),
+            None => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                writer.send(&Response::Error {
+                    id: Some(id),
+                    code: "unknown_instance".to_string(),
+                    detail: "no cached instance with this digest; resend it inline".to_string(),
+                });
+                None
+            }
+        },
+        InstanceRef::Inline(text) => match hgr::read(text.as_bytes()) {
+            Ok(h) => {
+                let digest = h.content_digest();
+                let h = Arc::new(h);
+                shared.instances.insert(digest, Arc::clone(&h));
+                Some((h, digest))
+            }
+            Err(e) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                writer.send(&Response::Error {
+                    id: Some(id),
+                    code: "parse".to_string(),
+                    detail: format!("instance is not valid .hgr: {e}"),
+                });
+                None
+            }
+        },
+    }
+}
+
+/// Registers the job's cancellation token and admits it to the queue,
+/// shedding with a typed `rejected` response when the queue is full.
+fn submit(job: Job, shared: &Arc<Shared>) {
+    let key = (job.conn_id, job.id);
+    let writer = Arc::clone(&job.writer);
+    let id = job.id;
+    shared
+        .cancels
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(key, job.token.clone());
+    match shared.queue.try_push(job) {
+        Ok(_) => {
+            shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+            writer.send(&Response::Accepted { id });
+        }
+        Err(full) => {
+            shared
+                .cancels
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&key);
+            shared
+                .stats
+                .rejected_overload
+                .fetch_add(1, Ordering::Relaxed);
+            let depth = if full.depth == usize::MAX {
+                // Closed-queue sentinel: the daemon is shutting down.
+                shared.queue.capacity()
+            } else {
+                full.depth
+            };
+            writer.send(&Response::Rejected {
+                id,
+                queue_depth: depth,
+                queue_capacity: shared.queue.capacity(),
+            });
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    // Workspaces live for the worker's lifetime: arenas grown by one job
+    // are reused by the next, the same amortization the multi-start
+    // drivers get within a single run.
+    let mut ctx_template = RunCtx::new(0);
+    while let Some(job) = shared.queue.pop() {
+        if shared.config.worker_delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(shared.config.worker_delay_ms));
+        }
+        let key = (job.conn_id, job.id);
+        let delivered = execute_job(&job, shared, &mut ctx_template);
+        shared
+            .cancels
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&key);
+        if delivered {
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // The connection writer poisoned mid-job (satellite of
+            // `JsonlSink::is_poisoned`): the trace the client saw is
+            // truncated, so the job is reported as aborted — the typed
+            // error below is best-effort (the writer usually being the
+            // very thing that failed).
+            shared.stats.stream_aborted.fetch_add(1, Ordering::Relaxed);
+            job.writer.send(&Response::Error {
+                id: Some(job.id),
+                code: "stream_poisoned".to_string(),
+                detail: "response stream failed mid-job; job aborted".to_string(),
+            });
+        }
+    }
+}
+
+/// Runs one job and streams its result. Returns `false` when the
+/// connection writer poisoned and the result could not be delivered.
+fn execute_job(job: &Job, shared: &Arc<Shared>, ctx_template: &mut RunCtx<'static>) -> bool {
+    let (result, id) = match &job.kind {
+        JobKind::Eval(req, h, digest) => (eval_job(req, h, *digest), req.id),
+        JobKind::Partition(req, h, digest) => (
+            partition_job(req, h, *digest, job, shared, ctx_template),
+            req.id,
+        ),
+    };
+    if job.writer.is_poisoned() {
+        return false;
+    }
+    job.writer.send(&Response::Result { id, result })
+}
+
+fn eval_job(req: &EvalRequest, h: &Hypergraph, digest: u128) -> JobResult {
+    let mut cut = 0u64;
+    for e in h.nets() {
+        let pins = h.net_pins(e);
+        if let Some((&first, rest)) = pins.split_first() {
+            let p0 = req.assignment[first.index()];
+            if rest.iter().any(|&v| req.assignment[v.index()] != p0) {
+                cut += u64::from(h.net_weight(e));
+            }
+        }
+    }
+    let mut part_weights = vec![0u64; req.k];
+    for (v, &p) in req.assignment.iter().enumerate() {
+        part_weights[usize::from(p)] += h.vertex_weight(hypart_hypergraph::VertexId::new(v as u32));
+    }
+    let balance = KWayBalance::with_fraction(h.total_vertex_weight(), req.k, req.fraction);
+    JobResult {
+        cut,
+        balanced: part_weights.iter().all(|&w| balance.contains(w)),
+        stopped: StopReason::Completed,
+        audit_clean: true,
+        hierarchy_reused: false,
+        levels: 0,
+        starts: 0,
+        digest,
+        assignment: None,
+    }
+}
+
+fn partition_job(
+    req: &PartitionRequest,
+    h: &Hypergraph,
+    digest: u128,
+    job: &Job,
+    shared: &Arc<Shared>,
+    ctx_template: &mut RunCtx<'static>,
+) -> JobResult {
+    let sink = StreamSink {
+        writer: Arc::clone(&job.writer),
+        id: req.id,
+        token: job.token.clone(),
+        enabled: req.trace,
+    };
+    // Move the worker's long-lived workspaces into this job's context
+    // and reclaim them afterwards.
+    let workspace = std::mem::take(&mut ctx_template.workspace);
+    let coarsen_ws = std::mem::take(&mut ctx_template.coarsen);
+    let mut ctx = RunCtx::new(req.seed)
+        .with_sink(&sink)
+        .with_cancel_token(job.token.clone())
+        .with_audit(AuditLevel::Checkpoints)
+        .with_workspace(workspace)
+        .with_coarsen_workspace(coarsen_ws);
+    if let Some(ms) = req.budget_ms {
+        ctx = ctx.with_budget(Duration::from_millis(ms));
+    }
+
+    let result = if req.k == 2 {
+        bisection_job(req, h, digest, shared, &mut ctx)
+    } else {
+        kway_job(req, h, digest, &shared.config.ml, &mut ctx)
+    };
+    ctx_template.workspace = std::mem::take(&mut ctx.workspace);
+    ctx_template.coarsen = std::mem::take(&mut ctx.coarsen);
+    result
+}
+
+/// 2-way jobs run the split pipeline so the hierarchy cache applies:
+/// build (or reuse) the coarsening hierarchy, then partition from it.
+/// A cache hit is announced with one `hierarchy_reused` trace event and
+/// then replays bitwise the trace of a cold split-pipeline run — the
+/// determinism contract of
+/// [`MlPartitioner::run_from_hierarchy_with`].
+fn bisection_job(
+    req: &PartitionRequest,
+    h: &Hypergraph,
+    digest: u128,
+    shared: &Arc<Shared>,
+    ctx: &mut RunCtx<'_>,
+) -> JobResult {
+    let partitioner = MlPartitioner::new(shared.config.ml.clone());
+    let constraint = BalanceConstraint::with_fraction(h.total_vertex_weight(), req.fraction);
+    let (hierarchy, reused) = if req.use_hierarchy_cache {
+        let key = HierarchyKey::new(digest, &shared.config.ml.coarsen, req.seed);
+        match shared.hierarchies.get(&key) {
+            Some(hierarchy) => (hierarchy, true),
+            None => {
+                let hierarchy = partitioner.coarsen_hierarchy_with(h, ctx).into_shared();
+                shared.hierarchies.insert(key, Arc::clone(&hierarchy));
+                (hierarchy, false)
+            }
+        }
+    } else {
+        (
+            partitioner.coarsen_hierarchy_with(h, ctx).into_shared(),
+            false,
+        )
+    };
+    if reused {
+        ctx.sink.emit(RunEvent::HierarchyReused {
+            levels: hierarchy.len(),
+        });
+    }
+    let levels = hierarchy.len();
+    if req.budget_ms.is_some() {
+        let out =
+            multi_start_budgeted_from_hierarchy_with(&partitioner, h, &hierarchy, &constraint, ctx);
+        JobResult {
+            cut: out.cut,
+            balanced: out.balanced,
+            stopped: out.stopped,
+            audit_clean: out.audit_failure.is_none(),
+            hierarchy_reused: reused,
+            levels,
+            starts: out.stats.outcomes.len(),
+            digest,
+            assignment: req
+                .include_assignment
+                .then(|| part_assignment(&out.assignment)),
+        }
+    } else {
+        let out = partitioner.run_from_hierarchy_with(h, &hierarchy, &constraint, ctx);
+        JobResult {
+            cut: out.cut,
+            balanced: out.balanced,
+            stopped: out.stopped,
+            audit_clean: out.audit_failure.is_none(),
+            hierarchy_reused: reused,
+            levels,
+            starts: 1,
+            digest,
+            assignment: req
+                .include_assignment
+                .then(|| part_assignment(&out.assignment)),
+        }
+    }
+}
+
+/// `k > 2` jobs go through recursive bisection; hierarchies differ per
+/// induced subregion, so only the instance cache applies.
+fn kway_job(
+    req: &PartitionRequest,
+    h: &Hypergraph,
+    digest: u128,
+    ml: &MlConfig,
+    ctx: &mut RunCtx<'_>,
+) -> JobResult {
+    let out = recursive_bisection_with(h, req.k, req.fraction, ml, ctx);
+    let balance = KWayBalance::with_fraction(h.total_vertex_weight(), req.k, req.fraction);
+    JobResult {
+        cut: out.cut,
+        balanced: out.is_balanced(&balance),
+        stopped: out.stopped,
+        audit_clean: out.audit_failure.is_none(),
+        hierarchy_reused: false,
+        levels: 0,
+        starts: 1,
+        digest,
+        assignment: req.include_assignment.then(|| out.assignment.clone()),
+    }
+}
+
+fn part_assignment(assignment: &[PartId]) -> Vec<u16> {
+    assignment
+        .iter()
+        .map(|&p| match p {
+            PartId::P0 => 0,
+            PartId::P1 => 1,
+        })
+        .collect()
+}

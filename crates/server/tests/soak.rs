@@ -1,0 +1,349 @@
+//! Daemon soak: ≥1000 mixed concurrent jobs over many client threads,
+//! zero leaked threads after shutdown, audit-clean results, per-job
+//! trace determinism across clients, measurable hierarchy-cache reuse,
+//! and deterministic overload shedding with queue-depth payloads.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::time::Duration;
+
+use hypart_server::protocol::{EvalRequest, InstanceRef, PartitionRequest, Request};
+use hypart_server::{Client, JobOutcome, Server, ServerConfig};
+use hypart_trace::{RunEvent, StopReason};
+
+const CLIENTS: usize = 8;
+const JOBS_PER_CLIENT: usize = 130; // 8 × 130 = 1040 ≥ 1000
+const BATCH: usize = 10; // in-flight jobs per client; 8 × 10 ≤ queue capacity
+
+fn hgr_text(cells: usize, seed: u64) -> String {
+    let h = hypart_benchgen::mcnc_like(cells, seed);
+    let mut text = Vec::new();
+    hypart_hypergraph::io::hgr::write(&h, &mut text).unwrap();
+    String::from_utf8(text).unwrap()
+}
+
+/// Thread count of this process from `/proc/self/status`; `None` off
+/// Linux (the leak assertion is then skipped).
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("Threads:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// What one client observed, to be cross-checked against the others.
+struct ClientReport {
+    finished: usize,
+    cancelled: usize,
+    reuse_seen: usize,
+    /// Trace of the fixed traced job (same digest/seed/fraction on every
+    /// client), with any leading `hierarchy_reused` stripped — must be
+    /// identical across all clients and all repeats.
+    canonical_trace: Vec<String>,
+    eval_matches: usize,
+}
+
+fn client_worker(addr: std::net::SocketAddr, client_idx: usize) -> ClientReport {
+    let mut client = Client::connect(addr).unwrap();
+    let mut report = ClientReport {
+        finished: 0,
+        cancelled: 0,
+        reuse_seen: 0,
+        canonical_trace: Vec::new(),
+        eval_matches: 0,
+    };
+
+    // Upload the shared instance inline once; all clients upload the same
+    // content, so they converge on one digest (and later jobs go by it).
+    let mut seeded = PartitionRequest::new(1, InstanceRef::Inline(hgr_text(140, 0xD00D)), 17);
+    seeded.include_assignment = true;
+    client.send(&Request::Partition(seeded)).unwrap();
+    let (digest, saved_assignment) = match client.wait_outcome(1).unwrap() {
+        JobOutcome::Finished { result, .. } => (result.digest, result.assignment.unwrap()),
+        other => panic!("client {client_idx}: upload job failed: {other:?}"),
+    };
+    report.finished += 1;
+    let saved_cut = {
+        // Re-derive the reference cut via eval so the mixed-job check
+        // below has a self-consistent expectation.
+        client
+            .send(&Request::Eval(EvalRequest {
+                id: 2,
+                instance: InstanceRef::Digest(digest),
+                assignment: saved_assignment.clone(),
+                k: 2,
+                fraction: 0.1,
+            }))
+            .unwrap();
+        match client.wait_outcome(2).unwrap() {
+            JobOutcome::Finished { result, .. } => {
+                report.finished += 1;
+                result.cut
+            }
+            other => panic!("client {client_idx}: reference eval failed: {other:?}"),
+        }
+    };
+
+    let mut next_id: u64 = 10;
+    let mut in_flight: Vec<(u64, u8)> = Vec::new();
+    let mut launched = 2usize;
+    while launched < JOBS_PER_CLIENT {
+        while in_flight.len() < BATCH && launched < JOBS_PER_CLIENT {
+            let id = next_id;
+            next_id += 1;
+            let kind = (launched % 5) as u8;
+            match kind {
+                0 => {
+                    // Budgeted 2-way sweep with a tiny budget.
+                    let mut req = PartitionRequest::new(id, InstanceRef::Digest(digest), 17 + id);
+                    req.budget_ms = Some(8);
+                    client.send(&Request::Partition(req)).unwrap();
+                }
+                1 => {
+                    // The canonical traced job: same digest, same seed,
+                    // same fraction on every client — the cache hammer.
+                    let mut req = PartitionRequest::new(id, InstanceRef::Digest(digest), 17);
+                    req.trace = true;
+                    client.send(&Request::Partition(req)).unwrap();
+                }
+                2 => {
+                    // 4-way recursive bisection.
+                    let mut req = PartitionRequest::new(id, InstanceRef::Digest(digest), 29 + id);
+                    req.k = 4;
+                    client.send(&Request::Partition(req)).unwrap();
+                }
+                3 => {
+                    // Eval of the saved assignment: fixed expected cut.
+                    client
+                        .send(&Request::Eval(EvalRequest {
+                            id,
+                            instance: InstanceRef::Digest(digest),
+                            assignment: saved_assignment.clone(),
+                            k: 2,
+                            fraction: 0.1,
+                        }))
+                        .unwrap();
+                }
+                _ => {
+                    // Plain 2-way, fresh seed each time.
+                    let req = PartitionRequest::new(id, InstanceRef::Digest(digest), 1000 + id);
+                    client.send(&Request::Partition(req)).unwrap();
+                }
+            }
+            in_flight.push((id, kind));
+            launched += 1;
+        }
+        for (id, kind) in in_flight.drain(..) {
+            match client.wait_outcome(id).unwrap() {
+                JobOutcome::Finished { result, events } => {
+                    report.finished += 1;
+                    assert!(
+                        result.audit_clean,
+                        "client {client_idx} job {id}: audit failure"
+                    );
+                    assert_eq!(result.digest, digest);
+                    match kind {
+                        0 => {
+                            assert!(result.starts >= 1);
+                            assert!(matches!(
+                                result.stopped,
+                                StopReason::Completed | StopReason::Deadline
+                            ));
+                        }
+                        1 => {
+                            if result.hierarchy_reused {
+                                report.reuse_seen += 1;
+                                assert!(matches!(
+                                    events.first(),
+                                    Some(RunEvent::HierarchyReused { .. })
+                                ));
+                            }
+                            let stripped: Vec<String> = events
+                                .iter()
+                                .filter(|e| !matches!(e, RunEvent::HierarchyReused { .. }))
+                                .map(|e| format!("{e:?}"))
+                                .collect();
+                            assert!(!stripped.is_empty());
+                            if report.canonical_trace.is_empty() {
+                                report.canonical_trace = stripped;
+                            } else {
+                                assert_eq!(
+                                    report.canonical_trace, stripped,
+                                    "client {client_idx} job {id}: canonical trace drifted"
+                                );
+                            }
+                        }
+                        2 => assert!(result.cut > 0 || result.balanced),
+                        3 => {
+                            assert_eq!(result.cut, saved_cut);
+                            report.eval_matches += 1;
+                        }
+                        _ => assert_eq!(result.stopped, StopReason::Completed),
+                    }
+                }
+                JobOutcome::Rejected { .. } => {
+                    panic!("client {client_idx} job {id}: shed despite sized batches")
+                }
+                JobOutcome::Failed { code, detail } => {
+                    panic!("client {client_idx} job {id}: {code}: {detail}")
+                }
+            }
+        }
+    }
+
+    // One cooperative cancellation per client: submit with a long budget,
+    // cancel immediately; either the cancel lands in time (result says
+    // `cancelled`) or the job won the race and completed — both legal,
+    // but the connection must stay coherent through it.
+    let id = next_id;
+    let mut req = PartitionRequest::new(id, InstanceRef::Digest(digest), 999);
+    req.budget_ms = Some(30_000);
+    client.send(&Request::Partition(req)).unwrap();
+    let _ = client.cancel(id).unwrap();
+    match client.wait_outcome(id).unwrap() {
+        JobOutcome::Finished { result, .. } => {
+            report.finished += 1;
+            if result.stopped == StopReason::Cancelled {
+                report.cancelled += 1;
+            }
+        }
+        other => panic!("client {client_idx}: cancel-race job failed: {other:?}"),
+    }
+
+    report
+}
+
+#[test]
+fn soak_thousand_mixed_jobs_with_cache_reuse_and_clean_shutdown() {
+    let baseline_threads = os_thread_count();
+
+    let config = ServerConfig {
+        workers: 4,
+        queue_capacity: 128,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config).unwrap();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| std::thread::spawn(move || client_worker(addr, i)))
+        .collect();
+    let reports: Vec<ClientReport> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+
+    let total_finished: usize = reports.iter().map(|r| r.finished).sum();
+    assert!(
+        total_finished >= 1000,
+        "soak must complete ≥1000 jobs, got {total_finished}"
+    );
+    let total_reuse: usize = reports.iter().map(|r| r.reuse_seen).sum();
+    assert!(
+        total_reuse >= CLIENTS,
+        "the repeated (digest, seed) job must hit the hierarchy cache, saw {total_reuse}"
+    );
+    let evals: usize = reports.iter().map(|r| r.eval_matches).sum();
+    assert!(evals >= CLIENTS * (JOBS_PER_CLIENT / 5 - 1));
+
+    // Trace determinism ACROSS clients: every canonical trace is the
+    // same event stream regardless of which worker ran it or whether the
+    // hierarchy came from the cache.
+    let reference = &reports[0].canonical_trace;
+    assert!(!reference.is_empty());
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(
+            &r.canonical_trace, reference,
+            "client {i}'s canonical trace diverged from client 0's"
+        );
+    }
+
+    // Daemon-side accounting agrees.
+    let mut probe = Client::connect(addr).unwrap();
+    let stats = probe.stats().unwrap();
+    assert!(
+        stats.completed >= 1000,
+        "daemon completed {}",
+        stats.completed
+    );
+    assert_eq!(stats.rejected_overload, 0, "sized batches must not shed");
+    assert!(stats.hierarchy_hits >= CLIENTS as u64);
+    assert!(
+        stats.instance_hits >= (CLIENTS - 1) as u64,
+        "clients after the first re-upload the same content"
+    );
+    drop(probe);
+
+    server.shutdown();
+
+    // Zero leaked threads: give the OS a beat to reap, then compare.
+    if let Some(baseline) = baseline_threads {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let now = os_thread_count().unwrap();
+            if now <= baseline {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "threads leaked after shutdown: baseline {baseline}, now {now}"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+/// Overload shedding is typed and carries the live queue depth: with one
+/// stalled worker and a two-slot queue, a burst of submissions must see
+/// `Rejected { queue_depth, queue_capacity }` frames, and the daemon
+/// counts them.
+#[test]
+fn overload_sheds_with_queue_depth_payload() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        worker_delay_ms: 120,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let text = hgr_text(60, 0xFEED);
+    let burst = 8u64;
+    for id in 1..=burst {
+        let req = PartitionRequest::new(id, InstanceRef::Inline(text.clone()), id);
+        client.send(&Request::Partition(req)).unwrap();
+    }
+
+    let mut finished = 0usize;
+    let mut shed = 0usize;
+    for id in 1..=burst {
+        match client.wait_outcome(id).unwrap() {
+            JobOutcome::Finished { result, .. } => {
+                finished += 1;
+                assert!(result.audit_clean);
+            }
+            JobOutcome::Rejected {
+                queue_depth,
+                queue_capacity,
+            } => {
+                shed += 1;
+                assert_eq!(queue_capacity, 2);
+                assert!(
+                    queue_depth >= 1 && queue_depth <= queue_capacity,
+                    "rejection must report the live depth, got {queue_depth}"
+                );
+            }
+            JobOutcome::Failed { code, detail } => panic!("job {id}: {code}: {detail}"),
+        }
+    }
+    assert!(
+        shed >= 1,
+        "a 2-slot queue with a 120 ms worker stall must shed"
+    );
+    assert!(finished >= 1, "accepted jobs still run to completion");
+    assert_eq!(finished + shed, burst as usize);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.rejected_overload, shed as u64);
+    server.shutdown();
+}

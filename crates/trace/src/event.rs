@@ -266,10 +266,21 @@ pub enum RunEvent {
         /// Zero-based shard index of the panicked shard.
         shard: u64,
     },
+    /// A run reused a previously built coarsening hierarchy instead of
+    /// coarsening from scratch (the partitioning service's hierarchy
+    /// cache, keyed by `(instance digest, coarsening config, seed)`).
+    /// The cost of the skipped work is exactly the hierarchy build of a
+    /// fresh run; the events that follow are identical to a fresh run on
+    /// the same hierarchy, so cache hits are observable — and assertable —
+    /// from the trace stream alone.
+    HierarchyReused {
+        /// Number of coarse levels in the reused hierarchy.
+        levels: usize,
+    },
 }
 
 /// Event kind names, in [`RunEvent::kind_index`] order.
-pub const EVENT_KINDS: [&str; 20] = [
+pub const EVENT_KINDS: [&str; 21] = [
     "trial_begin",
     "trial_end",
     "run_begin",
@@ -290,6 +301,7 @@ pub const EVENT_KINDS: [&str; 20] = [
     "invariant_violation",
     "start_aborted",
     "shard_aborted",
+    "hierarchy_reused",
 ];
 
 impl RunEvent {
@@ -322,6 +334,7 @@ impl RunEvent {
             RunEvent::InvariantViolation { .. } => 17,
             RunEvent::StartAborted { .. } => 18,
             RunEvent::ShardAborted { .. } => 19,
+            RunEvent::HierarchyReused { .. } => 20,
         }
     }
 
@@ -461,6 +474,9 @@ impl RunEvent {
             RunEvent::ShardAborted { round, shard } => {
                 JsonValue::object([ev, ("round", (*round).into()), ("shard", (*shard).into())])
             }
+            RunEvent::HierarchyReused { levels } => {
+                JsonValue::object([ev, ("levels", (*levels).into())])
+            }
         }
     }
 
@@ -592,6 +608,9 @@ impl RunEvent {
                 round: u("round")?,
                 shard: u("shard")?,
             }),
+            "hierarchy_reused" => Ok(RunEvent::HierarchyReused {
+                levels: us("levels")?,
+            }),
             other => Err(format!("unknown event kind `{other}`")),
         }
     }
@@ -676,6 +695,7 @@ mod tests {
             },
             RunEvent::StartAborted { index: 3, seed: 45 },
             RunEvent::ShardAborted { round: 2, shard: 1 },
+            RunEvent::HierarchyReused { levels: 4 },
         ]
     }
 

@@ -149,6 +149,18 @@ impl<W: Write> JsonlSink<W> {
         }
     }
 
+    /// `true` once any write has failed. Non-destructive: the sink is
+    /// left usable (further emits remain no-ops) and
+    /// [`finish`](JsonlSink::finish) still reports the failure.
+    ///
+    /// Long-running consumers that stream traces (e.g. the partitioning
+    /// daemon) poll this mid-run to abort a job with a typed error as
+    /// soon as its trace stream is known to be truncated, instead of
+    /// discovering the loss only when the sink is torn down.
+    pub fn is_poisoned(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
+    }
+
     /// Flushes and returns the writer, or the first error encountered.
     ///
     /// # Errors
@@ -354,6 +366,31 @@ mod tests {
                 corked: true,
             },
         ]
+    }
+
+    #[test]
+    fn jsonl_sink_poison_is_sticky_and_non_destructive() {
+        let sink = JsonlSink::new(FailingWriter);
+        assert!(!sink.is_poisoned());
+        sink.emit(RunEvent::RunBegin { cut: 1 });
+        assert!(sink.is_poisoned());
+        // Non-destructive: polling again and emitting again are both
+        // safe, and finish() still reports the original failure.
+        assert!(sink.is_poisoned());
+        sink.emit(RunEvent::RunEnd { cut: 1, passes: 0 });
+        assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn jsonl_sink_clean_writer_is_not_poisoned() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(RunEvent::RunBegin { cut: 1 });
+        assert!(!sink.is_poisoned());
+        let bytes = match sink.finish() {
+            Ok(b) => b,
+            Err(e) => panic!("finish failed: {e}"),
+        };
+        assert!(!bytes.is_empty());
     }
 
     #[test]
