@@ -39,7 +39,7 @@ use hypart_eval::runner::{run_trials_with, FlatFmHeuristic, MlHeuristic};
 use hypart_eval::stats::wilcoxon_rank_sum;
 use hypart_hypergraph::{io, Hypergraph, PartId};
 use hypart_kway::{recursive_bisection_with, KWayBalance, KWayConfig, KWayFmPartitioner};
-use hypart_ml::{multi_start_budgeted_with, multi_start_with, MlConfig, MlPartitioner};
+use hypart_ml::{multi_start_budgeted_with, multi_start_with, EngineKind, MlConfig, MlPartitioner};
 use hypart_place::{hpwl, PlacerConfig, Rect, RowLegalizer, TopDownPlacer};
 use hypart_trace::{CounterSink, JsonlSink, TeeSink};
 
@@ -116,14 +116,27 @@ pub enum Command {
         /// `--deterministic false`).
         deterministic: bool,
     },
-    /// `eval <netlist> <partfile> [--tol F]`
+    /// `eval <netlist> <partfile> [--tol F]` — or, with `--engine`,
+    /// `eval <netlist|spec> --engine ml|nlevel|both [...]`: a seeded
+    /// trial suite comparing multilevel backends head to head.
     Eval {
-        /// Input netlist path.
+        /// Input netlist path, or (in `--engine` mode) a benchmark spec
+        /// such as `ibm01` / `mcnc500` generated on the fly.
         input: PathBuf,
-        /// Solution file path.
-        part_file: PathBuf,
+        /// Solution file path (legacy single-solution mode).
+        part_file: Option<PathBuf>,
         /// Balance tolerance fraction.
         tolerance: f64,
+        /// Backend selection for the trial-suite mode.
+        engine: Option<EvalEngines>,
+        /// Seeded trials per backend (trial-suite mode).
+        trials: usize,
+        /// Base RNG seed (trial-suite mode).
+        seed: u64,
+        /// Scale factor applied when `input` is a generated `ibmNN` spec.
+        scale: f64,
+        /// Optional per-trial wall-clock budget in milliseconds.
+        budget_ms: Option<u64>,
     },
     /// `stats <netlist>`
     Stats {
@@ -193,6 +206,39 @@ pub enum Command {
     },
 }
 
+/// Backend selection for `eval --engine`: which multilevel backends the
+/// head-to-head trial suite runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvalEngines {
+    /// Coarse-grained multilevel only.
+    Ml,
+    /// n-level only.
+    NLevel,
+    /// Both, with a Pareto head-to-head.
+    Both,
+}
+
+impl EvalEngines {
+    fn parse(s: &str) -> Result<EvalEngines, String> {
+        match s {
+            "ml" | "ml-coarse" | "coarse" => Ok(EvalEngines::Ml),
+            "nlevel" | "n-level" => Ok(EvalEngines::NLevel),
+            "both" => Ok(EvalEngines::Both),
+            other => Err(format!(
+                "unknown eval engine `{other}` (expected ml, nlevel, both)"
+            )),
+        }
+    }
+
+    fn runs_ml(self) -> bool {
+        matches!(self, EvalEngines::Ml | EvalEngines::Both)
+    }
+
+    fn runs_nlevel(self) -> bool {
+        matches!(self, EvalEngines::NLevel | EvalEngines::Both)
+    }
+}
+
 /// Available partitioning engines.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Engine {
@@ -204,6 +250,9 @@ pub enum Engine {
     MlLifo,
     /// Multilevel with CLIP refinement.
     MlClip,
+    /// n-level: single-pair contraction with per-uncontraction
+    /// localized FM (LIFO insertion).
+    NLevel,
     /// hMetis-style multi-start + V-cycling.
     Hmetis,
     /// Direct k-way FM.
@@ -217,10 +266,11 @@ impl Engine {
             "clip" => Ok(Engine::Clip),
             "ml-lifo" | "ml" => Ok(Engine::MlLifo),
             "ml-clip" => Ok(Engine::MlClip),
+            "nlevel" | "n-level" => Ok(Engine::NLevel),
             "hmetis" => Ok(Engine::Hmetis),
             "kway" => Ok(Engine::Kway),
             other => Err(format!(
-                "unknown engine `{other}` (expected lifo, clip, ml-lifo, ml-clip, hmetis, kway)"
+                "unknown engine `{other}` (expected lifo, clip, ml-lifo, ml-clip, nlevel, hmetis, kway)"
             )),
         }
     }
@@ -231,7 +281,7 @@ pub const USAGE: &str = "\
 hypart — hypergraph partitioning for VLSI CAD
 
 USAGE:
-  hypart partition <netlist> [--engine lifo|clip|ml-lifo|ml-clip|hmetis|kway]
+  hypart partition <netlist> [--engine lifo|clip|ml-lifo|ml-clip|nlevel|hmetis|kway]
                    [--k K] [--tol F] [--starts N] [--seed S] [--out FILE]
                    [--trace FILE.jsonl] [--budget-ms T]
                    [--audit off|checkpoints|paranoid]
@@ -241,6 +291,13 @@ USAGE:
 hardware thread); omit the flag for the serial engine. With the default
 `--deterministic true` results and traces are identical for every N.
   hypart eval <netlist> <partfile> [--tol F]
+  hypart eval <netlist|ibmNN|mcncN> --engine ml|nlevel|both
+              [--trials N] [--tol F] [--seed S] [--scale S] [--budget-ms T]
+
+`eval` with a <partfile> scores an existing solution. With `--engine` it
+runs a seeded trial suite instead (generating `ibmNN`/`mcncN` specs on
+the fly) and reports the coarse-ML vs n-level head-to-head, including
+the (cut, seconds) Pareto frontier.
   hypart stats <netlist>
   hypart place <netlist> [--width W] [--height H] [--rows R] [--seed S] [--out FILE]
   hypart report <netlist> [--trials N] [--tol F] [--seed S] [--out FILE] [--budget-ms T]
@@ -349,11 +406,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 },
             })
         }
-        "eval" => Ok(Command::Eval {
-            input: positional.first().ok_or("eval: missing <netlist>")?.into(),
-            part_file: positional.get(1).ok_or("eval: missing <partfile>")?.into(),
-            tolerance: parse_flag("--tol", 0.02)?,
-        }),
+        "eval" => {
+            let engine = flag_value("--engine").map(EvalEngines::parse).transpose()?;
+            let part_file: Option<PathBuf> = positional.get(1).map(PathBuf::from);
+            if engine.is_none() && part_file.is_none() {
+                return Err("eval: missing <partfile> (or pass --engine ml|nlevel|both)".into());
+            }
+            Ok(Command::Eval {
+                input: positional.first().ok_or("eval: missing <netlist>")?.into(),
+                part_file,
+                tolerance: parse_flag("--tol", 0.02)?,
+                engine,
+                trials: parse_flag("--trials", 5.0)? as usize,
+                seed: parse_flag("--seed", 1.0)? as u64,
+                scale: parse_flag("--scale", 0.05)?,
+                budget_ms: parse_opt_u64("--budget-ms")?,
+            })
+        }
         "stats" => Ok(Command::Stats {
             input: positional.first().ok_or("stats: missing <netlist>")?.into(),
         }),
@@ -503,6 +572,16 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 trials,
                 &mut trial_ctx(seed),
             );
+            let nlevel = run_trials_with(
+                &MlHeuristic::new(
+                    "n-level LIFO FM",
+                    MlConfig::ml_lifo().with_engine(EngineKind::NLevel),
+                ),
+                &h,
+                &c,
+                trials,
+                &mut trial_ctx(seed),
+            );
 
             let mut table = hypart_eval::table::Table::new([
                 "engine",
@@ -511,7 +590,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 "balanced",
                 "failed",
             ]);
-            for set in [&flat, &clip, &ml] {
+            for set in [&flat, &clip, &ml, &nlevel] {
                 table.add_row([
                     set.heuristic.clone(),
                     set.min_avg_cell(),
@@ -521,7 +600,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 ]);
             }
             report.table(&table);
-            for set in [&flat, &clip, &ml] {
+            for set in [&flat, &clip, &ml, &nlevel] {
                 report.distribution(&set.heuristic, &set.cuts());
             }
             report.section("Best-so-far (budget) curves");
@@ -544,7 +623,9 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 .map_err(|e| CliError::Runtime(format!("{}: {e}", out_path.display())))?;
             let json_path = out_path.with_extension("json");
             let json = hypart_eval::json::JsonValue::array(
-                [&flat, &clip, &ml].into_iter().map(trial_set_to_json),
+                [&flat, &clip, &ml, &nlevel]
+                    .into_iter()
+                    .map(trial_set_to_json),
             );
             std::fs::write(&json_path, json.to_string())
                 .map_err(|e| CliError::Runtime(format!("{}: {e}", json_path.display())))?;
@@ -603,19 +684,7 @@ solution : {}
             seed,
             out,
         } => {
-            let h = if let Some(rest) = spec.strip_prefix("mcnc") {
-                let cells: usize = rest.parse().map_err(|_| {
-                    CliError::Usage(format!("bad mcnc spec `{spec}` (want mcnc<N>)"))
-                })?;
-                hypart_benchgen::mcnc_like(cells, seed)
-            } else if let Some(index) = hypart_benchgen::IBM_PROFILES
-                .iter()
-                .position(|q| q.name == spec)
-            {
-                hypart_benchgen::ispd98_like(index + 1, scale, seed)
-            } else {
-                return Err(CliError::Usage(format!("unknown instance spec `{spec}`")));
-            };
+            let h = generate_instance(&spec, scale, seed)?;
             io::hgr::write_path(&h, &out)
                 .map_err(|e| CliError::Runtime(format!("{}: {e}", out.display())))?;
             Ok(format!(
@@ -664,7 +733,20 @@ solution : {}
             input,
             part_file,
             tolerance,
+            engine,
+            trials,
+            seed,
+            scale,
+            budget_ms,
         } => {
+            let Some(part_file) = part_file else {
+                let Some(sel) = engine else {
+                    return Err(CliError::Usage(
+                        "eval: --engine required without a <partfile>".into(),
+                    ));
+                };
+                return eval_engine_suite(&input, sel, tolerance, trials, seed, scale, budget_ms);
+            };
             let h = load_netlist(&input)?;
             let parts = io::partfile::read_path(&part_file)
                 .map_err(|e| classify_parse_error(&part_file, e))?;
@@ -820,10 +902,135 @@ solution : {}
 fn engine_ml_config(engine: Engine, threads: usize, deterministic: bool) -> MlConfig {
     match engine {
         Engine::MlClip => MlConfig::ml_clip(),
+        // The n-level backend is serial-only and ignores the lane count,
+        // but the threads/deterministic knobs are passed through so the
+        // config echoes the command line.
+        Engine::NLevel => MlConfig::ml_lifo().with_engine(EngineKind::NLevel),
         _ => MlConfig::ml_lifo(),
     }
     .with_threads(threads)
     .with_deterministic(deterministic)
+}
+
+/// Builds a synthetic instance from a `gen`-style spec (`ibmNN` or
+/// `mcncN`).
+fn generate_instance(spec: &str, scale: f64, seed: u64) -> Result<Hypergraph, CliError> {
+    if let Some(rest) = spec.strip_prefix("mcnc") {
+        let cells: usize = rest
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad mcnc spec `{spec}` (want mcnc<N>)")))?;
+        Ok(hypart_benchgen::mcnc_like(cells, seed))
+    } else if let Some(index) = hypart_benchgen::IBM_PROFILES
+        .iter()
+        .position(|q| q.name == spec)
+    {
+        Ok(hypart_benchgen::ispd98_like(index + 1, scale, seed))
+    } else {
+        Err(CliError::Usage(format!("unknown instance spec `{spec}`")))
+    }
+}
+
+/// `eval --engine`: a seeded trial suite comparing the coarse-grained
+/// multilevel backend against the n-level backend on one instance —
+/// existing netlist file or generated `ibmNN`/`mcncN` spec — with the
+/// paper-style (cost, runtime) Pareto frontier.
+fn eval_engine_suite(
+    input: &Path,
+    sel: EvalEngines,
+    tolerance: f64,
+    trials: usize,
+    seed: u64,
+    scale: f64,
+    budget_ms: Option<u64>,
+) -> Result<String, CliError> {
+    let h = if input.exists() {
+        load_netlist(input)?
+    } else {
+        let spec = input.to_str().unwrap_or("");
+        generate_instance(spec, scale, seed)?.with_name(spec)
+    };
+    let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), tolerance);
+    // Each backend gets its own context (and budget window) so a slow
+    // backend cannot starve the one evaluated after it.
+    let trial_ctx = |s: u64| {
+        let ctx = RunCtx::new(s);
+        match budget_ms {
+            Some(ms) => ctx.with_budget(Duration::from_millis(ms)),
+            None => ctx,
+        }
+    };
+    let trials = trials.max(1);
+    let mut sets = Vec::new();
+    if sel.runs_ml() {
+        sets.push(run_trials_with(
+            &MlHeuristic::new("ml", MlConfig::ml_lifo()),
+            &h,
+            &c,
+            trials,
+            &mut trial_ctx(seed),
+        ));
+    }
+    if sel.runs_nlevel() {
+        sets.push(run_trials_with(
+            &MlHeuristic::new(
+                "nlevel",
+                MlConfig::ml_lifo().with_engine(EngineKind::NLevel),
+            ),
+            &h,
+            &c,
+            trials,
+            &mut trial_ctx(seed),
+        ));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "instance : {} ({} cells, {} nets, {} pins)",
+        h.name(),
+        h.num_vertices(),
+        h.num_nets(),
+        h.num_pins()
+    );
+    let _ = writeln!(
+        out,
+        "suite    : {trials} seeded trial(s) per backend, {:.0}% balance window",
+        tolerance * 100.0
+    );
+    let mut table =
+        hypart_eval::table::Table::new(["engine", "min/avg cut", "avg sec", "balanced", "failed"]);
+    for set in &sets {
+        table.add_row([
+            set.heuristic.clone(),
+            set.min_avg_cell(),
+            format!("{:.4}", set.avg_seconds()),
+            format!("{:.0}%", set.balanced_fraction() * 100.0),
+            format!("{}", set.failed_trials),
+        ]);
+    }
+    out.push_str(&table.render());
+    let points: Vec<hypart_eval::pareto::PerfPoint> = sets
+        .iter()
+        .map(|s| {
+            hypart_eval::pareto::PerfPoint::new(s.heuristic.clone(), s.avg_cut(), s.avg_seconds())
+        })
+        .collect();
+    let _ = writeln!(out, "\nPareto, avg cut vs avg seconds:");
+    out.push_str(&hypart_eval::pareto::frontier_report(&points));
+    if sets.len() == 2 {
+        let (ml, nl) = (&sets[0], &sets[1]);
+        let _ = writeln!(
+            out,
+            "head-to-head min cut: ml {} vs nlevel {} ({})",
+            ml.min_cut(),
+            nl.min_cut(),
+            if nl.min_cut() <= ml.min_cut() {
+                "nlevel matches or beats ml"
+            } else {
+                "ml ahead on this instance"
+            }
+        );
+    }
+    Ok(out)
 }
 
 /// The result of one CLI partition invocation, with the robustness
@@ -927,7 +1134,7 @@ fn run_two_way_with(
                 audit_failure: audit_failure.map(|e| e.to_string()),
             }
         }
-        Engine::MlLifo | Engine::MlClip => {
+        Engine::MlLifo | Engine::MlClip | Engine::NLevel => {
             let ml = MlPartitioner::new(engine_ml_config(engine, threads, deterministic));
             let mut best = ml.run_with(h, c, ctx);
             let mut stopped = best.stopped;
@@ -1160,8 +1367,27 @@ mod tests {
     fn parse_eval_and_stats_and_gen() {
         assert!(matches!(
             parse_args(&args(&["eval", "x.hgr", "x.part"])).unwrap(),
-            Command::Eval { .. }
+            Command::Eval {
+                part_file: Some(_),
+                engine: None,
+                ..
+            }
         ));
+        // Trial-suite mode: no partfile, --engine selects the backends.
+        assert!(matches!(
+            parse_args(&args(&[
+                "eval", "ibm01", "--engine", "both", "--trials", "3"
+            ]))
+            .unwrap(),
+            Command::Eval {
+                part_file: None,
+                engine: Some(EvalEngines::Both),
+                trials: 3,
+                ..
+            }
+        ));
+        assert!(parse_args(&args(&["eval", "x.hgr"])).is_err()); // neither mode
+        assert!(parse_args(&args(&["eval", "x.hgr", "--engine", "bogus"])).is_err());
         assert!(matches!(
             parse_args(&args(&["stats", "x.hgr"])).unwrap(),
             Command::Stats { .. }
@@ -1213,8 +1439,13 @@ mod tests {
 
         let report = run(Command::Eval {
             input: hgr.clone(),
-            part_file: part.clone(),
+            part_file: Some(part.clone()),
             tolerance: 0.1,
+            engine: None,
+            trials: 1,
+            seed: 1,
+            scale: 0.05,
+            budget_ms: None,
         })
         .unwrap();
         assert!(report.contains("ratio cut"), "{report}");
@@ -1251,6 +1482,81 @@ mod tests {
         assert!(report.contains("k = 4"), "{report}");
         assert!(dir.join("k.part").exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn nlevel_partition_and_eval_suite() {
+        assert!(matches!(
+            parse_args(&args(&["partition", "x.hgr", "--engine", "nlevel"])).unwrap(),
+            Command::Partition {
+                engine: Engine::NLevel,
+                ..
+            }
+        ));
+        // Recursive bisection still demands a power of two for 2-way engines.
+        assert!(parse_args(&args(&[
+            "partition",
+            "x.hgr",
+            "--engine",
+            "nlevel",
+            "--k",
+            "3"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "partition",
+            "x.hgr",
+            "--engine",
+            "nlevel",
+            "--k",
+            "4"
+        ]))
+        .is_ok());
+
+        let dir = std::env::temp_dir().join("hypart_cli_nlevel");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hgr = dir.join("n.hgr");
+        run(Command::Gen {
+            spec: "mcnc200".into(),
+            scale: 0.1,
+            seed: 3,
+            out: hgr.clone(),
+        })
+        .unwrap();
+        let report = run(Command::Partition {
+            input: hgr.clone(),
+            engine: Engine::NLevel,
+            k: 2,
+            tolerance: 0.1,
+            starts: 1,
+            seed: 5,
+            output: None,
+            trace: None,
+            budget_ms: None,
+            audit: AuditLevel::Paranoid,
+            threads: None,
+            deterministic: true,
+        })
+        .unwrap();
+        assert!(report.contains("NLevel"), "{report}");
+        assert!(report.contains("balanced : true"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Suite mode on a generated spec: both backends, Pareto report.
+        let suite = run(Command::Eval {
+            input: PathBuf::from("mcnc150"),
+            part_file: None,
+            tolerance: 0.1,
+            engine: Some(EvalEngines::Both),
+            trials: 2,
+            seed: 1,
+            scale: 0.05,
+            budget_ms: None,
+        })
+        .unwrap();
+        assert!(suite.contains("nlevel"), "{suite}");
+        assert!(suite.contains("non-dominated frontier"), "{suite}");
+        assert!(suite.contains("head-to-head min cut"), "{suite}");
     }
 
     #[test]

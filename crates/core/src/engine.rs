@@ -145,28 +145,6 @@ impl FmPartitioner {
         )
     }
 
-    /// [`refine_traced`](FmPartitioner::refine_traced) with an external
-    /// [`FmWorkspace`].
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `refine_with` — the workspace now travels in the `RunCtx`"
-    )]
-    pub fn refine_traced_with<R: Rng, S: TraceSink + ?Sized>(
-        &self,
-        bisection: &mut Bisection<'_>,
-        constraint: &BalanceConstraint,
-        rng: &mut R,
-        sink: &S,
-        workspace: &mut FmWorkspace,
-    ) -> FmStats {
-        let mut ctx = RunCtx::new(0)
-            .with_workspace(std::mem::take(workspace))
-            .with_sink(&sink);
-        let stats = self.refine_with(bisection, constraint, rng, &mut ctx);
-        *workspace = ctx.workspace;
-        stats
-    }
-
     /// The canonical refinement entry point: FM passes on `bisection`
     /// until no pass improves, `max_passes` is reached, or the context's
     /// budget runs out. The gain containers and scratch vectors come from

@@ -59,6 +59,7 @@ mod engine;
 pub mod gain;
 mod hierarchy;
 mod initial;
+pub mod nlevel;
 pub mod objective;
 mod par;
 mod par_refine;
@@ -80,6 +81,10 @@ pub use engine::{FmOutcome, FmPartitioner};
 pub use hierarchy::{CoarseLevel, Hierarchy, SharedHierarchy};
 pub use hypart_trace::StopReason;
 pub use initial::generate_initial;
+pub use nlevel::{
+    refine_localized, select_contractions, ContractionLimits, ContractionMemento, DynHypergraph,
+    EngineKind, NLevelPartition,
+};
 pub use par::{derive_seed, ensure_lanes, resolve_threads, MoveProposal, ParLane};
 pub use par_refine::{refine_rounds_parallel, ParRefineOutcome, PAR_REFINE_MAX_ROUNDS};
 pub use stats::{FmStats, PassStats, CORKED_FRACTION};

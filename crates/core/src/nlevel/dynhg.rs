@@ -1,0 +1,451 @@
+//! The incrementally mutated hypergraph view of the n-level backend.
+//!
+//! A [`DynHypergraph`] is built once from an immutable CSR
+//! [`Hypergraph`] and then mutated in place by single-pair contractions:
+//! no per-level CSR rebuild ever happens. Each net keeps its pins in one
+//! array with an *active prefix* — contracting `v` into `u` either swaps
+//! `v` out to the disabled tail (when `u` is already on the net) or
+//! overwrites `v`'s slot with `u` (when it is not). This is the **lazy
+//! net shrinking** discipline: nets that become identical after a
+//! contraction are *not* merged and keep their separate weights, because
+//! a merge could not be undone by a constant-size memento.
+//!
+//! Undo correctness rests on strict LIFO: when a
+//! [`ContractionMemento`] is undone, every later contraction has already
+//! been undone, so each affected net is in exactly the state the matching
+//! contraction left it in. In that state, `v` sits in the first disabled
+//! slot of every net it was swapped out of (case A), and `u` occupies
+//! `v`'s old slot on every net it was substituted into (case B) — which
+//! is why the memento needs no per-net bookkeeping at all.
+
+use hypart_hypergraph::{Hypergraph, NetId, PartId, VertexId};
+
+/// The constant-size undo record of one contraction `(u ← v)`.
+///
+/// Valid only under strict LIFO undo (see the module docs): the memento
+/// stores which pair was merged, how many nets `u` was on before the
+/// merge (everything appended past that length came from case-B
+/// substitutions and is truncated on undo), and `u`'s fixed side before
+/// it inherited `v`'s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContractionMemento {
+    /// The surviving vertex.
+    pub u: VertexId,
+    /// The vertex contracted into `u` (inactive until undone).
+    pub v: VertexId,
+    /// Length of `u`'s incidence list before the contraction.
+    u_nets_len: u32,
+    /// `u`'s fixed side before inheriting `v`'s.
+    u_fixed_before: Option<PartId>,
+}
+
+/// An incrementally mutated hypergraph view supporting single-pair
+/// [`contract`](DynHypergraph::contract) /
+/// [`uncontract`](DynHypergraph::uncontract) with lazy net shrinking.
+///
+/// Vertex and net ids are those of the source [`Hypergraph`]; inactive
+/// vertices keep their slots so a memento stack can reactivate them.
+#[derive(Clone, Debug)]
+pub struct DynHypergraph {
+    /// `true` while the vertex is a live (representative) vertex.
+    active: Vec<bool>,
+    /// Aggregated cluster weight per live vertex.
+    weight: Vec<u64>,
+    /// Inherited fixed side per live vertex.
+    fixed: Vec<Option<PartId>>,
+    /// Nets each vertex is currently on. Case-B contractions append to
+    /// the survivor's list; undo truncates back to the recorded length.
+    incident: Vec<Vec<NetId>>,
+    /// Pin arrays; `pins[e][..size[e]]` is the active prefix.
+    pins: Vec<Vec<VertexId>>,
+    /// Active pin count per net.
+    size: Vec<u32>,
+    /// Net weights (never change: identical nets are not merged).
+    net_weight: Vec<u32>,
+    /// Number of active vertices.
+    num_active: usize,
+    /// Total weight of all nets — a safe gain bound for any aggregate.
+    total_net_weight: u64,
+}
+
+impl DynHypergraph {
+    /// Builds the dynamic view of `h` with every vertex active.
+    pub fn new(h: &Hypergraph) -> DynHypergraph {
+        let n = h.num_vertices();
+        let m = h.num_nets();
+        let mut incident = Vec::with_capacity(n);
+        for v in h.vertices() {
+            incident.push(h.vertex_nets(v).to_vec());
+        }
+        let mut pins = Vec::with_capacity(m);
+        let mut size = Vec::with_capacity(m);
+        let mut net_weight = Vec::with_capacity(m);
+        let mut total_net_weight = 0u64;
+        for e in h.nets() {
+            let p = h.net_pins(e);
+            pins.push(p.to_vec());
+            size.push(p.len() as u32);
+            net_weight.push(h.net_weight(e));
+            total_net_weight += u64::from(h.net_weight(e));
+        }
+        DynHypergraph {
+            active: vec![true; n],
+            weight: h.vertices().map(|v| h.vertex_weight(v)).collect(),
+            fixed: h.vertices().map(|v| h.fixed_part(v)).collect(),
+            incident,
+            pins,
+            size,
+            net_weight,
+            num_active: n,
+            total_net_weight,
+        }
+    }
+
+    /// Number of vertex slots (the source graph's vertex count).
+    pub fn num_slots(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of currently active vertices.
+    pub fn num_active(&self) -> usize {
+        self.num_active
+    }
+
+    /// Number of net slots (the source graph's net count).
+    pub fn num_nets(&self) -> usize {
+        self.size.len()
+    }
+
+    /// Number of nets whose active prefix still spans two or more pins.
+    pub fn num_live_nets(&self) -> usize {
+        self.size.iter().filter(|&&s| s >= 2).count()
+    }
+
+    /// `true` while `v` is a live representative.
+    pub fn is_active(&self, v: VertexId) -> bool {
+        self.active[v.index()]
+    }
+
+    /// Aggregated cluster weight of `v`.
+    pub fn weight(&self, v: VertexId) -> u64 {
+        self.weight[v.index()]
+    }
+
+    /// Inherited fixed side of `v`.
+    pub fn fixed_part(&self, v: VertexId) -> Option<PartId> {
+        self.fixed[v.index()]
+    }
+
+    /// Weight of net `e`.
+    pub fn net_weight(&self, e: NetId) -> u32 {
+        self.net_weight[e.index()]
+    }
+
+    /// Active pin count of net `e`.
+    pub fn net_size(&self, e: NetId) -> u32 {
+        self.size[e.index()]
+    }
+
+    /// The active pins of net `e` (prefix order is an implementation
+    /// detail: contractions permute it).
+    pub fn net_pins(&self, e: NetId) -> &[VertexId] {
+        &self.pins[e.index()][..self.size[e.index()] as usize]
+    }
+
+    /// The nets `v` currently sits on (only meaningful while active).
+    pub fn incident_nets(&self, v: VertexId) -> &[NetId] {
+        &self.incident[v.index()]
+    }
+
+    /// The first disabled pin of `e`, if any. At LIFO-undo time this is
+    /// the vertex the matching case-A contraction swapped out, which is
+    /// how callers distinguish case A from case B *before* undoing.
+    pub fn tail_pin(&self, e: NetId) -> Option<VertexId> {
+        let s = self.size[e.index()] as usize;
+        self.pins[e.index()].get(s).copied()
+    }
+
+    /// Total weight of all nets — a safe bound on any vertex's gain in
+    /// any partition of this view, however aggregated its clusters are.
+    pub fn gain_bound(&self) -> i64 {
+        i64::try_from(self.total_net_weight)
+            .unwrap_or(i64::MAX)
+            .max(1)
+    }
+
+    /// Contracts `v` into `u`: `u` absorbs `v`'s weight, nets, and (if
+    /// `u` was free) fixed side; `v` becomes inactive. Returns the
+    /// memento undoing the step.
+    ///
+    /// For each net of `v`: if `u` is already on the net, `v` is swapped
+    /// to the disabled tail (case A — the net shrinks lazily); otherwise
+    /// `v`'s slot is overwritten with `u` and the net is appended to
+    /// `u`'s incidence list (case B).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `u != v`, both are active, and their fixed
+    /// sides are compatible.
+    pub fn contract(&mut self, u: VertexId, v: VertexId) -> ContractionMemento {
+        debug_assert_ne!(u, v, "self-contraction");
+        debug_assert!(self.active[u.index()] && self.active[v.index()]);
+        debug_assert!(
+            self.fixed[u.index()].is_none()
+                || self.fixed[v.index()].is_none()
+                || self.fixed[u.index()] == self.fixed[v.index()],
+            "contracting across fixed sides"
+        );
+        let memento = ContractionMemento {
+            u,
+            v,
+            u_nets_len: self.incident[u.index()].len() as u32,
+            u_fixed_before: self.fixed[u.index()],
+        };
+        let v_nets = std::mem::take(&mut self.incident[v.index()]);
+        for &e in &v_nets {
+            let s = self.size[e.index()] as usize;
+            let pins = &mut self.pins[e.index()];
+            let mut pos_v = usize::MAX;
+            let mut has_u = false;
+            for (i, &p) in pins[..s].iter().enumerate() {
+                if p == v {
+                    pos_v = i;
+                } else if p == u {
+                    has_u = true;
+                }
+            }
+            debug_assert_ne!(pos_v, usize::MAX, "v not on its own net");
+            if has_u {
+                pins.swap(pos_v, s - 1);
+                self.size[e.index()] = (s - 1) as u32;
+            } else {
+                pins[pos_v] = u;
+                self.incident[u.index()].push(e);
+            }
+        }
+        self.incident[v.index()] = v_nets;
+        self.weight[u.index()] += self.weight[v.index()];
+        if self.fixed[u.index()].is_none() {
+            self.fixed[u.index()] = self.fixed[v.index()];
+        }
+        self.active[v.index()] = false;
+        self.num_active -= 1;
+        memento
+    }
+
+    /// Undoes the **most recent not-yet-undone** contraction. Mementos
+    /// must be undone in strict LIFO order; nothing checks this beyond
+    /// debug assertions, and out-of-order undo corrupts the view.
+    pub fn uncontract(&mut self, m: &ContractionMemento) {
+        let (u, v) = (m.u, m.v);
+        debug_assert!(self.active[u.index()] && !self.active[v.index()]);
+        // Drop every net case B appended to u during this contraction.
+        self.incident[u.index()].truncate(m.u_nets_len as usize);
+        let v_nets = std::mem::take(&mut self.incident[v.index()]);
+        for &e in &v_nets {
+            let s = self.size[e.index()] as usize;
+            let pins = &mut self.pins[e.index()];
+            if pins.get(s) == Some(&v) {
+                // Case A: v sits in the first disabled slot — regrow the
+                // active prefix over it. (The prefix order is permuted
+                // relative to the original CSR, which is fine: no
+                // consumer depends on pin order.)
+                self.size[e.index()] = (s + 1) as u32;
+            } else {
+                // Case B: u stands in v's old slot; give it back.
+                let slot = pins[..s].iter().position(|&p| p == u);
+                match slot {
+                    Some(i) => pins[i] = v,
+                    None => debug_assert!(false, "undo: u missing from net prefix"),
+                }
+            }
+        }
+        self.incident[v.index()] = v_nets;
+        self.weight[u.index()] -= self.weight[v.index()];
+        self.fixed[u.index()] = m.u_fixed_before;
+        self.active[v.index()] = true;
+        self.num_active += 1;
+    }
+
+    /// Materializes the active residual as a standalone [`Hypergraph`]
+    /// (for initial partitioning on the coarsest state). Returns the
+    /// graph and the dense-id → original-slot map; nets with fewer than
+    /// two active pins are dropped, fixed sides are carried over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the residual violates builder invariants, which would
+    /// indicate memento corruption (duplicated pins on one net).
+    pub fn materialize(&self) -> (Hypergraph, Vec<VertexId>) {
+        let mut builder = hypart_hypergraph::HypergraphBuilder::new();
+        let mut dense_of = vec![u32::MAX; self.active.len()];
+        let mut slot_of = Vec::with_capacity(self.num_active);
+        for (i, &alive) in self.active.iter().enumerate() {
+            if alive {
+                let dense = builder.add_vertex(self.weight[i]);
+                dense_of[i] = dense.raw();
+                slot_of.push(VertexId::from_index(i));
+                if let Some(p) = self.fixed[i] {
+                    builder.fix_vertex(dense, p);
+                }
+            }
+        }
+        for e in 0..self.size.len() {
+            let s = self.size[e] as usize;
+            if s < 2 {
+                continue;
+            }
+            let pins = self.pins[e][..s]
+                .iter()
+                .map(|p| VertexId::new(dense_of[p.index()]));
+            if let Err(err) = builder.add_net(pins, self.net_weight[e]) {
+                unreachable!("residual net {e} violates builder invariants: {err}");
+            }
+        }
+        match builder.build() {
+            Ok(h) => (h, slot_of),
+            Err(err) => unreachable!("residual graph is structurally valid: {err}"),
+        }
+    }
+
+    /// Exhaustively checks that this view matches the source graph it was
+    /// built from — every vertex active with its original weight and
+    /// fixed side, every net at full size with its original pin *set*.
+    /// Test/audit support for the contract → uncontract twin property.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn validate_pristine(&self, h: &Hypergraph) -> Result<(), String> {
+        if self.num_active != h.num_vertices() {
+            return Err(format!(
+                "active count {} != vertex count {}",
+                self.num_active,
+                h.num_vertices()
+            ));
+        }
+        for v in h.vertices() {
+            let i = v.index();
+            if !self.active[i] {
+                return Err(format!("vertex {i} inactive"));
+            }
+            if self.weight[i] != h.vertex_weight(v) {
+                return Err(format!("vertex {i} weight drifted"));
+            }
+            if self.fixed[i] != h.fixed_part(v) {
+                return Err(format!("vertex {i} fixed side drifted"));
+            }
+            let mut mine: Vec<u32> = self.incident[i].iter().map(|e| e.raw()).collect();
+            let mut orig: Vec<u32> = h.vertex_nets(v).iter().map(|e| e.raw()).collect();
+            mine.sort_unstable();
+            orig.sort_unstable();
+            if mine != orig {
+                return Err(format!("vertex {i} incidence drifted"));
+            }
+        }
+        for e in h.nets() {
+            let i = e.index();
+            if self.size[i] as usize != h.net_size(e) {
+                return Err(format!("net {i} size drifted"));
+            }
+            let mut mine: Vec<u32> = self.pins[i][..self.size[i] as usize]
+                .iter()
+                .map(|p| p.raw())
+                .collect();
+            let mut orig: Vec<u32> = h.net_pins(e).iter().map(|p| p.raw()).collect();
+            mine.sort_unstable();
+            orig.sort_unstable();
+            if mine != orig {
+                return Err(format!("net {i} pin set drifted"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use hypart_hypergraph::HypergraphBuilder;
+
+    fn toy() -> Hypergraph {
+        // v0-v1-v2 triangle net, v2-v3 bridge, v3-v4-v5 triangle net.
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..6).map(|_| b.add_vertex(1)).collect();
+        b.add_net([v[0], v[1], v[2]], 1).unwrap();
+        b.add_net([v[3], v[4], v[5]], 2).unwrap();
+        b.add_net([v[2], v[3]], 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn contract_then_uncontract_restores_everything() {
+        let h = toy();
+        let mut d = DynHypergraph::new(&h);
+        let mut stack = vec![
+            d.contract(VertexId::new(0), VertexId::new(1)),
+            d.contract(VertexId::new(2), VertexId::new(3)),
+            d.contract(VertexId::new(0), VertexId::new(2)),
+            d.contract(VertexId::new(4), VertexId::new(5)),
+        ];
+        assert_eq!(d.num_active(), 2);
+        while let Some(m) = stack.pop() {
+            d.uncontract(&m);
+        }
+        d.validate_pristine(&h).unwrap();
+    }
+
+    #[test]
+    fn case_a_shrinks_shared_nets_lazily() {
+        let h = toy();
+        let mut d = DynHypergraph::new(&h);
+        // v0 and v1 share net 0: case A, the net shrinks in place.
+        let m = d.contract(VertexId::new(0), VertexId::new(1));
+        assert_eq!(d.net_size(NetId::new(0)), 2);
+        assert_eq!(d.tail_pin(NetId::new(0)), Some(VertexId::new(1)));
+        assert_eq!(d.weight(VertexId::new(0)), 2);
+        d.uncontract(&m);
+        d.validate_pristine(&h).unwrap();
+    }
+
+    #[test]
+    fn case_b_substitutes_and_extends_incidence() {
+        let h = toy();
+        let mut d = DynHypergraph::new(&h);
+        // v0 is not on net 2 (v2-v3); contracting v2 into v0 substitutes.
+        let before = d.incident_nets(VertexId::new(0)).len();
+        let m = d.contract(VertexId::new(0), VertexId::new(2));
+        assert_eq!(d.net_size(NetId::new(2)), 2);
+        assert!(d.net_pins(NetId::new(2)).contains(&VertexId::new(0)));
+        assert_eq!(d.incident_nets(VertexId::new(0)).len(), before + 1);
+        d.uncontract(&m);
+        d.validate_pristine(&h).unwrap();
+    }
+
+    #[test]
+    fn materialize_drops_dead_nets_and_maps_back() {
+        let h = toy();
+        let mut d = DynHypergraph::new(&h);
+        d.contract(VertexId::new(0), VertexId::new(1));
+        d.contract(VertexId::new(0), VertexId::new(2));
+        // Net 0 is now single-pin; nets 1 and 2 survive.
+        let (ch, slot_of) = d.materialize();
+        assert_eq!(ch.num_vertices(), 4);
+        assert_eq!(ch.num_nets(), 2);
+        assert_eq!(slot_of[0], VertexId::new(0));
+        assert_eq!(ch.vertex_weight(VertexId::new(0)), 3);
+        assert_eq!(ch.total_vertex_weight(), h.total_vertex_weight());
+    }
+
+    #[test]
+    fn fixed_sides_are_inherited_and_restored() {
+        let h = toy().with_fixed(VertexId::new(1), Some(PartId::P1));
+        let mut d = DynHypergraph::new(&h);
+        let m = d.contract(VertexId::new(0), VertexId::new(1));
+        assert_eq!(d.fixed_part(VertexId::new(0)), Some(PartId::P1));
+        d.uncontract(&m);
+        assert_eq!(d.fixed_part(VertexId::new(0)), None);
+        d.validate_pristine(&h).unwrap();
+    }
+}

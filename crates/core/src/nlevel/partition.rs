@@ -1,0 +1,517 @@
+//! Incremental k-way partition state over a [`DynHypergraph`], plus the
+//! localized FM refiner that runs after every uncontraction.
+//!
+//! [`NLevelPartition`] owns plain vectors (labels, per-net part counts,
+//! part weights, weighted cut) and takes the hypergraph view as a method
+//! argument, so the driver can interleave `partition.begin_uncontract`
+//! (bookkeeping, *before* the undo) with `d.uncontract` (the structural
+//! undo) without borrow conflicts.
+//!
+//! [`refine_localized`] is the n-level refinement step: it seeds the
+//! gain containers with only the two vertices released by the current
+//! uncontraction, then grows the active set along boundary nets as moves
+//! land. Any balance-admissible move is applied — adverse (negative
+//! gain) moves included, the classic FM hill-climb — with every move
+//! logged and the exploration tail rolled back to the best
+//! `(violation, cut)` prefix on exit. Vertices move at most once per
+//! invocation and the search stalls out a bounded number of moves after
+//! the last improvement, so termination is structural.
+
+use super::dynhg::{ContractionMemento, DynHypergraph};
+use crate::config::InsertionPolicy;
+use crate::ctx::RunCtx;
+use hypart_hypergraph::{NetId, VertexId};
+use hypart_trace::RunEvent;
+use rand::Rng;
+
+/// Nets larger than this do not propagate activation during localized
+/// refinement (the same "skip huge nets" cutoff the matcher uses).
+const ACTIVATION_NET_SIZE_CAP: u32 = 300;
+
+/// Incremental k-way partition state for the n-level backend.
+///
+/// Tracks, per net, how many of its *active* pins lie in each part
+/// (`counts`, a flat `nets × k` table), plus part weights and the
+/// weighted cut, all updated in O(affected pins) per move or
+/// uncontraction. Labels live in the full slot range of the underlying
+/// [`DynHypergraph`]; inactive slots keep the label of their survivor so
+/// uncontraction is label inheritance plus a constant-size count patch.
+#[derive(Clone, Debug)]
+pub struct NLevelPartition {
+    part: Vec<u16>,
+    counts: Vec<u32>,
+    part_weight: Vec<u64>,
+    cut: u64,
+    k: usize,
+}
+
+impl NLevelPartition {
+    /// Builds the state from per-slot labels (< `k`); only active slots
+    /// of `d` are read, inactive slots are carried verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is shorter than `d.num_slots()` or `k == 0`.
+    pub fn new(d: &DynHypergraph, k: usize, labels: Vec<u16>) -> NLevelPartition {
+        assert!(k > 0, "k must be positive");
+        assert!(labels.len() >= d.num_slots(), "label per slot required");
+        let nets = d.num_nets();
+        let mut counts = vec![0u32; nets * k];
+        let mut part_weight = vec![0u64; k];
+        for slot in 0..d.num_slots() {
+            let v = VertexId::from_index(slot);
+            if d.is_active(v) {
+                part_weight[labels[slot] as usize] += d.weight(v);
+            }
+        }
+        let mut cut = 0u64;
+        for e in 0..nets {
+            let net = NetId::from_index(e);
+            let row = &mut counts[e * k..(e + 1) * k];
+            for &p in d.net_pins(net) {
+                row[labels[p.index()] as usize] += 1;
+            }
+            let size = d.net_size(net);
+            if size >= 2 && row.iter().all(|&c| c != size) {
+                cut += u64::from(d.net_weight(net));
+            }
+        }
+        NLevelPartition {
+            part: labels,
+            counts,
+            part_weight,
+            cut,
+            k,
+        }
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.k
+    }
+
+    /// Part of vertex `v`.
+    #[inline]
+    pub fn part_of(&self, v: VertexId) -> usize {
+        self.part[v.index()] as usize
+    }
+
+    /// Weight of part `p`.
+    #[inline]
+    pub fn part_weight(&self, p: usize) -> u64 {
+        self.part_weight[p]
+    }
+
+    /// Current weighted cut (incrementally maintained).
+    #[inline]
+    pub fn cut(&self) -> u64 {
+        self.cut
+    }
+
+    /// The per-slot label vector.
+    #[inline]
+    pub fn assignment(&self) -> &[u16] {
+        &self.part
+    }
+
+    /// Consumes the state, returning the per-slot label vector.
+    pub fn into_assignment(self) -> Vec<u16> {
+        self.part
+    }
+
+    /// Sum over parts of the distance outside `[lower, upper]`.
+    pub fn total_violation(&self, lower: u64, upper: u64) -> u64 {
+        self.part_weight
+            .iter()
+            .map(|&w| w.saturating_sub(upper) + lower.saturating_sub(w))
+            .sum()
+    }
+
+    /// Cut delta of moving `v` to part `to`, negated (positive = cut
+    /// improves). `v` must be active in `d`.
+    pub fn gain(&self, d: &DynHypergraph, v: VertexId, to: usize) -> i64 {
+        let from = self.part_of(v);
+        debug_assert_ne!(from, to);
+        let mut gain = 0i64;
+        for &e in d.incident_nets(v) {
+            let size = d.net_size(e);
+            if size < 2 {
+                continue;
+            }
+            let row = e.index() * self.k;
+            let w = i64::from(d.net_weight(e));
+            debug_assert!(self.counts[row + from] >= 1);
+            // v sits in `from`, so counts[from] ≥ 1 and no *other* part
+            // can hold all pins: uncut before iff counts[from] == size,
+            // uncut after iff counts[to] + 1 == size.
+            let was_cut = self.counts[row + from] != size;
+            let now_cut = self.counts[row + to] + 1 != size;
+            gain += w * (i64::from(was_cut) - i64::from(now_cut));
+        }
+        gain
+    }
+
+    /// Moves `v` to part `to`, updating counts, weights and cut. Returns
+    /// the realized gain (cut before minus cut after).
+    pub fn move_vertex(&mut self, d: &DynHypergraph, v: VertexId, to: usize) -> i64 {
+        let from = self.part_of(v);
+        debug_assert_ne!(from, to);
+        let before = self.cut;
+        for &e in d.incident_nets(v) {
+            let size = d.net_size(e);
+            let row = e.index() * self.k;
+            debug_assert!(self.counts[row + from] >= 1);
+            self.counts[row + from] -= 1;
+            self.counts[row + to] += 1;
+            if size < 2 {
+                continue;
+            }
+            let w = u64::from(d.net_weight(e));
+            let was_cut = self.counts[row + from] + 1 != size;
+            let now_cut = self.counts[row + to] != size;
+            if was_cut && !now_cut {
+                self.cut -= w;
+            } else if !was_cut && now_cut {
+                self.cut += w;
+            }
+        }
+        let weight = d.weight(v);
+        self.part_weight[from] -= weight;
+        self.part_weight[to] += weight;
+        self.part[v.index()] = to as u16;
+        before as i64 - self.cut as i64
+    }
+
+    /// Partition-side bookkeeping for undoing `m`. **Call before**
+    /// [`DynHypergraph::uncontract`]: the case-A detection reads the
+    /// parked tail pin, which the structural undo consumes.
+    ///
+    /// `v` inherits `u`'s label, so the cut never changes: case-A nets
+    /// regain a pin in a part they already touch (via `u`), case-B nets
+    /// swap which vertex represents the cluster without changing counts.
+    pub fn begin_uncontract(&mut self, d: &DynHypergraph, m: &ContractionMemento) {
+        let p = self.part[m.u.index()] as usize;
+        self.part[m.v.index()] = p as u16;
+        for &e in d.incident_nets(m.v) {
+            if d.tail_pin(e) == Some(m.v) {
+                self.counts[e.index() * self.k + p] += 1;
+            }
+        }
+        // Weights: `uncontract` restores d's vertex weights; the part
+        // totals are unchanged because u's aggregate already counted v.
+    }
+
+    /// Recomputes the weighted cut from scratch (audit paths only).
+    pub fn recompute_cut(&self, d: &DynHypergraph) -> u64 {
+        let mut cut = 0u64;
+        for e in 0..d.num_nets() {
+            let net = NetId::from_index(e);
+            let size = d.net_size(net);
+            if size < 2 {
+                continue;
+            }
+            let row = &self.counts[e * self.k..(e + 1) * self.k];
+            if row.iter().all(|&c| c != size) {
+                cut += u64::from(d.net_weight(net));
+            }
+        }
+        cut
+    }
+}
+
+/// A localized search stalls out after this many consecutive applied
+/// moves without a new best (violation, cut): adverse moves may explore
+/// past a local minimum, but only this far.
+const STALL_LIMIT: usize = 64;
+
+/// Localized FM refinement around one uncontraction.
+///
+/// Seeds the gain containers with `seeds` (normally the released pair
+/// `[u, v]`), then repeatedly applies the best pending move that keeps
+/// the balance window `[lower, upper]` satisfiable — **including
+/// adverse (negative-gain) moves**, the classic FM hill-climb. Every
+/// applied move is logged; whenever the lexicographic potential
+/// (total violation, cut) reaches a new strict minimum the log position
+/// is recorded, and on exit everything after the best prefix is rolled
+/// back. Neighbors of every moved vertex (through nets of size ≤ 300)
+/// are activated, so improvement ripples outward exactly as far as it
+/// keeps paying. Vertices move at most once per invocation, and the
+/// search stops a fixed stall limit (64 moves) after the last
+/// improvement, so
+/// termination is structural.
+///
+/// Returns the number of *retained* moves (the best prefix); emits
+/// [`RunEvent::Move`] per applied move on enabled sinks (like a flat FM
+/// pass, rolled-back tail moves included).
+#[allow(clippy::too_many_arguments)]
+pub fn refine_localized<R: Rng>(
+    partition: &mut NLevelPartition,
+    d: &DynHypergraph,
+    seeds: &[VertexId],
+    lower: u64,
+    upper: u64,
+    insertion: InsertionPolicy,
+    rng: &mut R,
+    ctx: &mut RunCtx<'_>,
+) -> usize {
+    let k = partition.num_parts();
+    let sink = ctx.sink;
+    let traced = sink.is_enabled();
+    let containers = ctx
+        .workspace
+        .containers(k * k, d.num_slots(), d.gain_bound());
+    let mut locked: Vec<VertexId> = Vec::with_capacity(8);
+    // (vertex, origin part) per applied move, for best-prefix rollback.
+    let mut log: Vec<(VertexId, usize)> = Vec::with_capacity(8);
+    let mut best_len = 0usize;
+    let mut cur_viol = partition.total_violation(lower, upper);
+    let mut best_viol = cur_viol;
+    let mut best_cut = partition.cut();
+
+    for &s in seeds {
+        if !d.is_active(s) || d.fixed_part(s).is_some() {
+            continue;
+        }
+        let from = partition.part_of(s);
+        if containers[from * k + ((from + 1) % k)].contains(s) {
+            continue;
+        }
+        for to in 0..k {
+            if to != from {
+                let g = partition.gain(d, s, to);
+                containers[from * k + to].insert(s, g, insertion, rng);
+            }
+        }
+    }
+
+    loop {
+        // Highest-keyed head across all (from, to) containers.
+        let mut best: Option<(i64, usize, VertexId)> = None;
+        for (idx, container) in containers.iter_mut().enumerate() {
+            if idx / k == idx % k {
+                continue;
+            }
+            let Some(key) = container.descend_max() else {
+                continue;
+            };
+            if best.is_some_and(|(g, _, _)| key <= g) {
+                continue;
+            }
+            if let Some(head) = container.head_of(key) {
+                best = Some((key, idx, head));
+            }
+        }
+        let Some((key, idx, v)) = best else { break };
+        let (from, to) = (idx / k, idx % k);
+        if partition.part_of(v) != from {
+            // Stale residue from an earlier move; drop it.
+            containers[idx].remove(v);
+            continue;
+        }
+        let true_gain = partition.gain(d, v, to);
+        if true_gain != key {
+            containers[idx].update(v, true_gain, insertion, rng);
+            continue;
+        }
+        let w = d.weight(v);
+        let from_after = partition.part_weight(from) - w;
+        let to_after = partition.part_weight(to) + w;
+        let inside = from_after >= lower && to_after <= upper;
+        let viol_before = window_violation(partition.part_weight(from), lower, upper)
+            + window_violation(partition.part_weight(to), lower, upper);
+        let viol_after =
+            window_violation(from_after, lower, upper) + window_violation(to_after, lower, upper);
+        // Balance admissibility only — adverse gains are welcome, the
+        // best-prefix rollback keeps them honest.
+        let admissible = (inside && viol_after <= viol_before) || viol_after < viol_before;
+        if !admissible {
+            for t in 0..k {
+                if t != from {
+                    containers[from * k + t].remove(v);
+                }
+            }
+            continue;
+        }
+
+        for t in 0..k {
+            if t != from {
+                containers[from * k + t].remove(v);
+            }
+        }
+        let realized = partition.move_vertex(d, v, to);
+        debug_assert_eq!(realized, true_gain);
+        locked.push(v);
+        log.push((v, from));
+        if traced {
+            sink.emit(RunEvent::Move {
+                vertex: v.raw() as u64,
+                gain: realized,
+                cut: partition.cut(),
+            });
+        }
+        cur_viol = cur_viol + viol_after - viol_before;
+        if (cur_viol, partition.cut()) < (best_viol, best_cut) {
+            best_viol = cur_viol;
+            best_cut = partition.cut();
+            best_len = log.len();
+        } else if log.len() - best_len > STALL_LIMIT {
+            break;
+        }
+
+        // Refresh / activate the boundary around the move.
+        for &e in d.incident_nets(v) {
+            if d.net_size(e) > ACTIVATION_NET_SIZE_CAP {
+                continue;
+            }
+            for &y in d.net_pins(e) {
+                if y == v || locked.contains(&y) || d.fixed_part(y).is_some() {
+                    continue;
+                }
+                let s = partition.part_of(y);
+                let present = containers[s * k + ((s + 1) % k)].contains(y);
+                for t in 0..k {
+                    if t == s {
+                        continue;
+                    }
+                    let g = partition.gain(d, y, t);
+                    if present {
+                        containers[s * k + t].update(y, g, insertion, rng);
+                    } else {
+                        containers[s * k + t].insert(y, g, insertion, rng);
+                    }
+                }
+            }
+        }
+    }
+
+    // Roll the exploration tail back to the best prefix. The replayed
+    // inverse moves restore counts, weights, and cut exactly.
+    while log.len() > best_len {
+        let Some((v, origin)) = log.pop() else { break };
+        partition.move_vertex(d, v, origin);
+    }
+    debug_assert_eq!(partition.cut(), best_cut);
+    debug_assert_eq!(partition.total_violation(lower, upper), best_viol);
+    best_len
+}
+
+#[inline]
+fn window_violation(w: u64, lower: u64, upper: u64) -> u64 {
+    w.saturating_sub(upper) + lower.saturating_sub(w)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use hypart_hypergraph::{Hypergraph, HypergraphBuilder};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Two triangles joined by one bridge net (the dynhg toy).
+    fn toy() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..6).map(|_| b.add_vertex(1)).collect();
+        b.add_net([v[0], v[1], v[2]], 2).unwrap();
+        b.add_net([v[3], v[4], v[5]], 2).unwrap();
+        b.add_net([v[2], v[3]], 1).unwrap();
+        b.add_net([v[0], v[1]], 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn new_counts_weights_and_cut_agree_with_recompute() {
+        let h = toy();
+        let d = DynHypergraph::new(&h);
+        let p = NLevelPartition::new(&d, 2, vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(p.cut(), 1);
+        assert_eq!(p.part_weight(0), 3);
+        assert_eq!(p.part_weight(1), 3);
+        assert_eq!(p.recompute_cut(&d), p.cut());
+    }
+
+    #[test]
+    fn move_vertex_updates_cut_incrementally() {
+        let h = toy();
+        let d = DynHypergraph::new(&h);
+        let mut p = NLevelPartition::new(&d, 2, vec![0, 0, 0, 1, 1, 1]);
+        let v2 = VertexId::new(2);
+        let g = p.gain(&d, v2, 1);
+        let realized = p.move_vertex(&d, v2, 1);
+        assert_eq!(g, realized);
+        assert_eq!(p.recompute_cut(&d), p.cut());
+        assert_eq!(p.part_weight(0), 2);
+        assert_eq!(p.part_weight(1), 4);
+    }
+
+    #[test]
+    fn uncontraction_preserves_cut_and_weights() {
+        let h = toy();
+        let mut d = DynHypergraph::new(&h);
+        let (a, b) = (VertexId::new(0), VertexId::new(1));
+        let m = d.contract(a, b);
+        let mut labels = vec![0u16; 6];
+        labels[3] = 1;
+        labels[4] = 1;
+        labels[5] = 1;
+        let mut p = NLevelPartition::new(&d, 2, labels);
+        let cut_before = p.cut();
+        let weights_before = (p.part_weight(0), p.part_weight(1));
+        p.begin_uncontract(&d, &m);
+        d.uncontract(&m);
+        assert_eq!(p.cut(), cut_before);
+        assert_eq!(p.recompute_cut(&d), p.cut());
+        assert_eq!((p.part_weight(0), p.part_weight(1)), weights_before);
+        assert_eq!(p.part_of(b), p.part_of(a));
+    }
+
+    #[test]
+    fn localized_refinement_moves_the_bridge_vertex() {
+        // Put v2 on the wrong side: net 0 (w=2) cut, net 2 (w=1) uncut.
+        // Moving v2 from part 1 to part 0 gains 2 - 1 = 1.
+        let h = toy();
+        let d = DynHypergraph::new(&h);
+        let mut p = NLevelPartition::new(&d, 2, vec![0, 0, 1, 1, 1, 1]);
+        assert_eq!(p.cut(), 2);
+        let mut ctx = RunCtx::new(11);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let moves = refine_localized(
+            &mut p,
+            &d,
+            &[VertexId::new(2)],
+            1,
+            5,
+            InsertionPolicy::Lifo,
+            &mut rng,
+            &mut ctx,
+        );
+        assert!(moves >= 1);
+        assert_eq!(p.part_of(VertexId::new(2)), 0);
+        assert_eq!(p.cut(), 1);
+        assert_eq!(p.recompute_cut(&d), p.cut());
+    }
+
+    #[test]
+    fn zero_gain_moves_only_repair_balance() {
+        let h = toy();
+        let d = DynHypergraph::new(&h);
+        // Perfectly balanced optimum: no move should apply.
+        let mut p = NLevelPartition::new(&d, 2, vec![0, 0, 0, 1, 1, 1]);
+        let mut ctx = RunCtx::new(3);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let seeds: Vec<_> = (0..6).map(VertexId::new).collect();
+        let moves = refine_localized(
+            &mut p,
+            &d,
+            &seeds,
+            2,
+            4,
+            InsertionPolicy::Lifo,
+            &mut rng,
+            &mut ctx,
+        );
+        assert_eq!(moves, 0);
+        assert_eq!(p.cut(), 1);
+    }
+}

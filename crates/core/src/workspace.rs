@@ -19,7 +19,7 @@ use hypart_hypergraph::VertexId;
 
 /// Reusable gain-container arena plus per-pass scratch vectors.
 ///
-/// Feed one to [`crate::FmPartitioner::refine_traced_with`] (or the
+/// Feed one to [`crate::FmPartitioner::refine_with`] (or the
 /// multilevel / k-way equivalents) to amortize container setup across
 /// passes, levels, and starts. A fresh workspace is equivalent to — and is
 /// exactly what — the plain `refine` entry points create internally; reuse

@@ -15,8 +15,8 @@ use crate::balance::KWayBalance;
 use crate::partition::KWayPartition;
 use hypart_core::gain::GainContainer;
 use hypart_core::{
-    AuditError, AuditLevel, BudgetProbe, FmWorkspace, InsertionPolicy, PartitionAuditor, RunCtx,
-    StopReason, CORKED_FRACTION, PARANOID_MOVE_AUDIT_MAX_VERTICES,
+    AuditError, AuditLevel, BudgetProbe, InsertionPolicy, PartitionAuditor, RunCtx, StopReason,
+    CORKED_FRACTION, PARANOID_MOVE_AUDIT_MAX_VERTICES,
 };
 use hypart_hypergraph::{Hypergraph, VertexId};
 use hypart_trace::{RunEvent, TraceSink};
@@ -182,28 +182,6 @@ impl KWayFmPartitioner {
         self.run_with(h, balance, &mut RunCtx::new(seed).with_sink(&sink))
     }
 
-    /// [`run_traced`](KWayFmPartitioner::run_traced) with an external
-    /// [`FmWorkspace`].
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `run_with` — the workspace now travels in the `RunCtx`"
-    )]
-    pub fn run_traced_with<S: TraceSink + ?Sized>(
-        &self,
-        h: &Hypergraph,
-        balance: &KWayBalance,
-        seed: u64,
-        sink: &S,
-        workspace: &mut FmWorkspace,
-    ) -> KWayOutcome {
-        let mut ctx = RunCtx::new(seed)
-            .with_workspace(std::mem::take(workspace))
-            .with_sink(&sink);
-        let out = self.run_with(h, balance, &mut ctx);
-        *workspace = ctx.workspace;
-        out
-    }
-
     /// Refines `partition` in place until a pass stops improving the
     /// lexicographic (violation, cut) score; returns the pass count.
     pub fn refine<R: Rng>(
@@ -231,28 +209,6 @@ impl KWayFmPartitioner {
             &mut RunCtx::new(0).with_sink(&sink),
         )
         .0
-    }
-
-    /// [`refine_traced`](KWayFmPartitioner::refine_traced) with an
-    /// external [`FmWorkspace`].
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `refine_with` — the workspace now travels in the `RunCtx`"
-    )]
-    pub fn refine_traced_with<R: Rng, S: TraceSink + ?Sized>(
-        &self,
-        partition: &mut KWayPartition<'_>,
-        balance: &KWayBalance,
-        rng: &mut R,
-        sink: &S,
-        workspace: &mut FmWorkspace,
-    ) -> usize {
-        let mut ctx = RunCtx::new(0)
-            .with_workspace(std::mem::take(workspace))
-            .with_sink(&sink);
-        let (passes, _) = self.refine_with(partition, balance, rng, &mut ctx);
-        *workspace = ctx.workspace;
-        passes
     }
 
     /// The canonical refinement entry point: passes on `partition` until

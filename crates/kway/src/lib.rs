@@ -39,11 +39,13 @@
 mod balance;
 mod fm;
 mod multilevel;
+mod nlevel_kway;
 mod partition;
 mod recursive;
 
 pub use balance::KWayBalance;
 pub use fm::{KWayConfig, KWayFmPartitioner, KWayOutcome};
+pub use hypart_core::EngineKind;
 pub use multilevel::{MlKWayConfig, MlKWayPartitioner};
 pub use partition::KWayPartition;
 pub use recursive::{recursive_bisection, recursive_bisection_with};

@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use crate::balance::KWayBalance;
 use crate::fm::{record_kway_audit, KWayConfig, KWayFmPartitioner, KWayOutcome};
 use crate::partition::KWayPartition;
-use hypart_core::{AuditError, RunCtx, StopReason};
+use hypart_core::{AuditError, EngineKind, RunCtx, StopReason};
 use hypart_hypergraph::Hypergraph;
 use hypart_ml::build_hierarchy_par_with;
 use hypart_ml::coarsen::{build_hierarchy_with, CoarsenConfig};
@@ -26,6 +26,7 @@ use hypart_trace::RunEvent;
 /// | [`refine`](Self::refine) | flat k-way engine at every level |
 /// | [`coarsen`](Self::coarsen) | clustering schedule (shared with 2-way ML) |
 /// | [`initial_tries`](Self::initial_tries) | seeded starts on the coarsest graph |
+/// | [`engine`](Self::engine) | multilevel backend: coarse-grained levels or n-level |
 #[derive(Clone, Debug, PartialEq)]
 pub struct MlKWayConfig {
     /// Flat k-way engine used for refinement at every level.
@@ -43,6 +44,11 @@ pub struct MlKWayConfig {
     /// (the default) the hierarchy — and therefore the whole run — is
     /// identical for every lane and thread count.
     pub deterministic: bool,
+    /// Which multilevel backend runs: the coarse-grained level-by-level
+    /// hierarchy (the default) or the n-level single-pair contraction
+    /// engine. The n-level backend is serial-only and ignores
+    /// [`threads`](Self::threads); it is always deterministic.
+    pub engine: EngineKind,
 }
 
 impl Default for MlKWayConfig {
@@ -53,6 +59,7 @@ impl Default for MlKWayConfig {
             initial_tries: 8,
             threads: 0,
             deterministic: true,
+            engine: EngineKind::MlCoarse,
         }
     }
 }
@@ -88,6 +95,12 @@ impl MlKWayConfig {
     /// (builder-style).
     pub fn with_deterministic(mut self, deterministic: bool) -> Self {
         self.deterministic = deterministic;
+        self
+    }
+
+    /// Selects the multilevel backend (builder-style).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -130,6 +143,9 @@ impl MlKWayPartitioner {
         balance: &KWayBalance,
         ctx: &mut RunCtx<'_>,
     ) -> KWayOutcome {
+        if self.config.engine == EngineKind::NLevel {
+            return crate::nlevel_kway::run_nlevel_kway(self, h, balance, ctx);
+        }
         let k = balance.num_parts();
         let base_seed = ctx.seed;
         let mut rng = SmallRng::seed_from_u64(base_seed);

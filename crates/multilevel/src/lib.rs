@@ -36,6 +36,7 @@
 
 pub mod coarsen;
 mod driver;
+mod nlevel;
 pub mod par_coarsen;
 mod parallel;
 mod partitioner;
@@ -46,7 +47,7 @@ pub use driver::{
     multi_start_parallel_with, multi_start_traced, multi_start_with, MultiStartOutcome,
     StartRecord,
 };
-pub use hypart_core::{Hierarchy, SharedHierarchy};
+pub use hypart_core::{EngineKind, Hierarchy, SharedHierarchy};
 pub use par_coarsen::{
     build_hierarchy_par_with, coarsen_once_par_with, PAR_COARSEN_MIN_VERTICES, PAR_MATCH_WINDOW,
     PAR_STAGE_MIN_NETS,

@@ -6,8 +6,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::coarsen::{build_hierarchy_with, CoarsenConfig};
 use hypart_core::{
-    generate_initial, AuditError, BalanceConstraint, Bisection, FmConfig, FmPartitioner,
-    FmWorkspace, Hierarchy, InitialSolution, PartitionAuditor, RunCtx, StopReason,
+    generate_initial, AuditError, BalanceConstraint, Bisection, EngineKind, FmConfig,
+    FmPartitioner, Hierarchy, InitialSolution, PartitionAuditor, RunCtx, StopReason,
 };
 use hypart_hypergraph::{Hypergraph, PartId};
 use hypart_trace::{RunEvent, TraceSink};
@@ -22,6 +22,7 @@ use hypart_trace::{RunEvent, TraceSink};
 /// | [`refine`](Self::refine) | flat engine at every level | selects the ML LIFO / ML CLIP row family |
 /// | [`coarsen`](Self::coarsen) | clustering schedule | fixed across the grid (FirstChoice-style) |
 /// | [`initial_tries`](Self::initial_tries) | seeded starts on the coarsest graph | fixed across the grid |
+/// | [`engine`](Self::engine) | multilevel backend | `MlCoarse` = Table 1 ML rows; `NLevel` adds an n-level row family |
 #[derive(Clone, Debug, PartialEq)]
 pub struct MlConfig {
     /// Flat engine used for refinement at every level — ML LIFO vs ML CLIP
@@ -55,6 +56,11 @@ pub struct MlConfig {
     /// with it — but stay race-free, legal, and audit-clean. Ignored by
     /// the serial engine (`threads == 0`), which is always deterministic.
     pub deterministic: bool,
+    /// Which multilevel backend runs: the coarse-grained level-by-level
+    /// hierarchy (the default) or the n-level single-pair contraction
+    /// engine. The n-level backend is serial-only and ignores
+    /// [`threads`](Self::threads); it is always deterministic.
+    pub engine: EngineKind,
 }
 
 impl Default for MlConfig {
@@ -65,6 +71,7 @@ impl Default for MlConfig {
             initial_tries: 10,
             threads: 0,
             deterministic: true,
+            engine: EngineKind::MlCoarse,
         }
     }
 }
@@ -113,6 +120,12 @@ impl MlConfig {
     /// (builder-style).
     pub fn with_deterministic(mut self, deterministic: bool) -> Self {
         self.deterministic = deterministic;
+        self
+    }
+
+    /// Selects the multilevel backend (builder-style).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -172,6 +185,9 @@ impl MlPartitioner {
         constraint: &BalanceConstraint,
         ctx: &mut RunCtx<'_>,
     ) -> MlOutcome {
+        if self.config.engine == EngineKind::NLevel {
+            return crate::nlevel::run_nlevel(self, h, constraint, ctx);
+        }
         if self.config.threads > 0 {
             return self.run_parallel_with(h, constraint, ctx);
         }
@@ -217,28 +233,6 @@ impl MlPartitioner {
         sink: &S,
     ) -> MlOutcome {
         self.run_with(h, constraint, &mut RunCtx::new(seed).with_sink(&sink))
-    }
-
-    /// [`run_traced`](MlPartitioner::run_traced) with an external
-    /// [`FmWorkspace`].
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `run_with` — the workspace now travels in the `RunCtx`"
-    )]
-    pub fn run_traced_with<S: TraceSink + ?Sized>(
-        &self,
-        h: &Hypergraph,
-        constraint: &BalanceConstraint,
-        seed: u64,
-        sink: &S,
-        workspace: &mut FmWorkspace,
-    ) -> MlOutcome {
-        let mut ctx = RunCtx::new(seed)
-            .with_workspace(std::mem::take(workspace))
-            .with_sink(&sink);
-        let out = self.run_with(h, constraint, &mut ctx);
-        *workspace = ctx.workspace;
-        out
     }
 
     /// Builds and freezes the unrestricted coarsening hierarchy for `h`,
@@ -338,6 +332,9 @@ impl MlPartitioner {
             h.num_vertices(),
             "assignment length mismatch"
         );
+        if self.config.engine == EngineKind::NLevel {
+            return crate::nlevel::vcycle_nlevel(self, h, constraint, assignment, ctx);
+        }
         if self.config.threads > 0 {
             return self.vcycle_parallel_with(h, constraint, assignment, ctx);
         }
@@ -404,30 +401,7 @@ impl MlPartitioner {
         )
     }
 
-    /// [`vcycle_traced`](MlPartitioner::vcycle_traced) with an external
-    /// [`FmWorkspace`].
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `vcycle_with` — the workspace now travels in the `RunCtx`"
-    )]
-    pub fn vcycle_traced_with<S: TraceSink + ?Sized>(
-        &self,
-        h: &Hypergraph,
-        constraint: &BalanceConstraint,
-        assignment: &[PartId],
-        seed: u64,
-        sink: &S,
-        workspace: &mut FmWorkspace,
-    ) -> MlOutcome {
-        let mut ctx = RunCtx::new(seed)
-            .with_workspace(std::mem::take(workspace))
-            .with_sink(&sink);
-        let out = self.vcycle_with(h, constraint, assignment, &mut ctx);
-        *workspace = ctx.workspace;
-        out
-    }
-
-    fn best_initial<R: Rng>(
+    pub(crate) fn best_initial<R: Rng>(
         &self,
         coarsest: &Hypergraph,
         constraint: &BalanceConstraint,

@@ -15,6 +15,7 @@
 
 use std::io::{Read, Write};
 
+use hypart_core::EngineKind;
 use hypart_trace::json::JsonValue;
 use hypart_trace::{RunEvent, StopReason};
 
@@ -202,6 +203,12 @@ pub struct PartitionRequest {
     /// Reuse (and populate) the coarsening-hierarchy cache keyed by
     /// `(digest, coarsening config, seed)`. Only 2-way jobs consult it.
     pub use_hierarchy_cache: bool,
+    /// Which multilevel backend runs the job. `MlCoarse` (the wire
+    /// default — omitted from frames, so pre-engine clients and golden
+    /// frames are unchanged) is the coarse-grained hierarchy engine;
+    /// `NLevel` contracts one pair at a time and bypasses the
+    /// hierarchy cache (there is no reusable CSR hierarchy).
+    pub engine: EngineKind,
     /// Include the full assignment vector in the result frame.
     pub include_assignment: bool,
 }
@@ -219,6 +226,7 @@ impl PartitionRequest {
             budget_ms: None,
             trace: false,
             use_hierarchy_cache: true,
+            engine: EngineKind::MlCoarse,
             include_assignment: false,
         }
     }
@@ -241,6 +249,9 @@ impl PartitionRequest {
         }
         if let Some(ms) = self.budget_ms {
             pairs.push(("budget_ms", ms.into()));
+        }
+        if self.engine != EngineKind::MlCoarse {
+            pairs.push(("engine", JsonValue::string(self.engine.name())));
         }
         JsonValue::object(pairs)
     }
@@ -381,6 +392,15 @@ impl Request {
                     .get("use_hierarchy_cache")
                     .and_then(JsonValue::as_bool)
                     .unwrap_or(true),
+                engine: match v.get("engine") {
+                    None => EngineKind::MlCoarse,
+                    Some(x) => {
+                        let name = x
+                            .as_str()
+                            .ok_or("partition: `engine` must be a string".to_string())?;
+                        EngineKind::parse(name).map_err(|e| format!("partition: {e}"))?
+                    }
+                },
                 include_assignment: v
                     .get("include_assignment")
                     .and_then(JsonValue::as_bool)
@@ -812,6 +832,7 @@ mod tests {
                 budget_ms: Some(50),
                 trace: true,
                 use_hierarchy_cache: false,
+                engine: EngineKind::NLevel,
                 include_assignment: true,
             }),
             Request::Partition(PartitionRequest::new(

@@ -37,10 +37,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use hypart_core::{AuditLevel, BalanceConstraint, CancelToken, RunCtx};
+use hypart_core::{AuditLevel, BalanceConstraint, CancelToken, EngineKind, RunCtx};
 use hypart_hypergraph::{io::hgr, Hypergraph, PartId};
 use hypart_kway::{recursive_bisection_with, KWayBalance};
-use hypart_ml::{multi_start_budgeted_from_hierarchy_with, MlConfig, MlPartitioner};
+use hypart_ml::{
+    multi_start_budgeted_from_hierarchy_with, multi_start_budgeted_with, MlConfig, MlPartitioner,
+};
 use hypart_trace::{RunEvent, StopReason, TraceSink};
 
 use crate::cache::{HierarchyCache, HierarchyKey, InstanceCache};
@@ -766,8 +768,45 @@ fn bisection_job(
     shared: &Arc<Shared>,
     ctx: &mut RunCtx<'_>,
 ) -> JobResult {
-    let partitioner = MlPartitioner::new(shared.config.ml.clone());
     let constraint = BalanceConstraint::with_fraction(h.total_vertex_weight(), req.fraction);
+    if req.engine == EngineKind::NLevel {
+        // The n-level backend never builds a CSR hierarchy, so the
+        // hierarchy cache does not apply: run the engine directly.
+        let partitioner =
+            MlPartitioner::new(shared.config.ml.clone().with_engine(EngineKind::NLevel));
+        return if req.budget_ms.is_some() {
+            let out = multi_start_budgeted_with(&partitioner, h, &constraint, ctx);
+            JobResult {
+                cut: out.cut,
+                balanced: out.balanced,
+                stopped: out.stopped,
+                audit_clean: out.audit_failure.is_none(),
+                hierarchy_reused: false,
+                levels: 0,
+                starts: out.stats.outcomes.len(),
+                digest,
+                assignment: req
+                    .include_assignment
+                    .then(|| part_assignment(&out.assignment)),
+            }
+        } else {
+            let out = partitioner.run_with(h, &constraint, ctx);
+            JobResult {
+                cut: out.cut,
+                balanced: out.balanced,
+                stopped: out.stopped,
+                audit_clean: out.audit_failure.is_none(),
+                hierarchy_reused: false,
+                levels: out.levels,
+                starts: 1,
+                digest,
+                assignment: req
+                    .include_assignment
+                    .then(|| part_assignment(&out.assignment)),
+            }
+        };
+    }
+    let partitioner = MlPartitioner::new(shared.config.ml.clone());
     let (hierarchy, reused) = if req.use_hierarchy_cache {
         let key = HierarchyKey::new(digest, &shared.config.ml.coarsen, req.seed);
         match shared.hierarchies.get(&key) {
@@ -833,7 +872,10 @@ fn kway_job(
     ml: &MlConfig,
     ctx: &mut RunCtx<'_>,
 ) -> JobResult {
-    let out = recursive_bisection_with(h, req.k, req.fraction, ml, ctx);
+    // Recursive bisection runs the 2-way engine per split, so the
+    // request's backend choice threads through via the config.
+    let ml = ml.clone().with_engine(req.engine);
+    let out = recursive_bisection_with(h, req.k, req.fraction, &ml, ctx);
     let balance = KWayBalance::with_fraction(h.total_vertex_weight(), req.k, req.fraction);
     JobResult {
         cut: out.cut,

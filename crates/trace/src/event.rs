@@ -277,10 +277,42 @@ pub enum RunEvent {
         /// Number of coarse levels in the reused hierarchy.
         levels: usize,
     },
+    /// The n-level contraction phase starts (the n-level analogue of the
+    /// [`LevelDown`](RunEvent::LevelDown) bracket: one bracket for the
+    /// whole phase rather than one event per single-pair contraction,
+    /// keeping golden traces compact).
+    ContractionBegin {
+        /// Active vertices before the first contraction.
+        vertices: usize,
+        /// Live nets (≥ 2 active pins) before the first contraction.
+        nets: usize,
+    },
+    /// The n-level contraction phase ends.
+    ContractionEnd {
+        /// Mementos recorded (single-pair contractions performed).
+        contractions: usize,
+        /// Active vertices remaining at the coarsest point.
+        vertices: usize,
+        /// Live nets remaining at the coarsest point.
+        nets: usize,
+    },
+    /// The n-level uncontraction/refinement phase starts (the analogue of
+    /// the [`LevelUp`](RunEvent::LevelUp) bracket).
+    UncontractionBegin {
+        /// Mementos about to be undone, one localized refinement each.
+        contractions: usize,
+    },
+    /// The n-level uncontraction/refinement phase ends.
+    UncontractionEnd {
+        /// Localized refinement moves applied across the whole phase.
+        moves: usize,
+        /// Weighted cut after the final uncontraction.
+        cut: u64,
+    },
 }
 
 /// Event kind names, in [`RunEvent::kind_index`] order.
-pub const EVENT_KINDS: [&str; 21] = [
+pub const EVENT_KINDS: [&str; 25] = [
     "trial_begin",
     "trial_end",
     "run_begin",
@@ -302,6 +334,10 @@ pub const EVENT_KINDS: [&str; 21] = [
     "start_aborted",
     "shard_aborted",
     "hierarchy_reused",
+    "contraction_begin",
+    "contraction_end",
+    "uncontraction_begin",
+    "uncontraction_end",
 ];
 
 impl RunEvent {
@@ -335,6 +371,10 @@ impl RunEvent {
             RunEvent::StartAborted { .. } => 18,
             RunEvent::ShardAborted { .. } => 19,
             RunEvent::HierarchyReused { .. } => 20,
+            RunEvent::ContractionBegin { .. } => 21,
+            RunEvent::ContractionEnd { .. } => 22,
+            RunEvent::UncontractionBegin { .. } => 23,
+            RunEvent::UncontractionEnd { .. } => 24,
         }
     }
 
@@ -477,6 +517,27 @@ impl RunEvent {
             RunEvent::HierarchyReused { levels } => {
                 JsonValue::object([ev, ("levels", (*levels).into())])
             }
+            RunEvent::ContractionBegin { vertices, nets } => JsonValue::object([
+                ev,
+                ("vertices", (*vertices).into()),
+                ("nets", (*nets).into()),
+            ]),
+            RunEvent::ContractionEnd {
+                contractions,
+                vertices,
+                nets,
+            } => JsonValue::object([
+                ev,
+                ("contractions", (*contractions).into()),
+                ("vertices", (*vertices).into()),
+                ("nets", (*nets).into()),
+            ]),
+            RunEvent::UncontractionBegin { contractions } => {
+                JsonValue::object([ev, ("contractions", (*contractions).into())])
+            }
+            RunEvent::UncontractionEnd { moves, cut } => {
+                JsonValue::object([ev, ("moves", (*moves).into()), ("cut", (*cut).into())])
+            }
         }
     }
 
@@ -611,6 +672,22 @@ impl RunEvent {
             "hierarchy_reused" => Ok(RunEvent::HierarchyReused {
                 levels: us("levels")?,
             }),
+            "contraction_begin" => Ok(RunEvent::ContractionBegin {
+                vertices: us("vertices")?,
+                nets: us("nets")?,
+            }),
+            "contraction_end" => Ok(RunEvent::ContractionEnd {
+                contractions: us("contractions")?,
+                vertices: us("vertices")?,
+                nets: us("nets")?,
+            }),
+            "uncontraction_begin" => Ok(RunEvent::UncontractionBegin {
+                contractions: us("contractions")?,
+            }),
+            "uncontraction_end" => Ok(RunEvent::UncontractionEnd {
+                moves: us("moves")?,
+                cut: u("cut")?,
+            }),
             other => Err(format!("unknown event kind `{other}`")),
         }
     }
@@ -696,6 +773,20 @@ mod tests {
             RunEvent::StartAborted { index: 3, seed: 45 },
             RunEvent::ShardAborted { round: 2, shard: 1 },
             RunEvent::HierarchyReused { levels: 4 },
+            RunEvent::ContractionBegin {
+                vertices: 120,
+                nets: 140,
+            },
+            RunEvent::ContractionEnd {
+                contractions: 100,
+                vertices: 20,
+                nets: 25,
+            },
+            RunEvent::UncontractionBegin { contractions: 100 },
+            RunEvent::UncontractionEnd {
+                moves: 17,
+                cut: 305,
+            },
         ]
     }
 

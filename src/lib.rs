@@ -60,8 +60,9 @@ pub use hypart_trace as trace;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use hypart_core::{
-        BalanceConstraint, Bisection, CancelToken, FmConfig, FmOutcome, FmPartitioner,
-        InsertionPolicy, RunCtx, SelectionRule, StopReason, TieBreak, ZeroDeltaPolicy,
+        BalanceConstraint, Bisection, CancelToken, ContractionLimits, ContractionMemento,
+        DynHypergraph, EngineKind, FmConfig, FmOutcome, FmPartitioner, InsertionPolicy,
+        NLevelPartition, RunCtx, SelectionRule, StopReason, TieBreak, ZeroDeltaPolicy,
     };
     pub use hypart_eval::runner::{
         run_trials, run_trials_with, FlatFmHeuristic, Heuristic, MlHeuristic, MultiStartHeuristic,

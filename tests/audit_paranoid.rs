@@ -128,6 +128,44 @@ fn recursive_bisection_is_paranoid_clean() {
     assert!(violations(&sink).is_empty());
 }
 
+/// The n-level backend under paranoid audit: the per-uncontraction cut
+/// re-verification plus the final independent bisection audit must both
+/// come back clean, for the 2-way engine, V-cycling, and k-way recursive
+/// bisection alike.
+#[test]
+fn nlevel_engine_is_paranoid_clean() {
+    use hypart::core::EngineKind;
+    let config = MlConfig::default().with_engine(EngineKind::NLevel);
+    for (name, h) in instances() {
+        let c = BalanceConstraint::with_fraction(h.total_vertex_weight(), 0.1);
+        let sink = MemorySink::new();
+        let partitioner = MlPartitioner::new(config.clone());
+        let out = partitioner.run_with(&h, &c, &mut paranoid_ctx(5, &sink));
+        assert!(
+            out.audit_failure.is_none(),
+            "{name}: {:?}",
+            out.audit_failure
+        );
+        assert!(violations(&sink).is_empty(), "{name}");
+
+        let vsink = MemorySink::new();
+        let vout = partitioner.vcycle_with(&h, &c, &out.assignment, &mut paranoid_ctx(5, &vsink));
+        assert!(
+            vout.audit_failure.is_none(),
+            "{name} vcycle: {:?}",
+            vout.audit_failure
+        );
+        assert!(vout.cut <= out.cut, "{name}: V-cycle worsened the cut");
+        assert!(violations(&vsink).is_empty(), "{name} vcycle");
+    }
+
+    let h = benchgen::mcnc_like(160, 6);
+    let sink = MemorySink::new();
+    let out = recursive_bisection_with(&h, 4, 0.2, &config, &mut paranoid_ctx(17, &sink));
+    assert!(out.audit_failure.is_none(), "{:?}", out.audit_failure);
+    assert!(violations(&sink).is_empty());
+}
+
 /// `Off` is the default and must emit nothing: a traced run with the
 /// default context is bitwise-identical to one that never heard of the
 /// auditor (the golden-trace suite depends on this).

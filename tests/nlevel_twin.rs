@@ -1,0 +1,94 @@
+//! Twin property test of the n-level machinery: restricted contraction
+//! followed by memento undo with **zero** refinement moves must be the
+//! identity on the input partition — same labels, same cut at every
+//! step, and a byte-pristine [`DynHypergraph`] afterwards. This pins the
+//! two invariants everything else in the backend leans on: contraction
+//! within a side never changes the cut, and uncontraction is pure label
+//! inheritance plus a count patch.
+
+use proptest::prelude::*;
+
+use hypart::benchgen::random_hypergraph;
+use hypart::core::select_contractions;
+use hypart::prelude::*;
+
+fn instance_params() -> impl Strategy<Value = (usize, usize, usize, u64, u64)> {
+    (4usize..60, 4usize..90, 2usize..6, 1u64..12, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// contract (restricted to partition sides) → uncontract with no
+    /// refinement reproduces the input partition exactly.
+    #[test]
+    fn contract_uncontract_is_identity_on_partitions((n, m, k, w, seed) in instance_params()) {
+        let h = random_hypergraph(n, m, k, w, seed);
+        let labels: Vec<u16> = (0..n)
+            .map(|i| u16::from((seed >> (i % 48)) & 1 == 1))
+            .collect();
+        let sides: Vec<PartId> = labels
+            .iter()
+            .map(|&p| if p == 0 { PartId::P0 } else { PartId::P1 })
+            .collect();
+        let reference_cut = {
+            let bis = Bisection::new(&h, sides.clone()).expect("valid assignment");
+            bis.recompute_cut()
+        };
+
+        // Contract as far as the restriction allows: never across sides,
+        // no weight cap, stop only when no admissible pair remains.
+        let mut d = DynHypergraph::new(&h);
+        let limits = ContractionLimits {
+            stop_size: 1,
+            max_net_size: 300,
+            cluster_cap: h.total_vertex_weight(),
+        };
+        let ctx = RunCtx::new(seed);
+        let mut probe = ctx.probe();
+        let mut scores = hypart::core::SparseScores::new();
+        let mementos =
+            select_contractions(&mut d, &limits, Some(&sides), seed, &mut scores, &mut probe);
+
+        // Every contraction stayed inside one side, so the per-slot input
+        // labels are still a valid labeling of the coarse state — and its
+        // cut must equal the flat partition's cut.
+        let mut partition = NLevelPartition::new(&d, 2, labels.clone());
+        prop_assert_eq!(partition.cut(), reference_cut,
+            "side-pure contraction must preserve the cut");
+
+        // Undo the stack with zero refinement: the cut may never move.
+        for m in mementos.iter().rev() {
+            partition.begin_uncontract(&d, m);
+            d.uncontract(m);
+            prop_assert_eq!(partition.cut(), reference_cut,
+                "uncontraction changed the cut");
+        }
+        prop_assert_eq!(partition.cut(), partition.recompute_cut(&d));
+        prop_assert_eq!(partition.assignment(), &labels[..],
+            "zero-refinement n-level must reproduce the input partition");
+        d.validate_pristine(&h).expect("full undo must restore the pristine view");
+    }
+
+    /// Unrestricted contraction all the way down and back is structurally
+    /// the identity on the hypergraph view, whatever the instance.
+    #[test]
+    fn full_contract_undo_restores_pristine_state((n, m, k, w, seed) in instance_params()) {
+        let h = random_hypergraph(n, m, k, w, seed);
+        let mut d = DynHypergraph::new(&h);
+        let limits = ContractionLimits {
+            stop_size: 1,
+            max_net_size: 300,
+            cluster_cap: h.total_vertex_weight(),
+        };
+        let ctx = RunCtx::new(seed ^ 0xA5A5);
+        let mut probe = ctx.probe();
+        let mut scores = hypart::core::SparseScores::new();
+        let mut mementos =
+            select_contractions(&mut d, &limits, None, seed, &mut scores, &mut probe);
+        while let Some(m) = mementos.pop() {
+            d.uncontract(&m);
+        }
+        d.validate_pristine(&h).expect("pristine after full undo");
+    }
+}

@@ -1,8 +1,8 @@
-//! Execution-context (`RunCtx`) behavior across the stack: the legacy
-//! entry points must reproduce the canonical `*_with` streams bitwise,
-//! deadlines must stop a budgeted multi-start promptly with a legal
-//! best-so-far, and cancellation must interrupt a parallel multi-start
-//! from another thread.
+//! Execution-context (`RunCtx`) behavior across the stack: the
+//! convenience entry points must reproduce the canonical `*_with`
+//! streams bitwise, deadlines must stop a budgeted multi-start promptly
+//! with a legal best-so-far, and cancellation must interrupt a parallel
+//! multi-start from another thread.
 
 use std::time::{Duration, Instant};
 
@@ -16,10 +16,9 @@ fn jsonl_of(f: impl FnOnce(&JsonlSink<Vec<u8>>)) -> String {
     String::from_utf8(sink.finish().expect("in-memory write")).expect("utf-8")
 }
 
-/// The legacy wrappers — plain `run`/`run_traced` and the deprecated
-/// external-workspace shuttles — are thin delegations to the canonical
-/// `*_with` entry points, so their JSONL streams must stay bitwise
-/// identical to a hand-built `RunCtx` run.
+/// The convenience wrappers — plain `run`/`run_traced` — are thin
+/// delegations to the canonical `*_with` entry points, so their JSONL
+/// streams must stay bitwise identical to a hand-built `RunCtx` run.
 #[test]
 fn wrappers_reproduce_canonical_jsonl_streams() {
     let h = ispd98_like(1, 0.02, 23);
@@ -35,17 +34,19 @@ fn wrappers_reproduce_canonical_jsonl_streams() {
     });
     assert_eq!(via_wrapper, via_ctx, "flat FM stream drifted");
 
-    // Multilevel: deprecated workspace-shuttle wrapper vs run_with.
+    // Multilevel: run_traced vs run_with (with a pre-seeded external
+    // workspace on the ctx side — arena reuse must not perturb streams).
     let ml = MlPartitioner::new(MlConfig::ml_lifo());
-    #[allow(deprecated)]
-    let via_shuttle = jsonl_of(|sink| {
-        let mut workspace = hypart::core::FmWorkspace::new();
-        ml.run_traced_with(&h, &c, 9, sink, &mut workspace);
+    let via_wrapper = jsonl_of(|sink| {
+        ml.run_traced(&h, &c, 9, sink);
     });
     let via_ctx = jsonl_of(|sink| {
-        ml.run_with(&h, &c, &mut RunCtx::new(9).with_sink(sink));
+        let mut ctx = RunCtx::new(9)
+            .with_workspace(hypart::core::FmWorkspace::new())
+            .with_sink(sink);
+        ml.run_with(&h, &c, &mut ctx);
     });
-    assert_eq!(via_shuttle, via_ctx, "multilevel stream drifted");
+    assert_eq!(via_wrapper, via_ctx, "multilevel stream drifted");
 
     // Direct k-way: run_traced vs run_with.
     let balance = KWayBalance::with_fraction(h.total_vertex_weight(), 4, 0.15);

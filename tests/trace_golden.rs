@@ -127,6 +127,24 @@ fn engine_traces() -> Vec<(&'static str, String)> {
             .run_with(&hd, &kd, &mut ctx);
     });
 
+    // n-level backend: single-pair contraction with memento undo and
+    // localized refinement. The bisection golden pins the
+    // contraction/uncontraction bracket vocabulary plus every localized
+    // move; the k-way one pins the recursive-bisection composition.
+    // stop_size 30 so the schedule contracts ~100 pairs on the
+    // 128-vertex instance instead of stalling at the default 120.
+    let nlevel_config = MlConfig::default()
+        .with_engine(EngineKind::NLevel)
+        .with_coarsen(deep_coarsen);
+    let nlevel = trace_of(&|sink| {
+        let mut ctx = RunCtx::new(5).with_sink(sink);
+        MlPartitioner::new(nlevel_config.clone()).run_with(&h, &c, &mut ctx);
+    });
+    let nlevel_kway = trace_of(&|sink| {
+        let mut ctx = RunCtx::new(7).with_sink(sink);
+        hypart::kway::recursive_bisection_with(&h, 4, 0.15, &nlevel_config, &mut ctx);
+    });
+
     vec![
         ("trace_fm_ispd98.jsonl", flat),
         ("trace_clip_ispd98.jsonl", clip),
@@ -134,7 +152,45 @@ fn engine_traces() -> Vec<(&'static str, String)> {
         ("trace_kway_ispd98.jsonl", kway),
         ("trace_ml_deep.jsonl", ml_deep),
         ("trace_mlkway_deep.jsonl", mlkway),
+        ("trace_nlevel_ispd98.jsonl", nlevel),
+        ("trace_nlevel_kway_ispd98.jsonl", nlevel_kway),
     ]
+}
+
+/// The n-level goldens really exercise the n-level path: both traces
+/// must open a contraction bracket and close an uncontraction bracket,
+/// and the bisection one must report one memento per uncontracted pair.
+#[test]
+fn nlevel_traces_carry_contraction_brackets() {
+    for file in [
+        "trace_nlevel_ispd98.jsonl",
+        "trace_nlevel_kway_ispd98.jsonl",
+    ] {
+        let (_, text) = engine_traces()
+            .into_iter()
+            .find(|(f, _)| *f == file)
+            .expect("nlevel trace present");
+        let events: Vec<RunEvent> = text
+            .lines()
+            .map(|line| {
+                let value = JsonValue::parse(line).expect("golden line parses");
+                RunEvent::from_json(&value).expect("golden line is an event")
+            })
+            .collect();
+        let begins = events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::ContractionBegin { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::UncontractionEnd { .. }))
+            .count();
+        assert!(begins >= 1, "{file}: no contraction_begin events");
+        assert_eq!(
+            begins, ends,
+            "{file}: contraction/uncontraction phases must pair up"
+        );
+    }
 }
 
 /// The deep-ML golden really exercises a multi-level hierarchy: its trace
