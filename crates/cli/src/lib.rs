@@ -187,7 +187,8 @@ pub enum Command {
         out: PathBuf,
     },
     /// `serve [--addr A] [--workers N] [--queue N] [--instance-cache N]
-    /// [--hierarchy-cache N] [--threads N]`
+    /// [--hierarchy-cache N] [--threads N] [--watchdog-factor F]
+    /// [--max-cells N]`
     Serve {
         /// Listen address (`host:port`; port 0 picks a free port).
         addr: String,
@@ -203,6 +204,14 @@ pub enum Command {
         hierarchy_cache: usize,
         /// Lane count of the parallel ML engine per job (0 = serial).
         threads: usize,
+        /// Watchdog overshoot factor: budgeted jobs running past
+        /// `budget_ms * factor` are force-cancelled with a typed
+        /// `watchdog_cancelled` error (0 disables the watchdog).
+        watchdog_factor: f64,
+        /// Admission cap on declared instance size: inline uploads
+        /// declaring more cells are shed with a typed
+        /// `rejected_too_large` error before parsing (0 = no cap).
+        max_cells: usize,
     },
 }
 
@@ -304,10 +313,16 @@ the (cut, seconds) Pareto frontier.
   hypart gen <ibm01..ibm18|mcncN> [--scale S] [--seed K] --out FILE
   hypart serve [--addr HOST:PORT] [--workers N] [--queue N]
                [--instance-cache N] [--hierarchy-cache N] [--threads N]
+               [--watchdog-factor F] [--max-cells N]
 
 `serve` runs the partitioning daemon (length-prefixed JSONL frames over
 TCP; see crates/server). It blocks until a client sends `shutdown`.
-`hypart-loadgen --self-host` exercises it end to end.
+`--watchdog-factor F` force-cancels budgeted jobs overshooting
+`budget_ms * F` (0 = off); `--max-cells N` sheds inline uploads
+declaring more cells before parsing them (0 = no cap).
+`hypart-loadgen --self-host` exercises it end to end, and
+`hypart-loadgen --self-host --chaos SEED` soaks it through a
+deterministic fault-injecting proxy.
 
 Netlists are read as hMETIS .hgr, or as simplified ISPD98 netD when the
 file extension contains `net`.
@@ -463,6 +478,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             if queue == 0 {
                 return Err("--queue must be at least 1".into());
             }
+            let watchdog_factor = parse_flag("--watchdog-factor", 0.0)?;
+            if watchdog_factor < 0.0 {
+                return Err("--watchdog-factor must be non-negative".into());
+            }
             Ok(Command::Serve {
                 addr: flag_value("--addr").unwrap_or("127.0.0.1:7077").to_string(),
                 workers,
@@ -470,6 +489,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 instance_cache: parse_flag("--instance-cache", 16.0)? as usize,
                 hierarchy_cache: parse_flag("--hierarchy-cache", 32.0)? as usize,
                 threads: parse_flag("--threads", 0.0)? as usize,
+                watchdog_factor,
+                max_cells: parse_flag("--max-cells", 0.0)? as usize,
             })
         }
         other => Err(format!("unknown subcommand `{other}`")),
@@ -702,6 +723,8 @@ solution : {}
             instance_cache,
             hierarchy_cache,
             threads,
+            watchdog_factor,
+            max_cells,
         } => {
             let config = hypart_server::ServerConfig {
                 addr,
@@ -710,6 +733,8 @@ solution : {}
                 instance_cache_capacity: instance_cache,
                 hierarchy_cache_capacity: hierarchy_cache,
                 ml: MlConfig::default().with_threads(threads),
+                watchdog_factor,
+                max_cells,
                 ..hypart_server::ServerConfig::default()
             };
             let server = hypart_server::Server::start(config)
@@ -1644,6 +1669,8 @@ mod tests {
                 instance_cache,
                 hierarchy_cache,
                 threads,
+                watchdog_factor,
+                max_cells,
             } => {
                 assert_eq!(addr, "127.0.0.1:7077");
                 assert_eq!(workers, 2);
@@ -1651,6 +1678,8 @@ mod tests {
                 assert_eq!(instance_cache, 16);
                 assert_eq!(hierarchy_cache, 32);
                 assert_eq!(threads, 0);
+                assert_eq!(watchdog_factor, 0.0, "watchdog defaults to off");
+                assert_eq!(max_cells, 0, "admission cap defaults to off");
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -1662,6 +1691,10 @@ mod tests {
             "8",
             "--queue",
             "256",
+            "--watchdog-factor",
+            "2.5",
+            "--max-cells",
+            "100000",
         ]))
         .unwrap()
         {
@@ -1669,16 +1702,21 @@ mod tests {
                 addr,
                 workers,
                 queue,
+                watchdog_factor,
+                max_cells,
                 ..
             } => {
                 assert_eq!(addr, "0.0.0.0:9000");
                 assert_eq!(workers, 8);
                 assert_eq!(queue, 256);
+                assert_eq!(watchdog_factor, 2.5);
+                assert_eq!(max_cells, 100_000);
             }
             other => panic!("wrong command {other:?}"),
         }
         assert!(parse_args(&args(&["serve", "--workers", "0"])).is_err());
         assert!(parse_args(&args(&["serve", "--queue", "0"])).is_err());
+        assert!(parse_args(&args(&["serve", "--watchdog-factor", "-1"])).is_err());
     }
 
     #[test]

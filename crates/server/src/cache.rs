@@ -57,6 +57,10 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> FifoMap<K, V> {
             }
         }
     }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
 }
 
 /// Digest-keyed cache of parsed instances. Hit/miss counters are
@@ -108,6 +112,17 @@ impl InstanceCache {
     /// Cumulative miss count.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of instances currently retained (for the `ping` health
+    /// snapshot).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -197,6 +212,17 @@ impl HierarchyCache {
     /// Cumulative miss count.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of hierarchies currently retained (for the `ping` health
+    /// snapshot).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 

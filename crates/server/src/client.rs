@@ -4,15 +4,31 @@
 //! interleaves their `event`/`result` frames freely, so the client
 //! demultiplexes by job id: frames for jobs other than the one being
 //! waited on are buffered and handed out when their turn comes.
+//!
+//! # Self-healing
+//!
+//! A client built with [`Client::connect_with_retry`] carries a
+//! [`RetryPolicy`] and survives transport faults: any I/O, framing, or
+//! disconnect error triggers a bounded reconnect with deterministic
+//! seeded exponential backoff, after which every journaled job request
+//! that has not yet reached a terminal outcome is resubmitted in job-id
+//! order. Stamp those requests with a `request_token` and resubmission
+//! becomes idempotent — the daemon re-attaches to the in-flight job or
+//! replays the cached outcome instead of recomputing (the
+//! `dedup_hits` counter and replayed results are the observable
+//! evidence). Without a policy ([`Client::connect`]) behavior is
+//! unchanged: the first transport error is final.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Read;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use hypart_core::derive_seed;
 use hypart_trace::RunEvent;
 
 use crate::protocol::{
-    read_frame, write_frame, FrameError, JobResult, Request, Response, StatsSnapshot,
+    read_frame, write_frame, FrameError, Health, JobResult, Request, Response, StatsSnapshot,
     DEFAULT_MAX_FRAME_BYTES,
 };
 
@@ -20,6 +36,60 @@ use crate::protocol::{
 /// the test suite, short enough that a hung daemon fails tests instead
 /// of wedging them.
 const READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Bounded reconnect-and-resubmit behavior for a self-healing client.
+///
+/// Backoff before attempt `n` is `base_backoff * 2^n` capped at
+/// `max_backoff`, half fixed and half seeded jitter — deterministic for
+/// a given `(jitter_seed, n)`, so chaos soaks replay their timing
+/// decisions exactly.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Reconnect attempts per healing cycle, and the bound on
+    /// consecutive healing cycles that make no progress (no frame
+    /// absorbed) before the error is surfaced.
+    pub max_attempts: u32,
+    /// First-attempt backoff (doubles each attempt).
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+    /// Read timeout installed on (re)connected sockets. Under chaos a
+    /// stalled or desynchronized connection is only abandoned when a
+    /// read exceeds this, so shorter values heal faster.
+    pub read_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0,
+            read_timeout: READ_TIMEOUT,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic backoff before reconnect attempt `attempt`
+    /// (0-based): half the capped exponential step plus seeded jitter
+    /// over the other half.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let base = u64::try_from(self.base_backoff.as_millis()).unwrap_or(u64::MAX);
+        let cap = u64::try_from(self.max_backoff.as_millis()).unwrap_or(u64::MAX);
+        let exp = base.saturating_mul(1u64 << attempt.min(20)).min(cap);
+        let half = exp / 2;
+        let jitter = if half == 0 {
+            0
+        } else {
+            derive_seed(self.jitter_seed, u64::from(attempt)) % (half + 1)
+        };
+        Duration::from_millis(half + jitter)
+    }
+}
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -32,7 +102,16 @@ pub enum ClientError {
     /// (including connection-scoped error frames carrying no job id).
     Protocol(String),
     /// The connection closed while a reply was still owed.
-    Disconnected,
+    Disconnected {
+        /// The job being waited on when the connection died, when known.
+        job: Option<u64>,
+        /// Response bytes read over the connection's lifetime before it
+        /// died.
+        bytes_read: u64,
+        /// `true` when the close landed mid-frame (bytes of a frame were
+        /// lost), `false` when it happened cleanly between frames.
+        mid_frame: bool,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -41,7 +120,25 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "client i/o error: {e}"),
             ClientError::Frame(e) => write!(f, "client framing error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
-            ClientError::Disconnected => write!(f, "daemon closed the connection"),
+            ClientError::Disconnected {
+                job,
+                bytes_read,
+                mid_frame,
+            } => {
+                write!(f, "daemon closed the connection")?;
+                if let Some(id) = job {
+                    write!(f, " while job {id} was pending")?;
+                }
+                write!(
+                    f,
+                    " ({} after {bytes_read} response bytes)",
+                    if *mid_frame {
+                        "mid-frame"
+                    } else {
+                        "at a frame boundary"
+                    }
+                )
+            }
         }
     }
 }
@@ -51,12 +148,6 @@ impl std::error::Error for ClientError {}
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Io(e)
-    }
-}
-
-impl From<FrameError> for ClientError {
-    fn from(e: FrameError) -> Self {
-        ClientError::Frame(e)
     }
 }
 
@@ -79,7 +170,7 @@ pub enum JobOutcome {
         queue_capacity: usize,
     },
     /// A typed job-scoped error (`unknown_instance`, `parse`,
-    /// `stream_poisoned`, …).
+    /// `watchdog_cancelled`, `stream_poisoned`, …).
     Failed {
         /// Machine-readable error code.
         code: String,
@@ -94,16 +185,39 @@ struct PendingJob {
     terminal: Option<JobOutcome>,
 }
 
+/// A `TcpStream` read half that counts consumed bytes, so disconnect
+/// errors can report how far the response stream got.
+struct CountingReader {
+    stream: TcpStream,
+    bytes: u64,
+}
+
+impl Read for CountingReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.stream.read(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
 /// A blocking connection to the daemon.
 pub struct Client {
     writer: TcpStream,
-    reader: TcpStream,
+    reader: CountingReader,
     max_frame_bytes: usize,
     pending: HashMap<u64, PendingJob>,
+    /// Reconnect target; `None` on clients built without a policy.
+    addr: Option<String>,
+    retry: Option<RetryPolicy>,
+    /// Job requests not yet terminal, resubmitted in id order after a
+    /// reconnect (`BTreeMap` so resubmission order is deterministic).
+    journal: BTreeMap<u64, Request>,
+    retries: u64,
 }
 
 impl Client {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon without a retry policy: the first
+    /// transport error is final.
     ///
     /// # Errors
     ///
@@ -114,35 +228,142 @@ impl Client {
         reader.set_read_timeout(Some(READ_TIMEOUT))?;
         Ok(Client {
             writer,
-            reader,
+            reader: CountingReader {
+                stream: reader,
+                bytes: 0,
+            },
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             pending: HashMap::new(),
+            addr: None,
+            retry: None,
+            journal: BTreeMap::new(),
+            retries: 0,
         })
     }
 
-    /// Sends one request frame without waiting for anything.
+    /// Connects with a retry policy: the initial connection and every
+    /// later transport fault get up to `policy.max_attempts` backed-off
+    /// reconnects, and journaled jobs are resubmitted after each heal.
     ///
     /// # Errors
     ///
-    /// Propagates the write failure.
+    /// Connection/setup failure persisting through all attempts.
+    pub fn connect_with_retry(addr: &str, policy: RetryPolicy) -> Result<Client, ClientError> {
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 || last.is_some() {
+                std::thread::sleep(policy.backoff(attempt));
+            }
+            match Self::open(addr, policy.read_timeout) {
+                Ok((writer, reader)) => {
+                    return Ok(Client {
+                        writer,
+                        reader: CountingReader {
+                            stream: reader,
+                            bytes: 0,
+                        },
+                        max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+                        pending: HashMap::new(),
+                        addr: Some(addr.to_string()),
+                        retry: Some(policy),
+                        journal: BTreeMap::new(),
+                        retries: 0,
+                    })
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            std::io::Error::other("no connection attempts were made")
+        })))
+    }
+
+    fn open(addr: &str, read_timeout: Duration) -> std::io::Result<(TcpStream, TcpStream)> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = writer.try_clone()?;
+        reader.set_read_timeout(Some(read_timeout))?;
+        Ok((writer, reader))
+    }
+
+    /// How many times this client has healed (reconnected) so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Sends one request frame without waiting for anything. Job
+    /// requests (`partition`/`eval`) are journaled for resubmission
+    /// until their outcome is observed; on a write failure the client
+    /// heals (when it has a policy), which already resubmits the
+    /// journal — including this request.
+    ///
+    /// # Errors
+    ///
+    /// The write failure, when unhealable or healing is exhausted.
     pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
-        write_frame(&mut self.writer, &request.to_json())?;
-        Ok(())
+        match request {
+            Request::Partition(req) => {
+                self.journal.insert(req.id, request.clone());
+            }
+            Request::Eval(req) => {
+                self.journal.insert(req.id, request.clone());
+            }
+            _ => {}
+        }
+        match write_frame(&mut self.writer, &request.to_json()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let journaled = matches!(request, Request::Partition(_) | Request::Eval(_));
+                let err = ClientError::Io(e);
+                if self.healable() {
+                    // `heal` resubmits the journal; a non-job request
+                    // must be re-sent explicitly.
+                    self.heal(err)?;
+                    if !journaled {
+                        write_frame(&mut self.writer, &request.to_json())
+                            .map_err(ClientError::Io)?;
+                    }
+                    Ok(())
+                } else {
+                    Err(err)
+                }
+            }
+        }
     }
 
     /// Reads the next response frame raw, bypassing the demultiplexer.
     ///
     /// # Errors
     ///
-    /// I/O, framing, or a clean close ([`ClientError::Disconnected`]).
+    /// I/O, framing, or a close ([`ClientError::Disconnected`], with
+    /// `mid_frame` telling a torn frame from a clean boundary).
     pub fn read_response(&mut self) -> Result<Response, ClientError> {
-        let frame =
-            read_frame(&mut self.reader, self.max_frame_bytes)?.ok_or(ClientError::Disconnected)?;
+        let frame = match read_frame(&mut self.reader, self.max_frame_bytes) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                return Err(ClientError::Disconnected {
+                    job: None,
+                    bytes_read: self.reader.bytes,
+                    mid_frame: false,
+                })
+            }
+            Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Err(ClientError::Disconnected {
+                    job: None,
+                    bytes_read: self.reader.bytes,
+                    mid_frame: true,
+                })
+            }
+            Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(e) => return Err(ClientError::Frame(e)),
+        };
         Response::from_json(&frame).map_err(ClientError::Protocol)
     }
 
     /// Blocks until job `id` reaches a terminal state, buffering frames
-    /// of other jobs along the way.
+    /// of other jobs along the way. With a retry policy, transport
+    /// faults along the way trigger reconnect-and-resubmit; the wait
+    /// only fails after `max_attempts` consecutive healing cycles make
+    /// no progress.
     ///
     /// # Errors
     ///
@@ -150,6 +371,7 @@ impl Client {
     /// data ([`JobOutcome::Failed`] / [`JobOutcome::Rejected`]), not
     /// errors.
     pub fn wait_outcome(&mut self, id: u64) -> Result<JobOutcome, ClientError> {
+        let mut stale_heals = 0u32;
         loop {
             if let Some(slot) = self.pending.get_mut(&id) {
                 if let Some(terminal) = slot.terminal.take() {
@@ -161,27 +383,51 @@ impl Client {
                         other => other,
                     };
                     self.pending.remove(&id);
+                    self.journal.remove(&id);
                     return Ok(outcome);
                 }
             }
-            let response = self.read_response()?;
-            self.absorb(response)?;
+            let absorbed = self
+                .read_response()
+                .and_then(|response| self.absorb(response));
+            match absorbed {
+                Ok(()) => stale_heals = 0,
+                Err(e) => {
+                    let e = stamp_job(e, id);
+                    if !self.healable() || stale_heals >= self.max_heals() {
+                        return Err(e);
+                    }
+                    stale_heals += 1;
+                    self.heal(e)?;
+                }
+            }
         }
     }
 
-    /// Requests a counter snapshot and blocks for the reply.
+    /// Requests a counter snapshot and blocks for the reply (healing
+    /// transport faults when a policy is set).
     ///
     /// # Errors
     ///
     /// Transport failures or protocol violations.
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
-        self.send(&Request::Stats)?;
-        loop {
-            match self.read_response()? {
-                Response::Stats(snapshot) => return Ok(snapshot),
-                other => self.absorb(other)?,
-            }
-        }
+        self.roundtrip(&Request::Stats, |response| match response {
+            Response::Stats(snapshot) => Ok(snapshot),
+            other => Err(other),
+        })
+    }
+
+    /// Sends a `ping` and blocks for the health snapshot — the
+    /// readiness probe (healing transport faults when a policy is set).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or protocol violations.
+    pub fn ping(&mut self) -> Result<Health, ClientError> {
+        self.roundtrip(&Request::Ping, |response| match response {
+            Response::Pong(health) => Ok(health),
+            other => Err(other),
+        })
     }
 
     /// Cancels job `id`. Returns `true` when the daemon acknowledged
@@ -190,9 +436,12 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport failures or protocol violations.
+    /// Transport failures or protocol violations (never healed: after a
+    /// reconnect the job's fate is already decided, so a retried cancel
+    /// would race it).
     pub fn cancel(&mut self, id: u64) -> Result<bool, ClientError> {
-        self.send(&Request::Cancel { id })?;
+        write_frame(&mut self.writer, &Request::Cancel { id }.to_json())
+            .map_err(ClientError::Io)?;
         loop {
             match self.read_response()? {
                 Response::Ok { id: acked } if acked == id => return Ok(true),
@@ -206,13 +455,14 @@ impl Client {
         }
     }
 
-    /// Asks the daemon to shut down and blocks for the farewell.
+    /// Asks the daemon to shut down and blocks for the farewell (never
+    /// healed: reconnecting to a daemon told to exit is self-defeating).
     ///
     /// # Errors
     ///
     /// Transport failures or protocol violations.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        self.send(&Request::Shutdown)?;
+        write_frame(&mut self.writer, &Request::Shutdown.to_json()).map_err(ClientError::Io)?;
         loop {
             match self.read_response()? {
                 Response::Bye => return Ok(()),
@@ -221,13 +471,119 @@ impl Client {
         }
     }
 
+    /// Send-then-match with healing: the request is re-sent after every
+    /// heal, and the loop only fails after `max_attempts` consecutive
+    /// healing cycles without progress. Frames the matcher declines go
+    /// through the demultiplexer.
+    fn roundtrip<T>(
+        &mut self,
+        request: &Request,
+        matcher: impl Fn(Response) -> Result<T, Response>,
+    ) -> Result<T, ClientError> {
+        let mut stale_heals = 0u32;
+        'attempt: loop {
+            if let Err(e) = write_frame(&mut self.writer, &request.to_json()) {
+                let err = ClientError::Io(e);
+                if !self.healable() || stale_heals >= self.max_heals() {
+                    return Err(err);
+                }
+                stale_heals += 1;
+                self.heal(err)?;
+                continue 'attempt;
+            }
+            loop {
+                let step = self
+                    .read_response()
+                    .and_then(|response| match matcher(response) {
+                        Ok(value) => Ok(Some(value)),
+                        Err(other) => self.absorb(other).map(|()| None),
+                    });
+                match step {
+                    Ok(Some(value)) => return Ok(value),
+                    Ok(None) => stale_heals = 0,
+                    Err(e) => {
+                        if !self.healable() || stale_heals >= self.max_heals() {
+                            return Err(e);
+                        }
+                        stale_heals += 1;
+                        self.heal(e)?;
+                        continue 'attempt;
+                    }
+                }
+            }
+        }
+    }
+
+    fn healable(&self) -> bool {
+        self.retry.is_some() && self.addr.is_some()
+    }
+
+    fn max_heals(&self) -> u32 {
+        self.retry.as_ref().map_or(0, |p| p.max_attempts)
+    }
+
+    /// One healing cycle: backed-off reconnect attempts, then journal
+    /// resubmission. Returns the original error when every attempt
+    /// fails.
+    fn heal(&mut self, original: ClientError) -> Result<(), ClientError> {
+        let (Some(policy), Some(addr)) = (self.retry.clone(), self.addr.clone()) else {
+            return Err(original);
+        };
+        for attempt in 0..policy.max_attempts.max(1) {
+            std::thread::sleep(policy.backoff(attempt));
+            let Ok((writer, reader)) = Self::open(&addr, policy.read_timeout) else {
+                continue;
+            };
+            self.writer = writer;
+            self.reader = CountingReader {
+                stream: reader,
+                bytes: 0,
+            };
+            self.retries += 1;
+            // Partially streamed traces of unfinished jobs died with the
+            // old connection; resubmission re-streams from the start.
+            for slot in self.pending.values_mut() {
+                if slot.terminal.is_none() {
+                    slot.events.clear();
+                }
+            }
+            let resubmit: Vec<Request> = self
+                .journal
+                .values()
+                .filter(|request| {
+                    let id = match request {
+                        Request::Partition(req) => req.id,
+                        Request::Eval(req) => req.id,
+                        _ => return false,
+                    };
+                    self.pending
+                        .get(&id)
+                        .is_none_or(|slot| slot.terminal.is_none())
+                })
+                .cloned()
+                .collect();
+            let mut resent_all = true;
+            for request in &resubmit {
+                if write_frame(&mut self.writer, &request.to_json()).is_err() {
+                    resent_all = false;
+                    break;
+                }
+            }
+            if resent_all {
+                return Ok(());
+            }
+        }
+        Err(original)
+    }
+
     /// Files a response into the per-job buffers.
     fn absorb(&mut self, response: Response) -> Result<(), ClientError> {
         match response {
             // Admission acks carry no payload the client needs; results
             // can even overtake them when a worker is faster than the
-            // reader thread's next write slot.
-            Response::Accepted { .. } => Ok(()),
+            // reader thread's next write slot. A stray pong (a probe
+            // abandoned by a heal) is equally ignorable.
+            Response::Accepted { .. } | Response::Pong(_) => Ok(()),
             Response::Event { id, event } => {
                 self.pending.entry(id).or_default().events.push(event);
                 Ok(())
@@ -272,5 +628,21 @@ impl Client {
                 "unsolicited stats/bye frame".to_string(),
             )),
         }
+    }
+}
+
+/// Attributes a job-agnostic disconnect to the job being waited on.
+fn stamp_job(e: ClientError, id: u64) -> ClientError {
+    match e {
+        ClientError::Disconnected {
+            job: None,
+            bytes_read,
+            mid_frame,
+        } => ClientError::Disconnected {
+            job: Some(id),
+            bytes_read,
+            mid_frame,
+        },
+        other => other,
     }
 }

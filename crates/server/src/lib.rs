@@ -20,7 +20,13 @@
 //!   one reader thread per connection, and a fixed worker pool that
 //!   reuses engine workspaces across jobs;
 //! * [`Client`] — a blocking client that demultiplexes interleaved
-//!   responses per job id.
+//!   responses per job id, with optional self-healing: a
+//!   [`RetryPolicy`] adds bounded reconnect-and-resubmit with
+//!   deterministic seeded backoff, and idempotency tokens let the
+//!   daemon deduplicate retried jobs instead of recomputing them;
+//! * [`chaos`] — a deterministic TCP chaos proxy: every network fault
+//!   (mid-frame disconnects, byte-level rechunking, delays, stalls,
+//!   corruption) is scripted from a seed and replayable bit for bit.
 //!
 //! # Determinism contract
 //!
@@ -40,10 +46,12 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod cache;
+pub mod chaos;
 mod client;
 pub mod protocol;
 pub mod queue;
 mod server;
 
-pub use client::{Client, ClientError, JobOutcome};
+pub use chaos::{ChaosPlan, ChaosProxy};
+pub use client::{Client, ClientError, JobOutcome, RetryPolicy};
 pub use server::{Server, ServerConfig, ServerHandle};

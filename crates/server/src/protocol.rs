@@ -211,6 +211,12 @@ pub struct PartitionRequest {
     pub engine: EngineKind,
     /// Include the full assignment vector in the result frame.
     pub include_assignment: bool,
+    /// Idempotency token. A retried submission carrying the same token
+    /// re-attaches to the in-flight job or replays the cached outcome
+    /// instead of recomputing; `None` (the wire default — omitted from
+    /// frames, so pre-token clients and golden frames are unchanged)
+    /// disables deduplication for this job.
+    pub request_token: Option<u64>,
 }
 
 impl PartitionRequest {
@@ -228,6 +234,7 @@ impl PartitionRequest {
             use_hierarchy_cache: true,
             engine: EngineKind::MlCoarse,
             include_assignment: false,
+            request_token: None,
         }
     }
 
@@ -253,6 +260,9 @@ impl PartitionRequest {
         if self.engine != EngineKind::MlCoarse {
             pairs.push(("engine", JsonValue::string(self.engine.name())));
         }
+        if let Some(token) = self.request_token {
+            pairs.push(("token", token.into()));
+        }
         JsonValue::object(pairs)
     }
 }
@@ -271,6 +281,9 @@ pub struct EvalRequest {
     pub k: usize,
     /// Balance tolerance fraction.
     pub fraction: f64,
+    /// Idempotency token; same semantics as
+    /// [`PartitionRequest::request_token`].
+    pub request_token: Option<u64>,
 }
 
 impl EvalRequest {
@@ -290,6 +303,9 @@ impl EvalRequest {
             InstanceRef::Inline(text) => pairs.push(("hgr", JsonValue::string(text.clone()))),
             InstanceRef::Digest(d) => pairs.push(("digest", JsonValue::string(digest_to_hex(*d)))),
         }
+        if let Some(token) = self.request_token {
+            pairs.push(("token", token.into()));
+        }
         JsonValue::object(pairs)
     }
 }
@@ -308,6 +324,10 @@ pub enum Request {
     },
     /// Snapshot the server's counters.
     Stats,
+    /// Liveness/readiness probe: answered inline by the reader thread
+    /// (never queued), so a `pong` proves the daemon is accepting and
+    /// parsing frames even when every worker is busy.
+    Ping,
     /// Gracefully shut the daemon down.
     Shutdown,
 }
@@ -322,6 +342,7 @@ impl Request {
                 JsonValue::object([("op", JsonValue::string("cancel")), ("id", (*id).into())])
             }
             Request::Stats => JsonValue::object([("op", JsonValue::string("stats"))]),
+            Request::Ping => JsonValue::object([("op", JsonValue::string("ping"))]),
             Request::Shutdown => JsonValue::object([("op", JsonValue::string("shutdown"))]),
         }
     }
@@ -405,6 +426,7 @@ impl Request {
                     .get("include_assignment")
                     .and_then(JsonValue::as_bool)
                     .unwrap_or(false),
+                request_token: v.get("token").and_then(JsonValue::as_u64),
             })),
             "eval" => {
                 let assignment = match v.get("assignment") {
@@ -425,10 +447,12 @@ impl Request {
                     assignment,
                     k: k()?,
                     fraction: fraction()?,
+                    request_token: v.get("token").and_then(JsonValue::as_u64),
                 }))
             }
             "cancel" => Ok(Request::Cancel { id: id(true)? }),
             "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op {other:?}")),
         }
@@ -547,6 +571,20 @@ pub struct StatsSnapshot {
     pub stream_aborted: u64,
     /// Parse/validation errors answered with typed error frames.
     pub errors: u64,
+    /// Jobs force-cancelled by the watchdog after overshooting their
+    /// declared budget by the configured factor.
+    pub watchdog_cancelled: u64,
+    /// Inline instances rejected by declared-size admission control
+    /// before parsing.
+    pub rejected_too_large: u64,
+    /// Retried submissions served by the idempotency layer (re-attached
+    /// to an in-flight job or replayed from the completed-token cache)
+    /// instead of recomputing.
+    pub dedup_hits: u64,
+    /// Connection-setup or socket-option failures (e.g. a read/write
+    /// deadline that could not be installed); each one closes the
+    /// affected connection instead of being silently dropped.
+    pub io_failures: u64,
     /// Instance-cache hits (CSR reuse).
     pub instance_hits: u64,
     /// Instance-cache misses (fresh parse registered).
@@ -570,6 +608,10 @@ impl StatsSnapshot {
             ("rejected_overload", self.rejected_overload.into()),
             ("stream_aborted", self.stream_aborted.into()),
             ("errors", self.errors.into()),
+            ("watchdog_cancelled", self.watchdog_cancelled.into()),
+            ("rejected_too_large", self.rejected_too_large.into()),
+            ("dedup_hits", self.dedup_hits.into()),
+            ("io_failures", self.io_failures.into()),
             ("instance_hits", self.instance_hits.into()),
             ("instance_misses", self.instance_misses.into()),
             ("hierarchy_hits", self.hierarchy_hits.into()),
@@ -591,12 +633,64 @@ impl StatsSnapshot {
             rejected_overload: u("rejected_overload")?,
             stream_aborted: u("stream_aborted")?,
             errors: u("errors")?,
+            watchdog_cancelled: u("watchdog_cancelled")?,
+            rejected_too_large: u("rejected_too_large")?,
+            dedup_hits: u("dedup_hits")?,
+            io_failures: u("io_failures")?,
             instance_hits: u("instance_hits")?,
             instance_misses: u("instance_misses")?,
             hierarchy_hits: u("hierarchy_hits")?,
             hierarchy_misses: u("hierarchy_misses")?,
             queue_depth: u("queue_depth")? as usize,
             queue_capacity: u("queue_capacity")? as usize,
+        })
+    }
+}
+
+/// The payload of a `pong` reply: a cheap health/readiness snapshot
+/// answered inline by the connection's reader thread.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Health {
+    /// Milliseconds since the daemon started listening.
+    pub uptime_ms: u64,
+    /// Current queue depth.
+    pub queue_depth: usize,
+    /// Queue capacity (shedding threshold).
+    pub queue_capacity: usize,
+    /// Instances currently retained in the digest cache.
+    pub instances_cached: usize,
+    /// Coarsening hierarchies currently retained.
+    pub hierarchies_cached: usize,
+    /// Completed idempotency tokens currently retained for replay.
+    pub tokens_cached: usize,
+}
+
+impl Health {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("reply", JsonValue::string("pong")),
+            ("uptime_ms", self.uptime_ms.into()),
+            ("queue_depth", self.queue_depth.into()),
+            ("queue_capacity", self.queue_capacity.into()),
+            ("instances_cached", self.instances_cached.into()),
+            ("hierarchies_cached", self.hierarchies_cached.into()),
+            ("tokens_cached", self.tokens_cached.into()),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Health, String> {
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("pong: missing u64 `{key}`"))
+        };
+        Ok(Health {
+            uptime_ms: u("uptime_ms")?,
+            queue_depth: u("queue_depth")? as usize,
+            queue_capacity: u("queue_capacity")? as usize,
+            instances_cached: u("instances_cached")? as usize,
+            hierarchies_cached: u("hierarchies_cached")? as usize,
+            tokens_cached: u("tokens_cached")? as usize,
         })
     }
 }
@@ -642,7 +736,8 @@ pub enum Response {
         id: Option<u64>,
         /// Stable machine-readable code (`bad_request`, `parse`,
         /// `unknown_instance`, `unknown_job`, `overloaded`,
-        /// `stream_poisoned`).
+        /// `stream_poisoned`, `watchdog_cancelled`,
+        /// `rejected_too_large`).
         code: String,
         /// Human-readable detail.
         detail: String,
@@ -654,6 +749,8 @@ pub enum Response {
     },
     /// Counter snapshot.
     Stats(StatsSnapshot),
+    /// Health snapshot answering a `ping`.
+    Pong(Health),
     /// Farewell to a `shutdown` request; the daemon stops accepting
     /// work after sending it.
     Bye,
@@ -699,6 +796,7 @@ impl Response {
                 JsonValue::object([("reply", JsonValue::string("ok")), ("id", (*id).into())])
             }
             Response::Stats(s) => s.to_json(),
+            Response::Pong(h) => h.to_json(),
             Response::Bye => JsonValue::object([("reply", JsonValue::string("bye"))]),
         }
     }
@@ -756,6 +854,7 @@ impl Response {
             }),
             "ok" => Ok(Response::Ok { id: id()? }),
             "stats" => Ok(Response::Stats(StatsSnapshot::from_json(v)?)),
+            "pong" => Ok(Response::Pong(Health::from_json(v)?)),
             "bye" => Ok(Response::Bye),
             other => Err(format!("unknown reply {other:?}")),
         }
@@ -834,6 +933,7 @@ mod tests {
                 use_hierarchy_cache: false,
                 engine: EngineKind::NLevel,
                 include_assignment: true,
+                request_token: Some(0xFACE),
             }),
             Request::Partition(PartitionRequest::new(
                 1,
@@ -846,15 +946,35 @@ mod tests {
                 assignment: vec![0, 1, 1],
                 k: 2,
                 fraction: 0.5,
+                request_token: Some(7),
             }),
             Request::Cancel { id: 12 },
             Request::Stats,
+            Request::Ping,
             Request::Shutdown,
         ];
         for req in reqs {
             let back = Request::from_json(&req.to_json()).unwrap();
             assert_eq!(back, req);
         }
+    }
+
+    #[test]
+    fn tokenless_frames_are_bitwise_unchanged() {
+        // The idempotency token is strictly additive: requests without
+        // one must serialize exactly as they did before the field
+        // existed (no `token` key, golden frames stable).
+        let part = PartitionRequest::new(1, InstanceRef::Digest(0xabc), 42);
+        assert!(!part.to_json().to_string().contains("token"));
+        let eval = EvalRequest {
+            id: 2,
+            instance: InstanceRef::Digest(0xabc),
+            assignment: vec![0, 1],
+            k: 2,
+            fraction: 0.1,
+            request_token: None,
+        };
+        assert!(!eval.to_json().to_string().contains("token"));
     }
 
     #[test]
@@ -916,7 +1036,19 @@ mod tests {
                 completed: 9,
                 rejected_overload: 1,
                 queue_capacity: 8,
+                watchdog_cancelled: 2,
+                rejected_too_large: 1,
+                dedup_hits: 3,
+                io_failures: 1,
                 ..StatsSnapshot::default()
+            }),
+            Response::Pong(Health {
+                uptime_ms: 1234,
+                queue_depth: 1,
+                queue_capacity: 64,
+                instances_cached: 2,
+                hierarchies_cached: 3,
+                tokens_cached: 4,
             }),
             Response::Bye,
         ];

@@ -30,12 +30,12 @@
 //! `stream_aborted` instead of pretending a silently truncated trace
 //! was delivered.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hypart_core::{AuditLevel, BalanceConstraint, CancelToken, EngineKind, RunCtx};
 use hypart_hypergraph::{io::hgr, Hypergraph, PartId};
@@ -47,7 +47,7 @@ use hypart_trace::{RunEvent, StopReason, TraceSink};
 
 use crate::cache::{HierarchyCache, HierarchyKey, InstanceCache};
 use crate::protocol::{
-    is_timeout, read_frame, write_frame, EvalRequest, FrameError, InstanceRef, JobResult,
+    is_timeout, read_frame, write_frame, EvalRequest, FrameError, Health, InstanceRef, JobResult,
     PartitionRequest, Request, Response, StatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
 };
 use crate::queue::BoundedQueue;
@@ -77,8 +77,28 @@ pub struct ServerConfig {
     /// hierarchy-cache key, so reconfiguring the daemon never serves a
     /// stale hierarchy.
     pub ml: MlConfig,
+    /// Admission control: reject inline instances whose *declared*
+    /// header counts (nets or vertices) exceed this, with a typed
+    /// `rejected_too_large` error *before* parsing. `0` disables the
+    /// check.
+    pub max_cells: usize,
+    /// Watchdog overshoot factor: a budgeted job still running past
+    /// `budget_ms * watchdog_factor` is force-cancelled via its
+    /// [`CancelToken`] and answered with a typed `watchdog_cancelled`
+    /// error. `0.0` disables the watchdog (no thread is spawned).
+    pub watchdog_factor: f64,
+    /// How often the watchdog scans running jobs.
+    pub watchdog_poll_ms: u64,
+    /// Write deadline per response frame: a consumer that stalls reads
+    /// longer than this poisons its connection writer, feeding the
+    /// existing `stream_aborted` accounting. `0` disables the deadline.
+    pub write_deadline_ms: u64,
+    /// Recently-completed idempotency tokens retained for replay (FIFO).
+    pub token_cache_capacity: usize,
     /// Artificial per-job delay before execution, for deterministically
-    /// filling the queue in overload tests.
+    /// filling the queue in overload tests (and, because the watchdog
+    /// registers a budgeted job *before* this stall, for simulating a
+    /// hung job in watchdog tests).
     #[doc(hidden)]
     pub worker_delay_ms: u64,
 }
@@ -93,6 +113,11 @@ impl Default for ServerConfig {
             instance_cache_capacity: 16,
             hierarchy_cache_capacity: 32,
             ml: MlConfig::default(),
+            max_cells: 0,
+            watchdog_factor: 0.0,
+            watchdog_poll_ms: 10,
+            write_deadline_ms: 30_000,
+            token_cache_capacity: 256,
             worker_delay_ms: 0,
         }
     }
@@ -107,6 +132,10 @@ struct Stats {
     rejected_overload: AtomicU64,
     stream_aborted: AtomicU64,
     errors: AtomicU64,
+    watchdog_cancelled: AtomicU64,
+    rejected_too_large: AtomicU64,
+    dedup_hits: AtomicU64,
+    io_failures: AtomicU64,
 }
 
 /// One admitted unit of work.
@@ -115,6 +144,8 @@ struct Job {
     id: u64,
     writer: Arc<ConnWriter>,
     token: CancelToken,
+    /// Idempotency token, when the client stamped one.
+    request_token: Option<u64>,
     kind: JobKind,
 }
 
@@ -159,6 +190,144 @@ impl ConnWriter {
     }
 }
 
+/// A job's terminal outcome, as cached for idempotent replay: exactly
+/// what the original submission was (or will be) answered with.
+#[derive(Clone)]
+enum CachedOutcome {
+    /// The job produced a result (including cancelled/deadline results).
+    Result(JobResult),
+    /// The job ended in a typed error (e.g. `watchdog_cancelled`).
+    Failed { code: String, detail: String },
+}
+
+/// A retried submission waiting on an in-flight job with the same
+/// token: gets the outcome delivered under its own job id when the
+/// original completes.
+struct Waiter {
+    writer: Arc<ConnWriter>,
+    id: u64,
+}
+
+/// What the token registry decided about a submission.
+enum Admission {
+    /// First sighting: run the job.
+    Fresh,
+    /// Same token is in flight: the caller was registered as a waiter.
+    Attached,
+    /// Same token recently completed: replay the cached outcome.
+    Replay(CachedOutcome),
+}
+
+struct TokenMaps {
+    in_flight: HashMap<u64, Vec<Waiter>>,
+    completed: HashMap<u64, CachedOutcome>,
+    order: VecDeque<u64>,
+}
+
+/// Idempotency-token dedup: in-flight tokens re-attach, recently
+/// completed tokens replay. One lock guards both maps so a completion
+/// draining waiters cannot race an admission checking `in_flight`.
+struct TokenRegistry {
+    inner: Mutex<TokenMaps>,
+    capacity: usize,
+}
+
+impl TokenRegistry {
+    fn new(capacity: usize) -> Self {
+        TokenRegistry {
+            inner: Mutex::new(TokenMaps {
+                in_flight: HashMap::new(),
+                completed: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Classifies a token-stamped submission. `Fresh` registers the
+    /// token as in flight; the caller must later `complete` or
+    /// `abandon` it.
+    fn admit(&self, token: u64, writer: &Arc<ConnWriter>, id: u64) -> Admission {
+        let mut maps = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(outcome) = maps.completed.get(&token) {
+            return Admission::Replay(outcome.clone());
+        }
+        if let Some(waiters) = maps.in_flight.get_mut(&token) {
+            waiters.push(Waiter {
+                writer: Arc::clone(writer),
+                id,
+            });
+            return Admission::Attached;
+        }
+        maps.in_flight.insert(token, Vec::new());
+        Admission::Fresh
+    }
+
+    /// Forgets a `Fresh` token whose job never ran (queue rejection or
+    /// resolution failure), releasing any waiters that attached in the
+    /// window — they are answered by the caller with the same typed
+    /// error the primary got.
+    fn abandon(&self, token: u64) -> Vec<Waiter> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .in_flight
+            .remove(&token)
+            .unwrap_or_default()
+    }
+
+    /// Records the job's outcome for replay (FIFO-bounded) and returns
+    /// the waiters to notify.
+    fn complete(&self, token: u64, outcome: CachedOutcome) -> Vec<Waiter> {
+        let mut maps = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let waiters = maps.in_flight.remove(&token).unwrap_or_default();
+        if maps.completed.insert(token, outcome).is_none() {
+            maps.order.push_back(token);
+            while maps.order.len() > self.capacity {
+                if let Some(evicted) = maps.order.pop_front() {
+                    maps.completed.remove(&evicted);
+                }
+            }
+        }
+        waiters
+    }
+
+    /// Number of completed outcomes retained (for the health snapshot).
+    fn completed_len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .completed
+            .len()
+    }
+}
+
+/// Delivers a cached outcome under the given job id. Returns whether
+/// the frame went out (writer not poisoned).
+fn send_outcome(writer: &ConnWriter, id: u64, outcome: &CachedOutcome) -> bool {
+    match outcome {
+        CachedOutcome::Result(result) => writer.send(&Response::Result {
+            id,
+            result: result.clone(),
+        }),
+        CachedOutcome::Failed { code, detail } => writer.send(&Response::Error {
+            id: Some(id),
+            code: code.clone(),
+            detail: detail.clone(),
+        }),
+    }
+}
+
+/// A budgeted job under watchdog supervision.
+struct RunningJob {
+    /// Force-cancel once past this (`start + budget_ms * factor`).
+    overshoot_deadline: Instant,
+    token: CancelToken,
+    /// Set by the watchdog when it cancels, so the worker can tell a
+    /// watchdog kill apart from a client cancel or shutdown.
+    fired: Arc<AtomicBool>,
+}
+
 /// The trace sink of one running job: forwards engine events as `event`
 /// frames. A poisoned writer cancels the job's token, so the engine
 /// stops at its next budget check instead of computing for a client
@@ -168,6 +337,11 @@ struct StreamSink {
     id: u64,
     token: CancelToken,
     enabled: bool,
+    /// Token-stamped jobs keep computing through a poisoned writer:
+    /// their outcome is still wanted (a healed client will re-attach by
+    /// request token), so the sink only stops streaming instead of
+    /// cancelling.
+    durable: bool,
 }
 
 impl TraceSink for StreamSink {
@@ -175,7 +349,7 @@ impl TraceSink for StreamSink {
         if !self.enabled {
             return;
         }
-        if !self.writer.send(&Response::Event { id: self.id, event }) {
+        if !self.writer.send(&Response::Event { id: self.id, event }) && !self.durable {
             self.token.cancel();
         }
     }
@@ -190,14 +364,20 @@ struct Shared {
     queue: BoundedQueue<Job>,
     instances: InstanceCache,
     hierarchies: HierarchyCache,
+    tokens: TokenRegistry,
     stats: Stats,
+    started: Instant,
     shutdown: AtomicBool,
     done: Mutex<bool>,
     done_cv: Condvar,
+    /// Budgeted jobs currently executing, scanned by the watchdog.
+    running: Mutex<HashMap<(u64, u64), RunningJob>>,
     /// Cancellation tokens of admitted-but-unfinished jobs, keyed by
     /// `(connection, job id)` so `cancel` cannot reach across
-    /// connections.
-    cancels: Mutex<HashMap<(u64, u64), CancelToken>>,
+    /// connections. The flag marks durable (token-stamped) jobs, which
+    /// survive the death of the connection that submitted them: a
+    /// healed client is about to re-attach to them by request token.
+    cancels: Mutex<HashMap<(u64, u64), (CancelToken, bool)>>,
     /// Reader threads of connections seen so far (joined at shutdown;
     /// finished readers are cheap no-op joins).
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
@@ -217,6 +397,21 @@ impl Shared {
             hierarchy_misses: self.hierarchies.misses(),
             queue_depth: self.queue.depth(),
             queue_capacity: self.queue.capacity(),
+            watchdog_cancelled: self.stats.watchdog_cancelled.load(Ordering::Relaxed),
+            rejected_too_large: self.stats.rejected_too_large.load(Ordering::Relaxed),
+            dedup_hits: self.stats.dedup_hits.load(Ordering::Relaxed),
+            io_failures: self.stats.io_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    fn health(&self) -> Health {
+        Health {
+            uptime_ms: u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            queue_depth: self.queue.depth(),
+            queue_capacity: self.queue.capacity(),
+            instances_cached: self.instances.len(),
+            hierarchies_cached: self.hierarchies.len(),
+            tokens_cached: self.tokens.completed_len(),
         }
     }
 
@@ -226,7 +421,7 @@ impl Shared {
         self.shutdown.store(true, Ordering::Relaxed);
         self.queue.close();
         let cancels = self.cancels.lock().unwrap_or_else(|e| e.into_inner());
-        for token in cancels.values() {
+        for (token, _) in cancels.values() {
             token.cancel();
         }
         drop(cancels);
@@ -255,11 +450,14 @@ impl Server {
             queue: BoundedQueue::new(config.queue_capacity),
             instances: InstanceCache::new(config.instance_cache_capacity),
             hierarchies: HierarchyCache::new(config.hierarchy_cache_capacity),
+            tokens: TokenRegistry::new(config.token_cache_capacity),
             config,
             stats: Stats::default(),
+            started: Instant::now(),
             shutdown: AtomicBool::new(false),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
+            running: Mutex::new(HashMap::new()),
             cancels: Mutex::new(HashMap::new()),
             conn_threads: Mutex::new(Vec::new()),
         });
@@ -278,11 +476,22 @@ impl Server {
                     .spawn(move || worker_loop(&shared))?,
             );
         }
+        let watchdog = if shared.config.watchdog_factor > 0.0 {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("hypart-watchdog".to_string())
+                    .spawn(move || watchdog_loop(&shared))?,
+            )
+        } else {
+            None
+        };
         Ok(ServerHandle {
             local_addr,
             shared,
             accept: Some(accept),
             workers: worker_threads,
+            watchdog,
         })
     }
 }
@@ -294,6 +503,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -333,14 +543,20 @@ impl ServerHandle {
 
     fn finish(&mut self) {
         self.shared.begin_shutdown();
-        // Unblock the accept loop with a throwaway connection; it checks
-        // the flag right after `accept` returns.
+        // Unblock the accept loop with a throwaway connection (the
+        // connect result is irrelevant — the poke is the point); it
+        // checks the flag right after `accept` returns.
         drop(TcpStream::connect(self.local_addr));
+        // Joins only fail when the joined thread panicked; make that
+        // visible instead of silently discarding it.
         if let Some(accept) = self.accept.take() {
-            drop(accept.join());
+            join_noting_panic(accept, "accept");
         }
         for worker in self.workers.drain(..) {
-            drop(worker.join());
+            join_noting_panic(worker, "worker");
+        }
+        if let Some(watchdog) = self.watchdog.take() {
+            join_noting_panic(watchdog, "watchdog");
         }
         let readers = std::mem::take(
             &mut *self
@@ -350,8 +566,14 @@ impl ServerHandle {
                 .unwrap_or_else(|e| e.into_inner()),
         );
         for reader in readers {
-            drop(reader.join());
+            join_noting_panic(reader, "reader");
         }
+    }
+}
+
+fn join_noting_panic(handle: JoinHandle<()>, role: &str) {
+    if handle.join().is_err() {
+        eprintln!("hypart-server: {role} thread panicked");
     }
 }
 
@@ -396,10 +618,33 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 /// Reads frames from one connection until EOF, error, or shutdown.
 fn reader_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
-    drop(stream.set_read_timeout(Some(READ_POLL)));
+    // A connection whose read timeout cannot be installed would block
+    // its reader thread indefinitely (it could never poll the shutdown
+    // flag); count the failure and refuse the connection instead of
+    // silently entering the un-pollable state.
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        shared.stats.io_failures.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
     let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(ConnWriter::new(w)),
-        Err(_) => return,
+        Ok(w) => {
+            // Slow-consumer defense: a peer that stops reading makes
+            // response writes block; the deadline turns that into a
+            // write error, which poisons the writer and feeds the
+            // existing `stream_aborted` accounting.
+            if shared.config.write_deadline_ms > 0
+                && w.set_write_timeout(Some(Duration::from_millis(shared.config.write_deadline_ms)))
+                    .is_err()
+            {
+                shared.stats.io_failures.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Arc::new(ConnWriter::new(w))
+        }
+        Err(_) => {
+            shared.stats.io_failures.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
     };
     let mut reader = stream;
     let mut client_gone = true;
@@ -441,10 +686,14 @@ fn reader_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
     }
     if client_gone {
         // Nobody is listening any more: cancel this connection's
-        // in-flight jobs so workers stop computing for a dead peer.
+        // in-flight jobs so workers stop computing for a dead peer —
+        // except durable (token-stamped) jobs, whose outcome is still
+        // wanted: the client advertised its intent to retry, and a
+        // resubmission on a fresh connection will attach by token or
+        // replay the cached outcome.
         let mut cancels = shared.cancels.lock().unwrap_or_else(|e| e.into_inner());
-        cancels.retain(|&(conn, _), token| {
-            if conn == conn_id {
+        cancels.retain(|&(conn, _), (token, durable)| {
+            if conn == conn_id && !*durable {
                 token.cancel();
                 false
             } else {
@@ -476,6 +725,9 @@ fn handle_frame(
         Request::Stats => {
             writer.send(&Response::Stats(shared.snapshot()));
         }
+        Request::Ping => {
+            writer.send(&Response::Pong(shared.health()));
+        }
         Request::Shutdown => {
             writer.send(&Response::Bye);
             shared.begin_shutdown();
@@ -483,7 +735,7 @@ fn handle_frame(
         Request::Cancel { id } => {
             let cancels = shared.cancels.lock().unwrap_or_else(|e| e.into_inner());
             match cancels.get(&(conn_id, id)) {
-                Some(token) => {
+                Some((token, _)) => {
                     token.cancel();
                     drop(cancels);
                     writer.send(&Response::Ok { id });
@@ -500,7 +752,12 @@ fn handle_frame(
             }
         }
         Request::Partition(req) => {
+            let request_token = req.request_token;
+            if !admit_token(request_token, req.id, writer, shared) {
+                return;
+            }
             let Some((h, digest)) = resolve_instance(&req.instance, req.id, writer, shared) else {
+                abandon_token(request_token, shared);
                 return;
             };
             let id = req.id;
@@ -510,13 +767,19 @@ fn handle_frame(
                     id,
                     writer: Arc::clone(writer),
                     token: CancelToken::new(),
+                    request_token,
                     kind: JobKind::Partition(req, h, digest),
                 },
                 shared,
             );
         }
         Request::Eval(req) => {
+            let request_token = req.request_token;
+            if !admit_token(request_token, req.id, writer, shared) {
+                return;
+            }
             let Some((h, digest)) = resolve_instance(&req.instance, req.id, writer, shared) else {
+                abandon_token(request_token, shared);
                 return;
             };
             if req.assignment.len() != h.num_vertices() {
@@ -530,6 +793,7 @@ fn handle_frame(
                         h.num_vertices()
                     ),
                 });
+                abandon_token(request_token, shared);
                 return;
             }
             if let Some(&p) = req.assignment.iter().find(|&&p| usize::from(p) >= req.k) {
@@ -539,6 +803,7 @@ fn handle_frame(
                     code: "bad_request".to_string(),
                     detail: format!("assignment uses part {p} but k = {}", req.k),
                 });
+                abandon_token(request_token, shared);
                 return;
             }
             let id = req.id;
@@ -548,10 +813,55 @@ fn handle_frame(
                     id,
                     writer: Arc::clone(writer),
                     token: CancelToken::new(),
+                    request_token,
                     kind: JobKind::Eval(req, h, digest),
                 },
                 shared,
             );
+        }
+    }
+}
+
+/// Runs the idempotency check for a token-stamped submission. Returns
+/// `true` when the job should proceed (fresh token, or no token at
+/// all); `false` when it was deduplicated — the caller already got an
+/// `Accepted` plus, for a completed token, the replayed outcome.
+fn admit_token(
+    request_token: Option<u64>,
+    id: u64,
+    writer: &Arc<ConnWriter>,
+    shared: &Arc<Shared>,
+) -> bool {
+    let Some(token) = request_token else {
+        return true;
+    };
+    match shared.tokens.admit(token, writer, id) {
+        Admission::Fresh => true,
+        Admission::Attached => {
+            shared.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            writer.send(&Response::Accepted { id });
+            false
+        }
+        Admission::Replay(outcome) => {
+            shared.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            writer.send(&Response::Accepted { id });
+            send_outcome(writer, id, &outcome);
+            false
+        }
+    }
+}
+
+/// Releases a freshly admitted token whose job never made it into the
+/// queue, answering any waiters that attached in the window so their
+/// retries do not hang.
+fn abandon_token(request_token: Option<u64>, shared: &Arc<Shared>) {
+    if let Some(token) = request_token {
+        for waiter in shared.tokens.abandon(token) {
+            waiter.writer.send(&Response::Error {
+                id: Some(waiter.id),
+                code: "bad_request".to_string(),
+                detail: "original submission with this token failed before running".to_string(),
+            });
         }
     }
 }
@@ -577,24 +887,67 @@ fn resolve_instance(
                 None
             }
         },
-        InstanceRef::Inline(text) => match hgr::read(text.as_bytes()) {
-            Ok(h) => {
-                let digest = h.content_digest();
-                let h = Arc::new(h);
-                shared.instances.insert(digest, Arc::clone(&h));
-                Some((h, digest))
+        InstanceRef::Inline(text) => {
+            // Admission control: reject on the *declared* header counts
+            // before paying for a parse of the full instance text. An
+            // unparseable header falls through to the real parser's
+            // error reporting.
+            if shared.config.max_cells > 0 {
+                if let Some((nets, vertices)) = declared_counts(text) {
+                    let max = shared.config.max_cells as u64;
+                    if nets > max || vertices > max {
+                        shared
+                            .stats
+                            .rejected_too_large
+                            .fetch_add(1, Ordering::Relaxed);
+                        writer.send(&Response::Error {
+                            id: Some(id),
+                            code: "rejected_too_large".to_string(),
+                            detail: format!(
+                                "declared {nets} nets x {vertices} vertices exceeds \
+                                 the admission limit of {max} cells"
+                            ),
+                        });
+                        return None;
+                    }
+                }
             }
-            Err(e) => {
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                writer.send(&Response::Error {
-                    id: Some(id),
-                    code: "parse".to_string(),
-                    detail: format!("instance is not valid .hgr: {e}"),
-                });
-                None
+            match hgr::read(text.as_bytes()) {
+                Ok(h) => {
+                    let digest = h.content_digest();
+                    let h = Arc::new(h);
+                    shared.instances.insert(digest, Arc::clone(&h));
+                    Some((h, digest))
+                }
+                Err(e) => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    writer.send(&Response::Error {
+                        id: Some(id),
+                        code: "parse".to_string(),
+                        detail: format!("instance is not valid .hgr: {e}"),
+                    });
+                    None
+                }
             }
-        },
+        }
     }
+}
+
+/// Extracts the `(num_nets, num_vertices)` pair an `.hgr` header
+/// declares, skipping `%` comment lines. `None` when the header is
+/// absent or malformed (the real parser then produces the error).
+fn declared_counts(text: &str) -> Option<(u64, u64)> {
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let nets = fields.next()?.parse().ok()?;
+        let vertices = fields.next()?.parse().ok()?;
+        return Some((nets, vertices));
+    }
+    None
 }
 
 /// Registers the job's cancellation token and admits it to the queue,
@@ -603,15 +956,21 @@ fn submit(job: Job, shared: &Arc<Shared>) {
     let key = (job.conn_id, job.id);
     let writer = Arc::clone(&job.writer);
     let id = job.id;
+    let request_token = job.request_token;
     shared
         .cancels
         .lock()
         .unwrap_or_else(|e| e.into_inner())
-        .insert(key, job.token.clone());
+        .insert(key, (job.token.clone(), request_token.is_some()));
+    // Acknowledge before enqueueing: a worker may finish a queued job
+    // almost instantly, and the `accepted` ack must never trail the
+    // result on the wire — sequential clients rely on a deterministic
+    // per-connection frame order. A full queue follows up with
+    // `rejected`, which supersedes the ack.
+    writer.send(&Response::Accepted { id });
     match shared.queue.try_push(job) {
         Ok(_) => {
             shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
-            writer.send(&Response::Accepted { id });
         }
         Err(full) => {
             shared
@@ -619,6 +978,7 @@ fn submit(job: Job, shared: &Arc<Shared>) {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .remove(&key);
+            abandon_token(request_token, shared);
             shared
                 .stats
                 .rejected_overload
@@ -644,16 +1004,56 @@ fn worker_loop(shared: &Arc<Shared>) {
     // drivers get within a single run.
     let mut ctx_template = RunCtx::new(0);
     while let Some(job) = shared.queue.pop() {
+        let key = (job.conn_id, job.id);
+        // Register with the watchdog *before* the test-only stall so a
+        // job that hangs before (or during) execution is still caught.
+        let fired = register_watchdog(&job, shared);
         if shared.config.worker_delay_ms > 0 {
             std::thread::sleep(Duration::from_millis(shared.config.worker_delay_ms));
         }
-        let key = (job.conn_id, job.id);
-        let delivered = execute_job(&job, shared, &mut ctx_template);
+        let result = match &job.kind {
+            JobKind::Eval(req, h, digest) => eval_job(req, h, *digest),
+            JobKind::Partition(req, h, digest) => {
+                partition_job(req, h, *digest, &job, shared, &mut ctx_template)
+            }
+        };
+        shared
+            .running
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&key);
         shared
             .cancels
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&key);
+        // A watchdog kill surfaces as a typed error, not a cancelled
+        // result; a job that completed despite the watchdog firing (it
+        // won the race) keeps its result.
+        let watchdog_killed = fired
+            .map(|f| f.load(Ordering::Relaxed) && result.stopped == StopReason::Cancelled)
+            .unwrap_or(false);
+        let outcome = if watchdog_killed {
+            shared
+                .stats
+                .watchdog_cancelled
+                .fetch_add(1, Ordering::Relaxed);
+            CachedOutcome::Failed {
+                code: "watchdog_cancelled".to_string(),
+                detail: "job overshot its budget and was force-cancelled by the watchdog"
+                    .to_string(),
+            }
+        } else {
+            CachedOutcome::Result(result)
+        };
+        // Cache the outcome for idempotent replay *before* attempting
+        // delivery — a retry after a poisoned primary stream is exactly
+        // the case replay exists for.
+        let waiters = match job.request_token {
+            Some(token) => shared.tokens.complete(token, outcome.clone()),
+            None => Vec::new(),
+        };
+        let delivered = !job.writer.is_poisoned() && send_outcome(&job.writer, job.id, &outcome);
         if delivered {
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -669,23 +1069,66 @@ fn worker_loop(shared: &Arc<Shared>) {
                 detail: "response stream failed mid-job; job aborted".to_string(),
             });
         }
+        for waiter in waiters {
+            send_outcome(&waiter.writer, waiter.id, &outcome);
+        }
     }
 }
 
-/// Runs one job and streams its result. Returns `false` when the
-/// connection writer poisoned and the result could not be delivered.
-fn execute_job(job: &Job, shared: &Arc<Shared>, ctx_template: &mut RunCtx<'static>) -> bool {
-    let (result, id) = match &job.kind {
-        JobKind::Eval(req, h, digest) => (eval_job(req, h, *digest), req.id),
-        JobKind::Partition(req, h, digest) => (
-            partition_job(req, h, *digest, job, shared, ctx_template),
-            req.id,
-        ),
-    };
-    if job.writer.is_poisoned() {
-        return false;
+/// Puts a budgeted job under watchdog supervision. Returns the flag the
+/// watchdog sets when it fires, or `None` when the job is not
+/// supervised (no budget, or the watchdog is disabled).
+fn register_watchdog(job: &Job, shared: &Arc<Shared>) -> Option<Arc<AtomicBool>> {
+    if shared.config.watchdog_factor <= 0.0 {
+        return None;
     }
-    job.writer.send(&Response::Result { id, result })
+    let JobKind::Partition(req, _, _) = &job.kind else {
+        return None;
+    };
+    let budget_ms = req.budget_ms?;
+    let overshoot_ms = (budget_ms as f64 * shared.config.watchdog_factor).ceil();
+    let fired = Arc::new(AtomicBool::new(false));
+    shared
+        .running
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(
+            (job.conn_id, job.id),
+            RunningJob {
+                overshoot_deadline: Instant::now() + Duration::from_millis(overshoot_ms as u64),
+                token: job.token.clone(),
+                fired: Arc::clone(&fired),
+            },
+        );
+    Some(fired)
+}
+
+/// Scans running budgeted jobs and force-cancels overshooters. Wakes on
+/// the shutdown condvar so it exits promptly with everyone else.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let poll = Duration::from_millis(shared.config.watchdog_poll_ms.max(1));
+    loop {
+        {
+            let done = shared.done.lock().unwrap_or_else(|e| e.into_inner());
+            if *done {
+                return;
+            }
+            let (done, _) = shared
+                .done_cv
+                .wait_timeout(done, poll)
+                .unwrap_or_else(|e| e.into_inner());
+            if *done {
+                return;
+            }
+        }
+        let now = Instant::now();
+        let running = shared.running.lock().unwrap_or_else(|e| e.into_inner());
+        for job in running.values() {
+            if now >= job.overshoot_deadline && !job.fired.swap(true, Ordering::Relaxed) {
+                job.token.cancel();
+            }
+        }
+    }
 }
 
 fn eval_job(req: &EvalRequest, h: &Hypergraph, digest: u128) -> JobResult {
@@ -730,6 +1173,7 @@ fn partition_job(
         id: req.id,
         token: job.token.clone(),
         enabled: req.trace,
+        durable: job.request_token.is_some(),
     };
     // Move the worker's long-lived workspaces into this job's context
     // and reclaim them afterwards.

@@ -78,9 +78,17 @@ fn unknown_digest_and_bad_requests_fail_typed() {
     raw.write_all(&(bytes.len() as u32).to_be_bytes()).unwrap();
     raw.write_all(bytes.as_bytes()).unwrap();
     raw.flush().unwrap();
-    // Reuse the typed client on that same raw socket is awkward; just
-    // assert the daemon counted it.
-    std::thread::sleep(Duration::from_millis(100));
+    // Read the job-scoped error reply off the raw socket — a
+    // deterministic sync point (no sleeping and hoping the reader
+    // thread got there) before checking the counter.
+    let reply = hypart_server::protocol::read_frame(&mut raw, 1 << 20)
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        reply.get("reply").and_then(|v| v.as_str()),
+        Some("error"),
+        "raw k=3 frame must fail typed: {reply:?}"
+    );
     let stats = client.stats().unwrap();
     assert!(stats.errors >= 2);
 
@@ -103,6 +111,7 @@ fn unknown_digest_and_bad_requests_fail_typed() {
             assignment: vec![0, 1],
             k: 2,
             fraction: 0.1,
+            request_token: None,
         }))
         .unwrap();
     match client.wait_outcome(8).unwrap() {
@@ -169,6 +178,7 @@ fn eval_scores_an_assignment_without_running_engines() {
             assignment,
             k: 2,
             fraction: 0.1,
+            request_token: None,
         }))
         .unwrap();
     match client.wait_outcome(2).unwrap() {

@@ -72,6 +72,7 @@ fn client_worker(addr: std::net::SocketAddr, client_idx: usize) -> ClientReport 
                 assignment: saved_assignment.clone(),
                 k: 2,
                 fraction: 0.1,
+                request_token: None,
             }))
             .unwrap();
         match client.wait_outcome(2).unwrap() {
@@ -120,6 +121,7 @@ fn client_worker(addr: std::net::SocketAddr, client_idx: usize) -> ClientReport 
                             assignment: saved_assignment.clone(),
                             k: 2,
                             fraction: 0.1,
+                            request_token: None,
                         }))
                         .unwrap();
                 }
