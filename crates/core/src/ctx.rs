@@ -11,8 +11,9 @@
 //! * a shared atomic **cancellation token** ([`CancelToken`]) flippable
 //!   from another thread,
 //! * the **trace sink** receiving [`RunEvent`](hypart_trace::RunEvent)s,
-//! * the reusable [`FmWorkspace`] refinement scratch arenas and the
-//!   [`CoarsenWorkspace`](crate::CoarsenWorkspace) coarsening arenas,
+//! * the reusable [`FmWorkspace`] refinement scratch arenas, the
+//!   [`CoarsenWorkspace`](crate::CoarsenWorkspace) coarsening arenas, and
+//!   the [`NLevelWorkspace`](crate::NLevelWorkspace) n-level arenas,
 //! * the RNG **seed**.
 //!
 //! Engines take `&mut RunCtx` in their canonical `*_with` entry points;
@@ -39,6 +40,7 @@ use hypart_trace::{NullSink, StopReason, TraceSink};
 
 use crate::audit::{AuditLevel, FaultPlan};
 use crate::coarsen_ws::CoarsenWorkspace;
+use crate::nlevel::NLevelWorkspace;
 use crate::par::ParLane;
 use crate::workspace::FmWorkspace;
 
@@ -103,6 +105,9 @@ pub struct RunCtx<'s> {
     pub workspace: FmWorkspace,
     /// Reusable coarsening scratch arenas, re-pointed at each level.
     pub coarsen: CoarsenWorkspace,
+    /// Reusable n-level scratch arenas (dynamic hypergraph view,
+    /// memento stack, partition state, gain cache), re-pointed per run.
+    pub nlevel: NLevelWorkspace,
     /// Per-lane scratch of the shared-memory parallel engine (empty and
     /// unused on the serial paths; grown on first parallel run).
     pub lanes: Vec<ParLane>,
@@ -142,6 +147,7 @@ impl<'s> RunCtx<'s> {
             sink: &NULL_SINK,
             workspace: FmWorkspace::new(),
             coarsen: CoarsenWorkspace::new(),
+            nlevel: NLevelWorkspace::new(),
             lanes: Vec::new(),
             seed,
             deadline: None,
@@ -158,6 +164,7 @@ impl<'s> RunCtx<'s> {
             sink,
             workspace: self.workspace,
             coarsen: self.coarsen,
+            nlevel: self.nlevel,
             lanes: self.lanes,
             seed: self.seed,
             deadline: self.deadline,
@@ -217,6 +224,14 @@ impl<'s> RunCtx<'s> {
     #[must_use]
     pub fn with_coarsen_workspace(mut self, coarsen: CoarsenWorkspace) -> Self {
         self.coarsen = coarsen;
+        self
+    }
+
+    /// Replaces the n-level workspace (e.g. to reuse arenas across
+    /// contexts).
+    #[must_use]
+    pub fn with_nlevel_workspace(mut self, nlevel: NLevelWorkspace) -> Self {
+        self.nlevel = nlevel;
         self
     }
 
@@ -293,6 +308,7 @@ impl<'s> RunCtx<'s> {
             sink,
             workspace: FmWorkspace::new(),
             coarsen: CoarsenWorkspace::new(),
+            nlevel: NLevelWorkspace::new(),
             lanes: Vec::new(),
             seed,
             deadline: self.deadline,

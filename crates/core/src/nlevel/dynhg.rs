@@ -17,6 +17,29 @@
 //! slot of every net it was swapped out of (case A), and `u` occupies
 //! `v`'s old slot on every net it was substituted into (case B) — which
 //! is why the memento needs no per-net bookkeeping at all.
+//!
+//! # Storage: slab adjacency arenas
+//!
+//! Both adjacency directions live in flat slabs instead of per-entity
+//! `Vec`s, so the contract/uncontract hot loop walks contiguous memory
+//! and a reused view re-fills arenas instead of reallocating:
+//!
+//! * **pins** never change length (contraction permutes the active
+//!   prefix in place), so they are a plain CSR pair
+//!   (`pin_off`/`pin_data`) with the active-prefix length in `size` and
+//!   the original length recoverable from the offsets;
+//! * **incidence lists** grow (case-B contractions append to the
+//!   survivor), so each vertex holds an 8-byte segment handle
+//!   (offset + length) into one grow-only slab. When a segment fills, it
+//!   moves to a power-of-two-capacity segment — taken from a per-class
+//!   free list of previously parked segments when possible, carved off
+//!   the slab end otherwise — and the old segment is parked on its
+//!   class's free list for reuse.
+//!
+//! [`DynHypergraph::reset_from_csr`] re-points every arena at a new (or
+//! the same) source graph while keeping all allocations, which is what
+//! makes multi-start / V-cycle / recursive-bisection reuse through
+//! [`crate::NLevelWorkspace`] allocation-free in steady state.
 
 use hypart_hypergraph::{Hypergraph, NetId, PartId, VertexId};
 
@@ -39,13 +62,26 @@ pub struct ContractionMemento {
     u_fixed_before: Option<PartId>,
 }
 
+/// An 8-byte handle to one vertex's incidence segment in the slab.
+#[derive(Clone, Copy, Debug, Default)]
+struct Seg {
+    /// Start of the segment in the incidence slab.
+    off: u32,
+    /// Current logical length (capacity lives in `inc_cap`).
+    len: u32,
+}
+
+/// Number of power-of-two segment size classes (covers every `u32`
+/// capacity).
+const NUM_CLASSES: usize = 33;
+
 /// An incrementally mutated hypergraph view supporting single-pair
 /// [`contract`](DynHypergraph::contract) /
 /// [`uncontract`](DynHypergraph::uncontract) with lazy net shrinking.
 ///
 /// Vertex and net ids are those of the source [`Hypergraph`]; inactive
 /// vertices keep their slots so a memento stack can reactivate them.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct DynHypergraph {
     /// `true` while the vertex is a live (representative) vertex.
     active: Vec<bool>,
@@ -53,11 +89,25 @@ pub struct DynHypergraph {
     weight: Vec<u64>,
     /// Inherited fixed side per live vertex.
     fixed: Vec<Option<PartId>>,
-    /// Nets each vertex is currently on. Case-B contractions append to
-    /// the survivor's list; undo truncates back to the recorded length.
-    incident: Vec<Vec<NetId>>,
-    /// Pin arrays; `pins[e][..size[e]]` is the active prefix.
-    pins: Vec<Vec<VertexId>>,
+    /// Per-vertex incidence segment handle. Case-B contractions append
+    /// to the survivor's segment; undo truncates back to the recorded
+    /// length.
+    inc_seg: Vec<Seg>,
+    /// Per-vertex segment capacity (initial segments are laid out tight;
+    /// grown segments have power-of-two capacity).
+    inc_cap: Vec<u32>,
+    /// The incidence slab all segments live in.
+    inc_data: Vec<NetId>,
+    /// Per-class free lists of parked segment offsets; class `c` holds
+    /// segments with capacity ≥ 2ᶜ, reused as capacity-2ᶜ segments.
+    free: Vec<Vec<u32>>,
+    /// CSR offsets of the pin slab (`num_nets + 1` entries). Pin arrays
+    /// never change length, so the original size of net `e` is
+    /// `pin_off[e+1] - pin_off[e]`.
+    pin_off: Vec<u32>,
+    /// Pin slab; `pin_data[pin_off[e]..][..size[e]]` is the active
+    /// prefix of net `e`.
+    pin_data: Vec<VertexId>,
     /// Active pin count per net.
     size: Vec<u32>,
     /// Net weights (never change: identical nets are not merged).
@@ -71,34 +121,58 @@ pub struct DynHypergraph {
 impl DynHypergraph {
     /// Builds the dynamic view of `h` with every vertex active.
     pub fn new(h: &Hypergraph) -> DynHypergraph {
+        let mut d = DynHypergraph::default();
+        d.reset_from_csr(h);
+        d
+    }
+
+    /// Re-points the view at `h` with every vertex active, keeping all
+    /// slab and table allocations. A reset view is indistinguishable
+    /// from a fresh [`DynHypergraph::new`] — reuse across multi-starts,
+    /// V-cycles, and recursive-bisection subproblems never changes
+    /// results, only removes allocation cost.
+    pub fn reset_from_csr(&mut self, h: &Hypergraph) {
         let n = h.num_vertices();
-        let m = h.num_nets();
-        let mut incident = Vec::with_capacity(n);
-        for v in h.vertices() {
-            incident.push(h.vertex_nets(v).to_vec());
+        self.active.clear();
+        self.active.resize(n, true);
+        self.weight.clear();
+        self.weight.extend(h.vertices().map(|v| h.vertex_weight(v)));
+        self.fixed.clear();
+        self.fixed.extend(h.vertices().map(|v| h.fixed_part(v)));
+        self.inc_seg.clear();
+        self.inc_cap.clear();
+        self.inc_data.clear();
+        if self.free.len() < NUM_CLASSES {
+            self.free.resize_with(NUM_CLASSES, Vec::new);
         }
-        let mut pins = Vec::with_capacity(m);
-        let mut size = Vec::with_capacity(m);
-        let mut net_weight = Vec::with_capacity(m);
-        let mut total_net_weight = 0u64;
+        for f in &mut self.free {
+            f.clear();
+        }
+        for v in h.vertices() {
+            let nets = h.vertex_nets(v);
+            let off = self.inc_data.len() as u32;
+            self.inc_data.extend_from_slice(nets);
+            self.inc_seg.push(Seg {
+                off,
+                len: nets.len() as u32,
+            });
+            self.inc_cap.push(nets.len() as u32);
+        }
+        self.pin_off.clear();
+        self.pin_data.clear();
+        self.size.clear();
+        self.net_weight.clear();
+        self.pin_off.push(0);
+        self.total_net_weight = 0;
         for e in h.nets() {
             let p = h.net_pins(e);
-            pins.push(p.to_vec());
-            size.push(p.len() as u32);
-            net_weight.push(h.net_weight(e));
-            total_net_weight += u64::from(h.net_weight(e));
+            self.pin_data.extend_from_slice(p);
+            self.pin_off.push(self.pin_data.len() as u32);
+            self.size.push(p.len() as u32);
+            self.net_weight.push(h.net_weight(e));
+            self.total_net_weight += u64::from(h.net_weight(e));
         }
-        DynHypergraph {
-            active: vec![true; n],
-            weight: h.vertices().map(|v| h.vertex_weight(v)).collect(),
-            fixed: h.vertices().map(|v| h.fixed_part(v)).collect(),
-            incident,
-            pins,
-            size,
-            net_weight,
-            num_active: n,
-            total_net_weight,
-        }
+        self.num_active = n;
     }
 
     /// Number of vertex slots (the source graph's vertex count).
@@ -146,23 +220,37 @@ impl DynHypergraph {
         self.size[e.index()]
     }
 
+    /// Original (full) pin count of net `e`.
+    #[inline]
+    fn orig_size(&self, e: usize) -> usize {
+        (self.pin_off[e + 1] - self.pin_off[e]) as usize
+    }
+
     /// The active pins of net `e` (prefix order is an implementation
     /// detail: contractions permute it).
     pub fn net_pins(&self, e: NetId) -> &[VertexId] {
-        &self.pins[e.index()][..self.size[e.index()] as usize]
+        let i = e.index();
+        let off = self.pin_off[i] as usize;
+        &self.pin_data[off..off + self.size[i] as usize]
     }
 
     /// The nets `v` currently sits on (only meaningful while active).
     pub fn incident_nets(&self, v: VertexId) -> &[NetId] {
-        &self.incident[v.index()]
+        let seg = self.inc_seg[v.index()];
+        &self.inc_data[seg.off as usize..(seg.off + seg.len) as usize]
     }
 
     /// The first disabled pin of `e`, if any. At LIFO-undo time this is
     /// the vertex the matching case-A contraction swapped out, which is
     /// how callers distinguish case A from case B *before* undoing.
     pub fn tail_pin(&self, e: NetId) -> Option<VertexId> {
-        let s = self.size[e.index()] as usize;
-        self.pins[e.index()].get(s).copied()
+        let i = e.index();
+        let s = self.size[i] as usize;
+        if s < self.orig_size(i) {
+            Some(self.pin_data[self.pin_off[i] as usize + s])
+        } else {
+            None
+        }
     }
 
     /// Total weight of all nets — a safe bound on any vertex's gain in
@@ -171,6 +259,41 @@ impl DynHypergraph {
         i64::try_from(self.total_net_weight)
             .unwrap_or(i64::MAX)
             .max(1)
+    }
+
+    /// Appends `e` to `u`'s incidence segment, migrating to a larger
+    /// power-of-two segment (free list first, slab end otherwise) when
+    /// the current one is full. The outgrown segment is parked on its
+    /// class's free list.
+    fn inc_push(&mut self, u: usize, e: NetId) {
+        let Seg { off, len } = self.inc_seg[u];
+        let cap = self.inc_cap[u];
+        if len == cap {
+            let new_cap = (cap + 1).next_power_of_two().max(4);
+            let class = new_cap.trailing_zeros() as usize;
+            let new_off = match self.free[class].pop() {
+                Some(o) => o,
+                None => {
+                    let o = self.inc_data.len() as u32;
+                    self.inc_data
+                        .resize(self.inc_data.len() + new_cap as usize, NetId::new(u32::MAX));
+                    o
+                }
+            };
+            self.inc_data
+                .copy_within(off as usize..(off + len) as usize, new_off as usize);
+            if cap > 0 {
+                // floor(log2(cap)): a parked segment serves any request
+                // of its floor class or below.
+                let old_class = (31 - cap.leading_zeros()) as usize;
+                self.free[old_class].push(off);
+            }
+            self.inc_seg[u] = Seg { off: new_off, len };
+            self.inc_cap[u] = new_cap;
+        }
+        let seg = self.inc_seg[u];
+        self.inc_data[(seg.off + seg.len) as usize] = e;
+        self.inc_seg[u].len = seg.len + 1;
     }
 
     /// Contracts `v` into `u`: `u` absorbs `v`'s weight, nets, and (if
@@ -198,18 +321,23 @@ impl DynHypergraph {
         let memento = ContractionMemento {
             u,
             v,
-            u_nets_len: self.incident[u.index()].len() as u32,
+            u_nets_len: self.inc_seg[u.index()].len,
             u_fixed_before: self.fixed[u.index()],
         };
-        let v_nets = std::mem::take(&mut self.incident[v.index()]);
-        for &e in &v_nets {
-            let s = self.size[e.index()] as usize;
-            let pins = &mut self.pins[e.index()];
+        // v's segment is never touched while contracting into u, so
+        // indexed iteration stays valid across slab growth.
+        let v_seg = self.inc_seg[v.index()];
+        for i in 0..v_seg.len {
+            let e = self.inc_data[(v_seg.off + i) as usize];
+            let ei = e.index();
+            let s = self.size[ei] as usize;
+            let off = self.pin_off[ei] as usize;
+            let pins = &mut self.pin_data[off..off + s];
             let mut pos_v = usize::MAX;
             let mut has_u = false;
-            for (i, &p) in pins[..s].iter().enumerate() {
+            for (j, &p) in pins.iter().enumerate() {
                 if p == v {
-                    pos_v = i;
+                    pos_v = j;
                 } else if p == u {
                     has_u = true;
                 }
@@ -217,13 +345,12 @@ impl DynHypergraph {
             debug_assert_ne!(pos_v, usize::MAX, "v not on its own net");
             if has_u {
                 pins.swap(pos_v, s - 1);
-                self.size[e.index()] = (s - 1) as u32;
+                self.size[ei] = (s - 1) as u32;
             } else {
                 pins[pos_v] = u;
-                self.incident[u.index()].push(e);
+                self.inc_push(u.index(), e);
             }
         }
-        self.incident[v.index()] = v_nets;
         self.weight[u.index()] += self.weight[v.index()];
         if self.fixed[u.index()].is_none() {
             self.fixed[u.index()] = self.fixed[v.index()];
@@ -239,28 +366,30 @@ impl DynHypergraph {
     pub fn uncontract(&mut self, m: &ContractionMemento) {
         let (u, v) = (m.u, m.v);
         debug_assert!(self.active[u.index()] && !self.active[v.index()]);
-        // Drop every net case B appended to u during this contraction.
-        self.incident[u.index()].truncate(m.u_nets_len as usize);
-        let v_nets = std::mem::take(&mut self.incident[v.index()]);
-        for &e in &v_nets {
-            let s = self.size[e.index()] as usize;
-            let pins = &mut self.pins[e.index()];
-            if pins.get(s) == Some(&v) {
+        // Drop every net case B appended to u during this contraction
+        // (the segment keeps its capacity, like a `Vec` truncate).
+        self.inc_seg[u.index()].len = m.u_nets_len;
+        let v_seg = self.inc_seg[v.index()];
+        for i in 0..v_seg.len {
+            let e = self.inc_data[(v_seg.off + i) as usize];
+            let ei = e.index();
+            let s = self.size[ei] as usize;
+            let off = self.pin_off[ei] as usize;
+            if s < self.orig_size(ei) && self.pin_data[off + s] == v {
                 // Case A: v sits in the first disabled slot — regrow the
                 // active prefix over it. (The prefix order is permuted
                 // relative to the original CSR, which is fine: no
                 // consumer depends on pin order.)
-                self.size[e.index()] = (s + 1) as u32;
+                self.size[ei] = (s + 1) as u32;
             } else {
                 // Case B: u stands in v's old slot; give it back.
-                let slot = pins[..s].iter().position(|&p| p == u);
-                match slot {
-                    Some(i) => pins[i] = v,
+                let pins = &mut self.pin_data[off..off + s];
+                match pins.iter().position(|&p| p == u) {
+                    Some(j) => pins[j] = v,
                     None => debug_assert!(false, "undo: u missing from net prefix"),
                 }
             }
         }
-        self.incident[v.index()] = v_nets;
         self.weight[u.index()] -= self.weight[v.index()];
         self.fixed[u.index()] = m.u_fixed_before;
         self.active[v.index()] = true;
@@ -268,18 +397,25 @@ impl DynHypergraph {
     }
 
     /// Materializes the active residual as a standalone [`Hypergraph`]
-    /// (for initial partitioning on the coarsest state). Returns the
-    /// graph and the dense-id → original-slot map; nets with fewer than
-    /// two active pins are dropped, fixed sides are carried over.
+    /// (for initial partitioning on the coarsest state), filling the
+    /// caller's map buffers instead of allocating: `dense_of` maps
+    /// original slots to dense coarse ids (`u32::MAX` for inactive
+    /// slots), `slot_of` maps dense ids back. Nets with fewer than two
+    /// active pins are dropped; fixed sides are carried over.
     ///
     /// # Panics
     ///
     /// Panics if the residual violates builder invariants, which would
     /// indicate memento corruption (duplicated pins on one net).
-    pub fn materialize(&self) -> (Hypergraph, Vec<VertexId>) {
+    pub fn materialize_into(
+        &self,
+        dense_of: &mut Vec<u32>,
+        slot_of: &mut Vec<VertexId>,
+    ) -> Hypergraph {
         let mut builder = hypart_hypergraph::HypergraphBuilder::new();
-        let mut dense_of = vec![u32::MAX; self.active.len()];
-        let mut slot_of = Vec::with_capacity(self.num_active);
+        dense_of.clear();
+        dense_of.resize(self.active.len(), u32::MAX);
+        slot_of.clear();
         for (i, &alive) in self.active.iter().enumerate() {
             if alive {
                 let dense = builder.add_vertex(self.weight[i]);
@@ -295,7 +431,8 @@ impl DynHypergraph {
             if s < 2 {
                 continue;
             }
-            let pins = self.pins[e][..s]
+            let off = self.pin_off[e] as usize;
+            let pins = self.pin_data[off..off + s]
                 .iter()
                 .map(|p| VertexId::new(dense_of[p.index()]));
             if let Err(err) = builder.add_net(pins, self.net_weight[e]) {
@@ -303,15 +440,32 @@ impl DynHypergraph {
             }
         }
         match builder.build() {
-            Ok(h) => (h, slot_of),
+            Ok(h) => h,
             Err(err) => unreachable!("residual graph is structurally valid: {err}"),
         }
     }
 
-    /// Exhaustively checks that this view matches the source graph it was
-    /// built from — every vertex active with its original weight and
-    /// fixed side, every net at full size with its original pin *set*.
-    /// Test/audit support for the contract → uncontract twin property.
+    /// [`materialize_into`](DynHypergraph::materialize_into) with owned
+    /// map allocation: returns the graph and the dense-id →
+    /// original-slot map. Reuse paths should prefer `materialize_into`
+    /// with workspace buffers.
+    pub fn materialize(&self) -> (Hypergraph, Vec<VertexId>) {
+        let mut dense_of = Vec::new();
+        let mut slot_of = Vec::new();
+        let h = self.materialize_into(&mut dense_of, &mut slot_of);
+        (h, slot_of)
+    }
+
+    /// Checks that this view matches the source graph it was built from —
+    /// every vertex active with its original weight, fixed side, and
+    /// incidence count, every net at full size. Test/audit support for
+    /// the contract → uncontract twin property.
+    ///
+    /// Debug and test builds additionally verify the full pin and
+    /// incidence *sets* (a clone-and-sort comparison per entity);
+    /// release builds stop at the O(n + m) structural checks so
+    /// paranoid-audit production runs don't pay O(n log n) time and
+    /// per-vertex allocations here.
     ///
     /// # Errors
     ///
@@ -335,8 +489,29 @@ impl DynHypergraph {
             if self.fixed[i] != h.fixed_part(v) {
                 return Err(format!("vertex {i} fixed side drifted"));
             }
-            let mut mine: Vec<u32> = self.incident[i].iter().map(|e| e.raw()).collect();
-            let mut orig: Vec<u32> = h.vertex_nets(v).iter().map(|e| e.raw()).collect();
+            if self.inc_seg[i].len as usize != h.vertex_nets(v).len() {
+                return Err(format!("vertex {i} incidence length drifted"));
+            }
+        }
+        for e in h.nets() {
+            let i = e.index();
+            if self.size[i] as usize != h.net_size(e) {
+                return Err(format!("net {i} size drifted"));
+            }
+        }
+        if !cfg!(debug_assertions) {
+            return Ok(());
+        }
+        // Full set verification, debug/test builds only. The two scratch
+        // buffers are reused across entities.
+        let mut mine: Vec<u32> = Vec::new();
+        let mut orig: Vec<u32> = Vec::new();
+        for v in h.vertices() {
+            let i = v.index();
+            mine.clear();
+            mine.extend(self.incident_nets(v).iter().map(|e| e.raw()));
+            orig.clear();
+            orig.extend(h.vertex_nets(v).iter().map(|e| e.raw()));
             mine.sort_unstable();
             orig.sort_unstable();
             if mine != orig {
@@ -345,14 +520,10 @@ impl DynHypergraph {
         }
         for e in h.nets() {
             let i = e.index();
-            if self.size[i] as usize != h.net_size(e) {
-                return Err(format!("net {i} size drifted"));
-            }
-            let mut mine: Vec<u32> = self.pins[i][..self.size[i] as usize]
-                .iter()
-                .map(|p| p.raw())
-                .collect();
-            let mut orig: Vec<u32> = h.net_pins(e).iter().map(|p| p.raw()).collect();
+            mine.clear();
+            mine.extend(self.net_pins(e).iter().map(|p| p.raw()));
+            orig.clear();
+            orig.extend(h.net_pins(e).iter().map(|p| p.raw()));
             mine.sort_unstable();
             orig.sort_unstable();
             if mine != orig {
@@ -446,6 +617,54 @@ mod tests {
         assert_eq!(d.fixed_part(VertexId::new(0)), Some(PartId::P1));
         d.uncontract(&m);
         assert_eq!(d.fixed_part(VertexId::new(0)), None);
+        d.validate_pristine(&h).unwrap();
+    }
+
+    #[test]
+    fn reset_from_csr_recycles_into_a_pristine_view() {
+        let h = toy();
+        let mut d = DynHypergraph::new(&h);
+        // Dirty the view thoroughly (grown segments, parked tails) …
+        d.contract(VertexId::new(0), VertexId::new(2));
+        d.contract(VertexId::new(0), VertexId::new(3));
+        d.contract(VertexId::new(4), VertexId::new(5));
+        // … then reset onto the same graph: indistinguishable from new.
+        d.reset_from_csr(&h);
+        d.validate_pristine(&h).unwrap();
+        assert_eq!(d.num_active(), 6);
+        // And onto a different graph entirely.
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_vertex(2)).collect();
+        b.add_net([v[0], v[1], v[2]], 5).unwrap();
+        let h2 = b.build().unwrap();
+        d.reset_from_csr(&h2);
+        d.validate_pristine(&h2).unwrap();
+        assert_eq!(d.num_slots(), 3);
+        assert_eq!(d.gain_bound(), 5);
+    }
+
+    #[test]
+    fn segment_growth_reuses_parked_segments() {
+        // A star: contracting every leaf into the hub forces repeated
+        // case-B growth of the hub's segment through several classes.
+        let mut b = HypergraphBuilder::new();
+        let hub = b.add_vertex(1);
+        let leaves: Vec<_> = (0..40).map(|_| b.add_vertex(1)).collect();
+        // Hub starts with one net; each leaf brings a private net pair.
+        for w in leaves.windows(2) {
+            b.add_net([w[0], w[1]], 1).unwrap();
+        }
+        b.add_net([hub, leaves[0]], 1).unwrap();
+        let h = b.build().unwrap();
+        let mut d = DynHypergraph::new(&h);
+        let mut stack = Vec::new();
+        for &leaf in &leaves {
+            stack.push(d.contract(hub, leaf));
+        }
+        assert_eq!(d.num_active(), 1);
+        while let Some(m) = stack.pop() {
+            d.uncontract(&m);
+        }
         d.validate_pristine(&h).unwrap();
     }
 }

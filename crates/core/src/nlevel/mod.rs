@@ -19,7 +19,10 @@
 //!   (heavy-edge connectivity, deterministic seeded tie-breaks);
 //! * [`NLevelPartition`] — incremental k-way partition state (per-net
 //!   part counts, weighted cut) over a [`DynHypergraph`], plus the
-//!   localized FM refiner [`refine_localized`].
+//!   localized FM refiner [`refine_localized`];
+//! * [`NLevelWorkspace`] — the reusable scratch arenas of everything
+//!   above (carried on [`crate::RunCtx`] like the FM and coarsening
+//!   workspaces), which make the steady-state hot path allocation-free.
 //!
 //! Engines select between the two backends with [`EngineKind`], carried
 //! by the multilevel configs (`MlConfig::engine`, `MlKWayConfig::engine`)
@@ -29,10 +32,12 @@
 mod dynhg;
 mod partition;
 mod rating;
+mod workspace;
 
 pub use dynhg::{ContractionMemento, DynHypergraph};
 pub use partition::{refine_localized, NLevelPartition};
 pub use rating::{select_contractions, ContractionLimits};
+pub use workspace::{ContractScratch, LocalSearchScratch, NLevelWorkspace};
 
 /// Which multilevel backend a configuration selects.
 ///

@@ -5,7 +5,10 @@
 //! part weights, weighted cut) and takes the hypergraph view as a method
 //! argument, so the driver can interleave `partition.begin_uncontract`
 //! (bookkeeping, *before* the undo) with `d.uncontract` (the structural
-//! undo) without borrow conflicts.
+//! undo) without borrow conflicts. The vectors are grow-only:
+//! [`NLevelPartition::reset`] rebuilds the state for a new run inside
+//! the existing allocations, which is how the state recycles through
+//! [`crate::NLevelWorkspace`].
 //!
 //! [`refine_localized`] is the n-level refinement step: it seeds the
 //! gain containers with only the two vertices released by the current
@@ -16,8 +19,28 @@
 //! `(violation, cut)` prefix on exit. Vertices move at most once per
 //! invocation and the search stalls out a bounded number of moves after
 //! the last improvement, so termination is structural.
+//!
+//! # The exact gain cache
+//!
+//! Refinement runs ~n times per n-level pass, and the dominant cost used
+//! to be gain *recomputation*: every activation rescanned all nets of
+//! every neighbor of every applied move. The refiner now keeps an exact
+//! per-vertex gain row in its [`LocalSearchScratch`]: filled once per
+//! vertex per invocation (one pass over the vertex's nets, via
+//! [`NLevelPartition::gain_all`]) and delta-maintained in O(affected
+//! pins) per applied move by
+//! [`NLevelPartition::move_vertex_cached`] — and only pins of nets whose
+//! pre-move part counts sit next to the uncut threshold are touched at
+//! all; nets that stay deeply cut contribute zero delta and are skipped
+//! without a pin scan. The invariant is strict equality: a cached row
+//! always matches what [`NLevelPartition::gain`] would recompute, so
+//! caching cannot change any decision (debug builds assert this at every
+//! pop). Between invocations — across uncontractions in particular — the
+//! whole cache retires in O(1) via an epoch bump, so no per-uncontract
+//! invalidation is needed.
 
 use super::dynhg::{ContractionMemento, DynHypergraph};
+use super::workspace::LocalSearchScratch;
 use crate::config::InsertionPolicy;
 use crate::ctx::RunCtx;
 use hypart_hypergraph::{NetId, VertexId};
@@ -36,7 +59,10 @@ const ACTIVATION_NET_SIZE_CAP: u32 = 300;
 /// uncontraction. Labels live in the full slot range of the underlying
 /// [`DynHypergraph`]; inactive slots keep the label of their survivor so
 /// uncontraction is label inheritance plus a constant-size count patch.
-#[derive(Clone, Debug)]
+///
+/// The default value is an empty placeholder (`k == 0`) for workspace
+/// storage; [`NLevelPartition::reset`] turns it into a live state.
+#[derive(Clone, Debug, Default)]
 pub struct NLevelPartition {
     part: Vec<u16>,
     counts: Vec<u32>,
@@ -53,35 +79,54 @@ impl NLevelPartition {
     ///
     /// Panics if `labels` is shorter than `d.num_slots()` or `k == 0`.
     pub fn new(d: &DynHypergraph, k: usize, labels: Vec<u16>) -> NLevelPartition {
+        let mut p = NLevelPartition {
+            part: labels,
+            ..NLevelPartition::default()
+        };
+        p.rebuild(d, k);
+        p
+    }
+
+    /// Rebuilds the state in place from per-slot labels, keeping all
+    /// allocations — the recycling twin of [`NLevelPartition::new`],
+    /// with identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is shorter than `d.num_slots()` or `k == 0`.
+    pub fn reset(&mut self, d: &DynHypergraph, k: usize, labels: &[u16]) {
+        self.part.clear();
+        self.part.extend_from_slice(labels);
+        self.rebuild(d, k);
+    }
+
+    /// Recomputes counts, part weights, and cut from `self.part`.
+    fn rebuild(&mut self, d: &DynHypergraph, k: usize) {
         assert!(k > 0, "k must be positive");
-        assert!(labels.len() >= d.num_slots(), "label per slot required");
+        assert!(self.part.len() >= d.num_slots(), "label per slot required");
+        self.k = k;
         let nets = d.num_nets();
-        let mut counts = vec![0u32; nets * k];
-        let mut part_weight = vec![0u64; k];
+        self.counts.clear();
+        self.counts.resize(nets * k, 0);
+        self.part_weight.clear();
+        self.part_weight.resize(k, 0);
         for slot in 0..d.num_slots() {
             let v = VertexId::from_index(slot);
             if d.is_active(v) {
-                part_weight[labels[slot] as usize] += d.weight(v);
+                self.part_weight[self.part[slot] as usize] += d.weight(v);
             }
         }
-        let mut cut = 0u64;
+        self.cut = 0;
         for e in 0..nets {
             let net = NetId::from_index(e);
-            let row = &mut counts[e * k..(e + 1) * k];
+            let row = &mut self.counts[e * k..(e + 1) * k];
             for &p in d.net_pins(net) {
-                row[labels[p.index()] as usize] += 1;
+                row[self.part[p.index()] as usize] += 1;
             }
             let size = d.net_size(net);
             if size >= 2 && row.iter().all(|&c| c != size) {
-                cut += u64::from(d.net_weight(net));
+                self.cut += u64::from(d.net_weight(net));
             }
-        }
-        NLevelPartition {
-            part: labels,
-            counts,
-            part_weight,
-            cut,
-            k,
         }
     }
 
@@ -152,6 +197,39 @@ impl NLevelPartition {
         gain
     }
 
+    /// Fills `out` (length `k`) with the gain of moving `v` to every
+    /// part, in one pass over `v`'s nets — the cache-row filler, exactly
+    /// equivalent to `k − 1` calls of [`NLevelPartition::gain`]. The
+    /// entry at `v`'s own part is set to zero (it is meaningless).
+    pub(crate) fn gain_all(&self, d: &DynHypergraph, v: VertexId, out: &mut [i64]) {
+        debug_assert_eq!(out.len(), self.k);
+        let from = self.part_of(v);
+        for g in out.iter_mut() {
+            *g = 0;
+        }
+        for &e in d.incident_nets(v) {
+            let size = d.net_size(e);
+            if size < 2 {
+                continue;
+            }
+            let row = e.index() * self.k;
+            let w = i64::from(d.net_weight(e));
+            debug_assert!(self.counts[row + from] >= 1);
+            if self.counts[row + from] == size {
+                // Uncut before the move: every departure cuts it.
+                for g in out.iter_mut() {
+                    *g -= w;
+                }
+            }
+            for (t, g) in out.iter_mut().enumerate() {
+                if self.counts[row + t] + 1 == size {
+                    *g += w;
+                }
+            }
+        }
+        out[from] = 0;
+    }
+
     /// Moves `v` to part `to`, updating counts, weights and cut. Returns
     /// the realized gain (cut before minus cut after).
     pub fn move_vertex(&mut self, d: &DynHypergraph, v: VertexId, to: usize) -> i64 {
@@ -174,6 +252,95 @@ impl NLevelPartition {
                 self.cut -= w;
             } else if !was_cut && now_cut {
                 self.cut += w;
+            }
+        }
+        let weight = d.weight(v);
+        self.part_weight[from] -= weight;
+        self.part_weight[to] += weight;
+        self.part[v.index()] = to as u16;
+        before as i64 - self.cut as i64
+    }
+
+    /// [`NLevelPartition::move_vertex`] plus exact maintenance of every
+    /// live gain row in `cache`: for each net of `v`, the four possible
+    /// per-target deltas are derived from the pre-move part counts, and
+    /// the net's pins are scanned **only when at least one delta is
+    /// nonzero** — i.e. only when the net is uncut or one pin away from
+    /// uncut on the affected sides. Deeply cut nets (the common case on
+    /// large mixed nets) cost O(1).
+    ///
+    /// `v`'s own row is left stale; callers lock `v` immediately, so it
+    /// is never read again this invocation.
+    pub(crate) fn move_vertex_cached(
+        &mut self,
+        d: &DynHypergraph,
+        v: VertexId,
+        to: usize,
+        cache: &mut LocalSearchScratch,
+    ) -> i64 {
+        let from = self.part_of(v);
+        debug_assert_ne!(from, to);
+        debug_assert_eq!(cache.k, self.k);
+        let k = self.k;
+        let before = self.cut;
+        for &e in d.incident_nets(v) {
+            let size = d.net_size(e);
+            let row = e.index() * k;
+            let c_from = self.counts[row + from];
+            let c_to = self.counts[row + to];
+            debug_assert!(c_from >= 1);
+            self.counts[row + from] = c_from - 1;
+            self.counts[row + to] = c_to + 1;
+            if size < 2 {
+                continue;
+            }
+            let w = i64::from(d.net_weight(e));
+            let was_cut = c_from != size;
+            let now_cut = c_to + 1 != size;
+            if was_cut && !now_cut {
+                self.cut -= w as u64;
+            } else if !was_cut && now_cut {
+                self.cut += w as u64;
+            }
+            // Gain-row deltas for a pin y in part p with target t,
+            // derived from gain contribution w·([cₜ+1 = s] − [cₚ = s]):
+            //   t = from: the count there dropped by one,
+            //   t = to:   the count there rose by one,
+            //   p = from / p = to: the "was uncut" term flips for every
+            //   target alike.
+            let tf = w * (i64::from(c_from == size) - i64::from(c_from + 1 == size));
+            let tt = w * (i64::from(c_to + 2 == size) - i64::from(c_to + 1 == size));
+            let cf = -w * (i64::from(c_from - 1 == size) - i64::from(c_from == size));
+            let ct = -w * (i64::from(c_to + 1 == size) - i64::from(c_to == size));
+            if tf == 0 && tt == 0 && cf == 0 && ct == 0 {
+                continue;
+            }
+            for &y in d.net_pins(e) {
+                if y == v || !cache.is_cached(y) {
+                    continue;
+                }
+                let p = self.part[y.index()] as usize;
+                let grow = y.index() * k;
+                if tf != 0 && p != from {
+                    cache.gains[grow + from] += tf;
+                }
+                if tt != 0 && p != to {
+                    cache.gains[grow + to] += tt;
+                }
+                let common = if p == from {
+                    cf
+                } else if p == to {
+                    ct
+                } else {
+                    0
+                };
+                if common != 0 {
+                    for t in 0..k {
+                        if t != p {
+                            cache.gains[grow + t] += common;
+                        }
+                    }
+                }
             }
         }
         let weight = d.weight(v);
@@ -225,6 +392,21 @@ impl NLevelPartition {
 /// past a local minimum, but only this far.
 const STALL_LIMIT: usize = 64;
 
+/// Fills `v`'s gain row in `scratch` if it is stale this invocation.
+fn ensure_cached(
+    partition: &NLevelPartition,
+    d: &DynHypergraph,
+    scratch: &mut LocalSearchScratch,
+    v: VertexId,
+) {
+    if !scratch.is_cached(v) {
+        let row = v.index() * scratch.k;
+        let k = scratch.k;
+        partition.gain_all(d, v, &mut scratch.gains[row..row + k]);
+        scratch.gain_stamp[v.index()] = scratch.epoch;
+    }
+}
+
 /// Localized FM refinement around one uncontraction.
 ///
 /// Seeds the gain containers with `seeds` (normally the released pair
@@ -238,8 +420,12 @@ const STALL_LIMIT: usize = 64;
 /// are activated, so improvement ripples outward exactly as far as it
 /// keeps paying. Vertices move at most once per invocation, and the
 /// search stops a fixed stall limit (64 moves) after the last
-/// improvement, so
-/// termination is structural.
+/// improvement, so termination is structural.
+///
+/// All gains come from the exact cache in `scratch` (see the module
+/// docs): one row fill per touched vertex, O(affected pins) deltas per
+/// applied move, identical values to recomputation — reusing a dirty
+/// scratch never changes results, it only skips allocations.
 ///
 /// Returns the number of *retained* moves (the best prefix); emits
 /// [`RunEvent::Move`] per applied move on enabled sinks (like a flat FM
@@ -253,6 +439,7 @@ pub fn refine_localized<R: Rng>(
     upper: u64,
     insertion: InsertionPolicy,
     rng: &mut R,
+    scratch: &mut LocalSearchScratch,
     ctx: &mut RunCtx<'_>,
 ) -> usize {
     let k = partition.num_parts();
@@ -261,9 +448,7 @@ pub fn refine_localized<R: Rng>(
     let containers = ctx
         .workspace
         .containers(k * k, d.num_slots(), d.gain_bound());
-    let mut locked: Vec<VertexId> = Vec::with_capacity(8);
-    // (vertex, origin part) per applied move, for best-prefix rollback.
-    let mut log: Vec<(VertexId, usize)> = Vec::with_capacity(8);
+    scratch.begin(d.num_slots(), k);
     let mut best_len = 0usize;
     let mut cur_viol = partition.total_violation(lower, upper);
     let mut best_viol = cur_viol;
@@ -277,9 +462,10 @@ pub fn refine_localized<R: Rng>(
         if containers[from * k + ((from + 1) % k)].contains(s) {
             continue;
         }
+        ensure_cached(partition, d, scratch, s);
         for to in 0..k {
             if to != from {
-                let g = partition.gain(d, s, to);
+                let g = scratch.gain_of(s, to);
                 containers[from * k + to].insert(s, g, insertion, rng);
             }
         }
@@ -309,7 +495,12 @@ pub fn refine_localized<R: Rng>(
             containers[idx].remove(v);
             continue;
         }
-        let true_gain = partition.gain(d, v, to);
+        let true_gain = scratch.gain_of(v, to);
+        debug_assert_eq!(
+            true_gain,
+            partition.gain(d, v, to),
+            "gain cache drifted from recomputation"
+        );
         if true_gain != key {
             containers[idx].update(v, true_gain, insertion, rng);
             continue;
@@ -339,10 +530,10 @@ pub fn refine_localized<R: Rng>(
                 containers[from * k + t].remove(v);
             }
         }
-        let realized = partition.move_vertex(d, v, to);
+        let realized = partition.move_vertex_cached(d, v, to, scratch);
         debug_assert_eq!(realized, true_gain);
-        locked.push(v);
-        log.push((v, from));
+        scratch.lock(v);
+        scratch.log.push((v, from));
         if traced {
             sink.emit(RunEvent::Move {
                 vertex: v.raw() as u64,
@@ -354,27 +545,29 @@ pub fn refine_localized<R: Rng>(
         if (cur_viol, partition.cut()) < (best_viol, best_cut) {
             best_viol = cur_viol;
             best_cut = partition.cut();
-            best_len = log.len();
-        } else if log.len() - best_len > STALL_LIMIT {
+            best_len = scratch.log.len();
+        } else if scratch.log.len() - best_len > STALL_LIMIT {
             break;
         }
 
-        // Refresh / activate the boundary around the move.
+        // Refresh / activate the boundary around the move. Cached rows
+        // are already move-exact; only first-touch vertices pay a fill.
         for &e in d.incident_nets(v) {
             if d.net_size(e) > ACTIVATION_NET_SIZE_CAP {
                 continue;
             }
             for &y in d.net_pins(e) {
-                if y == v || locked.contains(&y) || d.fixed_part(y).is_some() {
+                if y == v || scratch.is_locked(y) || d.fixed_part(y).is_some() {
                     continue;
                 }
                 let s = partition.part_of(y);
                 let present = containers[s * k + ((s + 1) % k)].contains(y);
+                ensure_cached(partition, d, scratch, y);
                 for t in 0..k {
                     if t == s {
                         continue;
                     }
-                    let g = partition.gain(d, y, t);
+                    let g = scratch.gain_of(y, t);
                     if present {
                         containers[s * k + t].update(y, g, insertion, rng);
                     } else {
@@ -386,9 +579,13 @@ pub fn refine_localized<R: Rng>(
     }
 
     // Roll the exploration tail back to the best prefix. The replayed
-    // inverse moves restore counts, weights, and cut exactly.
-    while log.len() > best_len {
-        let Some((v, origin)) = log.pop() else { break };
+    // inverse moves restore counts, weights, and cut exactly (plain
+    // moves: the cache is dead after the loop, the next invocation's
+    // epoch bump retires it wholesale).
+    while scratch.log.len() > best_len {
+        let Some((v, origin)) = scratch.log.pop() else {
+            break;
+        };
         partition.move_vertex(d, v, origin);
     }
     debug_assert_eq!(partition.cut(), best_cut);
@@ -432,6 +629,21 @@ mod tests {
     }
 
     #[test]
+    fn reset_matches_new_after_dirtying() {
+        let h = toy();
+        let d = DynHypergraph::new(&h);
+        let mut p = NLevelPartition::new(&d, 2, vec![0, 1, 0, 1, 0, 1]);
+        p.move_vertex(&d, VertexId::new(1), 0);
+        // Reset onto fresh labels: indistinguishable from a fresh build.
+        p.reset(&d, 2, &[0, 0, 0, 1, 1, 1]);
+        let q = NLevelPartition::new(&d, 2, vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(p.cut(), q.cut());
+        assert_eq!(p.part_weight(0), q.part_weight(0));
+        assert_eq!(p.assignment(), q.assignment());
+        assert_eq!(p.recompute_cut(&d), p.cut());
+    }
+
+    #[test]
     fn move_vertex_updates_cut_incrementally() {
         let h = toy();
         let d = DynHypergraph::new(&h);
@@ -443,6 +655,56 @@ mod tests {
         assert_eq!(p.recompute_cut(&d), p.cut());
         assert_eq!(p.part_weight(0), 2);
         assert_eq!(p.part_weight(1), 4);
+    }
+
+    #[test]
+    fn gain_all_matches_per_target_gain() {
+        let h = toy();
+        let d = DynHypergraph::new(&h);
+        let p = NLevelPartition::new(&d, 3, vec![0, 1, 0, 2, 1, 2]);
+        let mut row = [0i64; 3];
+        for slot in 0..6 {
+            let v = VertexId::new(slot);
+            p.gain_all(&d, v, &mut row);
+            for (t, &g) in row.iter().enumerate() {
+                if t != p.part_of(v) {
+                    assert_eq!(g, p.gain(&d, v, t), "v{slot} → {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_moves_keep_every_live_row_exact() {
+        let h = toy();
+        let d = DynHypergraph::new(&h);
+        let mut p = NLevelPartition::new(&d, 2, vec![0, 0, 1, 1, 0, 1]);
+        let mut s = LocalSearchScratch::new();
+        s.begin(d.num_slots(), 2);
+        for slot in 0..6 {
+            ensure_cached(&p, &d, &mut s, VertexId::new(slot));
+        }
+        // A few moves, each followed by a full cache/recompute audit of
+        // every vertex except the ones already moved.
+        let mut moved = Vec::new();
+        for (slot, to) in [(2usize, 0usize), (4, 1), (0, 1)] {
+            let v = VertexId::from_index(slot);
+            let to = if p.part_of(v) == to { 1 - to } else { to };
+            let expected = p.gain(&d, v, to);
+            assert_eq!(s.gain_of(v, to), expected);
+            let realized = p.move_vertex_cached(&d, v, to, &mut s);
+            assert_eq!(realized, expected);
+            moved.push(slot);
+            assert_eq!(p.recompute_cut(&d), p.cut());
+            for y in 0..6 {
+                if moved.contains(&y) {
+                    continue;
+                }
+                let yv = VertexId::from_index(y);
+                let t = 1 - p.part_of(yv);
+                assert_eq!(s.gain_of(yv, t), p.gain(&d, yv, t), "row {y} drifted");
+            }
+        }
     }
 
     #[test]
@@ -476,6 +738,7 @@ mod tests {
         assert_eq!(p.cut(), 2);
         let mut ctx = RunCtx::new(11);
         let mut rng = SmallRng::seed_from_u64(1);
+        let mut scratch = LocalSearchScratch::new();
         let moves = refine_localized(
             &mut p,
             &d,
@@ -484,6 +747,7 @@ mod tests {
             5,
             InsertionPolicy::Lifo,
             &mut rng,
+            &mut scratch,
             &mut ctx,
         );
         assert!(moves >= 1);
@@ -500,6 +764,7 @@ mod tests {
         let mut p = NLevelPartition::new(&d, 2, vec![0, 0, 0, 1, 1, 1]);
         let mut ctx = RunCtx::new(3);
         let mut rng = SmallRng::seed_from_u64(2);
+        let mut scratch = LocalSearchScratch::new();
         let seeds: Vec<_> = (0..6).map(VertexId::new).collect();
         let moves = refine_localized(
             &mut p,
@@ -509,6 +774,7 @@ mod tests {
             4,
             InsertionPolicy::Lifo,
             &mut rng,
+            &mut scratch,
             &mut ctx,
         );
         assert_eq!(moves, 0);

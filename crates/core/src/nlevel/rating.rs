@@ -7,14 +7,16 @@
 //! granularity. Selection proceeds in rounds: every active vertex names
 //! its best admissible partner, the candidate pairs are sorted by
 //! (rating, seeded hash) descending, and the winners are contracted **one
-//! pair at a time**, each producing its own [`ContractionMemento`].
+//! pair at a time**, each producing its own
+//! [`ContractionMemento`](super::ContractionMemento).
 //! Ratings refresh at round boundaries (each vertex contracts at most
 //! once per round), a batch-lazy refresh that keeps selection
 //! deterministic without a decrease-key priority queue; the memento
 //! stack — and therefore the uncoarsening side — remains strictly
 //! one-pair-at-a-time.
 
-use super::dynhg::{ContractionMemento, DynHypergraph};
+use super::dynhg::DynHypergraph;
+use super::workspace::ContractScratch;
 use crate::coarsen_ws::SparseScores;
 use crate::ctx::BudgetProbe;
 use hypart_hypergraph::{PartId, VertexId};
@@ -41,8 +43,9 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// Runs the rating-driven contraction schedule on `d` until
 /// `limits.stop_size` vertices remain, no admissible pair is left, or
-/// `probe` fires. Returns the memento stack in contraction order (undo
-/// it back to front).
+/// `probe` fires. The memento stack lands in `scratch.mementos`, in
+/// contraction order (undo it back to front); any previous contents of
+/// the scratch are discarded.
 ///
 /// `restriction`, when given, carries one partition side per vertex slot
 /// and forbids contracting across sides — the n-level analogue of
@@ -50,65 +53,70 @@ fn splitmix64(mut x: u64) -> u64 {
 /// free vertices or vertices fixed on the same side.
 ///
 /// Deterministic: a pure function of `(d, limits, restriction, seed)`.
-/// `scores` is borrowed scratch (the coarsening workspace's connectivity
-/// accumulator); reuse never changes results.
+/// `scores` (the coarsening workspace's connectivity accumulator) and
+/// `scratch` are borrowed arenas; reuse never changes results.
 pub fn select_contractions(
     d: &mut DynHypergraph,
     limits: &ContractionLimits,
     restriction: Option<&[PartId]>,
     seed: u64,
     scores: &mut SparseScores,
+    scratch: &mut ContractScratch,
     probe: &mut BudgetProbe,
-) -> Vec<ContractionMemento> {
+) {
     let slots = d.num_slots();
-    let mut mementos = Vec::new();
-    let mut matched = vec![false; slots];
-    // (rating, tie-break hash, survivor, absorbed) — sorted descending.
-    let mut pairs: Vec<(u64, u64, u32, u32)> = Vec::new();
+    scratch.mementos.clear();
+    scratch.matched.clear();
+    scratch.matched.resize(slots, false);
+    scratch.pairs.clear();
 
     loop {
         if d.num_active() <= limits.stop_size || probe.stop_now().is_some() {
             break;
         }
-        pairs.clear();
+        scratch.pairs.clear();
         for slot in 0..slots {
             let u = VertexId::from_index(slot);
             if !d.is_active(u) {
                 continue;
             }
             if let Some(pair) = best_partner(d, u, limits, restriction, seed, scores) {
-                pairs.push(pair);
+                scratch.pairs.push(pair);
             }
         }
-        if pairs.is_empty() {
+        if scratch.pairs.is_empty() {
             break;
         }
-        pairs.sort_unstable_by(|a, b| b.cmp(a));
-        for flag in matched.iter_mut() {
+        scratch.pairs.sort_unstable_by(|a, b| b.cmp(a));
+        for flag in scratch.matched.iter_mut() {
             *flag = false;
         }
         let mut progressed = false;
-        for &(_, _, u_raw, v_raw) in &pairs {
+        for i in 0..scratch.pairs.len() {
+            let (_, _, u_raw, v_raw) = scratch.pairs[i];
             if d.num_active() <= limits.stop_size {
                 break;
             }
             let (u, v) = (VertexId::new(u_raw), VertexId::new(v_raw));
-            if matched[u.index()] || matched[v.index()] || !d.is_active(u) || !d.is_active(v) {
+            if scratch.matched[u.index()]
+                || scratch.matched[v.index()]
+                || !d.is_active(u)
+                || !d.is_active(v)
+            {
                 continue;
             }
-            mementos.push(d.contract(u, v));
-            matched[u.index()] = true;
-            matched[v.index()] = true;
+            scratch.mementos.push(d.contract(u, v));
+            scratch.matched[u.index()] = true;
+            scratch.matched[v.index()] = true;
             progressed = true;
             if probe.stop_every().is_some() {
-                return mementos;
+                return;
             }
         }
         if !progressed {
             break;
         }
     }
-    mementos
 }
 
 /// Rates every admissible partner of `u` and returns the winning pair
@@ -200,30 +208,54 @@ mod tests {
         let ctx = RunCtx::new(7);
         let mut probe = ctx.probe();
         let mut scores = SparseScores::new();
-        let mut stack = select_contractions(&mut d, &limits, None, 7, &mut scores, &mut probe);
+        let mut scratch = ContractScratch::new();
+        select_contractions(
+            &mut d,
+            &limits,
+            None,
+            7,
+            &mut scores,
+            &mut scratch,
+            &mut probe,
+        );
         assert!(d.num_active() <= 8, "should contract well below 32");
-        while let Some(m) = stack.pop() {
+        while let Some(m) = scratch.mementos.pop() {
             d.uncontract(&m);
         }
         d.validate_pristine(&h).unwrap();
     }
 
     #[test]
-    fn deterministic_per_seed() {
+    fn deterministic_per_seed_and_across_scratch_reuse() {
         let h = clusters(3, 6);
         let limits = ContractionLimits {
             stop_size: 3,
             max_net_size: 300,
             cluster_cap: 12,
         };
-        let run = |seed: u64| {
+        let run = |seed: u64, scratch: &mut ContractScratch| {
             let mut d = DynHypergraph::new(&h);
             let ctx = RunCtx::new(seed);
             let mut probe = ctx.probe();
             let mut scores = SparseScores::new();
-            select_contractions(&mut d, &limits, None, seed, &mut scores, &mut probe)
+            select_contractions(
+                &mut d,
+                &limits,
+                None,
+                seed,
+                &mut scores,
+                scratch,
+                &mut probe,
+            );
+            scratch.mementos.clone()
         };
-        assert_eq!(run(5), run(5));
+        let mut fresh = ContractScratch::new();
+        let first = run(5, &mut fresh);
+        // Rerun on the dirty scratch: identical schedule.
+        let again = run(5, &mut fresh);
+        assert_eq!(first, again);
+        let mut other = ContractScratch::new();
+        assert_eq!(first, run(5, &mut other));
     }
 
     #[test]
@@ -238,7 +270,16 @@ mod tests {
         let ctx = RunCtx::new(1);
         let mut probe = ctx.probe();
         let mut scores = SparseScores::new();
-        select_contractions(&mut d, &limits, None, 1, &mut scores, &mut probe);
+        let mut scratch = ContractScratch::new();
+        select_contractions(
+            &mut d,
+            &limits,
+            None,
+            1,
+            &mut scores,
+            &mut scratch,
+            &mut probe,
+        );
         for slot in 0..d.num_slots() {
             let v = VertexId::from_index(slot);
             if d.is_active(v) {

@@ -1,0 +1,215 @@
+//! Reusable n-level scratch arenas.
+//!
+//! The n-level backend runs once per start of every multi-start sweep and
+//! once per V-cycle, and each run touches `O(n)` scratch: the
+//! [`DynHypergraph`] view itself, the contraction schedule's pair/match
+//! buffers, the partition's `nets × k` count table, the label scatter
+//! buffer, the flat-sweep seed list, and the localized refiner's
+//! lock/log/gain-cache state. An [`NLevelWorkspace`] owns all of it once,
+//! grow-only, exactly like [`crate::FmWorkspace`] and
+//! [`crate::CoarsenWorkspace`] do for their engines: the drivers re-point
+//! the arenas per run ([`DynHypergraph::reset_from_csr`],
+//! [`crate::NLevelPartition::reset`], epoch bumps) instead of
+//! reallocating, so the steady-state contract / uncontract / localized-FM
+//! loop allocates nothing.
+//!
+//! Workspaces are plain owned data — parallel drivers give each thread
+//! its own, as they already do for the FM and coarsening workspaces.
+//! Reuse never changes results: a fresh workspace is exactly what the
+//! plain entry points construct internally, and the dirty-workspace twin
+//! tests pin bitwise-identical traces across reuse.
+
+use super::dynhg::{ContractionMemento, DynHypergraph};
+use super::partition::NLevelPartition;
+use hypart_hypergraph::VertexId;
+
+/// Scratch of the rating-driven contraction schedule
+/// ([`crate::select_contractions`]): the produced memento stack plus the
+/// per-round match flags and candidate-pair buffer.
+#[derive(Clone, Debug, Default)]
+pub struct ContractScratch {
+    /// The memento stack of the most recent schedule, in contraction
+    /// order (undo it back to front).
+    pub mementos: Vec<ContractionMemento>,
+    /// Per-slot "contracted this round" flags.
+    pub(crate) matched: Vec<bool>,
+    /// Candidate pairs of the current round: `(rating, tie-break hash,
+    /// survivor, absorbed)`, sorted descending.
+    pub(crate) pairs: Vec<(u64, u64, u32, u32)>,
+}
+
+impl ContractScratch {
+    /// Creates an empty scratch. Arenas grow on first use and are kept.
+    pub fn new() -> Self {
+        ContractScratch::default()
+    }
+}
+
+/// Scratch of the localized FM refiner ([`crate::refine_localized`]):
+/// epoch-stamped lock flags, the applied-move log, and the exact
+/// per-vertex gain cache.
+///
+/// The gain cache holds, for every vertex stamped in the current epoch,
+/// the exact gain of moving it to each of the `k` parts — identical at
+/// all times to what [`crate::NLevelPartition::gain`] would recompute.
+/// It is filled once per vertex per invocation (one pass over the
+/// vertex's nets) and then delta-maintained in O(affected pins) per
+/// applied move, replacing the per-activation full rescans. One epoch
+/// bump retires the whole cache in O(1) at the next invocation.
+#[derive(Clone, Debug, Default)]
+pub struct LocalSearchScratch {
+    /// Current invocation epoch; stamps below it are stale.
+    pub(crate) epoch: u32,
+    /// Gain-row stride of the current invocation (the partition's `k`).
+    pub(crate) k: usize,
+    /// `locked[v] == epoch` iff `v` already moved this invocation.
+    pub(crate) locked: Vec<u32>,
+    /// `gain_stamp[v] == epoch` iff `v`'s gain row is live.
+    pub(crate) gain_stamp: Vec<u32>,
+    /// Flat `slots × k` gain rows (entries at the vertex's own part are
+    /// unused).
+    pub(crate) gains: Vec<i64>,
+    /// `(vertex, origin part)` per applied move, for best-prefix
+    /// rollback.
+    pub(crate) log: Vec<(VertexId, usize)>,
+}
+
+impl LocalSearchScratch {
+    /// Creates an empty scratch. Arenas grow on first use and are kept.
+    pub fn new() -> Self {
+        LocalSearchScratch::default()
+    }
+
+    /// Starts a new invocation over `slots` slots and `k` parts: all
+    /// locks and cached gains become stale in O(1) (amortized — a full
+    /// epoch wrap every 2³² invocations costs one stamp clear).
+    pub(crate) fn begin(&mut self, slots: usize, k: usize) {
+        self.k = k;
+        if self.locked.len() < slots {
+            self.locked.resize(slots, 0);
+        }
+        if self.gain_stamp.len() < slots {
+            self.gain_stamp.resize(slots, 0);
+        }
+        if self.gains.len() < slots * k {
+            self.gains.resize(slots * k, 0);
+        }
+        if self.epoch == u32::MAX {
+            for s in &mut self.locked {
+                *s = 0;
+            }
+            for s in &mut self.gain_stamp {
+                *s = 0;
+            }
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.log.clear();
+    }
+
+    /// Whether `v` already moved this invocation.
+    #[inline]
+    pub(crate) fn is_locked(&self, v: VertexId) -> bool {
+        self.locked[v.index()] == self.epoch
+    }
+
+    /// Marks `v` as moved this invocation.
+    #[inline]
+    pub(crate) fn lock(&mut self, v: VertexId) {
+        self.locked[v.index()] = self.epoch;
+    }
+
+    /// Whether `v`'s gain row is live this invocation.
+    #[inline]
+    pub(crate) fn is_cached(&self, v: VertexId) -> bool {
+        self.gain_stamp[v.index()] == self.epoch
+    }
+
+    /// The cached gain of moving `v` to part `to`. The row must be live.
+    #[inline]
+    pub(crate) fn gain_of(&self, v: VertexId, to: usize) -> i64 {
+        debug_assert!(self.is_cached(v), "gain row read before fill");
+        self.gains[v.index() * self.k + to]
+    }
+}
+
+/// Reusable scratch arenas for the n-level backend.
+///
+/// Carried on [`crate::RunCtx`] next to [`crate::FmWorkspace`] and
+/// [`crate::CoarsenWorkspace`]; the n-level drivers take it out of the
+/// context for the duration of one run (so the view, the partition, and
+/// the context can be borrowed independently) and put it back at the
+/// end. All fields are public: the drivers live in the multilevel and
+/// k-way crates and drive them directly.
+#[derive(Clone, Debug, Default)]
+pub struct NLevelWorkspace {
+    /// The recycled dynamic hypergraph view (slab adjacency arenas
+    /// inside); re-pointed at each run via
+    /// [`DynHypergraph::reset_from_csr`].
+    pub dynhg: DynHypergraph,
+    /// Contraction-schedule scratch, including the memento stack.
+    pub contract: ContractScratch,
+    /// The recycled partition state, rebuilt per run via
+    /// [`NLevelPartition::reset`].
+    pub partition: NLevelPartition,
+    /// Per-slot label scatter buffer (initial-partition projection).
+    pub labels: Vec<u16>,
+    /// Flat-sweep seed list (all active vertices of the current view).
+    pub seeds: Vec<VertexId>,
+    /// `materialize` scratch: original slot → dense coarse id.
+    pub dense_of: Vec<u32>,
+    /// `materialize` scratch: dense coarse id → original slot.
+    pub slot_of: Vec<VertexId>,
+    /// Localized-refiner scratch (locks, move log, gain cache).
+    pub refine: LocalSearchScratch,
+}
+
+impl NLevelWorkspace {
+    /// Creates an empty workspace. Arenas grow on first use and are kept
+    /// from then on.
+    pub fn new() -> Self {
+        NLevelWorkspace::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_search_scratch_epochs_retire_locks_and_cache() {
+        let mut s = LocalSearchScratch::new();
+        s.begin(4, 2);
+        let v = VertexId::new(1);
+        assert!(!s.is_locked(v));
+        assert!(!s.is_cached(v));
+        s.lock(v);
+        s.gain_stamp[1] = s.epoch;
+        s.gains[2] = 7;
+        assert!(s.is_locked(v));
+        assert_eq!(s.gain_of(v, 0), 7);
+        // Next invocation: everything stale, allocations kept.
+        s.begin(4, 2);
+        assert!(!s.is_locked(v));
+        assert!(!s.is_cached(v));
+    }
+
+    #[test]
+    fn local_search_scratch_survives_epoch_wrap() {
+        let mut s = LocalSearchScratch::new();
+        s.begin(2, 2);
+        s.lock(VertexId::new(0));
+        s.epoch = u32::MAX;
+        s.begin(2, 2);
+        assert_eq!(s.epoch, 1);
+        assert!(!s.is_locked(VertexId::new(0)));
+    }
+
+    #[test]
+    fn workspace_defaults_are_empty() {
+        let ws = NLevelWorkspace::new();
+        assert_eq!(ws.dynhg.num_slots(), 0);
+        assert!(ws.contract.mementos.is_empty());
+        assert!(ws.labels.is_empty());
+    }
+}

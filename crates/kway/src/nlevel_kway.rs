@@ -21,8 +21,8 @@ use crate::fm::{record_kway_audit, KWayFmPartitioner, KWayOutcome};
 use crate::multilevel::{MlKWayConfig, MlKWayPartitioner};
 use crate::partition::KWayPartition;
 use hypart_core::{
-    refine_localized, select_contractions, AuditError, AuditLevel, ContractionLimits,
-    DynHypergraph, NLevelPartition, RunCtx, StopReason,
+    refine_localized, select_contractions, AuditError, AuditLevel, ContractionLimits, RunCtx,
+    StopReason,
 };
 use hypart_hypergraph::Hypergraph;
 use hypart_trace::RunEvent;
@@ -58,36 +58,40 @@ pub(crate) fn run_nlevel_kway(
     let mut rng = SmallRng::seed_from_u64(base_seed);
     let engine = KWayFmPartitioner::new(config.refine);
 
-    // Contraction phase, bracketed like the 2-way backend.
-    let mut d = DynHypergraph::new(h);
+    // Contraction phase, bracketed like the 2-way backend, on the
+    // context's recycled n-level arenas (taken out for the run so the
+    // view and the context stay independently borrowable).
+    let mut ws = std::mem::take(&mut ctx.nlevel);
+    ws.dynhg.reset_from_csr(h);
     if ctx.sink.is_enabled() {
         ctx.sink.emit(RunEvent::ContractionBegin {
-            vertices: d.num_active(),
-            nets: d.num_live_nets(),
+            vertices: ws.dynhg.num_active(),
+            nets: ws.dynhg.num_live_nets(),
         });
     }
     let limits = limits_for(h, config);
     let mut probe = ctx.probe();
-    let mementos = select_contractions(
-        &mut d,
+    select_contractions(
+        &mut ws.dynhg,
         &limits,
         None,
         base_seed,
         &mut ctx.coarsen.conn,
+        &mut ws.contract,
         &mut probe,
     );
     if ctx.sink.is_enabled() {
         ctx.sink.emit(RunEvent::ContractionEnd {
-            contractions: mementos.len(),
-            vertices: d.num_active(),
-            nets: d.num_live_nets(),
+            contractions: ws.contract.mementos.len(),
+            vertices: ws.dynhg.num_active(),
+            nets: ws.dynhg.num_live_nets(),
         });
     }
 
     // Initial partitioning: seeded flat k-way portfolio on the
     // materialized core, best by lexicographic (violation, cut) — the
     // same schedule as the coarse-grained k-way backend.
-    let (core, slot_of) = d.materialize();
+    let core = ws.dynhg.materialize_into(&mut ws.dense_of, &mut ws.slot_of);
     let mut best: Option<(u64, u64, Vec<u16>)> = None;
     let mut stopped = StopReason::Completed;
     let mut audit_failure: Option<AuditError> = None;
@@ -113,50 +117,53 @@ pub(crate) fn run_nlevel_kway(
         Some((_, _, assignment)) => assignment,
         None => unreachable!("the first initial try always completes"),
     };
-    let mut labels = vec![0u16; d.num_slots()];
+    ws.labels.clear();
+    ws.labels.resize(ws.dynhg.num_slots(), 0);
     for (dense, &part) in initial.iter().enumerate() {
-        labels[slot_of[dense].index()] = part;
+        ws.labels[ws.slot_of[dense].index()] = part;
     }
-    let mut partition = NLevelPartition::new(&d, k, labels);
+    ws.partition.reset(&ws.dynhg, k, &ws.labels);
 
     // Uncontraction phase: undo LIFO, localized refinement per step.
-    let levels = mementos.len();
+    let levels = ws.contract.mementos.len();
     if ctx.sink.is_enabled() {
         ctx.sink.emit(RunEvent::UncontractionBegin {
             contractions: levels,
         });
     }
     let (lower, upper) = (balance.lower(), balance.upper());
-    let step_audit =
-        ctx.audit() == AuditLevel::Paranoid && d.num_slots() <= PARANOID_STEP_AUDIT_MAX_SLOTS;
+    let step_audit = ctx.audit() == AuditLevel::Paranoid
+        && ws.dynhg.num_slots() <= PARANOID_STEP_AUDIT_MAX_SLOTS;
     let mut total_moves = 0usize;
-    for m in mementos.iter().rev() {
+    for i in (0..levels).rev() {
+        let m = ws.contract.mementos[i];
         if !stopped.is_stopped() {
             if let Some(reason) = probe.stop_now() {
                 stopped = reason;
                 ctx.sink.emit(RunEvent::BudgetExhausted { reason });
             }
         }
-        partition.begin_uncontract(&d, m);
-        d.uncontract(m);
+        ws.partition.begin_uncontract(&ws.dynhg, &m);
+        ws.dynhg.uncontract(&m);
         if stopped.is_stopped() {
             continue;
         }
         total_moves += refine_localized(
-            &mut partition,
-            &d,
+            &mut ws.partition,
+            &ws.dynhg,
             &[m.u, m.v],
             lower,
             upper,
             config.refine.insertion,
             &mut rng,
+            &mut ws.refine,
             ctx,
         );
         if step_audit {
-            let recomputed = partition.recompute_cut(&d);
-            if recomputed != partition.cut() {
+            let recomputed = ws.partition.recompute_cut(&ws.dynhg);
+            if recomputed != ws.partition.cut() {
                 let e = AuditError::CutMismatch {
-                    reported: partition.cut(),
+                    reported: ws.partition.cut(),
                     recomputed,
                 };
                 ctx.sink.emit(RunEvent::InvariantViolation {
@@ -172,12 +179,13 @@ pub(crate) fn run_nlevel_kway(
     if ctx.sink.is_enabled() {
         ctx.sink.emit(RunEvent::UncontractionEnd {
             moves: total_moves,
-            cut: partition.cut(),
+            cut: ws.partition.cut(),
         });
     }
 
     // Final whole-run checkpoint on the input graph.
-    let assignment = partition.into_assignment();
+    let assignment = ws.partition.assignment().to_vec();
+    ctx.nlevel = ws;
     let final_partition = KWayPartition::new(h, k, assignment);
     if ctx.audit().is_on() {
         let window = balance

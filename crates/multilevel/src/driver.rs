@@ -26,7 +26,8 @@ use std::time::{Duration, Instant};
 
 use crate::partitioner::{MlOutcome, MlPartitioner};
 use hypart_core::{
-    AuditError, BalanceConstraint, CoarsenWorkspace, FmWorkspace, Hierarchy, RunCtx, StopReason,
+    AuditError, BalanceConstraint, CoarsenWorkspace, FmWorkspace, Hierarchy, NLevelWorkspace,
+    RunCtx, StopReason,
 };
 use hypart_hypergraph::{Hypergraph, PartId};
 use hypart_trace::{MemorySink, NullSink, RunEvent, TraceSink};
@@ -294,6 +295,7 @@ pub fn multi_start_with(
                 // carry on with the surviving seeds.
                 ctx.workspace = FmWorkspace::new();
                 ctx.coarsen = CoarsenWorkspace::new();
+                ctx.nlevel = NLevelWorkspace::new();
                 ctx.sink.emit(RunEvent::StartAborted {
                     index: i as u64,
                     seed,
@@ -473,6 +475,7 @@ where
             Err(payload) => {
                 ctx.workspace = FmWorkspace::new();
                 ctx.coarsen = CoarsenWorkspace::new();
+                ctx.nlevel = NLevelWorkspace::new();
                 ctx.sink.emit(RunEvent::StartAborted { index: i, seed });
                 stats.push_panicked(i as usize, payload_string(payload));
                 continue;
@@ -693,6 +696,7 @@ pub fn multi_start_parallel_with(
                 // reused across every start that thread picks up.
                 let mut workspace = FmWorkspace::new();
                 let mut coarsen_ws = CoarsenWorkspace::new();
+                let mut nlevel_ws = NLevelWorkspace::new();
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= nruns {
@@ -702,6 +706,7 @@ pub fn multi_start_parallel_with(
                     let buffer = MemorySink::new();
                     let ws = std::mem::take(&mut workspace);
                     let cws = std::mem::take(&mut coarsen_ws);
+                    let nws = std::mem::take(&mut nlevel_ws);
                     let attempt = catch_unwind(AssertUnwindSafe(|| {
                         fault.trip_start(i as u64);
                         let start_sink: &dyn TraceSink = if traced { &buffer } else { &NullSink };
@@ -711,6 +716,7 @@ pub fn multi_start_parallel_with(
                             .with_audit(audit)
                             .with_workspace(ws)
                             .with_coarsen_workspace(cws)
+                            .with_nlevel_workspace(nws)
                             .with_sink(start_sink);
                         if let Some(d) = deadline {
                             child = child.with_deadline(d);
@@ -722,12 +728,14 @@ pub fn multi_start_parallel_with(
                             t.elapsed(),
                             std::mem::take(&mut child.workspace),
                             std::mem::take(&mut child.coarsen),
+                            std::mem::take(&mut child.nlevel),
                         )
                     }));
                     let slot = match attempt {
-                        Ok((out, elapsed, ws, cws)) => {
+                        Ok((out, elapsed, ws, cws, nws)) => {
                             workspace = ws;
                             coarsen_ws = cws;
+                            nlevel_ws = nws;
                             let record = StartRecord {
                                 seed,
                                 cut: out.cut,
@@ -743,6 +751,7 @@ pub fn multi_start_parallel_with(
                             // completed seeds.
                             workspace = FmWorkspace::new();
                             coarsen_ws = CoarsenWorkspace::new();
+                            nlevel_ws = NLevelWorkspace::new();
                             Err(payload_string(payload))
                         }
                     };

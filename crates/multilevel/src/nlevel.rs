@@ -10,7 +10,10 @@
 //! but both the contraction and the refinement are one vertex pair at a
 //! time:
 //!
-//! 1. wrap the input in a [`DynHypergraph`] (no CSR rebuilds ever);
+//! 1. re-point the context's [`NLevelWorkspace`] arenas (the dynamic
+//!    hypergraph view, memento stack, partition state, label/seed
+//!    buffers, and gain cache) at the input — no CSR rebuilds ever, and
+//!    on a warm context no allocations either;
 //! 2. run the rating-driven schedule ([`select_contractions`]) down to
 //!    the coarse-config stop size, one memento per contraction;
 //! 3. materialize the coarse core once and reuse the coarse backend's
@@ -32,8 +35,7 @@ use crate::coarsen::cluster_cap;
 use crate::partitioner::{MlConfig, MlOutcome, MlPartitioner};
 use hypart_core::{
     refine_localized, select_contractions, AuditError, AuditLevel, BalanceConstraint, Bisection,
-    ContractionLimits, ContractionMemento, DynHypergraph, NLevelPartition, PartitionAuditor,
-    RunCtx, StopReason,
+    ContractionLimits, NLevelWorkspace, PartitionAuditor, RunCtx, StopReason,
 };
 use hypart_hypergraph::{Hypergraph, PartId, VertexId};
 use hypart_trace::RunEvent;
@@ -65,32 +67,37 @@ pub(crate) fn run_nlevel(
 ) -> MlOutcome {
     let config = partitioner.config();
     let mut rng = SmallRng::seed_from_u64(ctx.seed);
-    let mut d = DynHypergraph::new(h);
-    let mementos = contract_phase(&mut d, h, config, None, ctx);
+    // Borrow the n-level arenas for the duration of this run, so the
+    // view, the partition, and the context can be used independently;
+    // put back at the end (reuse changes no results, only allocations).
+    let mut ws = std::mem::take(&mut ctx.nlevel);
+    ws.dynhg.reset_from_csr(h);
+    contract_phase(&mut ws, h, config, None, ctx);
 
     // Initial partitioning: materialize the coarse core once (the only
     // CSR built on this path) and reuse the coarse backend's portfolio.
-    let (core, slot_of) = d.materialize();
+    let core = ws.dynhg.materialize_into(&mut ws.dense_of, &mut ws.slot_of);
     let mut audit_failure = None;
     let initial = partitioner.best_initial(&core, constraint, &mut rng, ctx, &mut audit_failure);
-    let mut labels = vec![0u16; d.num_slots()];
+    ws.labels.clear();
+    ws.labels.resize(ws.dynhg.num_slots(), 0);
     for (dense, part) in initial.iter().enumerate() {
-        labels[slot_of[dense].index()] = part.index() as u16;
+        ws.labels[ws.slot_of[dense].index()] = part.index() as u16;
     }
-    let mut partition = NLevelPartition::new(&d, 2, labels);
-    refine_flat(&mut partition, &d, constraint, config, &mut rng, ctx);
+    ws.partition.reset(&ws.dynhg, 2, &ws.labels);
+    refine_flat(&mut ws, constraint, config, &mut rng, ctx);
 
-    uncontract_phase(
+    let outcome = uncontract_phase(
         partitioner,
         h,
-        &mut d,
-        partition,
-        mementos,
+        &mut ws,
         constraint,
         &mut rng,
         ctx,
         audit_failure,
-    )
+    );
+    ctx.nlevel = ws;
+    outcome
 }
 
 /// One n-level V-cycle: restricted (same-side) contraction from an
@@ -107,26 +114,21 @@ pub(crate) fn vcycle_nlevel(
 ) -> MlOutcome {
     let config = partitioner.config();
     let mut rng = SmallRng::seed_from_u64(ctx.seed);
-    let mut d = DynHypergraph::new(h);
-    let mementos = contract_phase(&mut d, h, config, Some(assignment), ctx);
+    let mut ws = std::mem::take(&mut ctx.nlevel);
+    ws.dynhg.reset_from_csr(h);
+    contract_phase(&mut ws, h, config, Some(assignment), ctx);
 
     // Restricted contraction keeps every cluster on one side, so the
     // input labels are already the coarse solution.
-    let labels: Vec<u16> = assignment.iter().map(|p| p.index() as u16).collect();
-    let mut partition = NLevelPartition::new(&d, 2, labels);
-    refine_flat(&mut partition, &d, constraint, config, &mut rng, ctx);
+    ws.labels.clear();
+    ws.labels
+        .extend(assignment.iter().map(|p| p.index() as u16));
+    ws.partition.reset(&ws.dynhg, 2, &ws.labels);
+    refine_flat(&mut ws, constraint, config, &mut rng, ctx);
 
-    uncontract_phase(
-        partitioner,
-        h,
-        &mut d,
-        partition,
-        mementos,
-        constraint,
-        &mut rng,
-        ctx,
-        None,
-    )
+    let outcome = uncontract_phase(partitioner, h, &mut ws, constraint, &mut rng, ctx, None);
+    ctx.nlevel = ws;
+    outcome
 }
 
 /// Flat refinement over every active vertex of the current view, at
@@ -142,29 +144,31 @@ pub(crate) fn vcycle_nlevel(
 /// once the budget is spent; the caller's uncontraction loop reports the
 /// stop. Returns the total retained moves.
 fn refine_flat(
-    partition: &mut NLevelPartition,
-    d: &DynHypergraph,
+    ws: &mut NLevelWorkspace,
     constraint: &BalanceConstraint,
     config: &MlConfig,
     rng: &mut SmallRng,
     ctx: &mut RunCtx<'_>,
 ) -> usize {
     let mut probe = ctx.probe();
-    let seeds: Vec<VertexId> = (0..d.num_slots())
-        .map(VertexId::from_index)
-        .filter(|&v| d.is_active(v))
-        .collect();
+    ws.seeds.clear();
+    ws.seeds.extend(
+        (0..ws.dynhg.num_slots())
+            .map(VertexId::from_index)
+            .filter(|&v| ws.dynhg.is_active(v)),
+    );
     let (lower, upper) = (constraint.lower(), constraint.upper());
     let mut total = 0usize;
     while probe.stop_now().is_none() {
         let retained = refine_localized(
-            partition,
-            d,
-            &seeds,
+            &mut ws.partition,
+            &ws.dynhg,
+            &ws.seeds,
             lower,
             upper,
             config.refine.insertion,
             rng,
+            &mut ws.refine,
             ctx,
         );
         total += retained;
@@ -179,37 +183,37 @@ fn refine_flat(
 /// brackets (whole-phase brackets: one pair per contraction would bloat
 /// golden traces a thousandfold).
 fn contract_phase(
-    d: &mut DynHypergraph,
+    ws: &mut NLevelWorkspace,
     h: &Hypergraph,
     config: &MlConfig,
     restriction: Option<&[PartId]>,
     ctx: &mut RunCtx<'_>,
-) -> Vec<ContractionMemento> {
+) {
     if ctx.sink.is_enabled() {
         ctx.sink.emit(RunEvent::ContractionBegin {
-            vertices: d.num_active(),
-            nets: d.num_live_nets(),
+            vertices: ws.dynhg.num_active(),
+            nets: ws.dynhg.num_live_nets(),
         });
     }
     let limits = limits_for(h, config);
     let mut probe = ctx.probe();
     let seed = ctx.seed;
-    let mementos = select_contractions(
-        d,
+    select_contractions(
+        &mut ws.dynhg,
         &limits,
         restriction,
         seed,
         &mut ctx.coarsen.conn,
+        &mut ws.contract,
         &mut probe,
     );
     if ctx.sink.is_enabled() {
         ctx.sink.emit(RunEvent::ContractionEnd {
-            contractions: mementos.len(),
-            vertices: d.num_active(),
-            nets: d.num_live_nets(),
+            contractions: ws.contract.mementos.len(),
+            vertices: ws.dynhg.num_active(),
+            nets: ws.dynhg.num_live_nets(),
         });
     }
-    mementos
 }
 
 /// Undoes the memento stack LIFO with localized refinement per step,
@@ -220,24 +224,22 @@ fn contract_phase(
 fn uncontract_phase(
     partitioner: &MlPartitioner,
     h: &Hypergraph,
-    d: &mut DynHypergraph,
-    mut partition: NLevelPartition,
-    mementos: Vec<ContractionMemento>,
+    ws: &mut NLevelWorkspace,
     constraint: &BalanceConstraint,
     rng: &mut SmallRng,
     ctx: &mut RunCtx<'_>,
     mut audit_failure: Option<AuditError>,
 ) -> MlOutcome {
     let config = partitioner.config();
-    let levels = mementos.len();
+    let levels = ws.contract.mementos.len();
     if ctx.sink.is_enabled() {
         ctx.sink.emit(RunEvent::UncontractionBegin {
             contractions: levels,
         });
     }
     let (lower, upper) = (constraint.lower(), constraint.upper());
-    let step_audit =
-        ctx.audit() == AuditLevel::Paranoid && d.num_slots() <= PARANOID_STEP_AUDIT_MAX_SLOTS;
+    let step_audit = ctx.audit() == AuditLevel::Paranoid
+        && ws.dynhg.num_slots() <= PARANOID_STEP_AUDIT_MAX_SLOTS;
     let mut probe = ctx.probe();
     let mut stopped = StopReason::Completed;
     let mut total_moves = 0usize;
@@ -245,39 +247,41 @@ fn uncontract_phase(
     // flat sweep every time the active vertex count doubles — the
     // n-level analogue of the coarse backend's per-level FM passes,
     // O(log n) sweeps in total.
-    let mut next_flat = d.num_active().saturating_mul(2);
+    let mut next_flat = ws.dynhg.num_active().saturating_mul(2);
 
-    for m in mementos.iter().rev() {
+    for i in (0..levels).rev() {
+        let m = ws.contract.mementos[i];
         if !stopped.is_stopped() {
             if let Some(reason) = probe.stop_now() {
                 stopped = reason;
                 ctx.sink.emit(RunEvent::BudgetExhausted { reason });
             }
         }
-        partition.begin_uncontract(d, m);
-        d.uncontract(m);
+        ws.partition.begin_uncontract(&ws.dynhg, &m);
+        ws.dynhg.uncontract(&m);
         if stopped.is_stopped() {
             continue;
         }
         total_moves += refine_localized(
-            &mut partition,
-            d,
+            &mut ws.partition,
+            &ws.dynhg,
             &[m.u, m.v],
             lower,
             upper,
             config.refine.insertion,
             rng,
+            &mut ws.refine,
             ctx,
         );
-        if d.num_active() >= next_flat {
-            total_moves += refine_flat(&mut partition, d, constraint, config, rng, ctx);
+        if ws.dynhg.num_active() >= next_flat {
+            total_moves += refine_flat(ws, constraint, config, rng, ctx);
             next_flat = next_flat.saturating_mul(2);
         }
         if step_audit {
-            let recomputed = partition.recompute_cut(d);
-            if recomputed != partition.cut() {
+            let recomputed = ws.partition.recompute_cut(&ws.dynhg);
+            if recomputed != ws.partition.cut() {
                 let e = AuditError::CutMismatch {
-                    reported: partition.cut(),
+                    reported: ws.partition.cut(),
                     recomputed,
                 };
                 ctx.sink.emit(RunEvent::InvariantViolation {
@@ -294,16 +298,17 @@ fn uncontract_phase(
     // far as their seed pair's neighborhood chains, so the finest level
     // deserves the same exhaustive pass the coarse backend ends with.
     if !stopped.is_stopped() {
-        total_moves += refine_flat(&mut partition, d, constraint, config, rng, ctx);
+        total_moves += refine_flat(ws, constraint, config, rng, ctx);
     }
     if ctx.sink.is_enabled() {
         ctx.sink.emit(RunEvent::UncontractionEnd {
             moves: total_moves,
-            cut: partition.cut(),
+            cut: ws.partition.cut(),
         });
     }
 
-    let assignment: Vec<PartId> = partition
+    let assignment: Vec<PartId> = ws
+        .partition
         .assignment()
         .iter()
         .map(|&p| if p == 0 { PartId::P0 } else { PartId::P1 })

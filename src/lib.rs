@@ -62,7 +62,8 @@ pub mod prelude {
     pub use hypart_core::{
         BalanceConstraint, Bisection, CancelToken, ContractionLimits, ContractionMemento,
         DynHypergraph, EngineKind, FmConfig, FmOutcome, FmPartitioner, InsertionPolicy,
-        NLevelPartition, RunCtx, SelectionRule, StopReason, TieBreak, ZeroDeltaPolicy,
+        NLevelPartition, NLevelWorkspace, RunCtx, SelectionRule, StopReason, TieBreak,
+        ZeroDeltaPolicy,
     };
     pub use hypart_eval::runner::{
         run_trials, run_trials_with, FlatFmHeuristic, Heuristic, MlHeuristic, MultiStartHeuristic,

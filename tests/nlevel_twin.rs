@@ -16,6 +16,23 @@ fn instance_params() -> impl Strategy<Value = (usize, usize, usize, u64, u64)> {
     (4usize..60, 4usize..90, 2usize..6, 1u64..12, any::<u64>())
 }
 
+/// Runs a traced n-level multi-start (2 starts, 1 V-cycle each) on `h`,
+/// re-seeding whatever context — and therefore whatever workspace
+/// state — the caller hands in, and returns the JSONL byte stream.
+fn traced_multi_start(
+    ml: &MlPartitioner,
+    h: &Hypergraph,
+    c: &BalanceConstraint,
+    seed: u64,
+    ctx: RunCtx<'_>,
+) -> String {
+    let sink = JsonlSink::new(Vec::new());
+    let mut ctx = ctx.with_seed(seed).with_sink(&sink);
+    multi_start_with(ml, h, c, 2, 1, &mut ctx);
+    drop(ctx);
+    String::from_utf8(sink.finish().expect("in-memory write")).expect("utf-8")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -47,8 +64,9 @@ proptest! {
         let ctx = RunCtx::new(seed);
         let mut probe = ctx.probe();
         let mut scores = hypart::core::SparseScores::new();
-        let mementos =
-            select_contractions(&mut d, &limits, Some(&sides), seed, &mut scores, &mut probe);
+        let mut scratch = hypart::core::ContractScratch::new();
+        select_contractions(&mut d, &limits, Some(&sides), seed, &mut scores, &mut scratch, &mut probe);
+        let mementos = scratch.mementos;
 
         // Every contraction stayed inside one side, so the per-slot input
         // labels are still a valid labeling of the coarse state — and its
@@ -84,11 +102,44 @@ proptest! {
         let ctx = RunCtx::new(seed ^ 0xA5A5);
         let mut probe = ctx.probe();
         let mut scores = hypart::core::SparseScores::new();
-        let mut mementos =
-            select_contractions(&mut d, &limits, None, seed, &mut scores, &mut probe);
-        while let Some(m) = mementos.pop() {
+        let mut scratch = hypart::core::ContractScratch::new();
+        select_contractions(&mut d, &limits, None, seed, &mut scores, &mut scratch, &mut probe);
+        while let Some(m) = scratch.mementos.pop() {
             d.uncontract(&m);
         }
         d.validate_pristine(&h).expect("pristine after full undo");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Reusing the context's [`NLevelWorkspace`] is behaviorally
+    /// invisible. The workspace is dirtied with unrelated work — the
+    /// 2-way driver on a different instance, then the direct k-way
+    /// backend at k = 3, which reshapes the count table and gain-row
+    /// stride — and a traced multi-start + V-cycle run on it must be
+    /// bitwise identical to the same run on a fresh context.
+    #[test]
+    fn dirty_nlevel_workspace_is_behaviorally_invisible(
+        (na, ma, ka, wa, seed_a) in instance_params(),
+        (nb, mb, kb, wb, seed_b) in instance_params(),
+    ) {
+        let ha = random_hypergraph(na, ma, ka, wa, seed_a);
+        let hb = random_hypergraph(nb, mb, kb, wb, seed_b);
+        let ca = BalanceConstraint::with_fraction(ha.total_vertex_weight(), 0.10);
+        let cb = BalanceConstraint::with_fraction(hb.total_vertex_weight(), 0.10);
+        let ml = MlPartitioner::new(MlConfig::default().with_engine(EngineKind::NLevel));
+
+        let mut dirty = RunCtx::new(seed_a);
+        let _ = ml.run_with(&ha, &ca, &mut dirty);
+        let mlk = MlKWayPartitioner::new(MlKWayConfig::default().with_engine(EngineKind::NLevel));
+        let kb3 = KWayBalance::with_fraction(ha.total_vertex_weight(), 3, 0.30);
+        let _ = mlk.run_with(&ha, &kb3, &mut dirty);
+
+        let dirty_trace = traced_multi_start(&ml, &hb, &cb, seed_b, dirty);
+        let fresh_trace = traced_multi_start(&ml, &hb, &cb, seed_b, RunCtx::new(0));
+        prop_assert_eq!(dirty_trace, fresh_trace,
+            "workspace reuse must be bitwise invisible");
     }
 }

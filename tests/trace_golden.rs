@@ -144,6 +144,21 @@ fn engine_traces() -> Vec<(&'static str, String)> {
         let mut ctx = RunCtx::new(7).with_sink(sink);
         hypart::kway::recursive_bisection_with(&h, 4, 0.15, &nlevel_config, &mut ctx);
     });
+    // Multi-start n-level with a V-cycle on one shared context: every
+    // start after the first runs on warm workspace arenas, so this
+    // golden pins the recycling path itself — reuse must be bitwise
+    // invisible start over start.
+    let nlevel_multistart = trace_of(&|sink| {
+        hypart::ml::multi_start_traced(
+            &MlPartitioner::new(nlevel_config.clone()),
+            &h,
+            &c,
+            2,
+            9,
+            1,
+            sink,
+        );
+    });
 
     vec![
         ("trace_fm_ispd98.jsonl", flat),
@@ -154,6 +169,7 @@ fn engine_traces() -> Vec<(&'static str, String)> {
         ("trace_mlkway_deep.jsonl", mlkway),
         ("trace_nlevel_ispd98.jsonl", nlevel),
         ("trace_nlevel_kway_ispd98.jsonl", nlevel_kway),
+        ("trace_nlevel_multistart_ispd98.jsonl", nlevel_multistart),
     ]
 }
 
